@@ -1,0 +1,282 @@
+package hbh_test
+
+// The benchmark harness regenerates every table/figure of the paper's
+// evaluation (§4) as a testing.B benchmark, plus the ablation and
+// extension studies from DESIGN.md, plus micro-benchmarks of the
+// substrates. Figure benches run a reduced number of runs per data
+// point per iteration (the CLI `hbhsim -figure all -runs 500` performs
+// the full 500-run evaluation) and report the headline comparison as
+// custom metrics, so `go test -bench` output directly shows who wins:
+//
+//	BenchmarkFigure7a  ...  HBH-cost 21.9  REUNITE-cost 31.2  ...
+//
+// Metric naming: <protocol>-cost is mean packet copies per data packet
+// (tree cost), <protocol>-delay is mean receiver delay in time units.
+
+import (
+	"math/rand"
+	"testing"
+
+	"hbh/internal/eventsim"
+	"hbh/internal/experiment"
+	"hbh/internal/packet"
+	"hbh/internal/topology"
+	"hbh/internal/unicast"
+
+	root "hbh"
+)
+
+// benchRuns is the per-iteration run count of the figure benches: high
+// enough for stable ordering between protocols, low enough that a
+// bench iteration stays in seconds.
+const benchRuns = 10
+
+func reportSeries(b *testing.B, fig *experiment.Figure, suffix string) {
+	b.Helper()
+	for _, s := range fig.Series {
+		b.ReportMetric(s.AvgMean(), s.Name+"-"+suffix)
+	}
+	if fig.BadRuns > 0 {
+		b.ReportMetric(float64(fig.BadRuns), "bad-runs")
+	}
+}
+
+// BenchmarkFigure7a regenerates Figure 7(a): tree cost vs group size
+// on the ISP topology for PIM-SM, PIM-SS, REUNITE and HBH.
+func BenchmarkFigure7a(b *testing.B) {
+	var fig *experiment.Figure
+	for i := 0; i < b.N; i++ {
+		fig = experiment.Figure7a(benchRuns, int64(i+1))
+	}
+	reportSeries(b, fig, "cost")
+}
+
+// BenchmarkFigure7b regenerates Figure 7(b): tree cost on the 50-node
+// random topology.
+func BenchmarkFigure7b(b *testing.B) {
+	var fig *experiment.Figure
+	for i := 0; i < b.N; i++ {
+		fig = experiment.Figure7b(benchRuns, int64(i+1))
+	}
+	reportSeries(b, fig, "cost")
+}
+
+// BenchmarkFigure8a regenerates Figure 8(a): receiver average delay on
+// the ISP topology (the paper's "shared trees beat source reverse
+// SPTs here" observation).
+func BenchmarkFigure8a(b *testing.B) {
+	var fig *experiment.Figure
+	for i := 0; i < b.N; i++ {
+		fig = experiment.Figure8a(benchRuns, int64(i+1))
+	}
+	reportSeries(b, fig, "delay")
+}
+
+// BenchmarkFigure8b regenerates Figure 8(b): receiver average delay on
+// the 50-node random topology.
+func BenchmarkFigure8b(b *testing.B) {
+	var fig *experiment.Figure
+	for i := 0; i < b.N; i++ {
+		fig = experiment.Figure8b(benchRuns, int64(i+1))
+	}
+	reportSeries(b, fig, "delay")
+}
+
+// BenchmarkStability regenerates the §3/Figure 4 departure-stability
+// comparison: route changes inflicted on remaining members per
+// departure.
+func BenchmarkStability(b *testing.B) {
+	var res *experiment.StabilityResult
+	for i := 0; i < b.N; i++ {
+		res = experiment.StabilityExperiment(experiment.StabilityConfig{
+			Topo: experiment.TopoISP, Receivers: 8, Runs: benchRuns, Seed: int64(i + 1),
+		})
+	}
+	for _, row := range res.Rows {
+		b.ReportMetric(row.RouteChanged.Mean(), string(row.Protocol)+"-route-changes")
+	}
+}
+
+// BenchmarkAblationFusion regenerates ablation A1: HBH with the fusion
+// mechanism disabled degenerates to a unicast star; the cost gap is
+// what fusion buys.
+func BenchmarkAblationFusion(b *testing.B) {
+	var fig *experiment.Figure
+	for i := 0; i < b.N; i++ {
+		fig = experiment.AblationFusion(benchRuns, int64(i+1))
+	}
+	reportSeries(b, fig, "cost")
+}
+
+// BenchmarkUnicastClouds regenerates extension A2: HBH and REUNITE
+// tree cost as the fraction of multicast-capable routers varies.
+func BenchmarkUnicastClouds(b *testing.B) {
+	var fig *experiment.Figure
+	for i := 0; i < b.N; i++ {
+		fig = experiment.UnicastClouds(benchRuns, int64(i+1))
+	}
+	reportSeries(b, fig, "cost")
+}
+
+// BenchmarkAsymmetrySweep regenerates extension A3: the receiver-delay
+// gap between HBH and the reverse-path protocols as per-direction cost
+// skew grows.
+func BenchmarkAsymmetrySweep(b *testing.B) {
+	var fig *experiment.Figure
+	for i := 0; i < b.N; i++ {
+		fig = experiment.AsymmetrySweep(benchRuns, int64(i+1))
+	}
+	reportSeries(b, fig, "delay")
+}
+
+// BenchmarkForwardingState regenerates extension A4: data-plane and
+// control-plane state footprint of the recursive-unicast protocols
+// versus classical IP multicast.
+func BenchmarkForwardingState(b *testing.B) {
+	var fig *experiment.Figure
+	for i := 0; i < b.N; i++ {
+		fig = experiment.ForwardingState(benchRuns/2+1, int64(i+1))
+	}
+	reportSeries(b, fig, "entries")
+}
+
+// BenchmarkControlOverhead regenerates extension A5: steady-state
+// control transmissions per refresh interval.
+func BenchmarkControlOverhead(b *testing.B) {
+	var fig *experiment.Figure
+	for i := 0; i < b.N; i++ {
+		fig = experiment.ControlOverhead(benchRuns/2+1, int64(i+1))
+	}
+	reportSeries(b, fig, "msgs")
+}
+
+// BenchmarkQoSRouting regenerates extension A7: delivered bottleneck
+// bandwidth under a widest-path unicast substrate (HBH reaches the
+// optimum; reverse-path trees do not).
+func BenchmarkQoSRouting(b *testing.B) {
+	var fig *experiment.Figure
+	for i := 0; i < b.N; i++ {
+		fig = experiment.QoSRouting(benchRuns/2+1, int64(i+1))
+	}
+	reportSeries(b, fig, "bw")
+}
+
+// --- substrate micro-benchmarks ---
+
+// BenchmarkSingleRunHBH measures one full HBH simulation run (ISP
+// topology, 8 receivers: converge + probe).
+func BenchmarkSingleRunHBH(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiment.Run(experiment.RunConfig{
+			Topo: experiment.TopoISP, Protocol: experiment.HBH,
+			Receivers: 8, Seed: int64(i + 1),
+		})
+	}
+}
+
+// BenchmarkSingleRunREUNITE measures one full REUNITE run.
+func BenchmarkSingleRunREUNITE(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiment.Run(experiment.RunConfig{
+			Topo: experiment.TopoISP, Protocol: experiment.REUNITE,
+			Receivers: 8, Seed: int64(i + 1),
+		})
+	}
+}
+
+// BenchmarkSingleRunPIMSS measures one centralised PIM-SS run.
+func BenchmarkSingleRunPIMSS(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiment.Run(experiment.RunConfig{
+			Topo: experiment.TopoISP, Protocol: experiment.PIMSS,
+			Receivers: 8, Seed: int64(i + 1),
+		})
+	}
+}
+
+// BenchmarkManyChannels measures a network carrying ten concurrent HBH
+// channels (distinct sources and groups) to convergence — per-channel
+// state is independent, so this stresses the multiplexing overhead of
+// the shared routers.
+func BenchmarkManyChannels(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		g := root.ISPTopology()
+		g.RandomizeCosts(rand.New(rand.NewSource(int64(i+1))), 1, 10)
+		nw := root.NewNetwork(g)
+		cfg := root.DefaultConfig()
+		nw.EnableHBH(cfg)
+		hosts := g.Hosts()
+		var members []root.Member
+		var sends []func(payload []byte) uint32
+		for c := 0; c < 10; c++ {
+			src := nw.NewHBHSource(hosts[c], root.Group(c), cfg)
+			sends = append(sends, src.SendData)
+			for k := 0; k < 5; k++ {
+				r := nw.NewHBHReceiver(hosts[(c+3*k+5)%len(hosts)], src.Channel(), cfg)
+				nw.At(root.Time(10+5*k), r.Join)
+				members = append(members, r)
+			}
+		}
+		nw.RunFor(4000)
+		for _, send := range sends {
+			send(nil)
+		}
+		nw.RunFor(200)
+	}
+}
+
+// BenchmarkDijkstra measures the all-pairs routing-table computation
+// on the 50-node topology (100 nodes with hosts).
+func BenchmarkDijkstra(b *testing.B) {
+	g := topology.Random(topology.Paper50(), rand.New(rand.NewSource(1)))
+	g.RandomizeCosts(rand.New(rand.NewSource(2)), 1, 10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		unicast.Compute(g)
+	}
+}
+
+// BenchmarkPacketRoundTrip measures marshal+unmarshal of a fusion
+// message (the largest control format).
+func BenchmarkPacketRoundTrip(b *testing.B) {
+	f := &packet.Fusion{
+		Header: packet.Header{
+			Proto:   packet.ProtoHBH,
+			Type:    packet.TypeFusion,
+			Channel: root.Channel{S: 0x0A000001, G: 0xE0000001},
+			Src:     0x0A000002,
+			Dst:     0x0A000001,
+		},
+		Bp: 0x0A000002,
+		Rs: []root.Addr{0x0A010001, 0x0A010002, 0x0A010003, 0x0A010004},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf, err := packet.Marshal(f)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := packet.Unmarshal(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEventLoop measures raw discrete-event throughput: schedule
+// and fire chained events.
+func BenchmarkEventLoop(b *testing.B) {
+	sim := eventsim.New()
+	n := 0
+	var chain func()
+	chain = func() {
+		n++
+		if n < b.N {
+			sim.After(1, chain)
+		}
+	}
+	sim.After(1, chain)
+	b.ResetTimer()
+	if err := sim.RunAll(); err != nil {
+		b.Fatal(err)
+	}
+}

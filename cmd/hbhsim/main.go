@@ -1,0 +1,121 @@
+// Command hbhsim regenerates the evaluation of the HBH paper (SIGCOMM
+// 2001): the tree-cost and receiver-delay figures over the ISP and
+// 50-node random topologies, the departure-stability comparison, and
+// the ablation/extension studies.
+//
+// Usage:
+//
+//	hbhsim -figure 7a              # one figure, text table
+//	hbhsim -figure all -runs 500   # the full paper evaluation
+//	hbhsim -figure 8b -csv         # CSV series for plotting
+//
+// Figures: 7a 7b 8a 8b (paper), stability (Fig. 4 departure study),
+// ablation-fusion (A1), unicast-clouds (A2), asymmetry-sweep (A3),
+// paper (7a+7b+8a+8b sharing runs), all (everything).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"hbh/internal/experiment"
+)
+
+func main() {
+	var (
+		figure  = flag.String("figure", "paper", "which figure to regenerate: 7a, 7b, 8a, 8b, paper, stability, ablation-fusion, unicast-clouds, asymmetry-sweep, forwarding-state, control-overhead, loss-robustness, qos, cross-topo, delay-tail, all")
+		runs    = flag.Int("runs", 500, "simulation runs per data point (the paper uses 500)")
+		seed    = flag.Int64("seed", 1, "base RNG seed")
+		csv     = flag.Bool("csv", false, "emit CSV instead of text tables")
+		workers = flag.Int("workers", 1, "parallel simulation workers for the paper-figure sweeps (results are deterministic regardless)")
+	)
+	flag.Parse()
+	experiment.DefaultWorkers = *workers
+
+	start := time.Now()
+	var figs []*experiment.Figure
+	var extra []string
+
+	emitPaper := func(topo experiment.Topo) {
+		cost, delay := experiment.PaperFigures(topo, *runs, *seed)
+		figs = append(figs, cost, delay)
+	}
+
+	switch strings.ToLower(*figure) {
+	case "7a":
+		figs = append(figs, experiment.Figure7a(*runs, *seed))
+	case "7b":
+		figs = append(figs, experiment.Figure7b(*runs, *seed))
+	case "8a":
+		figs = append(figs, experiment.Figure8a(*runs, *seed))
+	case "8b":
+		figs = append(figs, experiment.Figure8b(*runs, *seed))
+	case "paper":
+		emitPaper(experiment.TopoISP)
+		emitPaper(experiment.TopoRandom50)
+	case "stability":
+		extra = append(extra, stability(*runs, *seed))
+	case "ablation-fusion":
+		figs = append(figs, experiment.AblationFusion(*runs, *seed))
+	case "unicast-clouds":
+		figs = append(figs, experiment.UnicastClouds(*runs, *seed))
+	case "asymmetry-sweep":
+		figs = append(figs, experiment.AsymmetrySweep(*runs, *seed))
+	case "forwarding-state":
+		figs = append(figs, experiment.ForwardingState(*runs, *seed))
+	case "control-overhead":
+		figs = append(figs, experiment.ControlOverhead(*runs, *seed))
+	case "loss-robustness":
+		figs = append(figs, experiment.LossRobustness(*runs, *seed))
+	case "qos":
+		figs = append(figs, experiment.QoSRouting(*runs, *seed))
+	case "cross-topo":
+		c, d := experiment.CrossTopology(*runs, *seed)
+		figs = append(figs, c, d)
+	case "delay-tail":
+		extra = append(extra, experiment.DelayTail(*runs, *seed).FormatTable())
+	case "all":
+		emitPaper(experiment.TopoISP)
+		emitPaper(experiment.TopoRandom50)
+		figs = append(figs,
+			experiment.AblationFusion(*runs, *seed),
+			experiment.UnicastClouds(*runs, *seed),
+			experiment.AsymmetrySweep(*runs, *seed),
+			experiment.ForwardingState(*runs, *seed),
+			experiment.ControlOverhead(*runs, *seed),
+			experiment.LossRobustness(*runs, *seed),
+			experiment.QoSRouting(*runs, *seed))
+		extra = append(extra, stability(*runs, *seed))
+	default:
+		fmt.Fprintf(os.Stderr, "hbhsim: unknown figure %q\n", *figure)
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	for _, f := range figs {
+		if *csv {
+			fmt.Printf("# Figure %s — %s\n%s\n", f.ID, f.Title, f.FormatCSV())
+		} else {
+			fmt.Println(f.FormatTable())
+		}
+	}
+	for _, s := range extra {
+		fmt.Println(s)
+	}
+	fmt.Fprintf(os.Stderr, "hbhsim: done in %v\n", time.Since(start).Round(time.Millisecond))
+}
+
+func stability(runs int, seed int64) string {
+	var b strings.Builder
+	for _, topo := range []experiment.Topo{experiment.TopoISP, experiment.TopoRandom50} {
+		res := experiment.StabilityExperiment(experiment.StabilityConfig{
+			Topo: topo, Receivers: 8, Runs: runs, Seed: seed,
+		})
+		b.WriteString(res.FormatTable())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

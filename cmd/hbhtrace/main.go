@@ -1,0 +1,151 @@
+// Command hbhtrace replays the HBH paper's worked examples (§2.3,
+// Figures 2, 3, 4 and 5) on the hop-by-hop simulator and prints the
+// protocol message exchanges and the resulting distribution trees, for
+// HBH and REUNITE side by side.
+//
+// Usage:
+//
+//	hbhtrace -scenario asymmetric-join             # Fig. 2 vs Fig. 5
+//	hbhtrace -scenario duplication                 # Fig. 3
+//	hbhtrace -scenario departure                   # Fig. 4
+//	hbhtrace -scenario asymmetric-join -verbose    # full packet trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hbh/internal/addr"
+	"hbh/internal/core"
+	"hbh/internal/eventsim"
+	"hbh/internal/mtree"
+	"hbh/internal/netsim"
+	"hbh/internal/reunite"
+	"hbh/internal/topology"
+	"hbh/internal/unicast"
+)
+
+func main() {
+	var (
+		scenario = flag.String("scenario", "asymmetric-join", "asymmetric-join | duplication | departure")
+		verbose  = flag.Bool("verbose", false, "print the full packet-level trace")
+	)
+	flag.Parse()
+
+	var sc topology.Scenario
+	switch *scenario {
+	case "asymmetric-join", "departure":
+		sc = topology.Fig2Scenario()
+	case "duplication":
+		sc = topology.Fig3Scenario()
+	default:
+		fmt.Fprintf(os.Stderr, "hbhtrace: unknown scenario %q\n", *scenario)
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	fmt.Println("Topology:")
+	fmt.Print(sc.Graph.String())
+	fmt.Println()
+
+	for _, proto := range []string{"REUNITE", "HBH"} {
+		fmt.Printf("=== %s ===\n", proto)
+		runScenario(proto, *scenario, sc, *verbose)
+		fmt.Println()
+	}
+}
+
+// session abstracts the two dynamic protocols for the tracer.
+type session struct {
+	sim     *eventsim.Sim
+	net     *netsim.Network
+	routing *unicast.Routing
+	send    func() uint32
+	r1, r2  mtree.Member
+	leaveR1 func()
+}
+
+func buildSession(proto string, sc topology.Scenario, verbose bool) *session {
+	sim := eventsim.New()
+	routing := unicast.Compute(sc.Graph)
+	net := netsim.New(sim, sc.Graph, routing)
+	if verbose {
+		net.SetTrace(func(line string) { fmt.Println("   ", line) })
+	}
+	s := &session{sim: sim, net: net, routing: routing}
+
+	switch proto {
+	case "HBH":
+		cfg := core.DefaultConfig()
+		for _, r := range sc.Graph.Routers() {
+			core.AttachRouter(net.Node(r), cfg)
+		}
+		src := core.AttachSource(net.Node(sc.Source), addr.GroupAddr(0), cfg)
+		r1 := core.AttachReceiver(net.Node(sc.R1), src.Channel(), cfg)
+		r2 := core.AttachReceiver(net.Node(sc.R2), src.Channel(), cfg)
+		sim.At(10, r1.Join)
+		sim.At(130, r2.Join)
+		s.send = func() uint32 { return src.SendData([]byte("payload")) }
+		s.r1, s.r2 = r1, r2
+		s.leaveR1 = r1.Leave
+	case "REUNITE":
+		cfg := reunite.DefaultConfig()
+		for _, r := range sc.Graph.Routers() {
+			reunite.AttachRouter(net.Node(r), cfg)
+		}
+		src := reunite.AttachSource(net.Node(sc.Source), addr.GroupAddr(0), cfg)
+		r1 := reunite.AttachReceiver(net.Node(sc.R1), src.Channel(), cfg)
+		r2 := reunite.AttachReceiver(net.Node(sc.R2), src.Channel(), cfg)
+		sim.At(10, r1.Join)
+		sim.At(130, r2.Join)
+		s.send = func() uint32 { return src.SendData([]byte("payload")) }
+		s.r1, s.r2 = r1, r2
+		s.leaveR1 = r1.Leave
+	default:
+		panic("unknown protocol " + proto)
+	}
+	return s
+}
+
+func runScenario(proto, scenario string, sc topology.Scenario, verbose bool) {
+	s := buildSession(proto, sc, verbose)
+	g := sc.Graph
+
+	run := func(d eventsim.Time) {
+		if err := s.sim.Run(s.sim.Now() + d); err != nil {
+			panic(err)
+		}
+	}
+	probe := func(members ...mtree.Member) *mtree.Result {
+		return mtree.Probe(s.net, s.send, members)
+	}
+
+	run(4000) // converge
+	res := probe(s.r1, s.r2)
+	fmt.Printf("converged tree (one data packet):\n%s", res.FormatTree(g))
+	fmt.Printf("tree cost: %d packet copies\n", res.Cost)
+	for _, m := range []mtree.Member{s.r1, s.r2} {
+		d := res.Delays[m.Addr()]
+		sp := s.routing.Dist(g.MustByAddr(sc.Graph.Node(sc.Source).Addr), g.MustByAddr(m.Addr()))
+		fmt.Printf("  %v delay %v (shortest possible %d)\n", m.Addr(), d, sp)
+	}
+
+	if scenario == "departure" {
+		fmt.Println("r1 leaves the channel ...")
+		s.leaveR1()
+		run(4000)
+		after := probe(s.r2)
+		fmt.Printf("tree after departure:\n%s", after.FormatTree(g))
+		fmt.Printf("tree cost: %d\n", after.Cost)
+		before, afterD := res.Delays[s.r2.Addr()], after.Delays[s.r2.Addr()]
+		switch {
+		case len(after.Missing) > 0:
+			fmt.Println("  r2 LOST service")
+		case before != afterD:
+			fmt.Printf("  r2 ROUTE CHANGED: delay %v -> %v\n", before, afterD)
+		default:
+			fmt.Printf("  r2 route unchanged (delay %v)\n", afterD)
+		}
+	}
+}

@@ -1,0 +1,82 @@
+// Command topogen generates and inspects the evaluation topologies:
+// the 18-router ISP network of the paper's Figure 6 and seeded random
+// topologies, with per-direction link costs and routing-asymmetry
+// statistics.
+//
+// Usage:
+//
+//	topogen -topo isp -seed 7          # ISP topology, one cost draw
+//	topogen -topo random -routers 50 -degree 8.6
+//	topogen -topo isp -draws 100       # asymmetry statistics over draws
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"hbh/internal/topology"
+	"hbh/internal/unicast"
+)
+
+func main() {
+	var (
+		topo    = flag.String("topo", "isp", "isp | random | line | nsfnet | abilene")
+		routers = flag.Int("routers", 50, "router count (random/line)")
+		degree  = flag.Float64("degree", 8.6, "average router degree (random)")
+		seed    = flag.Int64("seed", 1, "RNG seed for structure and costs")
+		lo      = flag.Int("lo", 1, "minimum directed link cost")
+		hi      = flag.Int("hi", 10, "maximum directed link cost")
+		draws   = flag.Int("draws", 1, "number of cost draws for the asymmetry statistic")
+		quiet   = flag.Bool("quiet", false, "suppress the link list")
+		dot     = flag.Bool("dot", false, "emit Graphviz DOT instead of the text description")
+	)
+	flag.Parse()
+
+	rng := rand.New(rand.NewSource(*seed))
+	var g *topology.Graph
+	switch *topo {
+	case "isp":
+		g = topology.ISP()
+	case "random":
+		g = topology.Random(topology.RandomConfig{
+			Routers: *routers, AvgDegree: *degree, Hosts: true,
+		}, rng)
+	case "line":
+		g = topology.Line(*routers, true)
+	case "nsfnet":
+		g = topology.NSFNET()
+	case "abilene":
+		g = topology.Abilene()
+	default:
+		fmt.Fprintf(os.Stderr, "topogen: unknown topology %q\n", *topo)
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	g.RandomizeCosts(rng, *lo, *hi)
+	if *dot {
+		fmt.Print(g.DOT())
+		return
+	}
+	if !*quiet {
+		fmt.Print(g.String())
+	}
+	fmt.Printf("routers: %d, hosts: %d, links: %d, avg router degree: %.2f\n",
+		len(g.Routers()), len(g.Hosts()), g.NumEdges(), g.AvgRouterDegree())
+
+	// Routing-asymmetry statistic over cost draws: the fraction of
+	// router pairs whose forward and reverse shortest paths differ
+	// (Paxson measured 30-50% in the Internet; the paper's motivation).
+	var sum float64
+	for i := 0; i < *draws; i++ {
+		if i > 0 {
+			g.RandomizeCosts(rng, *lo, *hi)
+		}
+		r := unicast.Compute(g)
+		sum += r.AsymmetryFraction()
+	}
+	fmt.Printf("asymmetric router pairs: %.1f%% (mean over %d cost draws in [%d,%d])\n",
+		100*sum/float64(*draws), *draws, *lo, *hi)
+}

@@ -1,0 +1,52 @@
+// Package hbh is a from-scratch implementation and evaluation harness
+// for the Hop-By-Hop multicast routing protocol (Costa, Fdida, Duarte —
+// SIGCOMM 2001), together with everything the paper's evaluation
+// needs: a discrete-event network simulator with asymmetric unicast
+// routing, the REUNITE recursive-unicast baseline, PIM-SM/PIM-SS-style
+// baselines, and the workload generators and sweeps that regenerate
+// every figure of the paper.
+//
+// # The protocol in one paragraph
+//
+// HBH delivers multicast data over *recursive unicast trees*: packets
+// in flight always carry unicast destination addresses, and only the
+// branching routers of a channel keep forwarding state, rewriting the
+// destination of the copies they emit. Unicast-only routers forward
+// multicast data like any other packet, which makes incremental
+// deployment possible. The tree is built by three soft-state messages
+// — join (receiver -> source), tree (source -> receivers, along
+// *forward* shortest paths) and fusion (branching-candidate -> its
+// upstream) — so that, unlike REUNITE and the reverse-path trees of
+// PIM, HBH connects every member through the true shortest path from
+// the source even when unicast routing is asymmetric.
+//
+// # Package layout
+//
+// This root package is a thin facade over the implementation packages:
+//
+//   - internal/core — the HBH protocol engine (the paper's contribution)
+//   - internal/reunite — the REUNITE baseline
+//   - internal/pim — PIM-SM (shared tree) and PIM-SS (source tree) baselines
+//   - internal/netsim, internal/eventsim — the hop-by-hop network simulator
+//   - internal/topology, internal/unicast — graphs and Dijkstra routing
+//   - internal/packet, internal/addr — wire formats and addressing
+//   - internal/mtree, internal/metrics, internal/experiment — measurement
+//     and the paper's evaluation harness
+//
+// # Quick start
+//
+//	g := hbh.ISPTopology()
+//	rng := rand.New(rand.NewSource(1))
+//	g.RandomizeCosts(rng, 1, 10)
+//	nw := hbh.NewNetwork(g)
+//	nw.EnableHBH(hbh.DefaultConfig())
+//	src := nw.NewHBHSource(hbh.ISPSourceHost, hbh.Group(0), hbh.DefaultConfig())
+//	r := nw.NewHBHReceiver(g.Hosts()[5], src.Channel(), hbh.DefaultConfig())
+//	r.Join()
+//	nw.RunFor(4000)
+//	res := nw.Probe(src.SendData, r)
+//	fmt.Println(res)
+//
+// See the examples/ directory for complete programs and cmd/hbhsim for
+// the experiment runner that regenerates the paper's figures.
+package hbh

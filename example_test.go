@@ -1,0 +1,40 @@
+package hbh_test
+
+import (
+	"fmt"
+	"math/rand"
+
+	"hbh"
+)
+
+// Example builds a small network, joins two receivers to an HBH
+// channel, lets the soft state converge and measures the distribution
+// tree of one data packet. The simulator is fully deterministic, so
+// the measured tree is reproducible.
+func Example() {
+	g := hbh.LineTopology(4) // R0-R1-R2-R3, one host each
+	g.RandomizeCosts(rand.New(rand.NewSource(7)), 1, 10)
+
+	nw := hbh.NewNetwork(g)
+	cfg := hbh.DefaultConfig()
+	nw.EnableHBH(cfg)
+
+	src := nw.NewHBHSource(g.Hosts()[0], hbh.Group(0), cfg)
+	r1 := nw.NewHBHReceiver(g.Hosts()[2], src.Channel(), cfg)
+	r2 := nw.NewHBHReceiver(g.Hosts()[3], src.Channel(), cfg)
+	nw.At(10, r1.Join)
+	nw.At(30, r2.Join)
+
+	nw.RunFor(4000) // converge
+
+	res := nw.Probe(src.SendData, r1, r2)
+	fmt.Printf("complete=%v copiesPerLink=%d\n", res.Complete(), res.MaxLinkCopies())
+	for _, m := range []hbh.Member{r1, r2} {
+		sp := nw.Routing().Dist(g.Hosts()[0], g.MustByAddr(m.Addr()))
+		fmt.Printf("%v delay=%v shortestPossible=%d\n", m.Addr(), res.Delays[m.Addr()], sp)
+	}
+	// Output:
+	// complete=true copiesPerLink=1
+	// 10.1.0.2 delay=16 shortestPossible=16
+	// 10.1.0.3 delay=18 shortestPossible=18
+}

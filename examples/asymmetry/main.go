@@ -1,0 +1,83 @@
+// Asymmetry: the paper's §2.3 worked example (Figures 2, 3 and 5) as a
+// head-to-head between REUNITE and HBH.
+//
+// Two pathologies of asymmetric unicast routing are demonstrated:
+//
+//  1. Join pinning (Fig. 2): REUNITE intercepts r2's join at a router
+//     on r1's branch and serves r2 over a detour; HBH's
+//     never-intercept-the-first-join rule plus downstream-installed
+//     tree state give r2 the true shortest path (Fig. 5).
+//
+//  2. Link duplication (Fig. 3): two REUNITE branches share a trunk
+//     link carrying two copies of every packet; HBH's fusion message
+//     makes the shared router a branching node and collapses them.
+//
+//     go run ./examples/asymmetry
+package main
+
+import (
+	"fmt"
+
+	"hbh"
+	"hbh/internal/topology"
+)
+
+func main() {
+	fmt.Println("== Pathology 1: join pinning under asymmetric routing (Fig. 2 vs Fig. 5) ==")
+	runScenario(topology.Fig2Scenario())
+
+	fmt.Println("\n== Pathology 2: duplicate copies on a shared trunk (Fig. 3) ==")
+	runScenario(topology.Fig3Scenario())
+}
+
+func runScenario(sc topology.Scenario) {
+	fmt.Print(sc.Graph.String())
+
+	for _, proto := range []string{"REUNITE", "HBH"} {
+		nw := hbh.NewNetwork(sc.Graph.Clone())
+		g := nw.Graph()
+		source := sc.Source
+
+		var send func(payload []byte) uint32
+		var r1, r2 hbh.Member
+		switch proto {
+		case "HBH":
+			cfg := hbh.DefaultConfig()
+			nw.EnableHBH(cfg)
+			src := nw.NewHBHSource(source, hbh.Group(0), cfg)
+			a := nw.NewHBHReceiver(sc.R1, src.Channel(), cfg)
+			b := nw.NewHBHReceiver(sc.R2, src.Channel(), cfg)
+			nw.At(10, a.Join)
+			nw.At(130, b.Join) // joins after r1's branch exists
+			send, r1, r2 = src.SendData, a, b
+		case "REUNITE":
+			cfg := hbh.ReuniteConfig{JoinInterval: 100, TreeInterval: 100, T1: 350, T2: 350}
+			nw.EnableREUNITE(cfg)
+			src := nw.NewREUNITESource(source, hbh.Group(0), cfg)
+			a := nw.NewREUNITEReceiver(sc.R1, src.Channel(), cfg)
+			b := nw.NewREUNITEReceiver(sc.R2, src.Channel(), cfg)
+			nw.At(10, a.Join)
+			nw.At(130, b.Join)
+			send, r1, r2 = src.SendData, a, b
+		}
+
+		nw.RunFor(4000)
+		res := nw.Probe(send, r1, r2)
+
+		fmt.Printf("\n%s: tree cost %d", proto, res.Cost)
+		if res.MaxLinkCopies() > 1 {
+			fmt.Printf("  (a link carries %d copies of the same packet!)", res.MaxLinkCopies())
+		}
+		fmt.Println()
+		fmt.Print(res.FormatTree(g))
+		for _, m := range []hbh.Member{r1, r2} {
+			sp := nw.Routing().Dist(source, g.MustByAddr(m.Addr()))
+			d := res.Delays[m.Addr()]
+			note := ""
+			if int(d) > sp {
+				note = "  <- detour"
+			}
+			fmt.Printf("  %v delay %v (shortest %d)%s\n", m.Addr(), d, sp, note)
+		}
+	}
+}

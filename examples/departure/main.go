@@ -1,0 +1,76 @@
+// Departure: the paper's Figure 4 / §3 stability argument. A member
+// leaving a REUNITE tree can force the protocol to reconfigure and
+// CHANGE the routes of members that stayed (Fig. 2(b)-(d) walk); HBH's
+// tree management keeps remaining members' routes intact.
+//
+//	go run ./examples/departure
+package main
+
+import (
+	"fmt"
+
+	"hbh"
+	"hbh/internal/topology"
+)
+
+func main() {
+	sc := topology.Fig2Scenario()
+	fmt.Print(sc.Graph.String())
+	fmt.Println("\nr1 and r2 join; then r1 leaves (stops sending join messages).")
+	fmt.Println("Watch what happens to r2, who did nothing wrong:")
+
+	for _, proto := range []string{"REUNITE", "HBH"} {
+		nw := hbh.NewNetwork(sc.Graph.Clone())
+		g := nw.Graph()
+
+		var send func(payload []byte) uint32
+		var r2 hbh.Member
+		var leaveR1 func()
+		switch proto {
+		case "HBH":
+			cfg := hbh.DefaultConfig()
+			nw.EnableHBH(cfg)
+			src := nw.NewHBHSource(sc.Source, hbh.Group(0), cfg)
+			a := nw.NewHBHReceiver(sc.R1, src.Channel(), cfg)
+			b := nw.NewHBHReceiver(sc.R2, src.Channel(), cfg)
+			nw.At(10, a.Join)
+			nw.At(130, b.Join)
+			send, r2, leaveR1 = src.SendData, b, a.Leave
+		case "REUNITE":
+			cfg := hbh.ReuniteConfig{JoinInterval: 100, TreeInterval: 100, T1: 350, T2: 350}
+			nw.EnableREUNITE(cfg)
+			src := nw.NewREUNITESource(sc.Source, hbh.Group(0), cfg)
+			a := nw.NewREUNITEReceiver(sc.R1, src.Channel(), cfg)
+			b := nw.NewREUNITEReceiver(sc.R2, src.Channel(), cfg)
+			nw.At(10, a.Join)
+			nw.At(130, b.Join)
+			send, r2, leaveR1 = src.SendData, b, a.Leave
+		}
+
+		nw.RunFor(4000)
+		before := nw.Probe(send, r2)
+
+		leaveR1()
+		nw.RunFor(4000) // let the soft state dissolve and reconfigure
+
+		after := nw.Probe(send, r2)
+
+		fmt.Printf("\n%s:\n", proto)
+		fmt.Printf("  r2 delay before departure: %v\n", before.Delays[r2.Addr()])
+		if _, ok := after.Delays[r2.Addr()]; !ok {
+			fmt.Println("  r2 LOST service after r1 left!")
+			continue
+		}
+		fmt.Printf("  r2 delay after  departure: %v\n", after.Delays[r2.Addr()])
+		if before.Delays[r2.Addr()] != after.Delays[r2.Addr()] {
+			fmt.Println("  -> r2's ROUTE CHANGED because another member left")
+			fmt.Println("     (REUNITE's marked-tree teardown re-homed r2 at the source;")
+			fmt.Println("      the new route happens to be the shortest path, but any QoS")
+			fmt.Println("      reservation along the old branch is gone)")
+		} else {
+			fmt.Println("  -> r2's route is unchanged; only r1's branch was pruned")
+		}
+		fmt.Printf("  tree cost %d -> %d\n", before.Cost, after.Cost)
+		fmt.Print(after.FormatTree(g))
+	}
+}

@@ -1,0 +1,61 @@
+// Quickstart: build the paper's ISP topology, run an HBH channel with
+// a handful of receivers, and measure the converged distribution tree.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"hbh"
+)
+
+func main() {
+	// The evaluation topology of the paper's Figure 6: 18 routers,
+	// one potential receiver host per router, directed link costs
+	// drawn uniformly from [1,10] (each direction independently — this
+	// is what makes unicast routing asymmetric).
+	g := hbh.ISPTopology()
+	rng := rand.New(rand.NewSource(42))
+	g.RandomizeCosts(rng, 1, 10)
+
+	nw := hbh.NewNetwork(g)
+	cfg := hbh.DefaultConfig()
+
+	// Every router runs HBH. (Use EnableHBHOn for partial deployment:
+	// unicast-only routers forward HBH data transparently.)
+	nw.EnableHBH(cfg)
+
+	// The channel <S, G>: S is the host on router 0 (node 18 in the
+	// figure), G a class-D group address the source allocates.
+	src := nw.NewHBHSource(hbh.ISPSourceHost, hbh.Group(0), cfg)
+	fmt.Println("channel:", src.Channel())
+
+	// Five receivers join at staggered times.
+	var members []hbh.Member
+	for i, host := range []int{20, 23, 27, 30, 34} {
+		r := nw.NewHBHReceiver(hbh.NodeID(host), src.Channel(), cfg)
+		nw.At(hbh.Time(10+20*i), r.Join)
+		members = append(members, r)
+	}
+
+	// Let the soft state converge: joins travel to the source, tree
+	// messages install state on the forward paths, fusion messages
+	// splice in the branching routers.
+	nw.RunFor(4000)
+
+	// Send one data packet and measure the tree it traverses.
+	res := nw.Probe(src.SendData, members...)
+	fmt.Printf("\ntree cost: %d packet copies, mean receiver delay: %.1f time units\n",
+		res.Cost, res.MeanDelay())
+	fmt.Println("distribution tree:")
+	fmt.Print(res.FormatTree(g))
+
+	fmt.Println("\nper-receiver delay vs unicast shortest path:")
+	for _, m := range members {
+		d := res.Delays[m.Addr()]
+		sp := nw.Routing().Dist(hbh.ISPSourceHost, g.MustByAddr(m.Addr()))
+		fmt.Printf("  %v  delay %3v   shortest possible %3d\n", m.Addr(), d, sp)
+	}
+}

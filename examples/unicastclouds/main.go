@@ -1,0 +1,63 @@
+// Unicast clouds: the paper's headline motivation — incremental
+// multicast deployment. HBH data packets always carry unicast
+// destination addresses, so routers that do NOT run HBH still forward
+// them; they just cannot act as branching nodes. This example degrades
+// the ISP network from full HBH deployment down to a single capable
+// router and shows that delivery keeps working while the tree cost
+// rises toward a unicast star.
+//
+//	go run ./examples/unicastclouds
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"hbh"
+)
+
+func main() {
+	base := hbh.ISPTopology()
+	rng := rand.New(rand.NewSource(7))
+	base.RandomizeCosts(rng, 1, 10)
+
+	memberHosts := []hbh.NodeID{20, 22, 25, 27, 29, 31, 33, 35}
+
+	fmt.Println("HBH on the ISP topology, 8 receivers, shrinking deployment:")
+	fmt.Printf("%-28s %10s %12s %8s\n", "multicast-capable routers", "tree cost", "mean delay", "missing")
+
+	full := len(base.Routers())
+	for _, capable := range []int{18, 12, 6, 3, 1, 0} {
+		g := base.Clone()
+		nw := hbh.NewNetwork(g)
+		cfg := hbh.DefaultConfig()
+
+		// Deterministically pick which routers run HBH: the first
+		// `capable` routers of a shuffled order.
+		order := rand.New(rand.NewSource(99)).Perm(full)
+		var on []hbh.NodeID
+		for _, idx := range order[:capable] {
+			on = append(on, g.Routers()[idx])
+		}
+		nw.EnableHBHOn(cfg, on)
+
+		src := nw.NewHBHSource(hbh.ISPSourceHost, hbh.Group(0), cfg)
+		var members []hbh.Member
+		for i, host := range memberHosts {
+			r := nw.NewHBHReceiver(host, src.Channel(), cfg)
+			nw.At(hbh.Time(10+13*i), r.Join)
+			members = append(members, r)
+		}
+
+		nw.RunFor(4000)
+		res := nw.Probe(src.SendData, members...)
+		fmt.Printf("%-28s %10d %12.1f %8d\n",
+			fmt.Sprintf("%d of %d", capable, full), res.Cost, res.MeanDelay(), len(res.Missing))
+	}
+
+	fmt.Println("\nEvery receiver is served at every deployment level: unicast-only")
+	fmt.Println("routers forward the recursively-unicast data transparently. What")
+	fmt.Println("degrades is only the efficiency — with no HBH routers at all, the")
+	fmt.Println("source sends one unicast copy per receiver (a unicast star), and")
+	fmt.Println("each deployed HBH router claws back shared links via fusion.")
+}

@@ -1,0 +1,3 @@
+module hbh
+
+go 1.22

@@ -1,0 +1,137 @@
+// Package addr defines the addressing model used throughout the
+// simulator: IPv4-style 32-bit unicast addresses, class-D multicast
+// group addresses, and the source-specific channel abstraction <S, G>
+// that HBH inherits from EXPRESS.
+//
+// A channel is identified by the pair <S, G> where S is the unicast
+// address of the source and G is a class-D multicast address allocated
+// by the source. The concatenation is globally unique because S is,
+// which is what solves the multicast address-allocation problem while
+// remaining compatible with IP Multicast group addressing.
+package addr
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Addr is a 32-bit IPv4-style address. The zero value is the unspecified
+// address and is never assigned to a node.
+type Addr uint32
+
+// Unspecified is the zero address ("0.0.0.0"). It is used as a sentinel
+// for "no address" in protocol tables.
+const Unspecified Addr = 0
+
+// classDBase is the start of the class-D (multicast) range, 224.0.0.0.
+const classDBase Addr = 0xE0000000
+
+// classDEnd is the end of the class-D range, 239.255.255.255.
+const classDEnd Addr = 0xEFFFFFFF
+
+// ErrBadAddress reports a malformed textual address.
+var ErrBadAddress = errors.New("addr: malformed address")
+
+// IsZero reports whether a is the unspecified address.
+func (a Addr) IsZero() bool { return a == Unspecified }
+
+// IsMulticast reports whether a falls in the class-D range
+// 224.0.0.0/4. Multicast addresses identify groups, never nodes, and
+// are only ever valid as the G half of a Channel.
+func (a Addr) IsMulticast() bool { return a >= classDBase && a <= classDEnd }
+
+// IsUnicast reports whether a is a usable unicast address: non-zero and
+// outside the class-D range.
+func (a Addr) IsUnicast() bool { return a != Unspecified && !a.IsMulticast() }
+
+// Octets returns the four dotted-quad octets of a.
+func (a Addr) Octets() (b0, b1, b2, b3 byte) {
+	return byte(a >> 24), byte(a >> 16), byte(a >> 8), byte(a)
+}
+
+// String renders a in dotted-quad notation.
+func (a Addr) String() string {
+	b0, b1, b2, b3 := a.Octets()
+	return fmt.Sprintf("%d.%d.%d.%d", b0, b1, b2, b3)
+}
+
+// FromOctets assembles an Addr from four dotted-quad octets.
+func FromOctets(b0, b1, b2, b3 byte) Addr {
+	return Addr(b0)<<24 | Addr(b1)<<16 | Addr(b2)<<8 | Addr(b3)
+}
+
+// Parse parses a dotted-quad address such as "10.0.3.1".
+func Parse(s string) (Addr, error) {
+	parts := strings.Split(s, ".")
+	if len(parts) != 4 {
+		return 0, fmt.Errorf("%w: %q", ErrBadAddress, s)
+	}
+	var a Addr
+	for _, p := range parts {
+		v, err := strconv.ParseUint(p, 10, 8)
+		if err != nil {
+			return 0, fmt.Errorf("%w: %q", ErrBadAddress, s)
+		}
+		a = a<<8 | Addr(v)
+	}
+	return a, nil
+}
+
+// MustParse is Parse but panics on malformed input. It is intended for
+// tests and static scenario tables.
+func MustParse(s string) Addr {
+	a, err := Parse(s)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// RouterAddr returns the conventional unicast address assigned to
+// router number i in generated topologies: 10.0.hi.lo.
+func RouterAddr(i int) Addr {
+	return FromOctets(10, 0, byte(i>>8), byte(i))
+}
+
+// ReceiverAddr returns the conventional unicast address assigned to the
+// potential receiver attached to router number i: 10.1.hi.lo.
+func ReceiverAddr(i int) Addr {
+	return FromOctets(10, 1, byte(i>>8), byte(i))
+}
+
+// GroupAddr returns the conventional class-D address for group number
+// i: 224.0.hi.lo offset by one so group 0 is 224.0.0.1.
+func GroupAddr(i int) Addr {
+	i++
+	return classDBase | Addr(i&0x00FFFFFF)
+}
+
+// Channel identifies a source-specific multicast channel <S, G>:
+// S is the unicast address of the source and G a class-D address the
+// source allocated. Channel is a comparable value type and is used as a
+// map key in every protocol table.
+type Channel struct {
+	S Addr // unicast source address
+	G Addr // class-D group address
+}
+
+// NewChannel builds a channel after validating both halves.
+func NewChannel(s, g Addr) (Channel, error) {
+	if !s.IsUnicast() {
+		return Channel{}, fmt.Errorf("addr: channel source %v is not unicast", s)
+	}
+	if !g.IsMulticast() {
+		return Channel{}, fmt.Errorf("addr: channel group %v is not class-D", g)
+	}
+	return Channel{S: s, G: g}, nil
+}
+
+// Valid reports whether c has a unicast S half and class-D G half.
+func (c Channel) Valid() bool { return c.S.IsUnicast() && c.G.IsMulticast() }
+
+// String renders the channel as "<S,G>".
+func (c Channel) String() string {
+	return fmt.Sprintf("<%v,%v>", c.S, c.G)
+}

@@ -1,0 +1,163 @@
+// Package capture records simulated packet transmissions to a compact
+// binary trace (".hbhcap") and reads them back — the simulator's
+// equivalent of a pcap. Every link traversal is stored with its
+// virtual timestamp, endpoints and the packet's real wire encoding, so
+// a trace is decodable with the same codec the protocols use and can
+// be inspected offline (cmd/hbhcap) or asserted against in tests.
+package capture
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"hbh/internal/eventsim"
+	"hbh/internal/netsim"
+	"hbh/internal/packet"
+	"hbh/internal/topology"
+)
+
+// magic identifies a capture stream and its version.
+var magic = [8]byte{'H', 'B', 'H', 'C', 'A', 'P', 0, 1}
+
+// Record is one captured link traversal.
+type Record struct {
+	// At is the virtual time the packet left the transmitting node.
+	At eventsim.Time
+	// From and To are the link endpoints.
+	From, To topology.NodeID
+	// Msg is the decoded packet.
+	Msg packet.Message
+}
+
+// Writer streams capture records. Create with NewWriter, attach to a
+// network with Attach, and Flush before reading the underlying data.
+type Writer struct {
+	w   *bufio.Writer
+	n   int
+	err error
+}
+
+// NewWriter writes the stream header and returns the writer.
+func NewWriter(w io.Writer) (*Writer, error) {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(magic[:]); err != nil {
+		return nil, fmt.Errorf("capture: writing header: %w", err)
+	}
+	return &Writer{w: bw}, nil
+}
+
+// Attach registers cw as a tap on net: every subsequent transmission
+// is recorded. Returns cw for chaining.
+func Attach(net *netsim.Network, cw *Writer) *Writer {
+	sim := net.Sim()
+	net.AddTap(func(from, to topology.NodeID, msg packet.Message) {
+		cw.Record(sim.Now(), from, to, msg)
+	})
+	return cw
+}
+
+// Record appends one transmission. Errors are sticky and reported by
+// Flush.
+func (w *Writer) Record(at eventsim.Time, from, to topology.NodeID, msg packet.Message) {
+	if w.err != nil {
+		return
+	}
+	wire, err := packet.Marshal(msg)
+	if err != nil {
+		w.err = fmt.Errorf("capture: marshal: %w", err)
+		return
+	}
+	var hdr [24]byte
+	binary.BigEndian.PutUint64(hdr[0:], math.Float64bits(float64(at)))
+	binary.BigEndian.PutUint32(hdr[8:], uint32(from))
+	binary.BigEndian.PutUint32(hdr[12:], uint32(to))
+	binary.BigEndian.PutUint32(hdr[16:], uint32(len(wire)))
+	binary.BigEndian.PutUint32(hdr[20:], 0) // reserved
+	if _, err := w.w.Write(hdr[:]); err != nil {
+		w.err = fmt.Errorf("capture: write: %w", err)
+		return
+	}
+	if _, err := w.w.Write(wire); err != nil {
+		w.err = fmt.Errorf("capture: write: %w", err)
+		return
+	}
+	w.n++
+}
+
+// Count returns the number of records written so far.
+func (w *Writer) Count() int { return w.n }
+
+// Flush drains buffers and returns the first sticky error, if any.
+func (w *Writer) Flush() error {
+	if w.err != nil {
+		return w.err
+	}
+	return w.w.Flush()
+}
+
+// Reader iterates a capture stream.
+type Reader struct {
+	r *bufio.Reader
+}
+
+// ErrBadMagic reports a stream that is not a capture.
+var ErrBadMagic = errors.New("capture: bad magic")
+
+// NewReader validates the header and returns the reader.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReader(r)
+	var got [8]byte
+	if _, err := io.ReadFull(br, got[:]); err != nil {
+		return nil, fmt.Errorf("capture: reading header: %w", err)
+	}
+	if got != magic {
+		return nil, ErrBadMagic
+	}
+	return &Reader{r: br}, nil
+}
+
+// Next returns the next record, or io.EOF at the end of the stream.
+func (r *Reader) Next() (Record, error) {
+	var hdr [24]byte
+	if _, err := io.ReadFull(r.r, hdr[:]); err != nil {
+		if err == io.EOF {
+			return Record{}, io.EOF
+		}
+		return Record{}, fmt.Errorf("capture: reading record header: %w", err)
+	}
+	at := math.Float64frombits(binary.BigEndian.Uint64(hdr[0:]))
+	from := topology.NodeID(binary.BigEndian.Uint32(hdr[8:]))
+	to := topology.NodeID(binary.BigEndian.Uint32(hdr[12:]))
+	size := binary.BigEndian.Uint32(hdr[16:])
+	if size > 1<<20 {
+		return Record{}, fmt.Errorf("capture: implausible record size %d", size)
+	}
+	wire := make([]byte, size)
+	if _, err := io.ReadFull(r.r, wire); err != nil {
+		return Record{}, fmt.Errorf("capture: reading record body: %w", err)
+	}
+	msg, err := packet.Unmarshal(wire)
+	if err != nil {
+		return Record{}, fmt.Errorf("capture: decoding record: %w", err)
+	}
+	return Record{At: eventsim.Time(at), From: from, To: to, Msg: msg}, nil
+}
+
+// ReadAll drains the stream into a slice.
+func (r *Reader) ReadAll() ([]Record, error) {
+	var out []Record
+	for {
+		rec, err := r.Next()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, rec)
+	}
+}

@@ -1,0 +1,138 @@
+package capture
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"hbh/internal/addr"
+	"hbh/internal/core"
+	"hbh/internal/eventsim"
+	"hbh/internal/netsim"
+	"hbh/internal/packet"
+	"hbh/internal/topology"
+	"hbh/internal/unicast"
+)
+
+func TestRoundTripLiveProtocol(t *testing.T) {
+	g := topology.Line(4, true)
+	sim := eventsim.New()
+	net := netsim.New(sim, g, unicast.Compute(g))
+	cfg := core.DefaultConfig()
+	for _, r := range g.Routers() {
+		core.AttachRouter(net.Node(r), cfg)
+	}
+	var buf bytes.Buffer
+	cw, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	Attach(net, cw)
+
+	src := core.AttachSource(net.Node(g.Hosts()[0]), addr.GroupAddr(0), cfg)
+	rcv := core.AttachReceiver(net.Node(g.Hosts()[3]), src.Channel(), cfg)
+	sim.At(10, rcv.Join)
+	if err := sim.Run(500); err != nil {
+		t.Fatal(err)
+	}
+	src.SendData([]byte("captured"))
+	if err := sim.Run(600); err != nil {
+		t.Fatal(err)
+	}
+	if err := cw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if cw.Count() == 0 {
+		t.Fatal("no records captured")
+	}
+	// Every transmission must appear.
+	if cw.Count() != net.Stats().Transmissions {
+		t.Errorf("captured %d records, network transmitted %d", cw.Count(), net.Stats().Transmissions)
+	}
+
+	cr, err := NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := cr.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != cw.Count() {
+		t.Fatalf("read %d records, wrote %d", len(recs), cw.Count())
+	}
+
+	// Timestamps are non-decreasing, endpoints are adjacent, and the
+	// mix contains joins, trees and data.
+	kinds := map[packet.Type]int{}
+	last := eventsim.Time(-1)
+	for _, r := range recs {
+		if r.At < last {
+			t.Fatalf("timestamps went backwards: %v after %v", r.At, last)
+		}
+		last = r.At
+		if !g.HasLink(r.From, r.To) {
+			t.Fatalf("record on non-link %d->%d", r.From, r.To)
+		}
+		kinds[r.Msg.Hdr().Type]++
+	}
+	for _, want := range []packet.Type{packet.TypeJoin, packet.TypeTree, packet.TypeData} {
+		if kinds[want] == 0 {
+			t.Errorf("no %v records captured", want)
+		}
+	}
+}
+
+func TestReaderRejectsGarbage(t *testing.T) {
+	if _, err := NewReader(bytes.NewReader([]byte("not a capture"))); err == nil {
+		t.Error("garbage header accepted")
+	}
+	if _, err := NewReader(bytes.NewReader(nil)); err == nil {
+		t.Error("empty stream accepted")
+	}
+}
+
+func TestTruncatedStream(t *testing.T) {
+	var buf bytes.Buffer
+	cw, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cw.Record(1, 0, 1, &packet.Data{
+		Header: packet.Header{
+			Type:    packet.TypeData,
+			Channel: addr.Channel{S: addr.MustParse("10.0.0.1"), G: addr.GroupAddr(0)},
+			Dst:     addr.MustParse("10.0.0.2"),
+		},
+	})
+	if err := cw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	cr, err := NewReader(bytes.NewReader(full[:len(full)-3]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cr.Next(); err == nil || err == io.EOF {
+		t.Errorf("truncated record: err = %v, want a decode error", err)
+	}
+}
+
+func TestEmptyCapture(t *testing.T) {
+	var buf bytes.Buffer
+	cw, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	cr, err := NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := cr.ReadAll()
+	if err != nil || len(recs) != 0 {
+		t.Errorf("empty capture: recs=%d err=%v", len(recs), err)
+	}
+}

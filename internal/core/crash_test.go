@@ -1,0 +1,90 @@
+package core
+
+import (
+	"testing"
+
+	"hbh/internal/eventsim"
+	"hbh/internal/mtree"
+	"hbh/internal/topology"
+)
+
+// TestRouterCrashRecovery wipes a branching router's tables mid-session
+// (cold restart) and checks that soft state rebuilds the tree: within
+// a few refresh cycles every member is served again at shortest-path
+// delay with no lingering duplication.
+func TestRouterCrashRecovery(t *testing.T) {
+	g := topology.Line(5, true)
+	h := newHarness(t, g)
+	src := h.source(hostOf(g, 0))
+	r2 := h.receiver(hostOf(g, 2), src.Channel())
+	r4 := h.receiver(hostOf(g, 4), src.Channel())
+	h.sim.At(10, r2.Join)
+	h.sim.At(25, r4.Join)
+	h.converge(t)
+
+	before := h.probe(t, src, []mtree.Member{r2, r4})
+	if !before.Complete() {
+		t.Fatalf("broken before crash: %v", before)
+	}
+	// R2 is the branching node; crash it.
+	if h.routers[2].MFTFor(src.Channel()) == nil {
+		t.Fatal("R2 not branching before crash")
+	}
+	h.routers[2].Reset()
+	if h.routers[2].MFTFor(src.Channel()) != nil || h.routers[2].MCTFor(src.Channel()) != nil {
+		t.Fatal("Reset left state behind")
+	}
+
+	// Recovery: joins keep flowing (receivers are unaffected), tree
+	// refreshes reinstall control state, fusion re-splices R2, and the
+	// interim relay chain collapses away. Each collapse step costs a
+	// full (T1+T2) soft-state generation, so allow several.
+	if err := h.sim.Run(h.sim.Now() + 8*(h.cfg.T1+h.cfg.T2)); err != nil {
+		t.Fatal(err)
+	}
+	after := h.probe(t, src, []mtree.Member{r2, r4})
+	if !after.Complete() {
+		t.Fatalf("not recovered after crash: %v", after)
+	}
+	if after.MaxLinkCopies() != 1 {
+		t.Errorf("duplication after recovery:\n%s", after.FormatTree(g))
+	}
+	for _, m := range []mtree.Member{r2, r4} {
+		want := eventsim.Time(h.routing.Dist(hostOf(g, 0), g.MustByAddr(m.Addr())))
+		if after.Delays[m.Addr()] != want {
+			t.Errorf("%v delay = %v after recovery, want %v", m.Addr(), after.Delays[m.Addr()], want)
+		}
+	}
+	// The crashed router is a branching node again.
+	if h.routers[2].MFTFor(src.Channel()) == nil {
+		t.Error("R2 did not re-branch after recovery")
+	}
+}
+
+// TestAllRoutersCrashRecovery is the harsher variant: every router
+// loses its state at once (control-plane wipeout). The source and
+// receivers survive, so the channel must rebuild from joins alone.
+func TestAllRoutersCrashRecovery(t *testing.T) {
+	g := topology.Line(4, true)
+	h := newHarness(t, g)
+	src := h.source(hostOf(g, 0))
+	r1 := h.receiver(hostOf(g, 1), src.Channel())
+	r3 := h.receiver(hostOf(g, 3), src.Channel())
+	h.sim.At(10, r1.Join)
+	h.sim.At(20, r3.Join)
+	h.converge(t)
+
+	for _, rt := range h.routers {
+		rt.Reset()
+	}
+	if err := h.sim.Run(h.sim.Now() + 5*(h.cfg.T1+h.cfg.T2)); err != nil {
+		t.Fatal(err)
+	}
+	after := h.probe(t, src, []mtree.Member{r1, r3})
+	if !after.Complete() {
+		t.Fatalf("channel did not rebuild after full wipeout: %v", after)
+	}
+	if after.MaxLinkCopies() != 1 {
+		t.Errorf("duplication after full wipeout:\n%s", after.FormatTree(g))
+	}
+}

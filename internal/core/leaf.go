@@ -1,0 +1,143 @@
+package core
+
+import (
+	"hbh/internal/addr"
+	"hbh/internal/eventsim"
+	"hbh/internal/igmp"
+	"hbh/internal/netsim"
+	"hbh/internal/packet"
+	"hbh/internal/topology"
+)
+
+// LeafAgent turns IGMP-style local membership into HBH channel
+// subscription: when the first local host reports membership in a
+// channel, the border router joins the channel itself (its own unicast
+// address is what appears in upstream MFTs), and data arriving for the
+// channel is fanned out to the local member hosts over their access
+// links. When the last local member expires, the router's subscription
+// lapses by silence, exactly like a leaving receiver.
+//
+// This is the paper's aggregation argument made executable: "the
+// presence of one or many receivers attached to a border router
+// through IGMP does not influence the cost of the tree".
+type LeafAgent struct {
+	cfg     Config
+	node    *netsim.Node
+	sim     *eventsim.Sim
+	querier *igmp.Querier
+	router  *Router // nil when the router is not HBH-capable
+	subs    map[addr.Channel]*leafSub
+}
+
+type leafSub struct {
+	ticker *eventsim.Ticker
+}
+
+// AttachLeafAgent wires a LeafAgent to router node n. The querier must
+// already be attached to the same node. Pass the node's HBH Router so
+// data replication composes with downstream forwarding (nil if the
+// node runs no HBH Router; the agent then claims channel data itself).
+func AttachLeafAgent(n *netsim.Node, q *igmp.Querier, r *Router, cfg Config) *LeafAgent {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	l := &LeafAgent{
+		cfg:     cfg,
+		node:    n,
+		sim:     n.Network().Sim(),
+		querier: q,
+		router:  r,
+		subs:    make(map[addr.Channel]*leafSub),
+	}
+	q.SetListener(l)
+	if r != nil {
+		r.setLeaf(l)
+	} else {
+		n.AddHandler(l)
+	}
+	return l
+}
+
+// Subscribed reports whether the agent currently holds a subscription
+// for ch.
+func (l *LeafAgent) Subscribed(ch addr.Channel) bool { return l.subs[ch] != nil }
+
+// FirstLocalMember implements igmp.MembershipListener: subscribe to
+// the channel on behalf of the new local member.
+func (l *LeafAgent) FirstLocalMember(ch addr.Channel) {
+	if l.subs[ch] != nil {
+		return
+	}
+	sub := &leafSub{}
+	l.subs[ch] = sub
+	l.sendJoin(ch, true)
+	sub.ticker = l.sim.NewTicker(l.cfg.JoinInterval, func() { l.sendJoin(ch, false) })
+}
+
+// LastLocalMemberGone implements igmp.MembershipListener: let the
+// subscription lapse by stopping the join refresh.
+func (l *LeafAgent) LastLocalMemberGone(ch addr.Channel) {
+	sub := l.subs[ch]
+	if sub == nil {
+		return
+	}
+	sub.ticker.Stop()
+	delete(l.subs, ch)
+}
+
+func (l *LeafAgent) sendJoin(ch addr.Channel, first bool) {
+	var flags uint8
+	if first {
+		flags = packet.FlagFirst
+	}
+	j := &packet.Join{
+		Header: packet.Header{
+			Proto:   packet.ProtoHBH,
+			Type:    packet.TypeJoin,
+			Flags:   flags,
+			Channel: ch,
+			Src:     l.node.Addr(),
+			Dst:     ch.S,
+		},
+		R: l.node.Addr(),
+	}
+	l.node.SendUnicast(j)
+}
+
+// deliverLocal fans a channel data packet out to the local member
+// hosts. It reports whether any local delivery happened.
+func (l *LeafAgent) deliverLocal(d *packet.Data) bool {
+	if l.subs[d.Channel] == nil {
+		return false
+	}
+	members := l.querier.Members(d.Channel)
+	if len(members) == 0 {
+		return false
+	}
+	g := l.node.Network().Topology()
+	for _, host := range members {
+		c := packet.Clone(d).(*packet.Data)
+		c.Src = l.node.Addr()
+		c.Dst = g.Node(host).Addr
+		l.node.SendDirect(host, c)
+	}
+	return true
+}
+
+// Handle implements netsim.Handler for leaf agents on routers without
+// an HBH engine: claim channel data addressed to this router.
+func (l *LeafAgent) Handle(n *netsim.Node, msg packet.Message) netsim.Verdict {
+	d, ok := msg.(*packet.Data)
+	if !ok || d.Dst != l.node.Addr() {
+		return netsim.Continue
+	}
+	if l.deliverLocal(d) {
+		return netsim.Consumed
+	}
+	return netsim.Continue
+}
+
+// hostsOf lists the member hosts (for tests).
+func (l *LeafAgent) localMembers(ch addr.Channel) []topology.NodeID {
+	return l.querier.Members(ch)
+}

@@ -1,0 +1,169 @@
+package core
+
+import (
+	"hbh/internal/addr"
+	"hbh/internal/eventsim"
+	"hbh/internal/netsim"
+	"hbh/internal/packet"
+)
+
+// Delivery records one data packet arriving at a receiver.
+type Delivery struct {
+	Seq uint32
+	// At is the arrival time; together with the send time it yields the
+	// receiver delay the paper plots in Figure 8.
+	At eventsim.Time
+}
+
+// Receiver is the member-host agent: it subscribes to a channel by
+// emitting the first (never-intercepted) join and then periodic
+// refresh joins, consumes tree messages addressed to it, and records
+// data deliveries.
+type Receiver struct {
+	cfg    Config
+	node   *netsim.Node
+	sim    *eventsim.Sim
+	ch     addr.Channel
+	ticker *eventsim.Ticker
+	joined bool
+
+	// Deliveries lists data arrivals in order. DupCount counts
+	// duplicate sequence numbers, which a converged HBH tree must not
+	// produce.
+	Deliveries []Delivery
+	DupCount   int
+	seen       map[uint32]bool
+	// TreeMsgs counts tree refreshes addressed to this receiver.
+	TreeMsgs int
+
+	// OnData, when non-nil, is invoked on every data arrival.
+	OnData func(d Delivery)
+}
+
+// AttachReceiver creates a (not yet joined) receiver agent on host n
+// for channel ch.
+func AttachReceiver(n *netsim.Node, ch addr.Channel, cfg Config) *Receiver {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	if !ch.Valid() {
+		panic("core: invalid channel")
+	}
+	r := &Receiver{
+		cfg:  cfg,
+		node: n,
+		sim:  n.Network().Sim(),
+		ch:   ch,
+		seen: make(map[uint32]bool),
+	}
+	n.AddHandler(r)
+	return r
+}
+
+// Addr returns the receiver's unicast address.
+func (r *Receiver) Addr() addr.Addr { return r.node.Addr() }
+
+// Joined reports whether the receiver is currently subscribed.
+func (r *Receiver) Joined() bool { return r.joined }
+
+// Join subscribes: the first join is flagged so no branching router
+// intercepts it, then refresh joins follow every JoinInterval.
+func (r *Receiver) Join() {
+	if r.joined {
+		return
+	}
+	r.joined = true
+	r.sendJoin(true)
+	r.ticker = r.sim.NewTicker(r.cfg.JoinInterval, func() { r.sendJoin(false) })
+}
+
+// Leave unsubscribes by silence: the receiver simply stops sending
+// join messages and its soft state times out upstream, exactly the
+// paper's departure model.
+func (r *Receiver) Leave() {
+	if !r.joined {
+		return
+	}
+	r.joined = false
+	r.ticker.Stop()
+	r.ticker = nil
+}
+
+func (r *Receiver) sendJoin(first bool) {
+	var flags uint8
+	if first {
+		flags = packet.FlagFirst
+	}
+	j := &packet.Join{
+		Header: packet.Header{
+			Proto:   packet.ProtoHBH,
+			Type:    packet.TypeJoin,
+			Flags:   flags,
+			Channel: r.ch,
+			Src:     r.node.Addr(),
+			Dst:     r.ch.S,
+		},
+		R: r.node.Addr(),
+	}
+	r.node.SendUnicast(j)
+}
+
+// Handle implements netsim.Handler: consume channel traffic addressed
+// to this host.
+func (r *Receiver) Handle(n *netsim.Node, msg packet.Message) netsim.Verdict {
+	h := msg.Hdr()
+	if h.Dst != r.node.Addr() || h.Channel != r.ch {
+		return netsim.Continue
+	}
+	switch m := msg.(type) {
+	case *packet.Tree:
+		if m.Proto != packet.ProtoHBH {
+			return netsim.Continue
+		}
+		r.TreeMsgs++
+		return netsim.Consumed
+	case *packet.Data:
+		d := Delivery{Seq: m.Seq, At: r.sim.Now()}
+		if r.seen[m.Seq] {
+			r.DupCount++
+		}
+		r.seen[m.Seq] = true
+		r.Deliveries = append(r.Deliveries, d)
+		if r.OnData != nil {
+			r.OnData(d)
+		}
+		return netsim.Consumed
+	default:
+		return netsim.Continue
+	}
+}
+
+// DeliveryAt returns the arrival time of the first copy of packet seq.
+// It implements mtree.Member.
+func (r *Receiver) DeliveryAt(seq uint32) (eventsim.Time, bool) {
+	for _, d := range r.Deliveries {
+		if d.Seq == seq {
+			return d.At, true
+		}
+	}
+	return 0, false
+}
+
+// DeliveryCount returns how many copies of packet seq arrived. It
+// implements mtree.Member.
+func (r *Receiver) DeliveryCount(seq uint32) int {
+	n := 0
+	for _, d := range r.Deliveries {
+		if d.Seq == seq {
+			n++
+		}
+	}
+	return n
+}
+
+// ResetDeliveries clears the delivery log between measurement probes.
+func (r *Receiver) ResetDeliveries() {
+	r.Deliveries = nil
+	r.DupCount = 0
+	r.seen = make(map[uint32]bool)
+}

@@ -1,0 +1,673 @@
+package core
+
+import (
+	"hbh/internal/addr"
+	"hbh/internal/eventsim"
+	"hbh/internal/netsim"
+	"hbh/internal/packet"
+	"hbh/internal/topology"
+)
+
+// ChangeKind classifies forwarding-state changes for the stability
+// experiment (Fig. 4): the paper argues member departures perturb HBH
+// trees less than REUNITE trees, so we count every mutation.
+type ChangeKind uint8
+
+const (
+	// ChangeMCTCreate is the installation of control state at a
+	// non-branching router.
+	ChangeMCTCreate ChangeKind = iota
+	// ChangeMCTRemove is the destruction of control state.
+	ChangeMCTRemove
+	// ChangeMFTAdd is a new forwarding entry at a branching router.
+	ChangeMFTAdd
+	// ChangeMFTRemove is the expiry of a forwarding entry.
+	ChangeMFTRemove
+	// ChangeMFTMark is the marking of an entry by a fusion.
+	ChangeMFTMark
+	// ChangeBecomeBranching is a non-branching -> branching transition.
+	ChangeBecomeBranching
+	// ChangeCollapse is a branching -> non-branching transition.
+	ChangeCollapse
+)
+
+func (k ChangeKind) String() string {
+	switch k {
+	case ChangeMCTCreate:
+		return "mct-create"
+	case ChangeMCTRemove:
+		return "mct-remove"
+	case ChangeMFTAdd:
+		return "mft-add"
+	case ChangeMFTRemove:
+		return "mft-remove"
+	case ChangeMFTMark:
+		return "mft-mark"
+	case ChangeBecomeBranching:
+		return "become-branching"
+	case ChangeCollapse:
+		return "collapse"
+	default:
+		return "change(?)"
+	}
+}
+
+// ChangeObserver receives forwarding-state change notifications.
+type ChangeObserver func(where addr.Addr, ch addr.Channel, kind ChangeKind, node addr.Addr)
+
+// chanState is a router's per-channel state: exactly one of mct / mft
+// is non-nil once the router is on the tree (a router is either
+// non-branching or branching for a channel, never both).
+type chanState struct {
+	mct *MCT
+	mft *MFT
+	// lastRegen / lastFusion rate-limit downstream tree regeneration
+	// and upstream fusion emission to once per refresh interval:
+	// soft-state refreshes are periodic, and re-emitting on every
+	// trigger would let branching nodes that sit on each other's
+	// delivery paths amplify control traffic without bound.
+	lastRegen  eventsim.Time
+	hasRegen   bool
+	lastFusion eventsim.Time
+	hasFusion  bool
+}
+
+// Router is the HBH protocol engine resident on a multicast-capable
+// router. Install it on a netsim node with Attach. One Router serves
+// every channel crossing the node.
+type Router struct {
+	cfg      Config
+	node     *netsim.Node
+	sim      *eventsim.Sim
+	chans    map[addr.Channel]*chanState
+	seen     map[addr.Channel]map[uint32]bool
+	observer ChangeObserver
+	leaf     *LeafAgent
+}
+
+// setLeaf wires the node's LeafAgent into the data path so channel
+// packets addressed to this router reach local IGMP members as well as
+// downstream MFT entries.
+func (r *Router) setLeaf(l *LeafAgent) { r.leaf = l }
+
+// AttachRouter creates an HBH Router on n and registers it as a packet
+// handler.
+func AttachRouter(n *netsim.Node, cfg Config) *Router {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	r := &Router{
+		cfg:   cfg,
+		node:  n,
+		sim:   n.Network().Sim(),
+		chans: make(map[addr.Channel]*chanState),
+	}
+	n.AddHandler(r)
+	return r
+}
+
+// SetObserver installs the state-change observer (nil clears it).
+func (r *Router) SetObserver(o ChangeObserver) { r.observer = o }
+
+func (r *Router) observe(ch addr.Channel, kind ChangeKind, node addr.Addr) {
+	if r.observer != nil {
+		r.observer(r.node.Addr(), ch, kind, node)
+	}
+}
+
+// Addr returns the router's unicast address.
+func (r *Router) Addr() addr.Addr { return r.node.Addr() }
+
+// Reset drops every table and timer, simulating a router crash and
+// cold restart. Soft state makes this survivable by design: upstream
+// entries for this router age out or keep feeding it data (stale
+// entries still forward), downstream joins and tree refreshes rebuild
+// the local tables within a few refresh intervals, and fusion splices
+// the node back into the trees it belongs on.
+func (r *Router) Reset() {
+	for ch, st := range r.chans {
+		if st.mct != nil {
+			st.mct.Timer.Cancel()
+		}
+		if st.mft != nil {
+			st.mft.Destroy()
+		}
+		delete(r.chans, ch)
+	}
+	r.seen = nil
+}
+
+// MFTFor returns the channel's forwarding table (nil when this router
+// is not a branching node for ch). Exposed for tests and tree audits.
+func (r *Router) MFTFor(ch addr.Channel) *MFT {
+	if st := r.chans[ch]; st != nil {
+		return st.mft
+	}
+	return nil
+}
+
+// MCTFor returns the channel's control entry (nil when absent).
+func (r *Router) MCTFor(ch addr.Channel) *MCT {
+	if st := r.chans[ch]; st != nil {
+		return st.mct
+	}
+	return nil
+}
+
+// Handle implements netsim.Handler: hop-by-hop processing of every
+// packet that crosses this router.
+func (r *Router) Handle(n *netsim.Node, msg packet.Message) netsim.Verdict {
+	switch m := msg.(type) {
+	case *packet.Join:
+		if m.Proto != packet.ProtoHBH {
+			return netsim.Continue
+		}
+		return r.onJoin(m)
+	case *packet.Tree:
+		if m.Proto != packet.ProtoHBH {
+			return netsim.Continue
+		}
+		return r.onTree(m)
+	case *packet.Fusion:
+		if m.Proto != packet.ProtoHBH {
+			return netsim.Continue
+		}
+		return r.onFusion(m)
+	case *packet.Data:
+		return r.onData(m)
+	default:
+		return netsim.Continue
+	}
+}
+
+// onJoin applies the join rules of Figure 9(a): forward unless this is
+// a branching node holding an entry for R, in which case intercept,
+// refresh the entry, and sign a join upstream ourselves.
+func (r *Router) onJoin(j *packet.Join) netsim.Verdict {
+	if !r.cfg.EnableFusion {
+		// Fusion ablation: the router never branches, so it never
+		// intercepts joins either; every receiver stays joined at the
+		// source and data degenerates to a unicast star.
+		return netsim.Continue
+	}
+	st := r.chans[j.Channel]
+	if st == nil || st.mft == nil { // rule 1: no MFT
+		return netsim.Continue
+	}
+	if j.First() {
+		// A receiver's first join always reaches the source; this is
+		// what guarantees the shortest-path join point.
+		return netsim.Continue
+	}
+	e := st.mft.Get(j.R)
+	if e == nil { // rule 2: R not ours
+		return netsim.Continue
+	}
+	if sID, ok := r.node.Network().Topology().ByAddr(j.Channel.S); !ok ||
+		!onForwardPath(r.node.Network(), sID, r.node.Addr(), j.R) {
+		// We hold R but do not sit on the forward source->R delivery
+		// path (the join crossed us only because the reverse path
+		// diverges). Intercepting here would keep a parallel, redundant
+		// delivery chain alive forever; letting the join continue lets
+		// an on-path holder (or the source) claim it while our entry
+		// ages out.
+		return netsim.Continue
+	}
+	// Rule 3: intercept. The join refreshes R's entry (clearing
+	// staleness; a fusion-installed next-branching-node entry becomes a
+	// regular child once its joins arrive) and B joins the channel
+	// itself at the next upstream branching router.
+	e.Timer.Refresh()
+	r.sendJoinSelf(j.Channel)
+	return netsim.Consumed
+}
+
+func (r *Router) sendJoinSelf(ch addr.Channel) {
+	j := &packet.Join{
+		Header: packet.Header{
+			Proto:   packet.ProtoHBH,
+			Type:    packet.TypeJoin,
+			Channel: ch,
+			Src:     r.node.Addr(),
+			Dst:     ch.S,
+		},
+		R: r.node.Addr(),
+	}
+	r.node.SendUnicast(j)
+}
+
+// onTree applies the tree rules of Figure 9(c).
+func (r *Router) onTree(t *packet.Tree) netsim.Verdict {
+	ch := t.Channel
+	if t.R == r.node.Addr() {
+		// Addressed to this router. Rule 1: a branching node discards
+		// the message and regenerates one tree per non-stale entry. A
+		// router without an MFT is being refreshed by stale upstream
+		// state (it just un-branched); consuming silently lets that
+		// state time out. Either way the router must never install
+		// table entries for itself.
+		st := r.chans[ch]
+		if st == nil || st.mft == nil {
+			return netsim.Consumed
+		}
+		now := r.sim.Now()
+		if st.hasRegen && now-st.lastRegen < r.cfg.TreeInterval*9/10 {
+			return netsim.Consumed
+		}
+		st.hasRegen = true
+		st.lastRegen = now
+		for _, e := range st.mft.Entries() {
+			if e.Stale() {
+				continue
+			}
+			r.sendTree(ch, e.Node)
+		}
+		return netsim.Consumed
+	}
+
+	st := r.chans[ch]
+	if st == nil {
+		st = &chanState{}
+		r.chans[ch] = st
+	}
+
+	if st.mft != nil {
+		if e := st.mft.Get(t.R); e != nil {
+			// Rule 3: we hold R but see its tree transit (its joins do
+			// not reach us, e.g. under asymmetric routing). Refresh and
+			// remind the emitting upstream node via fusion, then claim
+			// the downstream segment by forwarding the tree as our own:
+			// nodes further down must fuse to us, the nearest branching
+			// point, not to the original emitter.
+			e.Timer.Refresh()
+			r.sendFusion(ch, t.Src)
+			t.Src = r.node.Addr()
+			return netsim.Continue
+		}
+		// Rule 2: a new receiver's delivery path crosses this branching
+		// node: adopt it and tell the emitting upstream node.
+		r.addMFT(st, ch, t.R)
+		r.sendFusion(ch, t.Src)
+		t.Src = r.node.Addr()
+		return netsim.Continue
+	}
+
+	if st.mct == nil {
+		// Rule 4: first tree state at this router.
+		r.createMCT(st, ch, t.R)
+		return netsim.Continue
+	}
+	if st.mct.Node == t.R {
+		// Rule 6: refresh.
+		st.mct.Timer.Refresh()
+		return netsim.Continue
+	}
+	if st.mct.Stale() {
+		// Rule 7 (stale entry): the old target is going away; replace.
+		r.removeMCT(st, ch)
+		r.createMCT(st, ch, t.R)
+		return netsim.Continue
+	}
+	if !r.cfg.EnableFusion {
+		// Fusion ablation: a second live target crosses this router,
+		// but without the fusion mechanism there is no way to announce
+		// a branching point, so the router stays non-branching (the
+		// duplicate copies this leaves on shared links are what the A1
+		// ablation measures).
+		return netsim.Continue
+	}
+	// Rule 8: two live targets cross this router: become a branching
+	// node and announce the pair to the emitting upstream node.
+	old := st.mct.Node
+	r.removeMCT(st, ch)
+	st.mft = NewMFT()
+	r.observe(ch, ChangeBecomeBranching, r.node.Addr())
+	r.addMFT(st, ch, old)
+	r.addMFT(st, ch, t.R)
+	r.sendFusion(ch, t.Src)
+	t.Src = r.node.Addr()
+	return netsim.Continue
+}
+
+// onFusion applies the fusion rules of Figure 9(b): a fusion not
+// addressed to this node is forwarded upstream (rule 1); an addressed
+// (or matching) fusion marks the listed targets and installs the
+// sender as the data-plane relay (rules 2-4).
+//
+// Acceptance is routing-verified: a target Ri is only handed over to
+// Bp if Bp actually lies on this node's unicast forward path to Ri,
+// which the router checks against its own routing table. Without this
+// check, fusions travelling the reverse (receiver->source) paths can
+// be accepted by nodes that are not upstream of Bp at all, splicing
+// relay cycles into the data plane under asymmetric routing.
+func (r *Router) onFusion(f *packet.Fusion) netsim.Verdict {
+	if f.Bp == r.node.Addr() {
+		// Our own fusion looped back (possible under pathological
+		// routing); never install ourselves.
+		return netsim.Consumed
+	}
+	if f.Dst != r.node.Addr() {
+		// Rule 1: not addressed to us — simply forward. Intercepting
+		// fusions in transit (even with matching table entries) steals
+		// liveness refreshes meant for the true upstream branching node
+		// and leaves parallel delivery chains alive.
+		return netsim.Continue
+	}
+	st := r.chans[f.Channel]
+	if st == nil || st.mft == nil {
+		// Addressed to us, but we stopped being a branching node:
+		// stale downstream state; let it time out.
+		return netsim.Consumed
+	}
+	var matched []*Entry
+	for _, target := range f.Rs {
+		e := st.mft.Get(target)
+		if e == nil || e.Node == f.Bp {
+			continue
+		}
+		if !onForwardPath(r.node.Network(), r.node.ID(), f.Bp, target) {
+			continue
+		}
+		matched = append(matched, e)
+	}
+	if len(matched) == 0 {
+		return netsim.Consumed
+	}
+	r.applyFusion(st, f.Channel, f, matched)
+	return netsim.Consumed
+}
+
+// onForwardPath reports whether via lies strictly downstream of node
+// from on the canonical unicast forwarding path from -> dst (both
+// given as addresses). Membership is checked by walking the actual
+// next-hop chain rather than by distance arithmetic: under equal-cost
+// ties several nodes satisfy d(from,via)+d(via,dst) == d(from,dst)
+// without being on the path packets really take, and accepting those
+// would splice parallel delivery chains that duplicate traffic.
+func onForwardPath(net *netsim.Network, from topology.NodeID, via, dst addr.Addr) bool {
+	g := net.Topology()
+	vID, ok := g.ByAddr(via)
+	if !ok || vID == from {
+		return false
+	}
+	dID, ok := g.ByAddr(dst)
+	if !ok {
+		return false
+	}
+	rt := net.Routing()
+	if !rt.Reachable(from, dID) {
+		return false
+	}
+	for cur := from; cur != dID; {
+		cur = rt.NextHop(cur, dID)
+		if cur == topology.None {
+			return false
+		}
+		if cur == vID {
+			return true
+		}
+	}
+	return false
+}
+
+// applyFusion is shared by Router and Source: mark the matched
+// entries (rule 2) and install/refresh the branching candidate Bp with
+// an expired t1 (rules 3 and 4). addEntry must insert a fresh entry
+// already forced stale.
+//
+// Two repair rules keep the mark/relay association consistent: a
+// matched entry records Bp as its server, and any entry previously
+// served by Bp that the fusion no longer lists is unmarked (Bp dropped
+// it, so data must flow directly again).
+func applyFusion(t *MFT, bp addr.Addr, listed []addr.Addr, matched []*Entry,
+	addEntry func(node addr.Addr) *Entry,
+	markObs func(node addr.Addr)) {
+	inList := make(map[addr.Addr]bool, len(listed))
+	for _, n := range listed {
+		inList[n] = true
+	}
+	for _, e := range t.Entries() {
+		if e.Marked && e.ServedBy == bp && !inList[e.Node] {
+			e.Marked = false
+			e.ServedBy = addr.Unspecified
+		}
+	}
+	for _, e := range matched {
+		if !e.Marked {
+			e.Marked = true
+			if markObs != nil {
+				markObs(e.Node)
+			}
+		}
+		e.ServedBy = bp
+	}
+	if e := t.Get(bp); e != nil {
+		if e.Stale() {
+			// Rule 4: keep t1 expired, push t2 out.
+			e.Timer.RefreshDestroyOnly()
+		} else {
+			// Bp is also a regular (join-refreshed) child; a fusion is
+			// a liveness signal for it either way.
+			e.Timer.Refresh()
+		}
+		// A relay named by a fusion must carry data again even if an
+		// earlier fusion from further upstream marked it.
+		e.Marked = false
+		e.ServedBy = addr.Unspecified
+		return
+	}
+	addEntry(bp)
+}
+
+// unmarkServedBy lifts the marks of entries served by a relay that is
+// going away.
+func unmarkServedBy(t *MFT, relay addr.Addr) {
+	if t == nil {
+		return
+	}
+	for _, e := range t.Entries() {
+		if e.Marked && e.ServedBy == relay {
+			e.Marked = false
+			e.ServedBy = addr.Unspecified
+		}
+	}
+}
+
+func (r *Router) applyFusion(st *chanState, ch addr.Channel, f *packet.Fusion, matched []*Entry) {
+	applyFusion(st.mft, f.Bp, f.Rs, matched,
+		func(node addr.Addr) *Entry {
+			e := r.addMFT(st, ch, node)
+			e.Timer.ForceStale()
+			return e
+		},
+		func(node addr.Addr) { r.observe(ch, ChangeMFTMark, node) })
+}
+
+// onData forwards data packets addressed to this branching node: one
+// rewritten copy per unmarked entry (recursive unicast). Transit data
+// packets flow through on the normal unicast path. Two safety rails
+// guard the data plane against transiently inconsistent soft state:
+// a packet already replicated here is dropped (duplicate suppression),
+// and no copy is sent back to the branching node it just came from
+// (split horizon).
+func (r *Router) onData(d *packet.Data) netsim.Verdict {
+	if d.Dst != r.node.Addr() {
+		return netsim.Continue
+	}
+	st := r.chans[d.Channel]
+	hasMFT := st != nil && st.mft != nil
+	hasLeaf := r.leaf != nil && r.leaf.Subscribed(d.Channel)
+	if !hasMFT && !hasLeaf {
+		// Data addressed to a router that is neither a branching node
+		// nor a local-membership leaf for the channel: stale upstream
+		// state. Drop by falling through to local delivery (routers
+		// install no deliver sink).
+		return netsim.Continue
+	}
+	if r.seenData(d.Channel, d.Seq) {
+		return netsim.Consumed
+	}
+	if hasLeaf {
+		r.leaf.deliverLocal(d)
+	}
+	if hasMFT {
+		for _, e := range st.mft.Entries() {
+			if e.Marked || e.Node == d.Src {
+				continue
+			}
+			copyMsg := packet.Clone(d).(*packet.Data)
+			copyMsg.Src = r.node.Addr()
+			copyMsg.Dst = e.Node
+			r.node.SendUnicast(copyMsg)
+		}
+	}
+	return netsim.Consumed
+}
+
+// seenDataCap bounds the per-channel duplicate-suppression window.
+const seenDataCap = 4096
+
+// seenData records (channel, seq) and reports whether it was already
+// replicated at this node.
+func (r *Router) seenData(ch addr.Channel, seq uint32) bool {
+	if r.seen == nil {
+		r.seen = make(map[addr.Channel]map[uint32]bool)
+	}
+	m := r.seen[ch]
+	if m == nil {
+		m = make(map[uint32]bool)
+		r.seen[ch] = m
+	}
+	if m[seq] {
+		return true
+	}
+	if len(m) >= seenDataCap {
+		// Reset the window rather than grow without bound; worst case
+		// a very old sequence number is replicated twice.
+		m = make(map[uint32]bool)
+		r.seen[ch] = m
+	}
+	m[seq] = true
+	return false
+}
+
+func (r *Router) sendTree(ch addr.Channel, target addr.Addr) {
+	t := &packet.Tree{
+		Header: packet.Header{
+			Proto:   packet.ProtoHBH,
+			Type:    packet.TypeTree,
+			Channel: ch,
+			Src:     r.node.Addr(),
+			Dst:     target,
+		},
+		R: target,
+	}
+	r.node.SendUnicast(t)
+}
+
+// sendFusion announces this node as a branching candidate to the
+// upstream node that emitted the triggering tree message. Appendix A
+// addresses fusions to a node ("if the message is addressed to B ...")
+// — the emitter of the tree being reacted to is the only upstream node
+// the router actually knows.
+func (r *Router) sendFusion(ch addr.Channel, upstream addr.Addr) {
+	if !r.cfg.EnableFusion {
+		return
+	}
+	st := r.chans[ch]
+	if st == nil || st.mft == nil || st.mft.Len() == 0 {
+		return
+	}
+	if upstream == r.node.Addr() || !upstream.IsUnicast() {
+		return
+	}
+	now := r.sim.Now()
+	if st.hasFusion && now-st.lastFusion < r.cfg.TreeInterval*9/10 {
+		return
+	}
+	st.hasFusion = true
+	st.lastFusion = now
+	f := &packet.Fusion{
+		Header: packet.Header{
+			Proto:   packet.ProtoHBH,
+			Type:    packet.TypeFusion,
+			Channel: ch,
+			Src:     r.node.Addr(),
+			Dst:     upstream,
+		},
+		Bp: r.node.Addr(),
+		Rs: st.mft.Nodes(),
+	}
+	r.node.SendUnicast(f)
+}
+
+// addMFT inserts node into the channel's MFT with fresh timers wired
+// to expiry cleanup.
+func (r *Router) addMFT(st *chanState, ch addr.Channel, node addr.Addr) *Entry {
+	timer := r.sim.NewSoftTimer(r.cfg.T1, r.cfg.T2, nil, func() {
+		r.expireMFT(st, ch, node)
+	})
+	e := st.mft.Add(node, timer)
+	r.observe(ch, ChangeMFTAdd, node)
+	return e
+}
+
+// expireMFT handles t2 expiry of an MFT entry: remove it, and collapse
+// or destroy the table when it un-branches.
+func (r *Router) expireMFT(st *chanState, ch addr.Channel, node addr.Addr) {
+	if st.mft == nil || st.mft.Get(node) == nil {
+		return
+	}
+	st.mft.Remove(node)
+	r.observe(ch, ChangeMFTRemove, node)
+	// If the departed entry was a relay, the members it served must get
+	// data directly again.
+	unmarkServedBy(st.mft, node)
+	switch {
+	case st.mft.Len() == 0:
+		st.mft = nil
+		r.observe(ch, ChangeCollapse, r.node.Addr())
+		r.maybeDrop(ch, st)
+	case st.mft.Len() == 1 && r.cfg.CollapseRelays:
+		// A single fresh entry means one live child chain: this node no
+		// longer branches. Revert to control-plane state so the
+		// upstream branching point re-adopts the child directly. A
+		// stale or marked survivor stays: fusion-installed relays are
+		// load-bearing for the data path.
+		last := st.mft.Entries()[0]
+		if !last.Stale() && !last.Marked {
+			target := last.Node
+			st.mft.Destroy()
+			st.mft = nil
+			r.observe(ch, ChangeCollapse, r.node.Addr())
+			r.createMCT(st, ch, target)
+		}
+	}
+}
+
+func (r *Router) createMCT(st *chanState, ch addr.Channel, node addr.Addr) {
+	timer := r.sim.NewSoftTimer(r.cfg.T1, r.cfg.T2, nil, func() {
+		if st.mct != nil && st.mct.Node == node {
+			r.removeMCT(st, ch)
+			r.maybeDrop(ch, st)
+		}
+	})
+	st.mct = &MCT{Node: node, Timer: timer}
+	r.observe(ch, ChangeMCTCreate, node)
+}
+
+func (r *Router) removeMCT(st *chanState, ch addr.Channel) {
+	if st.mct == nil {
+		return
+	}
+	st.mct.Timer.Cancel()
+	st.mct = nil
+	r.observe(ch, ChangeMCTRemove, r.node.Addr())
+}
+
+// maybeDrop garbage-collects empty channel state.
+func (r *Router) maybeDrop(ch addr.Channel, st *chanState) {
+	if st.mct == nil && st.mft == nil {
+		delete(r.chans, ch)
+	}
+}

@@ -1,0 +1,70 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"hbh/internal/eventsim"
+	"hbh/internal/mtree"
+	"hbh/internal/topology"
+)
+
+// TestLargeNetwork converges a 200-router network with 40 receivers —
+// an order of magnitude beyond the paper's topologies — and checks the
+// usual invariants: complete delivery, shortest-path delays, one copy
+// per link. Guards against hidden quadratic blowups in the protocol's
+// message complexity as well as correctness at scale.
+func TestLargeNetwork(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large network test skipped in -short mode")
+	}
+	rng := rand.New(rand.NewSource(7))
+	g := topology.Random(topology.RandomConfig{
+		Routers: 200, AvgDegree: 4, Hosts: true,
+	}, rng)
+	g.RandomizeCosts(rng, 1, 10)
+	h := newQuietHarness(g)
+
+	srcHost := g.Hosts()[0]
+	src := AttachSource(h.net.Node(srcHost), srcGroup, h.cfg)
+
+	pool := append([]topology.NodeID(nil), g.Hosts()[1:]...)
+	rng.Shuffle(len(pool), func(i, j int) { pool[i], pool[j] = pool[j], pool[i] })
+	var members []mtree.Member
+	for i, host := range pool[:40] {
+		r := AttachReceiver(h.net.Node(host), src.Channel(), h.cfg)
+		h.sim.At(eventsim.Time(10+5*i), r.Join)
+		members = append(members, r)
+	}
+
+	if err := h.sim.Run(5000); err != nil {
+		t.Fatal(err)
+	}
+	res := mtree.Probe(h.net, func() uint32 { return src.SendData(nil) }, members)
+	if !res.Complete() {
+		t.Fatalf("incomplete at scale: %v", res)
+	}
+	if res.MaxLinkCopies() != 1 {
+		t.Errorf("link duplication at scale: max %d copies", res.MaxLinkCopies())
+	}
+	for _, m := range members {
+		want := eventsim.Time(h.routing.Dist(srcHost, g.MustByAddr(m.Addr())))
+		if res.Delays[m.Addr()] != want {
+			t.Errorf("%v delay = %v, want shortest-path %v", m.Addr(), res.Delays[m.Addr()], want)
+		}
+	}
+	// The tree cost cannot exceed the sum of the individual path
+	// lengths and cannot be below the largest single path.
+	sum, max := 0, 0
+	for _, m := range members {
+		p := h.routing.Path(srcHost, g.MustByAddr(m.Addr()))
+		links := len(p) - 1
+		sum += links
+		if links > max {
+			max = links
+		}
+	}
+	if res.Cost > sum || res.Cost < max {
+		t.Errorf("cost %d outside [%d, %d]", res.Cost, max, sum)
+	}
+}

@@ -1,0 +1,186 @@
+package core
+
+import (
+	"hbh/internal/addr"
+	"hbh/internal/eventsim"
+	"hbh/internal/netsim"
+	"hbh/internal/packet"
+)
+
+// Source is the channel root: the host agent at S. It owns the
+// top-level MFT, emits the periodic tree refresh, accepts joins that
+// reached it, processes fusions, and originates data packets with one
+// rewritten copy per unmarked table entry.
+type Source struct {
+	cfg      Config
+	node     *netsim.Node
+	sim      *eventsim.Sim
+	ch       addr.Channel
+	mft      *MFT
+	ticker   *eventsim.Ticker
+	observer ChangeObserver
+	nextSeq  uint32
+}
+
+// AttachSource creates the channel <n.Addr(), group> rooted at host n
+// and starts the tree-emission ticker.
+func AttachSource(n *netsim.Node, group addr.Addr, cfg Config) *Source {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	ch, err := addr.NewChannel(n.Addr(), group)
+	if err != nil {
+		panic(err)
+	}
+	s := &Source{
+		cfg:  cfg,
+		node: n,
+		sim:  n.Network().Sim(),
+		ch:   ch,
+		mft:  NewMFT(),
+	}
+	s.ticker = s.sim.NewTicker(cfg.TreeInterval, s.emitTrees)
+	n.AddHandler(s)
+	return s
+}
+
+// Channel returns the channel this source roots.
+func (s *Source) Channel() addr.Channel { return s.ch }
+
+// MFT exposes the source table for tests and audits.
+func (s *Source) MFT() *MFT { return s.mft }
+
+// SetObserver installs the state-change observer (nil clears it).
+func (s *Source) SetObserver(o ChangeObserver) { s.observer = o }
+
+func (s *Source) observe(kind ChangeKind, node addr.Addr) {
+	if s.observer != nil {
+		s.observer(s.node.Addr(), s.ch, kind, node)
+	}
+}
+
+// Stop halts the periodic tree emission (end of the session).
+func (s *Source) Stop() { s.ticker.Stop() }
+
+// Handle implements netsim.Handler for packets arriving at the source
+// host: joins and fusions addressed to S.
+func (s *Source) Handle(n *netsim.Node, msg packet.Message) netsim.Verdict {
+	switch m := msg.(type) {
+	case *packet.Join:
+		if m.Proto != packet.ProtoHBH || m.Channel != s.ch {
+			return netsim.Continue
+		}
+		s.onJoin(m)
+		return netsim.Consumed
+	case *packet.Fusion:
+		if m.Proto != packet.ProtoHBH || m.Channel != s.ch {
+			return netsim.Continue
+		}
+		s.onFusion(m)
+		return netsim.Consumed
+	default:
+		return netsim.Continue
+	}
+}
+
+// onJoin admits or refreshes a member. Any join that made it all the
+// way to S (first joins always do) installs the receiver here; the
+// fusion mechanism later migrates it to the right branching node.
+func (s *Source) onJoin(j *packet.Join) {
+	if e := s.mft.Get(j.R); e != nil {
+		e.Timer.Refresh()
+		return
+	}
+	s.addEntry(j.R, false)
+}
+
+func (s *Source) onFusion(f *packet.Fusion) {
+	if f.Bp == s.node.Addr() {
+		return
+	}
+	var matched []*Entry
+	for _, target := range f.Rs {
+		e := s.mft.Get(target)
+		if e == nil || e.Node == f.Bp {
+			continue
+		}
+		// Same routing-verified acceptance as branching routers: the
+		// candidate must actually sit on our forward path to the
+		// member it offers to serve.
+		if !onForwardPath(s.node.Network(), s.node.ID(), f.Bp, target) {
+			continue
+		}
+		matched = append(matched, e)
+	}
+	if len(matched) == 0 {
+		// The fusion reached the root without naming any member we can
+		// verifiably hand over: nothing to splice.
+		return
+	}
+	applyFusion(s.mft, f.Bp, f.Rs, matched,
+		func(node addr.Addr) *Entry { return s.addEntry(node, true) },
+		func(node addr.Addr) { s.observe(ChangeMFTMark, node) })
+}
+
+func (s *Source) addEntry(node addr.Addr, forceStale bool) *Entry {
+	timer := s.sim.NewSoftTimer(s.cfg.T1, s.cfg.T2, nil, func() {
+		if s.mft.Get(node) != nil {
+			s.mft.Remove(node)
+			s.observe(ChangeMFTRemove, node)
+			unmarkServedBy(s.mft, node)
+		}
+	})
+	e := s.mft.Add(node, timer)
+	s.observe(ChangeMFTAdd, node)
+	if forceStale {
+		e.Timer.ForceStale()
+	}
+	return e
+}
+
+// emitTrees is the periodic downstream refresh: one tree(S, X) per
+// non-stale entry X.
+func (s *Source) emitTrees() {
+	for _, e := range s.mft.Entries() {
+		if e.Stale() {
+			continue
+		}
+		t := &packet.Tree{
+			Header: packet.Header{
+				Proto:   packet.ProtoHBH,
+				Type:    packet.TypeTree,
+				Channel: s.ch,
+				Src:     s.node.Addr(),
+				Dst:     e.Node,
+			},
+			R: e.Node,
+		}
+		s.node.SendUnicast(t)
+	}
+}
+
+// SendData originates one multicast payload over the recursive unicast
+// tree: one copy per unmarked entry. It returns the sequence number
+// used, so measurement code can correlate deliveries.
+func (s *Source) SendData(payload []byte) uint32 {
+	seq := s.nextSeq
+	s.nextSeq++
+	for _, e := range s.mft.Entries() {
+		if e.Marked {
+			continue
+		}
+		d := &packet.Data{
+			Header: packet.Header{
+				Proto:   packet.ProtoNone,
+				Type:    packet.TypeData,
+				Channel: s.ch,
+				Src:     s.node.Addr(),
+				Dst:     e.Node,
+			},
+			Seq:     seq,
+			Payload: append([]byte(nil), payload...),
+		}
+		s.node.SendUnicast(d)
+	}
+	return seq
+}

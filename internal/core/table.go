@@ -1,0 +1,139 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"hbh/internal/addr"
+	"hbh/internal/eventsim"
+)
+
+// Entry is one row of a Multicast Forwarding Table: a downstream node
+// (a receiver or the next branching router) plus the two-phase soft
+// timer and the marked bit.
+type Entry struct {
+	// Node is the unicast address this entry forwards to.
+	Node addr.Addr
+	// Marked entries forward tree messages but not data: the fusion
+	// mechanism marks a receiver here once a downstream branching node
+	// has taken over its data delivery.
+	Marked bool
+	// ServedBy records the branching node whose fusion marked this
+	// entry. If that relay's own entry dies, or its fusions stop
+	// listing this node, the mark is lifted so data flows directly
+	// again instead of silently starving the receiver.
+	ServedBy addr.Addr
+	// Timer is the (t1, t2) soft-state pair. Stale entries forward
+	// data but emit no downstream tree message.
+	Timer *eventsim.SoftTimer
+}
+
+// Stale reports whether the entry's t1 phase has expired.
+func (e *Entry) Stale() bool { return e.Timer.Stale() }
+
+// MFT is a Multicast Forwarding Table for one channel: the data-plane
+// state of a branching node. Iteration follows insertion order so
+// simulations are deterministic (Go map iteration is randomised).
+type MFT struct {
+	entries []*Entry
+	index   map[addr.Addr]*Entry
+}
+
+// NewMFT returns an empty table.
+func NewMFT() *MFT {
+	return &MFT{index: make(map[addr.Addr]*Entry)}
+}
+
+// Len returns the number of live entries.
+func (t *MFT) Len() int { return len(t.entries) }
+
+// Get returns the entry for node, or nil.
+func (t *MFT) Get(node addr.Addr) *Entry { return t.index[node] }
+
+// Add inserts a new entry with the given timer. Panics on duplicates:
+// callers must Get first.
+func (t *MFT) Add(node addr.Addr, timer *eventsim.SoftTimer) *Entry {
+	if t.index[node] != nil {
+		panic(fmt.Sprintf("core: duplicate MFT entry %v", node))
+	}
+	e := &Entry{Node: node, Timer: timer}
+	t.entries = append(t.entries, e)
+	t.index[node] = e
+	return e
+}
+
+// Remove deletes the entry for node, cancelling its timer. Reports
+// whether an entry existed.
+func (t *MFT) Remove(node addr.Addr) bool {
+	e := t.index[node]
+	if e == nil {
+		return false
+	}
+	e.Timer.Cancel()
+	delete(t.index, node)
+	for i, x := range t.entries {
+		if x == e {
+			t.entries = append(t.entries[:i], t.entries[i+1:]...)
+			break
+		}
+	}
+	return true
+}
+
+// Entries returns the live entries in insertion order. The slice is
+// shared: callers iterate, they do not mutate.
+func (t *MFT) Entries() []*Entry { return t.entries }
+
+// Nodes returns the entry addresses in insertion order. Used to build
+// fusion messages ("the fusion messages produced by B contain all the
+// nodes that B maintains in its MFT").
+func (t *MFT) Nodes() []addr.Addr {
+	out := make([]addr.Addr, len(t.entries))
+	for i, e := range t.entries {
+		out[i] = e.Node
+	}
+	return out
+}
+
+// Destroy cancels every timer and empties the table.
+func (t *MFT) Destroy() {
+	for _, e := range t.entries {
+		e.Timer.Cancel()
+	}
+	t.entries = nil
+	t.index = make(map[addr.Addr]*Entry)
+}
+
+// String renders the table for traces: "[r1* r3(m) H3]" where *
+// flags stale and (m) marked.
+func (t *MFT) String() string {
+	var b strings.Builder
+	b.WriteByte('[')
+	for i, e := range t.entries {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteString(e.Node.String())
+		if e.Stale() {
+			b.WriteByte('*')
+		}
+		if e.Marked {
+			b.WriteString("(m)")
+		}
+	}
+	b.WriteByte(']')
+	return b.String()
+}
+
+// MCT is the Multicast Control Table entry of a non-branching router:
+// the single downstream target whose tree messages traverse this node,
+// kept in the control plane only (never used for data forwarding).
+type MCT struct {
+	// Node is the tree target recorded here.
+	Node addr.Addr
+	// Timer is the (t1, t2) pair refreshed by passing tree messages.
+	Timer *eventsim.SoftTimer
+}
+
+// Stale reports whether the t1 phase has expired.
+func (m *MCT) Stale() bool { return m.Timer.Stale() }

@@ -1,0 +1,51 @@
+package core
+
+import (
+	"testing"
+
+	"hbh/internal/mtree"
+	"hbh/internal/packet"
+	"hbh/internal/topology"
+)
+
+// TestDataAddressedToBranchingRouters pins down HBH's defining
+// wire-level behaviour (paper §3): data received by a branching router
+// HB "has unicast destination address set to HB" — the tree's interior
+// hops carry router-addressed packets, unlike REUNITE, which addresses
+// everything to receivers. On a chain with a branch at R2, the probe
+// must show at least one data transmission addressed to a router.
+func TestDataAddressedToBranchingRouters(t *testing.T) {
+	g := topology.Line(5, true)
+	h := newHarness(t, g)
+	src := h.source(hostOf(g, 0))
+	r2 := h.receiver(hostOf(g, 2), src.Channel())
+	r4 := h.receiver(hostOf(g, 4), src.Channel())
+	h.sim.At(10, r2.Join)
+	h.sim.At(25, r4.Join)
+	h.converge(t)
+
+	routerAddressed, hostAddressed := 0, 0
+	h.net.AddTap(func(from, to topology.NodeID, msg packet.Message) {
+		if d, ok := msg.(*packet.Data); ok {
+			if id, found := g.ByAddr(d.Dst); found {
+				switch g.Node(id).Kind {
+				case topology.Router:
+					routerAddressed++
+				case topology.Host:
+					hostAddressed++
+				}
+			}
+		}
+	})
+	res := mtree.Probe(h.net, func() uint32 { return src.SendData(nil) },
+		[]mtree.Member{r2, r4})
+	if !res.Complete() {
+		t.Fatalf("incomplete: %v", res)
+	}
+	if routerAddressed == 0 {
+		t.Error("no data addressed to a branching router (HBH's recursive-unicast signature)")
+	}
+	if hostAddressed == 0 {
+		t.Error("no data addressed to receivers (last-hop delivery)")
+	}
+}

@@ -1,0 +1,41 @@
+package core
+
+import (
+	"testing"
+
+	"hbh/internal/mtree"
+	"hbh/internal/topology"
+)
+
+// TestWireModeEndToEnd runs the full HBH protocol with every link
+// transmission round-tripped through the binary wire codec: this
+// proves the wire formats carry everything the protocol semantics
+// depend on (flags, fusion target lists, sequence numbers). Identical
+// results to the in-memory run are required.
+func TestWireModeEndToEnd(t *testing.T) {
+	run := func(wire bool) *mtree.Result {
+		sc := topology.Fig2Scenario()
+		h := newHarness(t, sc.Graph)
+		h.net.SetWireCheck(wire)
+		src := h.source(sc.Source)
+		r1 := h.receiver(sc.R1, src.Channel())
+		r2 := h.receiver(sc.R2, src.Channel())
+		h.sim.At(10, r1.Join)
+		h.sim.At(130, r2.Join)
+		h.converge(t)
+		return h.probe(t, src, []mtree.Member{r1, r2})
+	}
+	plain := run(false)
+	wired := run(true)
+	if !wired.Complete() {
+		t.Fatalf("wire mode broke delivery: %v", wired)
+	}
+	if plain.Cost != wired.Cost {
+		t.Errorf("cost differs: in-memory %d vs wire %d", plain.Cost, wired.Cost)
+	}
+	for a, d := range plain.Delays {
+		if wired.Delays[a] != d {
+			t.Errorf("delay for %v differs: %v vs %v", a, d, wired.Delays[a])
+		}
+	}
+}

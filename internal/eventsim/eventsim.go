@@ -1,0 +1,180 @@
+// Package eventsim implements the discrete-event engine that drives the
+// network simulator. Time is virtual ("time units", matching the
+// paper's delay unit, which equals one unit of link cost) and advances
+// only when events fire.
+//
+// Determinism: events at equal timestamps fire in scheduling order
+// (FIFO tie-break via a monotonically increasing sequence number), so a
+// simulation with a fixed RNG seed is exactly reproducible. This is the
+// property every experiment in the paper reproduction relies on — 500
+// runs per data point must be re-runnable bit-for-bit.
+package eventsim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Time is a virtual timestamp in time units. Link costs are integers in
+// [1,10] but protocol timers use fractional offsets, so Time is a
+// float64.
+type Time float64
+
+// Forever is a timestamp later than any event the simulator will fire.
+const Forever Time = Time(math.MaxFloat64)
+
+// ErrStopped is returned by Run when the simulation was halted by Stop
+// before the horizon or event exhaustion was reached.
+var ErrStopped = errors.New("eventsim: stopped")
+
+// Event is a scheduled callback. The zero Event is inert.
+type Event struct {
+	at     Time
+	seq    uint64
+	fn     func()
+	index  int // heap index, -1 when not queued
+	cancel bool
+}
+
+// Handle identifies a scheduled event so it can be cancelled. A zero
+// Handle is inert and safe to Cancel.
+type Handle struct{ ev *Event }
+
+// Cancel prevents the event from firing. Cancelling an already-fired or
+// already-cancelled event is a no-op. It reports whether the event was
+// still pending.
+func (h Handle) Cancel() bool {
+	if h.ev == nil || h.ev.cancel || h.ev.index < 0 {
+		return false
+	}
+	h.ev.cancel = true
+	return true
+}
+
+// Pending reports whether the event is still queued to fire.
+func (h Handle) Pending() bool {
+	return h.ev != nil && !h.ev.cancel && h.ev.index >= 0
+}
+
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+func (q *eventQueue) Push(x any) {
+	ev := x.(*Event)
+	ev.index = len(*q)
+	*q = append(*q, ev)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*q = old[:n-1]
+	return ev
+}
+
+// Sim is a discrete-event simulator. The zero value is ready to use.
+// Sim is not safe for concurrent use; the simulation model is strictly
+// single-threaded (and so is NS-2's), which is what makes runs
+// reproducible.
+type Sim struct {
+	now     Time
+	seq     uint64
+	queue   eventQueue
+	stopped bool
+	fired   uint64
+}
+
+// New returns a fresh simulator positioned at time 0.
+func New() *Sim { return &Sim{} }
+
+// Now returns the current virtual time.
+func (s *Sim) Now() Time { return s.now }
+
+// Fired returns the number of events executed so far. Useful for
+// convergence diagnostics and test assertions.
+func (s *Sim) Fired() uint64 { return s.fired }
+
+// Pending returns the number of events still queued.
+func (s *Sim) Pending() int { return len(s.queue) }
+
+// At schedules fn to run at absolute time at. Scheduling in the past
+// panics: that is always a protocol bug, never a recoverable condition.
+func (s *Sim) At(at Time, fn func()) Handle {
+	if at < s.now {
+		panic(fmt.Sprintf("eventsim: scheduling at %v before now %v", at, s.now))
+	}
+	if fn == nil {
+		panic("eventsim: nil event func")
+	}
+	ev := &Event{at: at, seq: s.seq, fn: fn, index: -1}
+	s.seq++
+	heap.Push(&s.queue, ev)
+	return Handle{ev: ev}
+}
+
+// After schedules fn to run delay time units from now.
+func (s *Sim) After(delay Time, fn func()) Handle {
+	if delay < 0 {
+		panic(fmt.Sprintf("eventsim: negative delay %v", delay))
+	}
+	return s.At(s.now+delay, fn)
+}
+
+// Stop halts Run after the currently executing event returns.
+func (s *Sim) Stop() { s.stopped = true }
+
+// Run executes events in timestamp order until the queue drains, the
+// next event would fire after horizon, or Stop is called. The clock is
+// left at the time of the last fired event (or at horizon if the queue
+// drained earlier than the horizon and horizon is finite).
+//
+// It returns ErrStopped if halted by Stop, nil otherwise.
+func (s *Sim) Run(horizon Time) error {
+	s.stopped = false
+	for len(s.queue) > 0 {
+		if s.stopped {
+			return ErrStopped
+		}
+		next := s.queue[0]
+		if next.at > horizon {
+			s.now = horizon
+			return nil
+		}
+		heap.Pop(&s.queue)
+		if next.cancel {
+			continue
+		}
+		s.now = next.at
+		s.fired++
+		next.fn()
+	}
+	if s.stopped {
+		return ErrStopped
+	}
+	if horizon != Forever && horizon > s.now {
+		s.now = horizon
+	}
+	return nil
+}
+
+// RunAll executes events until the queue drains, with no horizon.
+func (s *Sim) RunAll() error { return s.Run(Forever) }

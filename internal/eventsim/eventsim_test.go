@@ -1,0 +1,340 @@
+package eventsim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestRunOrdering(t *testing.T) {
+	s := New()
+	var order []int
+	s.At(30, func() { order = append(order, 3) })
+	s.At(10, func() { order = append(order, 1) })
+	s.At(20, func() { order = append(order, 2) })
+	if err := s.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Errorf("order = %v", order)
+	}
+	if s.Now() != 30 {
+		t.Errorf("Now = %v, want 30", s.Now())
+	}
+}
+
+func TestFIFOTieBreak(t *testing.T) {
+	// Events at the same timestamp fire in scheduling order.
+	s := New()
+	var order []int
+	for i := 0; i < 100; i++ {
+		i := i
+		s.At(5, func() { order = append(order, i) })
+	}
+	if err := s.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("order[%d] = %d; same-time events must be FIFO", i, v)
+		}
+	}
+}
+
+func TestHorizonStopsAndAdvancesClock(t *testing.T) {
+	s := New()
+	fired := 0
+	s.At(10, func() { fired++ })
+	s.At(50, func() { fired++ })
+	if err := s.Run(20); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 1 {
+		t.Errorf("fired = %d, want 1", fired)
+	}
+	if s.Now() != 20 {
+		t.Errorf("Now = %v, want horizon 20", s.Now())
+	}
+	if err := s.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 2 {
+		t.Errorf("fired = %d, want 2", fired)
+	}
+}
+
+func TestEventsScheduleEvents(t *testing.T) {
+	s := New()
+	n := 0
+	var chain func()
+	chain = func() {
+		n++
+		if n < 10 {
+			s.After(1, chain)
+		}
+	}
+	s.After(1, chain)
+	if err := s.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if n != 10 {
+		t.Errorf("n = %d, want 10", n)
+	}
+	if s.Now() != 10 {
+		t.Errorf("Now = %v, want 10", s.Now())
+	}
+}
+
+func TestCancel(t *testing.T) {
+	s := New()
+	fired := false
+	h := s.At(10, func() { fired = true })
+	if !h.Pending() {
+		t.Error("handle not pending after schedule")
+	}
+	if !h.Cancel() {
+		t.Error("first cancel reported false")
+	}
+	if h.Cancel() {
+		t.Error("second cancel reported true")
+	}
+	if err := s.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if fired {
+		t.Error("cancelled event fired")
+	}
+	// Zero handle is inert.
+	var zero Handle
+	if zero.Cancel() || zero.Pending() {
+		t.Error("zero handle not inert")
+	}
+}
+
+func TestStop(t *testing.T) {
+	s := New()
+	fired := 0
+	s.At(1, func() { fired++; s.Stop() })
+	s.At(2, func() { fired++ })
+	if err := s.RunAll(); err != ErrStopped {
+		t.Fatalf("err = %v, want ErrStopped", err)
+	}
+	if fired != 1 {
+		t.Errorf("fired = %d, want 1", fired)
+	}
+	// A subsequent Run resumes.
+	if err := s.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 2 {
+		t.Errorf("fired = %d, want 2", fired)
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	s := New()
+	s.At(10, func() {})
+	if err := s.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("At in the past did not panic")
+		}
+	}()
+	s.At(5, func() {})
+}
+
+func TestDeterministicUnderLoad(t *testing.T) {
+	// Two identical random schedules must fire in the same order.
+	runOnce := func(seed int64) []int {
+		rng := rand.New(rand.NewSource(seed))
+		s := New()
+		var order []int
+		for i := 0; i < 500; i++ {
+			i := i
+			s.At(Time(rng.Intn(50)), func() { order = append(order, i) })
+		}
+		if err := s.RunAll(); err != nil {
+			t.Fatal(err)
+		}
+		return order
+	}
+	a := runOnce(7)
+	b := runOnce(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("runs diverge at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+	// And the order respects timestamps.
+	rng := rand.New(rand.NewSource(7))
+	times := make([]Time, 500)
+	for i := range times {
+		times[i] = Time(rng.Intn(50))
+	}
+	fired := make([]Time, len(a))
+	for i, idx := range a {
+		fired[i] = times[idx]
+	}
+	if !sort.SliceIsSorted(fired, func(i, j int) bool { return fired[i] < fired[j] }) {
+		t.Error("events fired out of timestamp order")
+	}
+}
+
+func TestTicker(t *testing.T) {
+	s := New()
+	n := 0
+	tk := s.NewTicker(10, func() { n++ })
+	if err := s.Run(55); err != nil {
+		t.Fatal(err)
+	}
+	if n != 5 {
+		t.Errorf("ticks = %d, want 5", n)
+	}
+	tk.Stop()
+	if !tk.Stopped() {
+		t.Error("Stopped false after Stop")
+	}
+	tk.Stop() // idempotent
+	if err := s.Run(200); err != nil {
+		t.Fatal(err)
+	}
+	if n != 5 {
+		t.Errorf("ticks after stop = %d, want 5", n)
+	}
+}
+
+func TestTickerStopFromCallback(t *testing.T) {
+	s := New()
+	n := 0
+	var tk *Ticker
+	tk = s.NewTicker(10, func() {
+		n++
+		if n == 3 {
+			tk.Stop()
+		}
+	})
+	if err := s.Run(1000); err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Errorf("ticks = %d, want 3", n)
+	}
+}
+
+func TestSoftTimerPhases(t *testing.T) {
+	s := New()
+	var staleAt, deadAt Time
+	tm := s.NewSoftTimer(10, 5,
+		func() { staleAt = s.Now() },
+		func() { deadAt = s.Now() })
+	if err := s.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if staleAt != 10 {
+		t.Errorf("stale at %v, want 10", staleAt)
+	}
+	if deadAt != 15 {
+		t.Errorf("dead at %v, want 15", deadAt)
+	}
+	if !tm.Stale() || !tm.Dead() {
+		t.Error("final state not stale+dead")
+	}
+}
+
+func TestSoftTimerRefresh(t *testing.T) {
+	s := New()
+	dead := false
+	tm := s.NewSoftTimer(10, 5, nil, func() { dead = true })
+	// Refresh every 8 units: never goes stale.
+	for i := 1; i <= 5; i++ {
+		s.At(Time(8*i), func() {
+			if tm.Stale() {
+				t.Error("timer went stale despite refreshes")
+			}
+			tm.Refresh()
+		})
+	}
+	if err := s.Run(40); err != nil {
+		t.Fatal(err)
+	}
+	if dead {
+		t.Fatal("timer died despite refreshes")
+	}
+	// Now stop refreshing: dies at 40+15.
+	if err := s.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if !dead {
+		t.Error("timer did not die after refreshes stopped")
+	}
+	if s.Now() != 55 {
+		t.Errorf("death at %v, want 55", s.Now())
+	}
+	if tm.Refresh() {
+		t.Error("Refresh on dead timer reported success")
+	}
+}
+
+func TestSoftTimerForceStale(t *testing.T) {
+	s := New()
+	dead := false
+	tm := s.NewSoftTimer(100, 5, nil, func() { dead = true })
+	s.At(1, tm.ForceStale)
+	if err := s.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if !dead || s.Now() != 6 {
+		t.Errorf("forced-stale timer died at %v (dead=%v), want 6", s.Now(), dead)
+	}
+}
+
+func TestSoftTimerRefreshDestroyOnly(t *testing.T) {
+	s := New()
+	dead := false
+	tm := s.NewSoftTimer(10, 20, nil, func() { dead = true })
+	// Stale at 10, would die at 30; refresh destroy phase at 25.
+	s.At(25, func() {
+		if !tm.Stale() {
+			t.Error("not stale at 25")
+		}
+		if !tm.RefreshDestroyOnly() {
+			t.Error("RefreshDestroyOnly failed on stale timer")
+		}
+	})
+	if err := s.Run(40); err != nil {
+		t.Fatal(err)
+	}
+	if dead {
+		t.Fatal("died before extended deadline")
+	}
+	if err := s.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if !dead || s.Now() != 45 {
+		t.Errorf("died at %v (dead=%v), want 45", s.Now(), dead)
+	}
+	// RefreshDestroyOnly on a fresh timer is a no-op.
+	tm2 := s.NewSoftTimer(10, 5, nil, nil)
+	if tm2.RefreshDestroyOnly() {
+		t.Error("RefreshDestroyOnly succeeded on fresh timer")
+	}
+	tm2.Cancel()
+}
+
+func TestSoftTimerCancel(t *testing.T) {
+	s := New()
+	tm := s.NewSoftTimer(10, 5, func() {
+		t.Error("stale fired after cancel")
+	}, func() {
+		t.Error("expire fired after cancel")
+	})
+	s.At(5, tm.Cancel)
+	if err := s.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if !tm.Dead() {
+		t.Error("cancelled timer not dead")
+	}
+}

@@ -1,0 +1,176 @@
+package eventsim
+
+// Ticker invokes a callback periodically until stopped. Protocol
+// entities use tickers for soft-state refresh: receivers re-emit join
+// messages every JoinInterval and the source re-multicasts tree
+// messages every TreeInterval.
+type Ticker struct {
+	sim     *Sim
+	period  Time
+	fn      func()
+	handle  Handle
+	stopped bool
+}
+
+// NewTicker schedules fn every period time units, with the first firing
+// a full period from now. Period must be positive.
+func (s *Sim) NewTicker(period Time, fn func()) *Ticker {
+	if period <= 0 {
+		panic("eventsim: non-positive ticker period")
+	}
+	t := &Ticker{sim: s, period: period, fn: fn}
+	t.arm()
+	return t
+}
+
+func (t *Ticker) arm() {
+	t.handle = t.sim.After(t.period, func() {
+		if t.stopped {
+			return
+		}
+		t.fn()
+		if !t.stopped { // fn may have stopped the ticker
+			t.arm()
+		}
+	})
+}
+
+// Stop halts the ticker. Stopping twice is a no-op.
+func (t *Ticker) Stop() {
+	if t.stopped {
+		return
+	}
+	t.stopped = true
+	t.handle.Cancel()
+}
+
+// Stopped reports whether Stop has been called.
+func (t *Ticker) Stopped() bool { return t.stopped }
+
+// SoftTimer models the two-phase soft-state timer pair (t1, t2) that
+// HBH and REUNITE attach to every table entry: when t1 expires the
+// entry becomes stale, and when t2 expires the entry is destroyed.
+// Refreshing re-arms both phases.
+type SoftTimer struct {
+	sim      *Sim
+	t1, t2   Time
+	h1, h2   Handle
+	onStale  func()
+	onExpire func()
+	stale    bool
+	dead     bool
+}
+
+// NewSoftTimer creates and arms a (t1, t2) timer pair. onStale fires
+// when the entry has not been refreshed for t1 units, onExpire when it
+// has not been refreshed for t1+t2 units. Either callback may be nil.
+// t2 is counted from the moment the entry goes stale, matching the
+// paper ("a second timer, t2, is created and will eventually destroy
+// the entry").
+func (s *Sim) NewSoftTimer(t1, t2 Time, onStale, onExpire func()) *SoftTimer {
+	if t1 <= 0 || t2 <= 0 {
+		panic("eventsim: non-positive soft timer phase")
+	}
+	t := &SoftTimer{sim: s, t1: t1, t2: t2, onStale: onStale, onExpire: onExpire}
+	t.arm()
+	return t
+}
+
+func (t *SoftTimer) arm() {
+	t.h1 = t.sim.After(t.t1, func() {
+		if t.dead {
+			return
+		}
+		t.stale = true
+		if t.onStale != nil {
+			t.onStale()
+		}
+		if t.dead { // onStale may have cancelled us
+			return
+		}
+		t.h2 = t.sim.After(t.t2, func() {
+			if t.dead {
+				return
+			}
+			t.dead = true
+			if t.onExpire != nil {
+				t.onExpire()
+			}
+		})
+	})
+}
+
+// Refresh restarts the timer pair and clears staleness. Refreshing a
+// dead timer is a no-op and reports false.
+func (t *SoftTimer) Refresh() bool {
+	if t.dead {
+		return false
+	}
+	t.h1.Cancel()
+	t.h2.Cancel()
+	t.stale = false
+	t.arm()
+	return true
+}
+
+// ForceStale immediately moves the timer into the stale phase, as the
+// fusion rules require for a freshly installed branching-node entry
+// ("Bp's t1 timer is expired — Bp becomes stale"). The destroy phase is
+// armed as usual. No-op on dead timers.
+func (t *SoftTimer) ForceStale() {
+	if t.dead || t.stale {
+		return
+	}
+	t.h1.Cancel()
+	t.stale = true
+	if t.onStale != nil {
+		t.onStale()
+	}
+	if t.dead {
+		return
+	}
+	t.h2 = t.sim.After(t.t2, func() {
+		if t.dead {
+			return
+		}
+		t.dead = true
+		if t.onExpire != nil {
+			t.onExpire()
+		}
+	})
+}
+
+// RefreshDestroyOnly re-arms only the destroy phase, leaving the entry
+// stale. This implements the fusion rule "Bp's t2 timer is refreshed
+// but its t1 timer is kept expired". No-op unless the timer is stale
+// and alive.
+func (t *SoftTimer) RefreshDestroyOnly() bool {
+	if t.dead || !t.stale {
+		return false
+	}
+	t.h2.Cancel()
+	t.h2 = t.sim.After(t.t2, func() {
+		if t.dead {
+			return
+		}
+		t.dead = true
+		if t.onExpire != nil {
+			t.onExpire()
+		}
+	})
+	return true
+}
+
+// Stale reports whether the t1 phase has expired without a refresh.
+func (t *SoftTimer) Stale() bool { return t.stale }
+
+// Dead reports whether the t2 phase has expired (entry destroyed) or
+// the timer was cancelled.
+func (t *SoftTimer) Dead() bool { return t.dead }
+
+// Cancel kills the timer without firing onExpire.
+func (t *SoftTimer) Cancel() {
+	t.dead = true
+	t.h1.Cancel()
+	t.h2.Cancel()
+}

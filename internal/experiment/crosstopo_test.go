@@ -1,0 +1,36 @@
+package experiment
+
+import "testing"
+
+// TestCrossTopologyOrderings: the paper's headline orderings must hold
+// on every backbone in the catalog, not just the reconstructed paper
+// topologies.
+func TestCrossTopologyOrderings(t *testing.T) {
+	cost, delay := CrossTopology(20, 5)
+	hbhC := cost.SeriesByName("HBH")
+	reuC := cost.SeriesByName("REUNITE")
+	hbhD := delay.SeriesByName("HBH")
+	reuD := delay.SeriesByName("REUNITE")
+	ssD := delay.SeriesByName("PIM-SS")
+	if hbhC == nil || reuC == nil || hbhD == nil || reuD == nil || ssD == nil {
+		t.Fatal("missing series")
+	}
+	topoNames := []string{"isp", "nsfnet", "abilene", "random50"}
+	for i, name := range topoNames {
+		// Cost: HBH at or below REUNITE, with a small tolerance for
+		// sampling noise on the tiny backbones where REUNITE's
+		// pathologies rarely trigger.
+		if hbhC.Y[i].Mean() > reuC.Y[i].Mean()*1.08 {
+			t.Errorf("%s: HBH cost %.1f above REUNITE %.1f", name,
+				hbhC.Y[i].Mean(), reuC.Y[i].Mean())
+		}
+		if hbhD.Y[i].Mean() > reuD.Y[i].Mean() {
+			t.Errorf("%s: HBH delay %.1f above REUNITE %.1f", name,
+				hbhD.Y[i].Mean(), reuD.Y[i].Mean())
+		}
+		if hbhD.Y[i].Mean() > ssD.Y[i].Mean() {
+			t.Errorf("%s: HBH delay %.1f above PIM-SS %.1f", name,
+				hbhD.Y[i].Mean(), ssD.Y[i].Mean())
+		}
+	}
+}

@@ -1,0 +1,92 @@
+package experiment
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"hbh/internal/addr"
+	"hbh/internal/eventsim"
+	"hbh/internal/metrics"
+	"hbh/internal/mtree"
+	"hbh/internal/netsim"
+	"hbh/internal/pim"
+	"hbh/internal/topology"
+	"hbh/internal/unicast"
+)
+
+// DelayTailResult holds per-protocol delay distributions for the A9
+// experiment.
+type DelayTailResult struct {
+	Runs  int
+	Names []string
+	Dists map[string]*metrics.Distribution
+}
+
+// DelayTail runs the A9 extension experiment: the DISTRIBUTION of
+// per-receiver delays (ISP topology, 8 receivers), not just the mean
+// the paper plots. Reverse-path protocols do not merely raise the
+// average — they fatten the tail, because a single badly-reversed link
+// on a branch penalises every member behind it. HBH's delays are the
+// unicast shortest paths, so its tail is exactly the substrate's.
+func DelayTail(runs int, seed int64) *DelayTailResult {
+	res := &DelayTailResult{
+		Runs:  runs,
+		Names: []string{"PIM-SM", "PIM-SS", "REUNITE", "HBH"},
+		Dists: make(map[string]*metrics.Distribution),
+	}
+	for _, n := range res.Names {
+		res.Dists[n] = metrics.NewDistribution(20000)
+	}
+
+	for run := 0; run < runs; run++ {
+		s := seed + int64(run)*7919
+		rng := rand.New(rand.NewSource(s))
+		g := BaseGraph(TopoISP).Clone()
+		g.RandomizeCosts(rng, 1, 10)
+		routing := unicast.Compute(g)
+		sourceHost := sourceHostOf(g)
+		members := sampleReceivers(g, rng, sourceHost, 8)
+
+		// Dynamic protocols.
+		for _, p := range []Protocol{REUNITE, HBH} {
+			prng := rand.New(rand.NewSource(s))
+			sess := setupDyn(RunConfig{Topo: TopoISP, Protocol: p, Receivers: 8, Seed: s},
+				g, routing, sourceHost, members, prng)
+			converge(sess.sim, sess.interval, defaultConvergeIntervals)
+			pr := sess.ProbeSettled()
+			for _, d := range pr.Delays {
+				res.Dists[string(p)].Add(float64(d))
+			}
+		}
+		// PIM baselines.
+		for _, mode := range []pim.Mode{pim.SM, pim.SS} {
+			sim := eventsim.New()
+			net := netsim.New(sim, g, routing)
+			sess := pim.Build(net, mode, sourceHost, addr.GroupAddr(0), members, topology.None)
+			ms := make([]mtree.Member, 0, len(members))
+			for _, m := range members {
+				ms = append(ms, sess.Member(m))
+			}
+			pr := mtree.Probe(net, func() uint32 { return sess.SendData(nil) }, ms)
+			for _, d := range pr.Delays {
+				res.Dists[mode.String()].Add(float64(d))
+			}
+		}
+	}
+	return res
+}
+
+// FormatTable renders the per-protocol delay quantiles.
+func (r *DelayTailResult) FormatTable() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "A9 — receiver delay distribution (ISP topology, 8 receivers, %d runs)\n", r.Runs)
+	fmt.Fprintf(&b, "%-10s %8s %8s %8s %8s %8s\n", "protocol", "p10", "p50", "p90", "p95", "p99")
+	for _, n := range r.Names {
+		d := r.Dists[n]
+		fmt.Fprintf(&b, "%-10s %8.1f %8.1f %8.1f %8.1f %8.1f\n",
+			n, d.Quantile(0.10), d.Quantile(0.50), d.Quantile(0.90),
+			d.Quantile(0.95), d.Quantile(0.99))
+	}
+	return b.String()
+}

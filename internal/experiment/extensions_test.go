@@ -1,0 +1,80 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestForwardingStateShape: the A4 experiment must show the
+// recursive-unicast advantage — fewer routers holding data-plane
+// state than classical IP multicast — at every group size.
+func TestForwardingStateShape(t *testing.T) {
+	f := ForwardingState(4, 2)
+	hbhB := f.SeriesByName("HBH-branch-rtrs")
+	ipm := f.SeriesByName("IP-mcast-rtrs")
+	if hbhB == nil || ipm == nil {
+		t.Fatal("missing series")
+	}
+	for i, x := range hbhB.X {
+		if hbhB.Y[i].Mean() >= ipm.Y[i].Mean() {
+			t.Errorf("n=%d: HBH branching routers %.1f not below IP-multicast routers %.1f",
+				x, hbhB.Y[i].Mean(), ipm.Y[i].Mean())
+		}
+	}
+	// State grows with group size for everyone.
+	for _, s := range f.Series {
+		m := s.Means()
+		if m[len(m)-1] <= m[0] {
+			t.Errorf("series %s did not grow with group size: %v", s.Name, m)
+		}
+	}
+}
+
+// TestControlOverheadShape: overhead grows with group size and HBH
+// pays more than REUNITE (fusion refreshes + join chains).
+func TestControlOverheadShape(t *testing.T) {
+	f := ControlOverhead(3, 2)
+	hbh := f.SeriesByName("HBH")
+	reu := f.SeriesByName("REUNITE")
+	if hbh == nil || reu == nil {
+		t.Fatal("missing series")
+	}
+	if hbh.AvgMean() <= reu.AvgMean() {
+		t.Errorf("HBH overhead %.1f not above REUNITE %.1f (fusion is not free)",
+			hbh.AvgMean(), reu.AvgMean())
+	}
+	for _, s := range f.Series {
+		m := s.Means()
+		if m[len(m)-1] <= m[0] {
+			t.Errorf("series %s overhead did not grow: %v", s.Name, m)
+		}
+		for _, v := range m {
+			if v <= 0 {
+				t.Errorf("series %s has non-positive overhead", s.Name)
+			}
+		}
+	}
+}
+
+// TestLossRobustnessShape: a loss-free baseline is perfectly clean,
+// and moderate loss (<= 10%) keeps delivery intact.
+func TestLossRobustnessShape(t *testing.T) {
+	f := LossRobustness(5, 2)
+	missing := f.SeriesByName("HBH-missing%")
+	copies := f.SeriesByName("HBH-maxcopies")
+	if missing == nil || copies == nil {
+		t.Fatal("missing series")
+	}
+	if m := missing.At(0).Mean(); m != 0 {
+		t.Errorf("missing at 0%% loss = %.2f%%, want 0", m)
+	}
+	if c := copies.At(0).Mean(); c != 1 {
+		t.Errorf("max copies at 0%% loss = %.2f, want 1", c)
+	}
+	if m := missing.At(10).Mean(); m > 10 {
+		t.Errorf("missing at 10%% loss = %.2f%%, soft state should ride this out", m)
+	}
+	if !strings.Contains(f.FormatTable(), "A6") {
+		t.Error("table missing figure ID")
+	}
+}

@@ -1,0 +1,324 @@
+package experiment
+
+import (
+	"fmt"
+	"sync"
+
+	"hbh/internal/metrics"
+)
+
+// DefaultWorkers is the worker count used by sweeps whose SweepConfig
+// leaves Workers at zero. cmd/hbhsim sets it from its -workers flag;
+// the zero default keeps everything serial (and the package fully
+// deterministic either way — see SweepBoth).
+var DefaultWorkers = 1
+
+// Metric selects which measurement a figure plots.
+type Metric string
+
+const (
+	// MetricCost is the tree cost (packet copies), Figure 7.
+	MetricCost Metric = "tree cost (packet copies)"
+	// MetricDelay is the mean receiver delay, Figure 8.
+	MetricDelay Metric = "receiver average delay (time units)"
+)
+
+// Figure is a fully aggregated sweep: one series per protocol over the
+// group sizes of one paper figure.
+type Figure struct {
+	// ID is the paper artefact, e.g. "7a".
+	ID string
+	// Title describes the figure.
+	Title string
+	// XLabel and YLabel name the axes.
+	XLabel, YLabel string
+	// Series holds one curve per protocol, in legend order.
+	Series []*metrics.Series
+	// Runs is the number of runs aggregated per point.
+	Runs int
+	// BadRuns counts runs with missing deliveries (must stay 0; kept
+	// as an honesty check in the output).
+	BadRuns int
+}
+
+// SweepConfig parameterises a figure sweep.
+type SweepConfig struct {
+	Topo      Topo
+	Sizes     []int
+	Protocols []Protocol
+	// Runs per (protocol, size) point; the paper uses 500.
+	Runs int
+	// Seed is the base seed; run i of size s uses a deterministic
+	// function of (Seed, s, i) shared across protocols so every
+	// protocol sees the same 500 cost draws and receiver sets, exactly
+	// like simulating them on the same scenarios.
+	Seed int64
+	// Metric selects cost or delay.
+	Metric Metric
+	// Extra tweaks applied to each RunConfig (may be nil).
+	Tweak func(*RunConfig)
+	// Workers parallelises the independent simulation runs across
+	// goroutines (<=1 means serial). Results are folded in a fixed
+	// order, so the aggregated output is bit-identical to a serial
+	// sweep regardless of scheduling.
+	Workers int
+}
+
+// SweepBoth runs the full grid once and aggregates BOTH metrics (each
+// probe yields cost and delay together, so the paper's cost and delay
+// figures over the same topology share one set of simulations, exactly
+// as they would in NS).
+func SweepBoth(cfg SweepConfig) (cost, delay *Figure) {
+	cost = &Figure{XLabel: "Number of receivers", YLabel: string(MetricCost), Runs: cfg.Runs}
+	delay = &Figure{XLabel: "Number of receivers", YLabel: string(MetricDelay), Runs: cfg.Runs}
+	for _, p := range cfg.Protocols {
+		cost.Series = append(cost.Series, metrics.NewSeries(string(p), cfg.Sizes))
+		delay.Series = append(delay.Series, metrics.NewSeries(string(p), cfg.Sizes))
+	}
+
+	runOne := func(si, run, pi int) RunResult {
+		rc := RunConfig{
+			Topo:      cfg.Topo,
+			Protocol:  cfg.Protocols[pi],
+			Receivers: cfg.Sizes[si],
+			Seed:      cfg.Seed + int64(si)*1_000_003 + int64(run)*7919,
+		}
+		if cfg.Tweak != nil {
+			cfg.Tweak(&rc)
+		}
+		return Run(rc)
+	}
+	fold := func(si int, pi int, res RunResult) {
+		if res.Missing > 0 {
+			cost.BadRuns++
+			delay.BadRuns++
+		}
+		size := cfg.Sizes[si]
+		cost.Series[pi].At(size).Add(float64(res.Cost))
+		delay.Series[pi].At(size).Add(res.MeanDelay)
+	}
+
+	if cfg.Workers == 0 {
+		cfg.Workers = DefaultWorkers
+	}
+	if cfg.Workers <= 1 {
+		for si := range cfg.Sizes {
+			for run := 0; run < cfg.Runs; run++ {
+				for pi := range cfg.Protocols {
+					fold(si, pi, runOne(si, run, pi))
+				}
+			}
+		}
+		return cost, delay
+	}
+
+	// Parallel mode: every (size, run, protocol) triple is an
+	// independent simulation. Results land in a preallocated grid and
+	// are folded afterwards in the same deterministic order as the
+	// serial loop, so Welford aggregation sees an identical sequence.
+	type job struct{ si, run, pi int }
+	nP := len(cfg.Protocols)
+	grid := make([]RunResult, len(cfg.Sizes)*cfg.Runs*nP)
+	idx := func(j job) int { return (j.si*cfg.Runs+j.run)*nP + j.pi }
+
+	jobs := make(chan job)
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				grid[idx(j)] = runOne(j.si, j.run, j.pi)
+			}
+		}()
+	}
+	for si := range cfg.Sizes {
+		for run := 0; run < cfg.Runs; run++ {
+			for pi := range cfg.Protocols {
+				jobs <- job{si, run, pi}
+			}
+		}
+	}
+	close(jobs)
+	wg.Wait()
+
+	for si := range cfg.Sizes {
+		for run := 0; run < cfg.Runs; run++ {
+			for pi := range cfg.Protocols {
+				fold(si, pi, grid[idx(job{si, run, pi})])
+			}
+		}
+	}
+	return cost, delay
+}
+
+// Sweep runs the full grid and aggregates one metric.
+func Sweep(cfg SweepConfig) *Figure {
+	cost, delay := SweepBoth(cfg)
+	switch cfg.Metric {
+	case MetricCost:
+		return cost
+	case MetricDelay:
+		return delay
+	default:
+		panic(fmt.Sprintf("experiment: unknown metric %q", cfg.Metric))
+	}
+}
+
+// PaperFigures runs the shared sweep for one topology and returns the
+// paper's cost figure (7a/7b) and delay figure (8a/8b).
+func PaperFigures(topo Topo, runs int, seed int64) (cost, delay *Figure) {
+	sizes := ISPSizes()
+	costID, delayID := "7a", "8a"
+	costTitle, delayTitle := "Tree cost, ISP topology", "Receiver average delay, ISP topology"
+	if topo == TopoRandom50 {
+		sizes = RandomSizes()
+		costID, delayID = "7b", "8b"
+		costTitle = "Tree cost, 50-node random topology"
+		delayTitle = "Receiver average delay, 50-node random topology"
+	}
+	cost, delay = SweepBoth(SweepConfig{
+		Topo: topo, Sizes: sizes, Protocols: AllPaperProtocols(),
+		Runs: runs, Seed: seed,
+	})
+	cost.ID, cost.Title = costID, costTitle
+	delay.ID, delay.Title = delayID, delayTitle
+	return cost, delay
+}
+
+// ISPSizes are the group sizes of Figures 7(a)/8(a): 2..16 step 2.
+func ISPSizes() []int { return []int{2, 4, 6, 8, 10, 12, 14, 16} }
+
+// RandomSizes are the group sizes of Figures 7(b)/8(b): 5..45 step 5.
+func RandomSizes() []int { return []int{5, 10, 15, 20, 25, 30, 35, 40, 45} }
+
+// Figure7a reproduces Figure 7(a): average tree cost on the ISP
+// topology.
+func Figure7a(runs int, seed int64) *Figure {
+	f := Sweep(SweepConfig{
+		Topo: TopoISP, Sizes: ISPSizes(), Protocols: AllPaperProtocols(),
+		Runs: runs, Seed: seed, Metric: MetricCost,
+	})
+	f.ID, f.Title = "7a", "Tree cost, ISP topology"
+	return f
+}
+
+// Figure7b reproduces Figure 7(b): average tree cost on the 50-node
+// random topology.
+func Figure7b(runs int, seed int64) *Figure {
+	f := Sweep(SweepConfig{
+		Topo: TopoRandom50, Sizes: RandomSizes(), Protocols: AllPaperProtocols(),
+		Runs: runs, Seed: seed, Metric: MetricCost,
+	})
+	f.ID, f.Title = "7b", "Tree cost, 50-node random topology"
+	return f
+}
+
+// Figure8a reproduces Figure 8(a): receiver average delay on the ISP
+// topology.
+func Figure8a(runs int, seed int64) *Figure {
+	f := Sweep(SweepConfig{
+		Topo: TopoISP, Sizes: ISPSizes(), Protocols: AllPaperProtocols(),
+		Runs: runs, Seed: seed, Metric: MetricDelay,
+	})
+	f.ID, f.Title = "8a", "Receiver average delay, ISP topology"
+	return f
+}
+
+// Figure8b reproduces Figure 8(b): receiver average delay on the
+// 50-node random topology.
+func Figure8b(runs int, seed int64) *Figure {
+	f := Sweep(SweepConfig{
+		Topo: TopoRandom50, Sizes: RandomSizes(), Protocols: AllPaperProtocols(),
+		Runs: runs, Seed: seed, Metric: MetricDelay,
+	})
+	f.ID, f.Title = "8b", "Receiver average delay, 50-node random topology"
+	return f
+}
+
+// AblationFusion reproduces experiment A1: HBH with and without the
+// fusion mechanism, isolating the duplicate-copy repair (tree cost,
+// ISP topology).
+func AblationFusion(runs int, seed int64) *Figure {
+	f := Sweep(SweepConfig{
+		Topo: TopoISP, Sizes: ISPSizes(),
+		Protocols: []Protocol{HBH, HBHNoFusion},
+		Runs:      runs, Seed: seed, Metric: MetricCost,
+	})
+	f.ID, f.Title = "A1", "Ablation: fusion repair (tree cost, ISP topology)"
+	return f
+}
+
+// UnicastClouds reproduces experiment A2: tree cost of HBH and REUNITE
+// as the fraction of multicast-capable routers varies (ISP topology,
+// 8 receivers). The x axis is the capability percentage.
+func UnicastClouds(runs int, seed int64) *Figure {
+	fractions := []int{0, 25, 50, 75, 100}
+	fig := &Figure{
+		ID:     "A2",
+		Title:  "Unicast clouds: tree cost vs multicast deployment (ISP, 8 receivers)",
+		XLabel: "Multicast-capable routers (%)",
+		YLabel: string(MetricCost),
+		Runs:   runs,
+	}
+	protos := []Protocol{HBH, REUNITE}
+	for _, p := range protos {
+		fig.Series = append(fig.Series, metrics.NewSeries(string(p), fractions))
+	}
+	for fi, frac := range fractions {
+		for run := 0; run < runs; run++ {
+			s := seed + int64(fi)*1_000_003 + int64(run)*7919
+			for pi, p := range protos {
+				rc := RunConfig{
+					Topo: TopoISP, Protocol: p, Receivers: 8, Seed: s,
+					MulticastFraction: float64(frac) / 100,
+				}
+				if frac == 0 {
+					// fraction 0 must mean "none capable", but the zero
+					// value means "all": use an epsilon below one router.
+					rc.MulticastFraction = 0.001
+				}
+				res := Run(rc)
+				if res.Missing > 0 {
+					fig.BadRuns++
+				}
+				fig.Series[pi].At(frac).Add(float64(res.Cost))
+			}
+		}
+	}
+	return fig
+}
+
+// AsymmetrySweep reproduces experiment A3: the HBH-vs-REUNITE delay
+// gap as routing asymmetry grows. Costs are drawn symmetric in [1,10]
+// and skewed per direction by up to the x-axis spread.
+func AsymmetrySweep(runs int, seed int64) *Figure {
+	spreads := []int{0, 2, 4, 6, 8}
+	fig := &Figure{
+		ID:     "A3",
+		Title:  "Asymmetry sweep: receiver delay vs cost skew (ISP, 8 receivers)",
+		XLabel: "Per-direction cost skew",
+		YLabel: string(MetricDelay),
+		Runs:   runs,
+	}
+	protos := []Protocol{PIMSS, REUNITE, HBH}
+	for _, p := range protos {
+		fig.Series = append(fig.Series, metrics.NewSeries(string(p), spreads))
+	}
+	for si, spread := range spreads {
+		for run := 0; run < runs; run++ {
+			s := seed + int64(si)*1_000_003 + int64(run)*7919
+			for pi, p := range protos {
+				res := Run(RunConfig{
+					Topo: TopoISP, Protocol: p, Receivers: 8, Seed: s,
+					UseAsymSpread: true, AsymSpread: spread,
+				})
+				if res.Missing > 0 {
+					fig.BadRuns++
+				}
+				fig.Series[pi].At(spread).Add(res.MeanDelay)
+			}
+		}
+	}
+	return fig
+}

@@ -1,0 +1,93 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+
+	"hbh/internal/metrics"
+)
+
+// FormatTable renders a figure as an aligned text table, one row per
+// x value and one column per protocol, in the style the paper's plots
+// would tabulate to.
+func (f *Figure) FormatTable() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure %s — %s (%d runs/point", f.ID, f.Title, f.Runs)
+	if f.BadRuns > 0 {
+		fmt.Fprintf(&b, ", %d runs with missing deliveries", f.BadRuns)
+	}
+	b.WriteString(")\n")
+
+	// Column width adapts to the longest series name.
+	width := 14
+	for _, s := range f.Series {
+		if len(s.Name)+2 > width {
+			width = len(s.Name) + 2
+		}
+	}
+
+	fmt.Fprintf(&b, "%-24s", f.XLabel)
+	for _, s := range f.Series {
+		fmt.Fprintf(&b, "%*s", width, s.Name)
+	}
+	b.WriteByte('\n')
+
+	if len(f.Series) == 0 {
+		return b.String()
+	}
+	for i, x := range f.Series[0].X {
+		fmt.Fprintf(&b, "%-24d", x)
+		for _, s := range f.Series {
+			fmt.Fprintf(&b, "%*.2f", width, s.Y[i].Mean())
+		}
+		b.WriteByte('\n')
+	}
+
+	// Per-series averages, the "in average over all group sizes"
+	// summary the paper quotes.
+	fmt.Fprintf(&b, "%-24s", "avg")
+	for _, s := range f.Series {
+		fmt.Fprintf(&b, "%*.2f", width, s.AvgMean())
+	}
+	b.WriteByte('\n')
+	return b.String()
+}
+
+// FormatCSV renders the figure as CSV (x, then one column per series
+// mean, then one per series 95% CI half-width) for external plotting.
+func (f *Figure) FormatCSV() string {
+	var b strings.Builder
+	b.WriteString("x")
+	for _, s := range f.Series {
+		fmt.Fprintf(&b, ",%s", s.Name)
+	}
+	for _, s := range f.Series {
+		fmt.Fprintf(&b, ",%s_ci95", s.Name)
+	}
+	b.WriteByte('\n')
+	if len(f.Series) == 0 {
+		return b.String()
+	}
+	for i, x := range f.Series[0].X {
+		fmt.Fprintf(&b, "%d", x)
+		for _, s := range f.Series {
+			fmt.Fprintf(&b, ",%.4f", s.Y[i].Mean())
+		}
+		for _, s := range f.Series {
+			fmt.Fprintf(&b, ",%.4f", s.Y[i].CI95())
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// SeriesByName returns the series with the given protocol name, or
+// nil.
+func (f *Figure) SeriesByName(name string) *metrics.Series {
+	for _, s := range f.Series {
+		if s.Name == name {
+			return s
+		}
+	}
+	return nil
+}

@@ -1,0 +1,67 @@
+package experiment
+
+import (
+	"fmt"
+	"math/rand"
+
+	"hbh/internal/eventsim"
+	"hbh/internal/metrics"
+	"hbh/internal/unicast"
+)
+
+// ControlOverhead runs the A5 extension experiment: steady-state
+// control-plane traffic of the dynamic protocols as a function of
+// group size, in link transmissions per refresh interval.
+//
+// Soft-state protocols pay for robustness with periodic refreshes:
+// every receiver emits a join per interval (relayed or intercepted
+// hop-by-hop), the source multicasts a tree refresh, and HBH
+// additionally re-announces branching points with fusion messages.
+// This experiment quantifies that price and how it scales with the
+// group — the overhead side of the comparison the paper's §3 describes
+// qualitatively.
+func ControlOverhead(runs int, seed int64) *Figure {
+	sizes := RandomSizes()
+	fig := &Figure{
+		ID:     "A5",
+		Title:  "Control overhead vs group size (50-node random topology)",
+		XLabel: "Number of receivers",
+		YLabel: "control transmissions per refresh interval",
+		Runs:   runs,
+	}
+	protos := []Protocol{REUNITE, HBH}
+	for _, p := range protos {
+		fig.Series = append(fig.Series, metrics.NewSeries(string(p), sizes))
+	}
+
+	const measureIntervals = 10
+	for si, size := range sizes {
+		for run := 0; run < runs; run++ {
+			s := seed + int64(si)*1_000_003 + int64(run)*7919
+			rng := rand.New(rand.NewSource(s))
+			g := BaseGraph(TopoRandom50).Clone()
+			g.RandomizeCosts(rng, 1, 10)
+			routing := unicast.Compute(g)
+			sourceHost := sourceHostOf(g)
+			members := sampleReceivers(g, rng, sourceHost, size)
+
+			for pi, p := range protos {
+				prng := rand.New(rand.NewSource(s))
+				sess := setupDyn(RunConfig{Topo: TopoRandom50, Protocol: p,
+					Receivers: size, Seed: s}, g, routing, sourceHost, members, prng)
+				converge(sess.sim, sess.interval, defaultConvergeIntervals)
+				sess.net.ResetStats()
+				if err := sess.sim.Run(sess.sim.Now() +
+					eventsim.Time(measureIntervals)*sess.interval); err != nil {
+					panic(fmt.Sprintf("experiment: overhead run: %v", err))
+				}
+				st := sess.net.Stats()
+				// No data is sent during the window: every transmission
+				// is control traffic.
+				perInterval := float64(st.Transmissions) / measureIntervals
+				fig.Series[pi].At(size).Add(perInterval)
+			}
+		}
+	}
+	return fig
+}

@@ -1,0 +1,24 @@
+package experiment
+
+import "testing"
+
+// TestParallelSweepIdentical: parallel and serial sweeps must yield
+// bit-identical aggregates (the deterministic-fold guarantee).
+func TestParallelSweepIdentical(t *testing.T) {
+	cfg := SweepConfig{
+		Topo: TopoISP, Sizes: []int{2, 6}, Protocols: []Protocol{HBH, PIMSS},
+		Runs: 4, Seed: 11,
+	}
+	sc, sd := SweepBoth(cfg)
+	cfg.Workers = 3
+	pc, pd := SweepBoth(cfg)
+	if sc.FormatCSV() != pc.FormatCSV() {
+		t.Errorf("cost differs:\nserial:\n%s\nparallel:\n%s", sc.FormatCSV(), pc.FormatCSV())
+	}
+	if sd.FormatCSV() != pd.FormatCSV() {
+		t.Errorf("delay differs:\nserial:\n%s\nparallel:\n%s", sd.FormatCSV(), pd.FormatCSV())
+	}
+	if sc.BadRuns != pc.BadRuns {
+		t.Errorf("bad runs differ: %d vs %d", sc.BadRuns, pc.BadRuns)
+	}
+}

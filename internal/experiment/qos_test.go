@@ -1,0 +1,34 @@
+package experiment
+
+import (
+	"testing"
+)
+
+// TestQoSRoutingShape asserts the A7 experiment's headline: HBH over a
+// widest-path substrate delivers every member at the OPTIMAL
+// bottleneck bandwidth (it builds forward trees on the substrate's
+// paths), while reverse-path PIM-SS and delay-routed HBH fall short.
+func TestQoSRoutingShape(t *testing.T) {
+	f := QoSRouting(8, 3)
+	opt := f.SeriesByName("optimal")
+	hbhW := f.SeriesByName("HBH-widest")
+	pimW := f.SeriesByName("PIM-SS-widest")
+	hbhD := f.SeriesByName("HBH-delay")
+	if opt == nil || hbhW == nil || pimW == nil || hbhD == nil {
+		t.Fatal("missing series")
+	}
+	for i, x := range opt.X {
+		o, hw := opt.Y[i].Mean(), hbhW.Y[i].Mean()
+		if hw < o-1e-9 || hw > o+1e-9 {
+			t.Errorf("n=%d: HBH-widest %.2f != optimal %.2f", x, hw, o)
+		}
+	}
+	if !(pimW.AvgMean() < hbhW.AvgMean()) {
+		t.Errorf("PIM-SS-widest %.2f not below HBH-widest %.2f",
+			pimW.AvgMean(), hbhW.AvgMean())
+	}
+	if !(hbhD.AvgMean() < hbhW.AvgMean()) {
+		t.Errorf("HBH-delay %.2f not below HBH-widest %.2f",
+			hbhD.AvgMean(), hbhW.AvgMean())
+	}
+}

@@ -1,0 +1,453 @@
+// Package experiment is the evaluation harness: it reproduces every
+// figure of the paper's §4 (tree cost and receiver delay for HBH,
+// REUNITE, PIM-SM and PIM-SS over the ISP and 50-node random
+// topologies), the §3/Figure 4 departure-stability comparison, and the
+// ablation/extension studies listed in DESIGN.md.
+//
+// The methodology follows the paper: one multicast channel, the source
+// fixed at node 18's host (router 0), a variable number of receivers
+// drawn uniformly from the potential-receiver hosts, every directed
+// link cost redrawn uniformly from [1,10] per run, and 500 runs
+// averaged per data point.
+package experiment
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"hbh/internal/addr"
+	"hbh/internal/core"
+	"hbh/internal/eventsim"
+	"hbh/internal/mtree"
+	"hbh/internal/netsim"
+	"hbh/internal/pim"
+	"hbh/internal/reunite"
+	"hbh/internal/topology"
+	"hbh/internal/unicast"
+)
+
+// Protocol identifies one protocol under test.
+type Protocol string
+
+// The protocols of the paper's evaluation, plus the fusion ablation.
+const (
+	HBH         Protocol = "HBH"
+	HBHNoFusion Protocol = "HBH-nofusion"
+	REUNITE     Protocol = "REUNITE"
+	PIMSM       Protocol = "PIM-SM"
+	PIMSS       Protocol = "PIM-SS"
+)
+
+// AllPaperProtocols lists the four curves of Figures 7 and 8 in the
+// paper's legend order.
+func AllPaperProtocols() []Protocol {
+	return []Protocol{PIMSM, PIMSS, REUNITE, HBH}
+}
+
+// Topo selects the evaluation topology.
+type Topo string
+
+const (
+	// TopoISP is the 18-router ISP topology of Figure 6.
+	TopoISP Topo = "isp"
+	// TopoRandom50 is the 50-node random topology (connectivity 8.6).
+	TopoRandom50 Topo = "random50"
+	// TopoNSFNET is the classic 14-router NSFNET T1 backbone, an extra
+	// substrate for checking that the paper's orderings are not
+	// topology artefacts.
+	TopoNSFNET Topo = "nsfnet"
+	// TopoAbilene is the 11-router Abilene/Internet2 backbone.
+	TopoAbilene Topo = "abilene"
+)
+
+// randomTopoSeed fixes the 50-node topology's structure: the paper
+// evaluates one random topology with costs redrawn per run, not a new
+// graph per run.
+const randomTopoSeed = 424242
+
+var (
+	baseMu     sync.Mutex
+	baseGraphs = map[Topo]*topology.Graph{}
+)
+
+// BaseGraph returns the shared, cost-uninitialised base topology.
+// Callers must Clone before mutating costs.
+func BaseGraph(t Topo) *topology.Graph {
+	baseMu.Lock()
+	defer baseMu.Unlock()
+	if g, ok := baseGraphs[t]; ok {
+		return g
+	}
+	var g *topology.Graph
+	switch t {
+	case TopoISP:
+		g = topology.ISP()
+	case TopoRandom50:
+		g = topology.Random(topology.Paper50(), rand.New(rand.NewSource(randomTopoSeed)))
+	case TopoNSFNET:
+		g = topology.NSFNET()
+	case TopoAbilene:
+		g = topology.Abilene()
+	default:
+		panic(fmt.Sprintf("experiment: unknown topology %q", t))
+	}
+	baseGraphs[t] = g
+	return g
+}
+
+// RunConfig describes one simulation run.
+type RunConfig struct {
+	// Topo selects the base topology.
+	Topo Topo
+	// Protocol selects the protocol under test.
+	Protocol Protocol
+	// Receivers is the group size (receivers drawn at random among the
+	// potential-receiver hosts, excluding the source's).
+	Receivers int
+	// Seed drives cost assignment, receiver choice and join timing.
+	Seed int64
+	// CostLo/CostHi bound the uniform per-direction link costs;
+	// zero values default to the paper's [1, 10].
+	CostLo, CostHi int
+	// AsymSpread, when >= 0, switches cost assignment to symmetric
+	// base costs skewed per direction by up to AsymSpread (the A3
+	// asymmetry sweep). -1 (default via zero value handling below)
+	// uses the paper's fully independent per-direction draw.
+	AsymSpread int
+	// UseAsymSpread enables AsymSpread (so the zero value of RunConfig
+	// keeps the paper's model).
+	UseAsymSpread bool
+	// MulticastFraction, when in (0,1], limits the fraction of routers
+	// that run the multicast protocol (the A2 unicast-clouds
+	// extension); 0 means all routers are capable, as in the paper's
+	// experiments. Only meaningful for HBH and REUNITE.
+	MulticastFraction float64
+	// ConvergeIntervals overrides the soft-state settling time in
+	// units of the refresh interval (default 40).
+	ConvergeIntervals int
+}
+
+// RunResult is one run's measurement.
+type RunResult struct {
+	// Cost is the tree cost: packet copies over links for one data
+	// packet (Figure 7 metric).
+	Cost int
+	// MeanDelay is the average receiver delay (Figure 8 metric).
+	MeanDelay float64
+	// MaxLinkCopies is the worst per-link duplication (1 = clean).
+	MaxLinkCopies int
+	// Missing counts receivers that did not get the probe; Duplicates
+	// counts surplus deliveries. Both are 0 on a converged tree.
+	Missing, Duplicates int
+}
+
+const defaultConvergeIntervals = 40
+
+// Run executes one simulation run and probes the converged tree.
+func Run(cfg RunConfig) RunResult {
+	if cfg.Receivers < 1 {
+		panic("experiment: need at least one receiver")
+	}
+	lo, hi := cfg.CostLo, cfg.CostHi
+	if lo == 0 && hi == 0 {
+		lo, hi = 1, 10
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	g := BaseGraph(cfg.Topo).Clone()
+	if cfg.UseAsymSpread {
+		g.PerturbCosts(rng, lo, hi, cfg.AsymSpread)
+	} else {
+		g.RandomizeCosts(rng, lo, hi)
+	}
+	routing := unicast.Compute(g)
+
+	sourceHost := sourceHostOf(g)
+	members := sampleReceivers(g, rng, sourceHost, cfg.Receivers)
+
+	switch cfg.Protocol {
+	case PIMSM, PIMSS:
+		return runPIM(cfg, g, routing, sourceHost, members)
+	case HBH, HBHNoFusion:
+		return runHBH(cfg, g, routing, sourceHost, members, rng)
+	case REUNITE:
+		return runREUNITE(cfg, g, routing, sourceHost, members, rng)
+	default:
+		panic(fmt.Sprintf("experiment: unknown protocol %q", cfg.Protocol))
+	}
+}
+
+// sourceHostOf fixes the source: the host attached to router 0 (node
+// 18 in the ISP figure).
+func sourceHostOf(g *topology.Graph) topology.NodeID {
+	for _, h := range g.Hosts() {
+		if g.AttachedRouter(h) == 0 {
+			return h
+		}
+	}
+	panic("experiment: topology has no host on router 0")
+}
+
+// sampleReceivers draws n distinct receiver hosts uniformly, excluding
+// the source host.
+func sampleReceivers(g *topology.Graph, rng *rand.Rand, sourceHost topology.NodeID, n int) []topology.NodeID {
+	var pool []topology.NodeID
+	for _, h := range g.Hosts() {
+		if h != sourceHost {
+			pool = append(pool, h)
+		}
+	}
+	if n > len(pool) {
+		panic(fmt.Sprintf("experiment: %d receivers requested, only %d hosts", n, len(pool)))
+	}
+	rng.Shuffle(len(pool), func(i, j int) { pool[i], pool[j] = pool[j], pool[i] })
+	return pool[:n]
+}
+
+// capableSet selects which routers run the multicast protocol.
+func capableSet(g *topology.Graph, rng *rand.Rand, fraction float64) map[topology.NodeID]bool {
+	routers := g.Routers()
+	capable := make(map[topology.NodeID]bool, len(routers))
+	if fraction <= 0 || fraction >= 1 {
+		for _, r := range routers {
+			capable[r] = true
+		}
+		return capable
+	}
+	idx := rng.Perm(len(routers))
+	n := int(fraction*float64(len(routers)) + 0.5)
+	for _, i := range idx[:n] {
+		capable[routers[i]] = true
+	}
+	return capable
+}
+
+func runPIM(cfg RunConfig, g *topology.Graph, routing *unicast.Routing,
+	sourceHost topology.NodeID, members []topology.NodeID) RunResult {
+	sim := eventsim.New()
+	net := netsim.New(sim, g, routing)
+	mode := pim.SS
+	if cfg.Protocol == PIMSM {
+		mode = pim.SM
+	}
+	sess := pim.Build(net, mode, sourceHost, addr.GroupAddr(0), members, topology.None)
+	ms := make([]mtree.Member, 0, len(members))
+	for _, m := range members {
+		ms = append(ms, sess.Member(m))
+	}
+	res := mtree.Probe(net, func() uint32 { return sess.SendData(nil) }, ms)
+	return toRunResult(res)
+}
+
+// dynSession is a live protocol session over a dynamic (join/leave)
+// recursive-unicast protocol, used by both the figure sweeps and the
+// departure-stability experiment.
+type dynSession struct {
+	sim       *eventsim.Sim
+	net       *netsim.Network
+	members   []mtree.Member
+	hosts     []topology.NodeID
+	leave     func(i int)
+	send      func() uint32
+	interval  eventsim.Time
+	settleOut eventsim.Time // time for soft state to dissolve after a leave
+	// state reports the current forwarding-state footprint across all
+	// routers, for the A4 state-size experiment.
+	state func() stateFootprint
+	// changes counts forwarding-state mutations (entries added/removed/
+	// marked, branching transitions) across all routers and the source
+	// — the Figure 4 stability metric.
+	changes *int
+}
+
+// stateFootprint is a snapshot of a protocol's table usage.
+type stateFootprint struct {
+	// MFTRouters counts routers holding a data-plane table (branching
+	// nodes). The recursive-unicast pitch is that this is much smaller
+	// than the tree's router count.
+	MFTRouters int
+	// MFTEntries is the total number of data-plane rows across all
+	// routers and the source.
+	MFTEntries int
+	// MCTRouters counts routers holding only control-plane state.
+	MCTRouters int
+}
+
+// Probe injects one data packet and measures the converged tree.
+func (s *dynSession) Probe() *mtree.Result {
+	return mtree.Probe(s.net, s.send, s.members)
+}
+
+// ProbeSettled probes, and if any member misses the packet (the probe
+// landed in a transient soft-state window — REUNITE in particular
+// keeps reconfiguring under asymmetric routing), lets the protocol run
+// a few more refresh intervals and retries, up to three times. The
+// final probe is reported either way, so sustained starvation still
+// shows up as Missing.
+func (s *dynSession) ProbeSettled() *mtree.Result {
+	res := s.Probe()
+	for attempt := 0; attempt < 3 && len(res.Missing) > 0; attempt++ {
+		converge(s.sim, s.interval, 8)
+		res = s.Probe()
+	}
+	return res
+}
+
+// MembersWithout returns the member views excluding index i.
+func (s *dynSession) MembersWithout(i int) []mtree.Member {
+	out := make([]mtree.Member, 0, len(s.members)-1)
+	for j, m := range s.members {
+		if j != i {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+func setupHBH(cfg RunConfig, g *topology.Graph, routing *unicast.Routing,
+	sourceHost topology.NodeID, members []topology.NodeID, rng *rand.Rand) *dynSession {
+	sim := eventsim.New()
+	net := netsim.New(sim, g, routing)
+	pcfg := core.DefaultConfig()
+	if cfg.Protocol == HBHNoFusion {
+		pcfg.EnableFusion = false
+	}
+	capable := capableSet(g, rng, cfg.MulticastFraction)
+	var routers []*core.Router
+	for _, r := range g.Routers() {
+		if capable[r] {
+			routers = append(routers, core.AttachRouter(net.Node(r), pcfg))
+		}
+	}
+	src := core.AttachSource(net.Node(sourceHost), addr.GroupAddr(0), pcfg)
+	s := &dynSession{
+		sim: sim, net: net, hosts: members,
+		interval:  pcfg.TreeInterval,
+		settleOut: 3 * (pcfg.T1 + pcfg.T2),
+		send:      func() uint32 { return src.SendData(nil) },
+		state: func() stateFootprint {
+			fp := stateFootprint{MFTEntries: src.MFT().Len()}
+			for _, r := range routers {
+				if t := r.MFTFor(src.Channel()); t != nil {
+					fp.MFTRouters++
+					fp.MFTEntries += t.Len()
+				}
+				if c := r.MCTFor(src.Channel()); c != nil {
+					fp.MCTRouters++
+				}
+			}
+			return fp
+		},
+	}
+	s.changes = new(int)
+	for _, r := range routers {
+		r.SetObserver(func(addr.Addr, addr.Channel, core.ChangeKind, addr.Addr) { *s.changes++ })
+	}
+	src.SetObserver(func(addr.Addr, addr.Channel, core.ChangeKind, addr.Addr) { *s.changes++ })
+	var rcvs []*core.Receiver
+	for _, m := range members {
+		rcv := core.AttachReceiver(net.Node(m), src.Channel(), pcfg)
+		at := eventsim.Time(rng.Float64()) * pcfg.JoinInterval
+		sim.At(at, rcv.Join)
+		s.members = append(s.members, rcv)
+		rcvs = append(rcvs, rcv)
+	}
+	s.leave = func(i int) { rcvs[i].Leave() }
+	return s
+}
+
+func setupREUNITE(cfg RunConfig, g *topology.Graph, routing *unicast.Routing,
+	sourceHost topology.NodeID, members []topology.NodeID, rng *rand.Rand) *dynSession {
+	sim := eventsim.New()
+	net := netsim.New(sim, g, routing)
+	pcfg := reunite.DefaultConfig()
+	capable := capableSet(g, rng, cfg.MulticastFraction)
+	var routers []*reunite.Router
+	for _, r := range g.Routers() {
+		if capable[r] {
+			routers = append(routers, reunite.AttachRouter(net.Node(r), pcfg))
+		}
+	}
+	src := reunite.AttachSource(net.Node(sourceHost), addr.GroupAddr(0), pcfg)
+	s := &dynSession{
+		sim: sim, net: net, hosts: members,
+		interval:  pcfg.TreeInterval,
+		settleOut: 3 * (pcfg.T1 + pcfg.T2),
+		send:      func() uint32 { return src.SendData(nil) },
+		state: func() stateFootprint {
+			fp := stateFootprint{MFTEntries: src.MFT().Len()}
+			for _, r := range routers {
+				if t := r.MFTFor(src.Channel()); t != nil {
+					fp.MFTRouters++
+					fp.MFTEntries += t.Len()
+				}
+				if c := r.MCTFor(src.Channel()); c != nil {
+					fp.MCTRouters++
+				}
+			}
+			return fp
+		},
+	}
+	s.changes = new(int)
+	for _, r := range routers {
+		r.SetObserver(func(addr.Addr, addr.Channel, reunite.ChangeKind, addr.Addr) { *s.changes++ })
+	}
+	src.SetObserver(func(addr.Addr, addr.Channel, reunite.ChangeKind, addr.Addr) { *s.changes++ })
+	var rcvs []*reunite.Receiver
+	for _, m := range members {
+		rcv := reunite.AttachReceiver(net.Node(m), src.Channel(), pcfg)
+		at := eventsim.Time(rng.Float64()) * pcfg.JoinInterval
+		sim.At(at, rcv.Join)
+		s.members = append(s.members, rcv)
+		rcvs = append(rcvs, rcv)
+	}
+	s.leave = func(i int) { rcvs[i].Leave() }
+	return s
+}
+
+// setupDyn builds the session for a dynamic protocol.
+func setupDyn(cfg RunConfig, g *topology.Graph, routing *unicast.Routing,
+	sourceHost topology.NodeID, members []topology.NodeID, rng *rand.Rand) *dynSession {
+	switch cfg.Protocol {
+	case HBH, HBHNoFusion:
+		return setupHBH(cfg, g, routing, sourceHost, members, rng)
+	case REUNITE:
+		return setupREUNITE(cfg, g, routing, sourceHost, members, rng)
+	default:
+		panic(fmt.Sprintf("experiment: %q is not a dynamic protocol", cfg.Protocol))
+	}
+}
+
+func runHBH(cfg RunConfig, g *topology.Graph, routing *unicast.Routing,
+	sourceHost topology.NodeID, members []topology.NodeID, rng *rand.Rand) RunResult {
+	s := setupHBH(cfg, g, routing, sourceHost, members, rng)
+	converge(s.sim, s.interval, cfg.ConvergeIntervals)
+	return toRunResult(s.ProbeSettled())
+}
+
+func runREUNITE(cfg RunConfig, g *topology.Graph, routing *unicast.Routing,
+	sourceHost topology.NodeID, members []topology.NodeID, rng *rand.Rand) RunResult {
+	s := setupREUNITE(cfg, g, routing, sourceHost, members, rng)
+	converge(s.sim, s.interval, cfg.ConvergeIntervals)
+	return toRunResult(s.ProbeSettled())
+}
+
+func converge(sim *eventsim.Sim, interval eventsim.Time, intervals int) {
+	if intervals <= 0 {
+		intervals = defaultConvergeIntervals
+	}
+	if err := sim.Run(sim.Now() + eventsim.Time(intervals)*interval); err != nil {
+		panic(fmt.Sprintf("experiment: converge: %v", err))
+	}
+}
+
+func toRunResult(res *mtree.Result) RunResult {
+	return RunResult{
+		Cost:          res.Cost,
+		MeanDelay:     res.MeanDelay(),
+		MaxLinkCopies: res.MaxLinkCopies(),
+		Missing:       len(res.Missing),
+		Duplicates:    res.Duplicates,
+	}
+}

@@ -1,0 +1,141 @@
+package experiment
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"hbh/internal/metrics"
+	"hbh/internal/mtree"
+	"hbh/internal/unicast"
+)
+
+// StabilityConfig parameterises the §3/Figure 4 departure experiment:
+// converge a group, make one member leave, and measure how much the
+// remaining members' service is perturbed.
+type StabilityConfig struct {
+	Topo      Topo
+	Receivers int
+	Runs      int
+	Seed      int64
+}
+
+// StabilityRow aggregates one protocol's stability measurements.
+type StabilityRow struct {
+	Protocol Protocol
+	// RouteChanged counts remaining members whose delivery delay
+	// changed after the departure (per run). The paper's claim: HBH
+	// keeps remaining members' routes intact ("This is avoided in
+	// HBH"); REUNITE's reconfiguration can re-route them (Figure 2).
+	RouteChanged *metrics.Accumulator
+	// StateChanges counts forwarding-state mutations (table entries
+	// added/removed/marked, branching transitions) triggered by the
+	// departure — the quantity Figure 4 depicts.
+	StateChanges *metrics.Accumulator
+	// DelayBefore and DelayAfter are the mean receiver delays around
+	// the departure.
+	DelayBefore, DelayAfter *metrics.Accumulator
+	// Disrupted counts remaining members that missed the post-departure
+	// probe entirely (delivery loss, should be 0).
+	Disrupted *metrics.Accumulator
+}
+
+// StabilityResult is the full comparison.
+type StabilityResult struct {
+	Cfg  StabilityConfig
+	Rows []*StabilityRow
+}
+
+// StabilityExperiment runs the departure comparison for HBH and
+// REUNITE.
+func StabilityExperiment(cfg StabilityConfig) *StabilityResult {
+	if cfg.Receivers < 2 {
+		panic("experiment: stability needs at least 2 receivers")
+	}
+	res := &StabilityResult{Cfg: cfg}
+	for _, p := range []Protocol{REUNITE, HBH} {
+		row := &StabilityRow{
+			Protocol:     p,
+			RouteChanged: &metrics.Accumulator{},
+			StateChanges: &metrics.Accumulator{},
+			DelayBefore:  &metrics.Accumulator{},
+			DelayAfter:   &metrics.Accumulator{},
+			Disrupted:    &metrics.Accumulator{},
+		}
+		for run := 0; run < cfg.Runs; run++ {
+			seed := cfg.Seed + int64(run)*7919
+			stabilityRun(cfg, p, seed, row)
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res
+}
+
+func stabilityRun(cfg StabilityConfig, p Protocol, seed int64, row *StabilityRow) {
+	rng := rand.New(rand.NewSource(seed))
+	g := BaseGraph(cfg.Topo).Clone()
+	g.RandomizeCosts(rng, 1, 10)
+	routing := unicast.Compute(g)
+	sourceHost := sourceHostOf(g)
+	members := sampleReceivers(g, rng, sourceHost, cfg.Receivers)
+
+	rc := RunConfig{Topo: cfg.Topo, Protocol: p, Receivers: cfg.Receivers, Seed: seed}
+	s := setupDyn(rc, g, routing, sourceHost, members, rng)
+	converge(s.sim, s.interval, defaultConvergeIntervals)
+
+	before := s.Probe()
+	leaver := rng.Intn(len(s.members))
+	remaining := s.MembersWithout(leaver)
+
+	changesBefore := *s.changes
+	s.leave(leaver)
+	if err := s.sim.Run(s.sim.Now() + s.settleOut); err != nil {
+		panic(fmt.Sprintf("experiment: stability settle: %v", err))
+	}
+	row.StateChanges.Add(float64(*s.changes - changesBefore))
+	after := mtree.Probe(s.net, s.send, remaining)
+
+	changed, disrupted := 0, 0
+	var sumBefore, sumAfter float64
+	counted := 0
+	for _, m := range remaining {
+		db, okB := before.Delays[m.Addr()]
+		da, okA := after.Delays[m.Addr()]
+		if !okA {
+			disrupted++
+			continue
+		}
+		if !okB {
+			// Not served before the departure either (probe landed in
+			// a transient window): no basis for a route comparison.
+			continue
+		}
+		if db != da {
+			changed++
+		}
+		sumBefore += float64(db)
+		sumAfter += float64(da)
+		counted++
+	}
+	if counted > 0 {
+		row.DelayBefore.Add(sumBefore / float64(counted))
+		row.DelayAfter.Add(sumAfter / float64(counted))
+	}
+	row.RouteChanged.Add(float64(changed))
+	row.Disrupted.Add(float64(disrupted))
+}
+
+// FormatTable renders the stability comparison.
+func (r *StabilityResult) FormatTable() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Departure stability (Fig. 4 scenario): %s topology, %d receivers, %d runs\n",
+		r.Cfg.Topo, r.Cfg.Receivers, r.Cfg.Runs)
+	fmt.Fprintf(&b, "%-10s %16s %15s %14s %14s %12s\n",
+		"protocol", "route changes", "state changes", "delay before", "delay after", "disrupted")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-10s %16.3f %15.2f %14.2f %14.2f %12.3f\n",
+			row.Protocol, row.RouteChanged.Mean(), row.StateChanges.Mean(),
+			row.DelayBefore.Mean(), row.DelayAfter.Mean(), row.Disrupted.Mean())
+	}
+	return b.String()
+}

@@ -1,0 +1,87 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Distribution collects individual samples for quantile reporting —
+// the tail view that a mean hides. Samples are kept exactly up to a
+// cap; beyond it, deterministic decimation keeps every k-th sample so
+// the collector stays bounded without an RNG (determinism is a
+// repository-wide invariant).
+type Distribution struct {
+	vals   []float64
+	cap    int
+	stride int // keep every stride-th sample once decimating
+	skip   int
+	n      int
+}
+
+// NewDistribution returns a collector bounded to roughly cap samples.
+func NewDistribution(cap int) *Distribution {
+	if cap < 10 {
+		panic("metrics: distribution cap too small")
+	}
+	return &Distribution{cap: cap, stride: 1}
+}
+
+// Add folds one sample in.
+func (d *Distribution) Add(x float64) {
+	d.n++
+	if d.skip > 0 {
+		d.skip--
+		return
+	}
+	d.skip = d.stride - 1
+	d.vals = append(d.vals, x)
+	if len(d.vals) >= d.cap {
+		// Decimate: drop every other retained sample, double the
+		// stride. Quantiles stay representative for smooth tails.
+		half := d.vals[:0]
+		for i := 0; i < len(d.vals); i += 2 {
+			half = append(half, d.vals[i])
+		}
+		d.vals = half
+		d.stride *= 2
+	}
+}
+
+// N returns the number of samples observed (not retained).
+func (d *Distribution) N() int { return d.n }
+
+// Quantile returns the q-quantile (0 <= q <= 1) of the retained
+// samples using linear interpolation. Returns NaN with no samples.
+func (d *Distribution) Quantile(q float64) float64 {
+	if len(d.vals) == 0 {
+		return math.NaN()
+	}
+	if q < 0 || q > 1 {
+		panic(fmt.Sprintf("metrics: quantile %v out of [0,1]", q))
+	}
+	sorted := append([]float64(nil), d.vals...)
+	sort.Float64s(sorted)
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(pos)
+	if lo == len(sorted)-1 {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}
+
+// Mean returns the mean of the retained samples (NaN when empty).
+func (d *Distribution) Mean() float64 {
+	if len(d.vals) == 0 {
+		return math.NaN()
+	}
+	var sum float64
+	for _, v := range d.vals {
+		sum += v
+	}
+	return sum / float64(len(d.vals))
+}

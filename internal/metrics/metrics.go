@@ -1,0 +1,158 @@
+// Package metrics provides the aggregation used by the experiment
+// harness: streaming mean/variance (Welford) plus confidence
+// intervals, so 500-run batches can be summarised without storing the
+// samples.
+package metrics
+
+import (
+	"fmt"
+	"math"
+)
+
+// Accumulator is a streaming mean/variance aggregator. The zero value
+// is ready to use.
+type Accumulator struct {
+	n    int
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Add folds one sample in.
+func (a *Accumulator) Add(x float64) {
+	a.n++
+	if a.n == 1 {
+		a.min, a.max = x, x
+	} else {
+		if x < a.min {
+			a.min = x
+		}
+		if x > a.max {
+			a.max = x
+		}
+	}
+	d := x - a.mean
+	a.mean += d / float64(a.n)
+	a.m2 += d * (x - a.mean)
+}
+
+// N returns the sample count.
+func (a *Accumulator) N() int { return a.n }
+
+// Mean returns the sample mean (0 with no samples).
+func (a *Accumulator) Mean() float64 { return a.mean }
+
+// Min returns the smallest sample (0 with no samples).
+func (a *Accumulator) Min() float64 { return a.min }
+
+// Max returns the largest sample (0 with no samples).
+func (a *Accumulator) Max() float64 { return a.max }
+
+// Variance returns the unbiased sample variance (0 with <2 samples).
+func (a *Accumulator) Variance() float64 {
+	if a.n < 2 {
+		return 0
+	}
+	return a.m2 / float64(a.n-1)
+}
+
+// Std returns the sample standard deviation.
+func (a *Accumulator) Std() float64 { return math.Sqrt(a.Variance()) }
+
+// StdErr returns the standard error of the mean.
+func (a *Accumulator) StdErr() float64 {
+	if a.n == 0 {
+		return 0
+	}
+	return a.Std() / math.Sqrt(float64(a.n))
+}
+
+// CI95 returns the half-width of the normal-approximation 95%
+// confidence interval of the mean. With the paper's 500 runs per
+// point the normal approximation is exact enough.
+func (a *Accumulator) CI95() float64 { return 1.96 * a.StdErr() }
+
+// String renders "mean ± ci95 (n=..)".
+func (a *Accumulator) String() string {
+	return fmt.Sprintf("%.3f ± %.3f (n=%d)", a.Mean(), a.CI95(), a.n)
+}
+
+// Series is one plotted curve: y-aggregates indexed by x.
+type Series struct {
+	// Name is the legend label, e.g. "HBH".
+	Name string
+	// X holds the x-axis values in plot order.
+	X []int
+	// Y holds one aggregate per x value.
+	Y []*Accumulator
+}
+
+// NewSeries allocates a series over the given x values.
+func NewSeries(name string, xs []int) *Series {
+	s := &Series{Name: name, X: append([]int(nil), xs...)}
+	s.Y = make([]*Accumulator, len(xs))
+	for i := range s.Y {
+		s.Y[i] = &Accumulator{}
+	}
+	return s
+}
+
+// At returns the accumulator for x. Panics on unknown x: that is
+// always a harness bug.
+func (s *Series) At(x int) *Accumulator {
+	for i, v := range s.X {
+		if v == x {
+			return s.Y[i]
+		}
+	}
+	panic(fmt.Sprintf("metrics: series %q has no x=%d", s.Name, x))
+}
+
+// Means returns the per-x means in plot order.
+func (s *Series) Means() []float64 {
+	out := make([]float64, len(s.Y))
+	for i, a := range s.Y {
+		out[i] = a.Mean()
+	}
+	return out
+}
+
+// AvgMean returns the average of the per-x means, the "in average over
+// all group sizes" figure the paper quotes for protocol gaps.
+func (s *Series) AvgMean() float64 {
+	if len(s.Y) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, a := range s.Y {
+		sum += a.Mean()
+	}
+	return sum / float64(len(s.Y))
+}
+
+// RelativeGap returns the mean relative advantage of s over other,
+// averaged across x: mean((other - s) / other). Positive means s is
+// lower/better. Both series must share the same x values.
+func (s *Series) RelativeGap(other *Series) float64 {
+	if len(s.X) != len(other.X) {
+		panic("metrics: RelativeGap over mismatched series")
+	}
+	var sum float64
+	var n int
+	for i := range s.X {
+		if s.X[i] != other.X[i] {
+			panic("metrics: RelativeGap over mismatched x values")
+		}
+		o := other.Y[i].Mean()
+		if o == 0 {
+			continue
+		}
+		sum += (o - s.Y[i].Mean()) / o
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}

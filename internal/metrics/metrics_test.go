@@ -1,0 +1,125 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestAccumulatorBasics(t *testing.T) {
+	var a Accumulator
+	if a.N() != 0 || a.Mean() != 0 || a.Std() != 0 || a.StdErr() != 0 {
+		t.Error("zero accumulator not zeroed")
+	}
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		a.Add(x)
+	}
+	if a.N() != 8 {
+		t.Errorf("N = %d", a.N())
+	}
+	if got := a.Mean(); math.Abs(got-5) > 1e-12 {
+		t.Errorf("Mean = %v, want 5", got)
+	}
+	// Known dataset: population variance 4, sample variance 32/7.
+	if got := a.Variance(); math.Abs(got-32.0/7) > 1e-12 {
+		t.Errorf("Variance = %v, want %v", got, 32.0/7)
+	}
+	if a.Min() != 2 || a.Max() != 9 {
+		t.Errorf("Min/Max = %v/%v", a.Min(), a.Max())
+	}
+}
+
+func TestAccumulatorSingleSample(t *testing.T) {
+	var a Accumulator
+	a.Add(3.5)
+	if a.Mean() != 3.5 || a.Variance() != 0 || a.Min() != 3.5 || a.Max() != 3.5 {
+		t.Errorf("single sample: %+v", a)
+	}
+}
+
+// TestQuickWelfordMatchesNaive: the streaming computation agrees with
+// the two-pass formula on random data.
+func TestQuickWelfordMatchesNaive(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := 2 + int(nRaw)%200
+		rng := rand.New(rand.NewSource(seed))
+		xs := make([]float64, n)
+		var a Accumulator
+		for i := range xs {
+			xs[i] = rng.Float64()*1000 - 500
+			a.Add(xs[i])
+		}
+		var sum float64
+		for _, x := range xs {
+			sum += x
+		}
+		mean := sum / float64(n)
+		var ss float64
+		for _, x := range xs {
+			ss += (x - mean) * (x - mean)
+		}
+		variance := ss / float64(n-1)
+		return math.Abs(a.Mean()-mean) < 1e-9*(1+math.Abs(mean)) &&
+			math.Abs(a.Variance()-variance) < 1e-6*(1+variance)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCI95Shrinks(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var small, large Accumulator
+	for i := 0; i < 10; i++ {
+		small.Add(rng.NormFloat64())
+	}
+	for i := 0; i < 1000; i++ {
+		large.Add(rng.NormFloat64())
+	}
+	if large.CI95() >= small.CI95() {
+		t.Errorf("CI95 did not shrink: %v -> %v", small.CI95(), large.CI95())
+	}
+}
+
+func TestSeries(t *testing.T) {
+	s := NewSeries("HBH", []int{2, 4, 6})
+	s.At(2).Add(10)
+	s.At(2).Add(20)
+	s.At(4).Add(30)
+	s.At(6).Add(50)
+	means := s.Means()
+	if means[0] != 15 || means[1] != 30 || means[2] != 50 {
+		t.Errorf("Means = %v", means)
+	}
+	if got := s.AvgMean(); math.Abs(got-(15+30+50)/3.0) > 1e-12 {
+		t.Errorf("AvgMean = %v", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("At(unknown x) did not panic")
+		}
+	}()
+	s.At(99)
+}
+
+func TestRelativeGap(t *testing.T) {
+	a := NewSeries("HBH", []int{1, 2})
+	b := NewSeries("REUNITE", []int{1, 2})
+	a.At(1).Add(90)
+	b.At(1).Add(100)
+	a.At(2).Add(50)
+	b.At(2).Add(100)
+	// Gaps: 10% and 50% -> mean 30%.
+	if got := a.RelativeGap(b); math.Abs(got-0.3) > 1e-12 {
+		t.Errorf("RelativeGap = %v, want 0.3", got)
+	}
+	// Mismatched series panic.
+	c := NewSeries("X", []int{1})
+	defer func() {
+		if recover() == nil {
+			t.Error("mismatched RelativeGap did not panic")
+		}
+	}()
+	a.RelativeGap(c)
+}

@@ -1,0 +1,38 @@
+package mtree
+
+import (
+	"strings"
+	"testing"
+
+	"hbh/internal/addr"
+	"hbh/internal/eventsim"
+	"hbh/internal/netsim"
+	"hbh/internal/topology"
+	"hbh/internal/unicast"
+)
+
+func TestResultDOT(t *testing.T) {
+	g := topology.Line(3, true)
+	sim := eventsim.New()
+	net := netsim.New(sim, g, unicast.Compute(g))
+	srcHost := g.Hosts()[0]
+	m1 := newLiveMember(net, g.Hosts()[1])
+	m2 := newLiveMember(net, g.Hosts()[2])
+	send := starSender(net, srcHost, []addr.Addr{m1.Addr(), m2.Addr()})
+	res := Probe(net, send, []Member{m1, m2})
+
+	out := res.DOT(g)
+	for _, want := range []string{
+		"digraph tree {",
+		`"R0" -> "R1"`,
+		"color=red", // the shared star prefix carries 2 copies
+		"}",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT missing %q:\n%s", want, out)
+		}
+	}
+	if res.DOT(g) != out {
+		t.Error("DOT not deterministic")
+	}
+}

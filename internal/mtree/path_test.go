@@ -1,0 +1,72 @@
+package mtree
+
+import (
+	"testing"
+
+	"hbh/internal/addr"
+	"hbh/internal/eventsim"
+	"hbh/internal/netsim"
+	"hbh/internal/topology"
+	"hbh/internal/unicast"
+)
+
+func TestPathToReconstruction(t *testing.T) {
+	g := topology.Line(4, true)
+	sim := eventsim.New()
+	net := netsim.New(sim, g, unicast.Compute(g))
+	srcHost := g.Hosts()[0]
+	m1 := newLiveMember(net, g.Hosts()[2])
+	m2 := newLiveMember(net, g.Hosts()[3])
+	send := starSender(net, srcHost, []addr.Addr{m1.Addr(), m2.Addr()})
+	res := Probe(net, send, []Member{m1, m2})
+
+	p := res.PathTo(g, srcHost, g.Hosts()[2])
+	if p == nil {
+		t.Fatal("no path to member")
+	}
+	// host(src) -> R0 -> R1 -> R2 -> host2.
+	if len(p) != 4 {
+		t.Fatalf("path = %v, want 4 links", p)
+	}
+	if p[0].From != srcHost || p[len(p)-1].To != g.Hosts()[2] {
+		t.Errorf("path endpoints wrong: %v", p)
+	}
+	// Consecutive links chain.
+	for i := 0; i+1 < len(p); i++ {
+		if p[i].To != p[i+1].From {
+			t.Fatalf("path not a chain at %d: %v", i, p)
+		}
+	}
+
+	// A node the probe never reached has no path.
+	if q := res.PathTo(g, srcHost, g.Hosts()[1]); q != nil {
+		t.Errorf("path to non-member = %v, want nil", q)
+	}
+	// Path to the source itself is empty but non-nil semantics: the
+	// BFS finds srcHost trivially, yielding a zero-length path.
+	if q := res.PathTo(g, srcHost, srcHost); len(q) != 0 {
+		t.Errorf("path to self = %v, want empty", q)
+	}
+}
+
+func TestMaxLinkCopiesAndString(t *testing.T) {
+	r := &Result{
+		LinkCopies: map[Link]int{
+			{From: 0, To: 1}: 1,
+			{From: 1, To: 2}: 3,
+		},
+		Delays: map[addr.Addr]eventsim.Time{1: 5},
+	}
+	if r.MaxLinkCopies() != 3 {
+		t.Errorf("MaxLinkCopies = %d", r.MaxLinkCopies())
+	}
+	if (&Result{}).MaxLinkCopies() != 0 {
+		t.Error("empty MaxLinkCopies != 0")
+	}
+	if (&Result{}).MeanDelay() != 0 {
+		t.Error("empty MeanDelay != 0")
+	}
+	if s := r.String(); s == "" {
+		t.Error("empty String")
+	}
+}

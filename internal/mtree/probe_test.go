@@ -1,0 +1,173 @@
+package mtree
+
+import (
+	"strings"
+	"testing"
+
+	"hbh/internal/addr"
+	"hbh/internal/eventsim"
+	"hbh/internal/netsim"
+	"hbh/internal/packet"
+	"hbh/internal/topology"
+	"hbh/internal/unicast"
+)
+
+// fakeMember is a scripted Member for prober tests.
+type fakeMember struct {
+	addr  addr.Addr
+	at    eventsim.Time
+	ok    bool
+	count int
+}
+
+func (m *fakeMember) Addr() addr.Addr { return m.addr }
+func (m *fakeMember) DeliveryAt(seq uint32) (eventsim.Time, bool) {
+	return m.at, m.ok
+}
+func (m *fakeMember) DeliveryCount(seq uint32) int { return m.count }
+
+// starSender installs a source that unicasts one copy per member from
+// the given host, mimicking a trivial recursive-unicast protocol.
+func starSender(net *netsim.Network, from topology.NodeID, dsts []addr.Addr) func() uint32 {
+	seq := uint32(0)
+	ch := addr.Channel{S: net.Topology().Node(from).Addr, G: addr.GroupAddr(0)}
+	return func() uint32 {
+		s := seq
+		seq++
+		for _, d := range dsts {
+			net.Node(from).SendUnicast(&packet.Data{
+				Header: packet.Header{
+					Type: packet.TypeData, Channel: ch,
+					Src: ch.S, Dst: d,
+				},
+				Seq: s,
+			})
+		}
+		return s
+	}
+}
+
+// liveMember records deliveries on a host node.
+type liveMember struct {
+	node *netsim.Node
+	sim  *eventsim.Sim
+	got  map[uint32][]eventsim.Time
+}
+
+func newLiveMember(net *netsim.Network, host topology.NodeID) *liveMember {
+	m := &liveMember{node: net.Node(host), sim: net.Sim(), got: map[uint32][]eventsim.Time{}}
+	m.node.SetDeliver(func(n *netsim.Node, msg packet.Message) {
+		if d, ok := msg.(*packet.Data); ok {
+			m.got[d.Seq] = append(m.got[d.Seq], m.sim.Now())
+		}
+	})
+	return m
+}
+
+func (m *liveMember) Addr() addr.Addr { return m.node.Addr() }
+func (m *liveMember) DeliveryAt(seq uint32) (eventsim.Time, bool) {
+	ts := m.got[seq]
+	if len(ts) == 0 {
+		return 0, false
+	}
+	return ts[0], true
+}
+func (m *liveMember) DeliveryCount(seq uint32) int { return len(m.got[seq]) }
+
+func TestProbeStar(t *testing.T) {
+	g := topology.Line(4, true)
+	sim := eventsim.New()
+	net := netsim.New(sim, g, unicast.Compute(g))
+
+	srcHost := g.Hosts()[0]
+	m1 := newLiveMember(net, g.Hosts()[2])
+	m2 := newLiveMember(net, g.Hosts()[3])
+	send := starSender(net, srcHost, []addr.Addr{m1.Addr(), m2.Addr()})
+
+	res := Probe(net, send, []Member{m1, m2})
+	if !res.Complete() {
+		t.Fatalf("incomplete: %v", res)
+	}
+	// Star copies share the chain: host->R0 carries 2 copies, and the
+	// first chain links too.
+	if res.MaxLinkCopies() != 2 {
+		t.Errorf("max copies = %d, want 2\n%s", res.MaxLinkCopies(), res.FormatTree(g))
+	}
+	// Copy to host2: 4 links (h->R0,R0->R1,R1->R2,R2->h2); to host3: 5.
+	if res.Cost != 9 {
+		t.Errorf("cost = %d, want 9\n%s", res.Cost, res.FormatTree(g))
+	}
+	d1 := res.Delays[m1.Addr()]
+	d2 := res.Delays[m2.Addr()]
+	if d1 != 4 || d2 != 5 {
+		t.Errorf("delays = %v/%v, want 4/5", d1, d2)
+	}
+	if res.MeanDelay() != 4.5 {
+		t.Errorf("mean delay = %v, want 4.5", res.MeanDelay())
+	}
+}
+
+func TestProbeCountsOnlyItsSequence(t *testing.T) {
+	// Background traffic with a different sequence number must not
+	// pollute the probe's link accounting.
+	g := topology.Line(3, true)
+	sim := eventsim.New()
+	net := netsim.New(sim, g, unicast.Compute(g))
+	srcHost := g.Hosts()[0]
+	m := newLiveMember(net, g.Hosts()[2])
+	send := starSender(net, srcHost, []addr.Addr{m.Addr()})
+
+	// First probe consumes seq 0.
+	res0 := Probe(net, send, []Member{m})
+	// Second probe gets seq 1; its accounting must not include seq 0.
+	res1 := Probe(net, send, []Member{m})
+	if res0.Seq == res1.Seq {
+		t.Fatal("sequence did not advance")
+	}
+	if res0.Cost != res1.Cost {
+		t.Errorf("costs differ across identical probes: %d vs %d", res0.Cost, res1.Cost)
+	}
+}
+
+func TestProbeMissingAndDuplicates(t *testing.T) {
+	g := topology.Line(2, true)
+	sim := eventsim.New()
+	net := netsim.New(sim, g, unicast.Compute(g))
+	send := func() uint32 { return 0 } // sends nothing
+
+	missing := &fakeMember{addr: addr.MustParse("10.1.0.9")}
+	dupped := &fakeMember{addr: addr.MustParse("10.1.0.8"), ok: true, at: 5, count: 3}
+	res := Probe(net, send, []Member{missing, dupped})
+	_ = sim
+	if len(res.Missing) != 1 || res.Missing[0] != missing.addr {
+		t.Errorf("Missing = %v", res.Missing)
+	}
+	if res.Duplicates != 2 {
+		t.Errorf("Duplicates = %d, want 2", res.Duplicates)
+	}
+	if res.Complete() {
+		t.Error("incomplete result reported complete")
+	}
+	if !strings.Contains(res.String(), "missing=1") {
+		t.Errorf("String = %q", res.String())
+	}
+}
+
+func TestFormatTree(t *testing.T) {
+	g := topology.Line(3, true)
+	sim := eventsim.New()
+	net := netsim.New(sim, g, unicast.Compute(g))
+	srcHost := g.Hosts()[0]
+	m := newLiveMember(net, g.Hosts()[2])
+	send := starSender(net, srcHost, []addr.Addr{m.Addr()})
+	res := Probe(net, send, []Member{m})
+	out := res.FormatTree(g)
+	for _, want := range []string{"R0 -> R1", "R1 -> R2"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("FormatTree missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "x2") {
+		t.Errorf("unexpected duplication marker:\n%s", out)
+	}
+}

@@ -1,0 +1,337 @@
+// Package netsim is the hop-by-hop network simulator the protocols run
+// on. It moves packets over the topology one link at a time: each link
+// traversal takes the link's directed cost in virtual time units, and
+// every arrival is offered to the resident protocol handlers of the
+// node before default unicast forwarding kicks in.
+//
+// That per-hop interception is the defining mechanism of both HBH and
+// REUNITE: join messages travelling toward the source are examined
+// (and possibly intercepted) by every multicast-capable router on the
+// unicast path, and tree messages install state in every router they
+// traverse. Unicast-only routers are simulated simply by not
+// registering a protocol handler on them — they forward by destination
+// address like any packet, which is exactly the paper's transparency
+// argument.
+package netsim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"hbh/internal/addr"
+	"hbh/internal/eventsim"
+	"hbh/internal/packet"
+	"hbh/internal/topology"
+	"hbh/internal/unicast"
+)
+
+// DefaultHopLimit bounds the number of links a packet may traverse,
+// mirroring the IP TTL. Protocol bugs that would loop forever surface
+// as HopLimitDrops in the stats instead of hanging the simulation.
+const DefaultHopLimit = 64
+
+// Verdict is a handler's decision about an arriving packet.
+type Verdict uint8
+
+const (
+	// Continue lets the packet proceed: default unicast forwarding if
+	// this node is not the destination, local delivery otherwise.
+	Continue Verdict = iota
+	// Consumed removes the packet; the handler has taken over (it may
+	// have emitted regenerated copies itself).
+	Consumed
+)
+
+// Handler is a protocol entity resident on a node. Handle is invoked
+// for every packet arriving at the node, whether addressed to it or
+// transiting through it.
+type Handler interface {
+	Handle(n *Node, msg packet.Message) Verdict
+}
+
+// HandlerFunc adapts a function to the Handler interface.
+type HandlerFunc func(n *Node, msg packet.Message) Verdict
+
+// Handle implements Handler.
+func (f HandlerFunc) Handle(n *Node, msg packet.Message) Verdict { return f(n, msg) }
+
+// DeliverFunc receives packets locally delivered at a node (packets
+// whose unicast destination is this node and that no handler consumed).
+type DeliverFunc func(n *Node, msg packet.Message)
+
+// Tap observes every link transmission. from and to are adjacent
+// nodes; msg is the packet as transmitted. Taps must not mutate msg.
+type Tap func(from, to topology.NodeID, msg packet.Message)
+
+// TraceFunc receives human-readable event lines when tracing is on.
+type TraceFunc func(line string)
+
+// Stats aggregates transport-level counters for one Network.
+type Stats struct {
+	Transmissions int // individual link traversals, all packet types
+	DataCopies    int // link traversals by data packets (the paper's tree cost, per packet)
+	Delivered     int // local deliveries
+	HopLimitDrops int // packets dropped for exceeding the hop limit
+	NoRouteDrops  int // packets dropped for an unroutable destination
+	Consumed      int // packets consumed by handlers
+	LossDrops     int // control packets dropped by the loss model
+}
+
+// Network binds a topology, its unicast routing tables and a
+// discrete-event clock into a running packet network.
+type Network struct {
+	sim     *eventsim.Sim
+	topo    *topology.Graph
+	routing *unicast.Routing
+	nodes   []*Node
+
+	taps      []Tap
+	trace     TraceFunc
+	hopLimit  int
+	wireCheck bool
+	lossRate  float64
+	lossRNG   *rand.Rand
+	stats     Stats
+}
+
+// Node is the per-vertex runtime state: the resident handlers and the
+// local delivery sink.
+type Node struct {
+	net      *Network
+	id       topology.NodeID
+	addr     addr.Addr
+	name     string
+	handlers []Handler
+	deliver  DeliverFunc
+}
+
+// New builds a network over g with routing tables r (computed from g)
+// and clock sim.
+func New(sim *eventsim.Sim, g *topology.Graph, r *unicast.Routing) *Network {
+	if r.Graph() != g {
+		panic("netsim: routing tables computed for a different graph")
+	}
+	n := &Network{sim: sim, topo: g, routing: r, hopLimit: DefaultHopLimit}
+	n.nodes = make([]*Node, g.NumNodes())
+	for _, nd := range g.Nodes() {
+		n.nodes[nd.ID] = &Node{net: n, id: nd.ID, addr: nd.Addr, name: nd.Name}
+	}
+	return n
+}
+
+// Sim returns the event clock.
+func (n *Network) Sim() *eventsim.Sim { return n.sim }
+
+// Topology returns the underlying graph.
+func (n *Network) Topology() *topology.Graph { return n.topo }
+
+// Routing returns the unicast tables.
+func (n *Network) Routing() *unicast.Routing { return n.routing }
+
+// Node returns the runtime node for id.
+func (n *Network) Node(id topology.NodeID) *Node { return n.nodes[id] }
+
+// NodeByAddr returns the runtime node owning unicast address a.
+func (n *Network) NodeByAddr(a addr.Addr) *Node {
+	return n.nodes[n.topo.MustByAddr(a)]
+}
+
+// Stats returns a snapshot of the transport counters.
+func (n *Network) Stats() Stats { return n.stats }
+
+// ResetStats zeroes the transport counters. Experiments reset between
+// the convergence phase and the measurement probe.
+func (n *Network) ResetStats() { n.stats = Stats{} }
+
+// AddTap registers a link observer.
+func (n *Network) AddTap(t Tap) { n.taps = append(n.taps, t) }
+
+// SetTrace installs (or, with nil, removes) the human-readable tracer.
+func (n *Network) SetTrace(t TraceFunc) { n.trace = t }
+
+// SetWireCheck makes every link transmission marshal the message to
+// its binary wire format and decode it again on arrival, exactly as a
+// real network would. The simulator normally passes decoded messages
+// between hops for speed; wire-check mode proves the wire formats are
+// complete (nothing the protocols rely on is lost in encoding) under
+// live protocol traffic. A codec failure panics: it is always a format
+// bug.
+func (n *Network) SetWireCheck(on bool) { n.wireCheck = on }
+
+// SetControlLoss makes every link traversal drop non-data packets with
+// probability p, using rng. Soft-state protocols are designed to
+// tolerate control-message loss — refreshes repair it — and the A6
+// experiment quantifies how well. Data packets are never dropped so
+// tree measurements keep their meaning: what degrades under loss is
+// the protocol state that routes them.
+func (n *Network) SetControlLoss(p float64, rng *rand.Rand) {
+	if p < 0 || p >= 1 {
+		panic(fmt.Sprintf("netsim: control loss rate %v out of [0,1)", p))
+	}
+	if p > 0 && rng == nil {
+		panic("netsim: control loss needs an RNG")
+	}
+	n.lossRate, n.lossRNG = p, rng
+}
+
+// SetHopLimit overrides the per-packet hop budget.
+func (n *Network) SetHopLimit(l int) {
+	if l < 1 {
+		panic("netsim: hop limit must be positive")
+	}
+	n.hopLimit = l
+}
+
+func (n *Network) tracef(format string, args ...any) {
+	if n.trace != nil {
+		n.trace(fmt.Sprintf("%8.1f  ", float64(n.sim.Now())) + fmt.Sprintf(format, args...))
+	}
+}
+
+// ID returns the node's topology ID.
+func (nd *Node) ID() topology.NodeID { return nd.id }
+
+// Addr returns the node's unicast address.
+func (nd *Node) Addr() addr.Addr { return nd.addr }
+
+// Name returns the node's topology label.
+func (nd *Node) Name() string { return nd.name }
+
+// Network returns the owning network.
+func (nd *Node) Network() *Network { return nd.net }
+
+// AddHandler registers a protocol handler on the node. Handlers run in
+// registration order; the first Consumed verdict wins.
+func (nd *Node) AddHandler(h Handler) { nd.handlers = append(nd.handlers, h) }
+
+// SetDeliver installs the local delivery sink.
+func (nd *Node) SetDeliver(d DeliverFunc) { nd.deliver = d }
+
+// envelope carries a packet in flight together with its hop budget.
+type envelope struct {
+	msg  packet.Message
+	hops int
+}
+
+// SendUnicast originates msg at this node and forwards it hop by hop
+// toward msg.Hdr().Dst using the unicast tables. The packet is
+// processed by handlers at every intermediate node. Sending to oneself
+// delivers locally after handler processing, with no link traversal.
+func (nd *Node) SendUnicast(msg packet.Message) {
+	h := msg.Hdr()
+	if !h.Dst.IsUnicast() {
+		nd.net.tracef("%s DROP non-unicast dst: %s", nd.name, packet.Format(msg))
+		nd.net.stats.NoRouteDrops++
+		return
+	}
+	nd.net.tracef("%s SEND %s", nd.name, packet.Format(msg))
+	env := &envelope{msg: msg, hops: nd.net.hopLimit}
+	dst, ok := nd.net.topo.ByAddr(h.Dst)
+	if !ok {
+		nd.net.stats.NoRouteDrops++
+		return
+	}
+	if dst == nd.id {
+		// Local: process immediately in a fresh event for causal order.
+		nd.net.sim.After(0, func() { nd.net.arrive(nd.id, env) })
+		return
+	}
+	nd.net.forward(nd.id, env)
+}
+
+// SendDirect transmits msg over the single link to adjacent node to,
+// regardless of msg's destination address. Protocol handlers use this
+// to source-route copies over an explicitly constructed tree (PIM's
+// native multicast forwarding).
+func (nd *Node) SendDirect(to topology.NodeID, msg packet.Message) {
+	if !nd.net.topo.HasLink(nd.id, to) {
+		panic(fmt.Sprintf("netsim: SendDirect %s -> %s without a link",
+			nd.name, nd.net.nodes[to].name))
+	}
+	nd.net.tracef("%s SEND-DIRECT->%s %s", nd.name, nd.net.nodes[to].name, packet.Format(msg))
+	nd.net.transmit(nd.id, to, &envelope{msg: msg, hops: nd.net.hopLimit})
+}
+
+// forward routes env one hop closer to its destination address.
+func (n *Network) forward(from topology.NodeID, env *envelope) {
+	h := env.msg.Hdr()
+	dst, ok := n.topo.ByAddr(h.Dst)
+	if !ok || !n.routing.Reachable(from, dst) {
+		n.stats.NoRouteDrops++
+		n.tracef("%s DROP no route: %s", n.nodes[from].name, packet.Format(env.msg))
+		return
+	}
+	next := n.routing.NextHop(from, dst)
+	n.transmit(from, next, env)
+}
+
+// transmit moves env over the link from->to, charging the directed
+// link cost as delay and decrementing the hop budget.
+func (n *Network) transmit(from, to topology.NodeID, env *envelope) {
+	if env.hops <= 0 {
+		n.stats.HopLimitDrops++
+		n.tracef("%s DROP hop limit: %s", n.nodes[from].name, packet.Format(env.msg))
+		return
+	}
+	env.hops--
+	cost := n.topo.Cost(from, to)
+	if cost == 0 {
+		panic(fmt.Sprintf("netsim: transmit over missing link %d->%d", from, to))
+	}
+	if n.lossRate > 0 {
+		if _, isData := env.msg.(*packet.Data); !isData && n.lossRNG.Float64() < n.lossRate {
+			n.stats.LossDrops++
+			n.tracef("%s LOSS %s", n.nodes[from].name, packet.Format(env.msg))
+			return
+		}
+	}
+	if n.wireCheck {
+		buf, err := packet.Marshal(env.msg)
+		if err != nil {
+			panic(fmt.Sprintf("netsim: wire-check marshal on %d->%d: %v", from, to, err))
+		}
+		decoded, err := packet.Unmarshal(buf)
+		if err != nil {
+			panic(fmt.Sprintf("netsim: wire-check unmarshal on %d->%d: %v", from, to, err))
+		}
+		env.msg = decoded
+	}
+	n.stats.Transmissions++
+	if _, isData := env.msg.(*packet.Data); isData {
+		n.stats.DataCopies++
+	}
+	for _, tap := range n.taps {
+		tap(from, to, env.msg)
+	}
+	n.sim.After(eventsim.Time(cost), func() { n.arrive(to, env) })
+}
+
+// arrive processes env at node v: handlers first, then local delivery
+// or onward forwarding.
+func (n *Network) arrive(v topology.NodeID, env *envelope) {
+	nd := n.nodes[v]
+	for _, h := range nd.handlers {
+		if h.Handle(nd, env.msg) == Consumed {
+			n.stats.Consumed++
+			n.tracef("%s CONSUME %s", nd.name, packet.Format(env.msg))
+			return
+		}
+	}
+	hdr := env.msg.Hdr()
+	if hdr.Dst == nd.addr {
+		n.stats.Delivered++
+		n.tracef("%s DELIVER %s", nd.name, packet.Format(env.msg))
+		if nd.deliver != nil {
+			nd.deliver(nd, env.msg)
+		}
+		return
+	}
+	if !hdr.Dst.IsUnicast() {
+		// Undeliverable multicast destination: only handlers can
+		// forward those, and none claimed it.
+		n.stats.NoRouteDrops++
+		n.tracef("%s DROP unclaimed multicast: %s", nd.name, packet.Format(env.msg))
+		return
+	}
+	n.forward(v, env)
+}

@@ -1,0 +1,56 @@
+package packet
+
+import (
+	"reflect"
+	"testing"
+
+	"hbh/internal/addr"
+)
+
+// FuzzUnmarshal throws arbitrary bytes at the wire decoder: it must
+// never panic, and anything it accepts must re-marshal to an encoding
+// that decodes to the same message (decode/encode/decode fixpoint).
+//
+// Run with: go test -fuzz=FuzzUnmarshal -fuzztime=30s ./internal/packet/
+func FuzzUnmarshal(f *testing.F) {
+	// Seed corpus: one valid encoding of every message type, plus
+	// truncations and mutations the fuzzer can riff on.
+	ch := addr.Channel{S: addr.MustParse("10.0.0.1"), G: addr.MustParse("224.0.0.1")}
+	seeds := []Message{
+		&Join{Header: Header{Proto: ProtoHBH, Type: TypeJoin, Flags: FlagFirst, Channel: ch, Src: 2, Dst: 3}, R: 9},
+		&Tree{Header: Header{Proto: ProtoREUNITE, Type: TypeTree, Flags: FlagMarked, Channel: ch, Src: 2, Dst: 3}, R: 9},
+		&Fusion{Header: Header{Proto: ProtoHBH, Type: TypeFusion, Channel: ch, Src: 2, Dst: 3}, Bp: 7, Rs: []addr.Addr{1, 2, 3}},
+		&Data{Header: Header{Type: TypeData, Channel: ch, Src: 2, Dst: 3}, Seq: 42, Payload: []byte("payload")},
+		&Query{Header: Header{Type: TypeQuery, Channel: ch, Src: 2, Dst: 3}, General: true},
+		&Report{Header: Header{Type: TypeReport, Channel: ch, Src: 2, Dst: 3}, Leave: true},
+	}
+	for _, m := range seeds {
+		buf, err := Marshal(m)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf)
+		f.Add(buf[:len(buf)-1])
+	}
+	f.Add([]byte{})
+	f.Add([]byte{1, 2, 3})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := Unmarshal(data)
+		if err != nil {
+			return // rejected input: fine, as long as no panic
+		}
+		// Accepted input: must round-trip to an equal message.
+		buf, err := Marshal(m)
+		if err != nil {
+			t.Fatalf("accepted message failed to re-marshal: %v", err)
+		}
+		m2, err := Unmarshal(buf)
+		if err != nil {
+			t.Fatalf("re-marshalled message failed to decode: %v", err)
+		}
+		if !reflect.DeepEqual(m, m2) {
+			t.Fatalf("decode/encode/decode fixpoint violated:\n%+v\n%+v", m, m2)
+		}
+	})
+}

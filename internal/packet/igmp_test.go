@@ -1,0 +1,78 @@
+package packet
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestQueryRoundTrip(t *testing.T) {
+	for _, general := range []bool{true, false} {
+		in := &Query{Header: hdr(ProtoNone, TypeQuery, 0), General: general}
+		out := roundTrip(t, in).(*Query)
+		if !reflect.DeepEqual(in, out) {
+			t.Errorf("general=%v: round trip mismatch:\n in %+v\nout %+v", general, in, out)
+		}
+	}
+}
+
+func TestReportRoundTrip(t *testing.T) {
+	for _, leave := range []bool{true, false} {
+		in := &Report{Header: hdr(ProtoNone, TypeReport, 0), Leave: leave}
+		out := roundTrip(t, in).(*Report)
+		if !reflect.DeepEqual(in, out) {
+			t.Errorf("leave=%v: round trip mismatch:\n in %+v\nout %+v", leave, in, out)
+		}
+	}
+}
+
+func TestIGMPClone(t *testing.T) {
+	q := &Query{Header: hdr(ProtoNone, TypeQuery, 0), General: true}
+	cq := Clone(q).(*Query)
+	cq.Dst = 99
+	if q.Dst == 99 {
+		t.Error("Clone shares query header")
+	}
+	r := &Report{Header: hdr(ProtoNone, TypeReport, 0), Leave: true}
+	cr := Clone(r).(*Report)
+	cr.Leave = false
+	if !r.Leave {
+		t.Error("Clone shares report state")
+	}
+}
+
+func TestIGMPFormat(t *testing.T) {
+	q := &Query{Header: hdr(ProtoNone, TypeQuery, 0), General: true}
+	if !strings.Contains(Format(q), "query(general)") {
+		t.Errorf("Format(query) = %q", Format(q))
+	}
+	qc := &Query{Header: hdr(ProtoNone, TypeQuery, 0)}
+	if !strings.Contains(Format(qc), "query(<") {
+		t.Errorf("Format(channel query) = %q", Format(qc))
+	}
+	r := &Report{Header: hdr(ProtoNone, TypeReport, 0)}
+	if !strings.Contains(Format(r), "report(") {
+		t.Errorf("Format(report) = %q", Format(r))
+	}
+	l := &Report{Header: hdr(ProtoNone, TypeReport, 0), Leave: true}
+	if !strings.Contains(Format(l), "leave(") {
+		t.Errorf("Format(leave) = %q", Format(l))
+	}
+}
+
+func TestIGMPBadBodies(t *testing.T) {
+	q := &Query{Header: hdr(ProtoNone, TypeQuery, 0)}
+	buf, err := Marshal(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Grow the body length and fix the checksum: decoder must reject.
+	bad := append(append([]byte(nil), buf...), 0xFF)
+	bad[21] = 2 // body length 2
+	bad[22], bad[23] = 0, 0
+	cs := checksum(bad)
+	bad[22], bad[23] = byte(cs>>8), byte(cs)
+	if _, err := Unmarshal(bad); err == nil {
+		t.Error("oversized query body accepted")
+	}
+}

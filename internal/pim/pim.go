@@ -1,0 +1,380 @@
+// Package pim implements the two classical baselines of the paper's
+// evaluation: PIM-SM-style shared trees and PIM-SS-style source trees
+// (the tree structure of PIM-SSM).
+//
+// As in the paper — whose NS implementation of these protocols is
+// centralised and explicitly so ("NS's implementation is centralized") —
+// trees are computed from global knowledge rather than by message
+// exchange, then installed as forwarding state in the simulator so
+// that measurement happens through exactly the same probe pipeline as
+// HBH and REUNITE:
+//
+//   - PIM-SS: a reverse shortest-path tree rooted at the source. Each
+//     member is connected through the reverse of its unicast path
+//     member -> source (the RPF rule), so under asymmetric routing the
+//     delay is not minimised, but each link carries exactly one copy.
+//
+//   - PIM-SM: a shared tree centred on a rendezvous point (RP). Data
+//     travels encapsulated in unicast from the source to the RP (this
+//     leg IS delay-minimal) and then down the reverse shortest-path
+//     tree from the RP to the members. The RP is chosen as the router
+//     minimising the total forward distance to all potential receivers
+//     (a centroid), a deterministic stand-in for a well-configured RP.
+package pim
+
+import (
+	"fmt"
+
+	"hbh/internal/addr"
+	"hbh/internal/eventsim"
+	"hbh/internal/netsim"
+	"hbh/internal/packet"
+	"hbh/internal/topology"
+	"hbh/internal/unicast"
+)
+
+// Mode selects the tree flavour.
+type Mode uint8
+
+const (
+	// SS builds a source-rooted reverse SPT (PIM-SSM structure).
+	SS Mode = iota
+	// SM builds an RP-centred shared tree with unicast encapsulation
+	// from the source to the RP.
+	SM
+)
+
+func (m Mode) String() string {
+	switch m {
+	case SS:
+		return "PIM-SS"
+	case SM:
+		return "PIM-SM"
+	default:
+		return fmt.Sprintf("mode(%d)", uint8(m))
+	}
+}
+
+// Session is an installed multicast tree for one channel: centralised
+// forwarding state plus the source and member agents.
+type Session struct {
+	mode     Mode
+	net      *netsim.Network
+	ch       addr.Channel
+	source   topology.NodeID // source host
+	rp       topology.NodeID // RP router (SM only)
+	rpAddr   addr.Addr
+	children map[topology.NodeID][]topology.NodeID
+	members  map[topology.NodeID]*Member
+	nextSeq  uint32
+}
+
+// Member is the delivery-recording agent on a member host. It
+// implements mtree.Member.
+type Member struct {
+	node       *netsim.Node
+	ch         addr.Channel
+	sim        *eventsim.Sim
+	deliveries map[uint32][]eventsim.Time
+}
+
+// Addr returns the member's unicast address.
+func (m *Member) Addr() addr.Addr { return m.node.Addr() }
+
+// DeliveryAt returns the arrival time of the first copy of packet seq.
+func (m *Member) DeliveryAt(seq uint32) (eventsim.Time, bool) {
+	ds := m.deliveries[seq]
+	if len(ds) == 0 {
+		return 0, false
+	}
+	return ds[0], true
+}
+
+// DeliveryCount returns how many copies of packet seq arrived.
+func (m *Member) DeliveryCount(seq uint32) int { return len(m.deliveries[seq]) }
+
+// Handle implements netsim.Handler: record group data addressed here.
+func (m *Member) Handle(n *netsim.Node, msg packet.Message) netsim.Verdict {
+	d, ok := msg.(*packet.Data)
+	if !ok || d.Channel != m.ch {
+		return netsim.Continue
+	}
+	if d.Dst != m.ch.G && d.Dst != m.node.Addr() {
+		return netsim.Continue
+	}
+	m.deliveries[d.Seq] = append(m.deliveries[d.Seq], m.sim.Now())
+	return netsim.Consumed
+}
+
+// CentroidRP returns the router minimising the total forward distance
+// to all router nodes — a source-agnostic deterministic RP choice.
+func CentroidRP(r *unicast.Routing) topology.NodeID {
+	g := r.Graph()
+	best, bestSum := topology.None, -1
+	for _, cand := range g.Routers() {
+		sum := 0
+		for _, other := range g.Routers() {
+			d := r.Dist(cand, other)
+			if d == unicast.Infinity {
+				sum = -1
+				break
+			}
+			sum += d
+		}
+		if sum < 0 {
+			continue
+		}
+		if best == topology.None || sum < bestSum {
+			best, bestSum = cand, sum
+		}
+	}
+	if best == topology.None {
+		panic("pim: no reachable RP candidate")
+	}
+	return best
+}
+
+// revDelay returns the data-plane delay a receiver at r would see from
+// x over the reverse shortest-path branch: the forward cost of the
+// links of the unicast path r -> x, traversed backwards.
+func revDelay(rt *unicast.Routing, x, r topology.NodeID) int {
+	g := rt.Graph()
+	p := rt.Path(r, x)
+	if p == nil {
+		return unicast.Infinity
+	}
+	d := 0
+	for i := len(p) - 1; i > 0; i-- {
+		d += g.Cost(p[i], p[i-1])
+	}
+	return d
+}
+
+// DelayOptimalRP returns the router minimising the mean shared-tree
+// delay for the channel rooted at sourceHost over the population of
+// potential receiver hosts: d(source -> RP) plus the reverse-path
+// delay RP -> host. This models a rendezvous point configured well for
+// the session, which is what the paper's PIM-SM-beats-PIM-SS delay
+// observation on the ISP topology presumes.
+func DelayOptimalRP(rt *unicast.Routing, sourceHost topology.NodeID) topology.NodeID {
+	g := rt.Graph()
+	best, bestSum := topology.None, -1
+	for _, cand := range g.Routers() {
+		leg := rt.Dist(sourceHost, cand)
+		if leg == unicast.Infinity {
+			continue
+		}
+		sum := 0
+		for _, h := range g.Hosts() {
+			if h == sourceHost {
+				continue
+			}
+			rd := revDelay(rt, cand, h)
+			if rd == unicast.Infinity {
+				sum = -1
+				break
+			}
+			sum += leg + rd
+		}
+		if sum < 0 {
+			continue
+		}
+		if best == topology.None || sum < bestSum {
+			best, bestSum = cand, sum
+		}
+	}
+	if best == topology.None {
+		panic("pim: no reachable RP candidate")
+	}
+	return best
+}
+
+// Build computes and installs the tree for the given member hosts.
+// For SM mode, rp must be a router (use CentroidRP for the default
+// choice); SS ignores rp. Build registers one forwarding handler per
+// tree node and one Member agent per member host, and returns the
+// session ready for SendData.
+func Build(net *netsim.Network, mode Mode, sourceHost topology.NodeID,
+	group addr.Addr, memberHosts []topology.NodeID, rp topology.NodeID) *Session {
+	g := net.Topology()
+	r := net.Routing()
+	if g.Node(sourceHost).Kind != topology.Host {
+		panic("pim: source must be a host")
+	}
+	ch, err := addr.NewChannel(g.Node(sourceHost).Addr, group)
+	if err != nil {
+		panic(err)
+	}
+	s := &Session{
+		mode:     mode,
+		net:      net,
+		ch:       ch,
+		source:   sourceHost,
+		children: make(map[topology.NodeID][]topology.NodeID),
+		members:  make(map[topology.NodeID]*Member),
+	}
+
+	// The tree root: the source host for SS, the RP router for SM.
+	root := sourceHost
+	if mode == SM {
+		if rp == topology.None {
+			rp = DelayOptimalRP(r, sourceHost)
+		}
+		if g.Node(rp).Kind != topology.Router {
+			panic("pim: RP must be a router")
+		}
+		s.rp = rp
+		s.rpAddr = g.Node(rp).Addr
+		root = rp
+	}
+
+	// Reverse SPT: each member's branch is the reverse of its unicast
+	// path member -> root (the RPF rule). hasEdge dedups so every link
+	// carries one copy.
+	hasEdge := make(map[[2]topology.NodeID]bool)
+	for _, m := range memberHosts {
+		if g.Node(m).Kind != topology.Host {
+			panic("pim: members must be hosts")
+		}
+		if m == sourceHost {
+			continue
+		}
+		path := r.Path(m, root)
+		if path == nil {
+			panic(fmt.Sprintf("pim: member %d cannot reach root %d", m, root))
+		}
+		// path = m, n1, ..., root; data flows root -> ... -> n1 -> m.
+		for i := len(path) - 1; i > 0; i-- {
+			parent, child := path[i], path[i-1]
+			key := [2]topology.NodeID{parent, child}
+			if hasEdge[key] {
+				continue
+			}
+			hasEdge[key] = true
+			s.children[parent] = append(s.children[parent], child)
+		}
+	}
+
+	// Install forwarding handlers on every interior tree node (and the
+	// RP, which also decapsulates).
+	for node := range s.children {
+		node := node
+		net.Node(node).AddHandler(netsim.HandlerFunc(func(n *netsim.Node, msg packet.Message) netsim.Verdict {
+			return s.forward(n, msg)
+		}))
+	}
+	if mode == SM {
+		if _, isInterior := s.children[s.rp]; !isInterior {
+			// RP outside the member tree (no members, or all members
+			// reached directly): it still terminates the unicast leg.
+			net.Node(s.rp).AddHandler(netsim.HandlerFunc(func(n *netsim.Node, msg packet.Message) netsim.Verdict {
+				return s.forward(n, msg)
+			}))
+		}
+	}
+
+	for _, m := range memberHosts {
+		if m == sourceHost {
+			continue
+		}
+		mem := &Member{
+			node:       net.Node(m),
+			ch:         ch,
+			sim:        net.Sim(),
+			deliveries: make(map[uint32][]eventsim.Time),
+		}
+		net.Node(m).AddHandler(mem)
+		s.members[m] = mem
+	}
+	return s
+}
+
+// forward implements the installed tree state: native multicast data
+// (Dst == G) is replicated to this node's children; at the RP, the
+// unicast-encapsulated packet from the source is decapsulated into
+// native multicast first.
+func (s *Session) forward(n *netsim.Node, msg packet.Message) netsim.Verdict {
+	d, ok := msg.(*packet.Data)
+	if !ok || d.Channel != s.ch {
+		return netsim.Continue
+	}
+	switch {
+	case d.Dst == s.ch.G:
+		// Native multicast: replicate down the tree.
+		for _, child := range s.children[n.ID()] {
+			c := packet.Clone(d).(*packet.Data)
+			c.Src = n.Addr()
+			n.SendDirect(child, c)
+		}
+		return netsim.Consumed
+	case s.mode == SM && n.ID() == s.rp && d.Dst == s.rpAddr:
+		// Decapsulate at the RP and start native replication.
+		for _, child := range s.children[n.ID()] {
+			c := packet.Clone(d).(*packet.Data)
+			c.Src = n.Addr()
+			c.Dst = s.ch.G
+			n.SendDirect(child, c)
+		}
+		return netsim.Consumed
+	default:
+		return netsim.Continue
+	}
+}
+
+// Channel returns the session's channel.
+func (s *Session) Channel() addr.Channel { return s.ch }
+
+// RP returns the rendezvous point router (SM only; None for SS).
+func (s *Session) RP() topology.NodeID {
+	if s.mode != SM {
+		return topology.None
+	}
+	return s.rp
+}
+
+// Member returns the agent for a member host.
+func (s *Session) Member(host topology.NodeID) *Member { return s.members[host] }
+
+// Members returns all member agents keyed by host.
+func (s *Session) Members() map[topology.NodeID]*Member { return s.members }
+
+// SendData originates one data packet: native multicast from the
+// source host for SS, unicast encapsulation toward the RP for SM.
+// Returns the sequence number used.
+func (s *Session) SendData(payload []byte) uint32 {
+	seq := s.nextSeq
+	s.nextSeq++
+	src := s.net.Node(s.source)
+	d := &packet.Data{
+		Header: packet.Header{
+			Proto:   packet.ProtoNone,
+			Type:    packet.TypeData,
+			Channel: s.ch,
+			Src:     src.Addr(),
+		},
+		Seq:     seq,
+		Payload: append([]byte(nil), payload...),
+	}
+	switch s.mode {
+	case SS:
+		d.Dst = s.ch.G
+		for _, child := range s.children[s.source] {
+			c := packet.Clone(d).(*packet.Data)
+			src.SendDirect(child, c)
+		}
+	case SM:
+		d.Dst = s.rpAddr
+		src.SendUnicast(d)
+	}
+	return seq
+}
+
+// TreeLinks returns the number of links in the installed tree
+// (excluding the SM unicast leg), for audits and tests.
+func (s *Session) TreeLinks() int {
+	n := 0
+	for _, cs := range s.children {
+		n += len(cs)
+	}
+	return n
+}

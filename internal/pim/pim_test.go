@@ -1,0 +1,179 @@
+package pim
+
+import (
+	"testing"
+
+	"hbh/internal/addr"
+	"hbh/internal/eventsim"
+	"hbh/internal/mtree"
+	"hbh/internal/netsim"
+	"hbh/internal/topology"
+	"hbh/internal/unicast"
+)
+
+func buildNet(g *topology.Graph) (*netsim.Network, *unicast.Routing, *eventsim.Sim) {
+	sim := eventsim.New()
+	r := unicast.Compute(g)
+	return netsim.New(sim, g, r), r, sim
+}
+
+func hostOf(g *topology.Graph, r int) topology.NodeID {
+	for _, hID := range g.Hosts() {
+		if g.AttachedRouter(hID) == topology.NodeID(r) {
+			return hID
+		}
+	}
+	panic("no host")
+}
+
+func probe(net *netsim.Network, s *Session, members []mtree.Member) *mtree.Result {
+	return mtree.Probe(net, func() uint32 { return s.SendData([]byte("p")) }, members)
+}
+
+// TestSSLine checks the source tree on a symmetric chain: cost and
+// delays match the unicast shortest paths exactly.
+func TestSSLine(t *testing.T) {
+	g := topology.Line(5, true)
+	net, routing, _ := buildNet(g)
+	src := hostOf(g, 0)
+	members := []topology.NodeID{hostOf(g, 2), hostOf(g, 4)}
+	s := Build(net, SS, src, addr.GroupAddr(0), members, topology.None)
+
+	var ms []mtree.Member
+	for _, m := range members {
+		ms = append(ms, s.Member(m))
+	}
+	res := probe(net, s, ms)
+	if !res.Complete() {
+		t.Fatalf("incomplete: %v", res)
+	}
+	if res.Cost != 7 {
+		t.Errorf("cost = %d, want 7\n%s", res.Cost, res.FormatTree(g))
+	}
+	for _, m := range members {
+		want := eventsim.Time(routing.Dist(src, m))
+		if got := res.Delays[g.Node(m).Addr]; got != want {
+			t.Errorf("member %d delay = %v, want %v", m, got, want)
+		}
+	}
+	if res.MaxLinkCopies() != 1 {
+		t.Errorf("RPF must guarantee one copy per link:\n%s", res.FormatTree(g))
+	}
+}
+
+// TestSSReversePath checks that PIM-SS follows the REVERSE path under
+// asymmetric costs: the delay reflects the forward cost of the links
+// on the member->source route, not the shortest source->member route.
+func TestSSReversePath(t *testing.T) {
+	// S - A ==> r's router B over two parallel routes:
+	// A-B direct: A->B cost 8, B->A cost 1  (join prefers B->A direct)
+	// A-C-B:      A->C->B costs 1+1,
+	//             B->C->A costs 8+8.
+	g := topology.New()
+	a := g.AddNode(topology.Router, addr.RouterAddr(0), "A")
+	b := g.AddNode(topology.Router, addr.RouterAddr(1), "B")
+	c := g.AddNode(topology.Router, addr.RouterAddr(2), "C")
+	g.AddLink(a, b, 8, 1)
+	g.AddLink(a, c, 1, 8)
+	g.AddLink(c, b, 1, 8)
+	s := g.AddNode(topology.Host, addr.ReceiverAddr(0), "S")
+	g.AddLink(s, a, 1, 1)
+	r := g.AddNode(topology.Host, addr.ReceiverAddr(1), "r")
+	g.AddLink(r, b, 1, 1)
+
+	net, routing, _ := buildNet(g)
+	sess := Build(net, SS, s, addr.GroupAddr(0), []topology.NodeID{r}, topology.None)
+	res := probe(net, sess, []mtree.Member{sess.Member(r)})
+	if !res.Complete() {
+		t.Fatalf("incomplete: %v", res)
+	}
+	// Forward shortest path S->r is S-A-C-B-r = 1+1+1+1 = 4, but the
+	// reverse path of r->S (r-B-A-S) makes data flow S-A-B-r with
+	// forward costs 1+8+1 = 10.
+	if sp := routing.Dist(s, r); sp != 4 {
+		t.Fatalf("topology broken: dist S->r = %d, want 4", sp)
+	}
+	if got := res.Delays[g.Node(r).Addr]; got != 10 {
+		t.Errorf("delay = %v, want 10 (reverse-path penalty)", got)
+	}
+}
+
+// TestSMSharedTree checks the RP-centred tree: data is encapsulated
+// S->RP and then flows down the reverse SPT from the RP.
+func TestSMSharedTree(t *testing.T) {
+	g := topology.Line(5, true)
+	net, routing, _ := buildNet(g)
+	src := hostOf(g, 0)
+	members := []topology.NodeID{hostOf(g, 2), hostOf(g, 4)}
+	s := Build(net, SM, src, addr.GroupAddr(0), members, topology.None)
+
+	rp := s.RP()
+	if rp == topology.None {
+		t.Fatal("no RP")
+	}
+	// On a symmetric chain with the source at R0's host, routing via
+	// R0 adds nothing, so the delay-optimal RP is R0 itself.
+	if rp != 0 {
+		t.Errorf("RP = %d, want 0 (delay-optimal)", rp)
+	}
+
+	var ms []mtree.Member
+	for _, m := range members {
+		ms = append(ms, s.Member(m))
+	}
+	res := probe(net, s, ms)
+	if !res.Complete() {
+		t.Fatalf("incomplete: %v", res)
+	}
+	for _, m := range members {
+		want := eventsim.Time(routing.Dist(src, rp) + routing.Dist(rp, m))
+		// On a symmetric chain the reverse path == forward path.
+		if got := res.Delays[g.Node(m).Addr]; got != want {
+			t.Errorf("member %d delay = %v, want %v (via RP)", m, got, want)
+		}
+	}
+	// Cost: unicast leg host->R0 (1 link) + shared tree R0..R2->h7
+	// (3 links) + R2->R3->R4->h9 (3 links) = 7.
+	if res.Cost != 7 {
+		t.Errorf("cost = %d, want 7\n%s", res.Cost, res.FormatTree(g))
+	}
+}
+
+// TestSMMemberOnRPPath checks that a member whose branch overlaps the
+// S->RP unicast leg still receives exactly one copy (the encapsulated
+// leg and the native tree are distinct flows, and both may use a link).
+func TestSMMemberOnRPPath(t *testing.T) {
+	g := topology.Line(5, true)
+	net, _, _ := buildNet(g)
+	src := hostOf(g, 0)
+	members := []topology.NodeID{hostOf(g, 1), hostOf(g, 4)}
+	s := Build(net, SM, src, addr.GroupAddr(0), members, 2) // RP fixed at R2
+	var ms []mtree.Member
+	for _, m := range members {
+		ms = append(ms, s.Member(m))
+	}
+	res := probe(net, s, ms)
+	if !res.Complete() {
+		t.Fatalf("incomplete: %v", res)
+	}
+	// R1's member is served from the RP (R2) back toward R1: the link
+	// R1->R2 carries the encapsulated copy and R2->R1 the native one.
+	if got := res.LinkCopies[mtree.Link{From: 2, To: 1}]; got != 1 {
+		t.Errorf("R2->R1 copies = %d, want 1\n%s", got, res.FormatTree(g))
+	}
+}
+
+// TestSourceIsMemberSkipped checks that the source host never installs
+// a member branch to itself.
+func TestSourceIsMemberSkipped(t *testing.T) {
+	g := topology.Line(3, true)
+	net, _, _ := buildNet(g)
+	src := hostOf(g, 0)
+	s := Build(net, SS, src, addr.GroupAddr(0), []topology.NodeID{src, hostOf(g, 2)}, topology.None)
+	if s.Member(src) != nil {
+		t.Error("source installed as member")
+	}
+	if len(s.Members()) != 1 {
+		t.Errorf("members = %d, want 1", len(s.Members()))
+	}
+}

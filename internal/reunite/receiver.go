@@ -1,0 +1,149 @@
+package reunite
+
+import (
+	"hbh/internal/addr"
+	"hbh/internal/eventsim"
+	"hbh/internal/netsim"
+	"hbh/internal/packet"
+)
+
+// Delivery records one data packet arriving at a receiver.
+type Delivery struct {
+	Seq uint32
+	At  eventsim.Time
+}
+
+// Receiver is the REUNITE member-host agent: it emits periodic joins
+// (all of them interceptable — REUNITE has no first-join exemption),
+// consumes tree refreshes addressed to it, and records data arrivals.
+type Receiver struct {
+	cfg    Config
+	node   *netsim.Node
+	sim    *eventsim.Sim
+	ch     addr.Channel
+	ticker *eventsim.Ticker
+	joined bool
+
+	// Deliveries lists data arrivals in order; DupCount counts
+	// duplicate sequence numbers.
+	Deliveries []Delivery
+	DupCount   int
+	seen       map[uint32]bool
+	// TreeMsgs counts tree refreshes addressed to this receiver.
+	TreeMsgs int
+}
+
+// AttachReceiver creates a (not yet joined) receiver agent on host n.
+func AttachReceiver(n *netsim.Node, ch addr.Channel, cfg Config) *Receiver {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	if !ch.Valid() {
+		panic("reunite: invalid channel")
+	}
+	r := &Receiver{
+		cfg:  cfg,
+		node: n,
+		sim:  n.Network().Sim(),
+		ch:   ch,
+		seen: make(map[uint32]bool),
+	}
+	n.AddHandler(r)
+	return r
+}
+
+// Addr returns the receiver's unicast address.
+func (r *Receiver) Addr() addr.Addr { return r.node.Addr() }
+
+// Joined reports whether the receiver is currently subscribed.
+func (r *Receiver) Joined() bool { return r.joined }
+
+// Join subscribes: an immediate join followed by periodic refreshes.
+func (r *Receiver) Join() {
+	if r.joined {
+		return
+	}
+	r.joined = true
+	r.sendJoin()
+	r.ticker = r.sim.NewTicker(r.cfg.JoinInterval, r.sendJoin)
+}
+
+// Leave unsubscribes by silence, the paper's departure model.
+func (r *Receiver) Leave() {
+	if !r.joined {
+		return
+	}
+	r.joined = false
+	r.ticker.Stop()
+	r.ticker = nil
+}
+
+func (r *Receiver) sendJoin() {
+	j := &packet.Join{
+		Header: packet.Header{
+			Proto:   packet.ProtoREUNITE,
+			Type:    packet.TypeJoin,
+			Channel: r.ch,
+			Src:     r.node.Addr(),
+			Dst:     r.ch.S,
+		},
+		R: r.node.Addr(),
+	}
+	r.node.SendUnicast(j)
+}
+
+// Handle implements netsim.Handler: consume channel traffic addressed
+// to this host.
+func (r *Receiver) Handle(n *netsim.Node, msg packet.Message) netsim.Verdict {
+	h := msg.Hdr()
+	if h.Dst != r.node.Addr() || h.Channel != r.ch {
+		return netsim.Continue
+	}
+	switch m := msg.(type) {
+	case *packet.Tree:
+		if m.Proto != packet.ProtoREUNITE {
+			return netsim.Continue
+		}
+		r.TreeMsgs++
+		return netsim.Consumed
+	case *packet.Data:
+		if r.seen[m.Seq] {
+			r.DupCount++
+		}
+		r.seen[m.Seq] = true
+		r.Deliveries = append(r.Deliveries, Delivery{Seq: m.Seq, At: r.sim.Now()})
+		return netsim.Consumed
+	default:
+		return netsim.Continue
+	}
+}
+
+// DeliveryAt returns the arrival time of the first copy of packet seq,
+// implementing mtree.Member.
+func (r *Receiver) DeliveryAt(seq uint32) (eventsim.Time, bool) {
+	for _, d := range r.Deliveries {
+		if d.Seq == seq {
+			return d.At, true
+		}
+	}
+	return 0, false
+}
+
+// DeliveryCount returns how many copies of packet seq arrived,
+// implementing mtree.Member.
+func (r *Receiver) DeliveryCount(seq uint32) int {
+	n := 0
+	for _, d := range r.Deliveries {
+		if d.Seq == seq {
+			n++
+		}
+	}
+	return n
+}
+
+// ResetDeliveries clears the delivery log between measurement probes.
+func (r *Receiver) ResetDeliveries() {
+	r.Deliveries = nil
+	r.DupCount = 0
+	r.seen = make(map[uint32]bool)
+}

@@ -1,0 +1,410 @@
+package reunite
+
+import (
+	"hbh/internal/addr"
+	"hbh/internal/eventsim"
+	"hbh/internal/netsim"
+	"hbh/internal/packet"
+)
+
+// chanState is a REUNITE router's per-channel state: an MCT while
+// non-branching, an MFT once branching (never both).
+type chanState struct {
+	mct *MCT
+	mft *MFT
+	// lastRegen rate-limits downstream tree regeneration to once per
+	// refresh interval: soft-state refreshes are periodic, and
+	// regenerating on every trigger would let two branching nodes that
+	// sit on each other's delivery paths amplify tree messages without
+	// bound.
+	lastRegen eventsim.Time
+	hasRegen  bool
+}
+
+// ChangeKind classifies forwarding-state changes for the stability
+// experiment (Fig. 4), mirroring core.ChangeKind.
+type ChangeKind uint8
+
+// The REUNITE state-change kinds.
+const (
+	// ChangeMCTCreate is the installation of control state.
+	ChangeMCTCreate ChangeKind = iota
+	// ChangeMCTRemove is the destruction of control state.
+	ChangeMCTRemove
+	// ChangeMFTAdd is a new forwarding entry.
+	ChangeMFTAdd
+	// ChangeMFTRemove is the expiry of a forwarding entry.
+	ChangeMFTRemove
+	// ChangeBecomeBranching is a non-branching -> branching transition.
+	ChangeBecomeBranching
+	// ChangeTableStale marks a table going stale on a marked tree.
+	ChangeTableStale
+	// ChangeTableDestroy is the destruction of a whole MFT.
+	ChangeTableDestroy
+)
+
+func (k ChangeKind) String() string {
+	switch k {
+	case ChangeMCTCreate:
+		return "mct-create"
+	case ChangeMCTRemove:
+		return "mct-remove"
+	case ChangeMFTAdd:
+		return "mft-add"
+	case ChangeMFTRemove:
+		return "mft-remove"
+	case ChangeBecomeBranching:
+		return "become-branching"
+	case ChangeTableStale:
+		return "table-stale"
+	case ChangeTableDestroy:
+		return "table-destroy"
+	default:
+		return "change(?)"
+	}
+}
+
+// ChangeObserver receives forwarding-state change notifications.
+type ChangeObserver func(where addr.Addr, ch addr.Channel, kind ChangeKind, node addr.Addr)
+
+// Router is the REUNITE protocol engine resident on a multicast-capable
+// router.
+type Router struct {
+	cfg      Config
+	node     *netsim.Node
+	sim      *eventsim.Sim
+	chans    map[addr.Channel]*chanState
+	seen     map[addr.Channel]map[uint32]bool
+	observer ChangeObserver
+}
+
+// SetObserver installs the state-change observer (nil clears it).
+func (r *Router) SetObserver(o ChangeObserver) { r.observer = o }
+
+func (r *Router) observe(ch addr.Channel, kind ChangeKind, node addr.Addr) {
+	if r.observer != nil {
+		r.observer(r.node.Addr(), ch, kind, node)
+	}
+}
+
+// AttachRouter creates a REUNITE Router on n and registers it as a
+// packet handler.
+func AttachRouter(n *netsim.Node, cfg Config) *Router {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	r := &Router{
+		cfg:   cfg,
+		node:  n,
+		sim:   n.Network().Sim(),
+		chans: make(map[addr.Channel]*chanState),
+	}
+	n.AddHandler(r)
+	return r
+}
+
+// MFTFor exposes the channel's forwarding table for tests (nil when
+// not branching).
+func (r *Router) MFTFor(ch addr.Channel) *MFT {
+	if st := r.chans[ch]; st != nil {
+		return st.mft
+	}
+	return nil
+}
+
+// MCTFor exposes the channel's control table for tests (nil when
+// absent).
+func (r *Router) MCTFor(ch addr.Channel) *MCT {
+	if st := r.chans[ch]; st != nil {
+		return st.mct
+	}
+	return nil
+}
+
+// Handle implements netsim.Handler.
+func (r *Router) Handle(n *netsim.Node, msg packet.Message) netsim.Verdict {
+	switch m := msg.(type) {
+	case *packet.Join:
+		if m.Proto != packet.ProtoREUNITE {
+			return netsim.Continue
+		}
+		return r.onJoin(m)
+	case *packet.Tree:
+		if m.Proto != packet.ProtoREUNITE {
+			return netsim.Continue
+		}
+		return r.onTree(m)
+	case *packet.Data:
+		return r.onData(m)
+	default:
+		return netsim.Continue
+	}
+}
+
+// onJoin: a join is intercepted by the first node already carrying
+// tree state for the channel — the rule that, under asymmetric
+// routing, pins receivers to non-shortest paths.
+func (r *Router) onJoin(j *packet.Join) netsim.Verdict {
+	if j.R == r.node.Addr() {
+		return netsim.Continue
+	}
+	st := r.chans[j.Channel]
+	if st == nil {
+		return netsim.Continue
+	}
+
+	if st.mft != nil {
+		if st.mft.TableStale {
+			// A stale table no longer intercepts joins; orphans
+			// escalate toward the source (Figure 2(c)).
+			return netsim.Continue
+		}
+		dst := st.mft.Dst()
+		if dst != nil && dst.Node == j.R {
+			// The dst receiver's join must keep travelling upstream:
+			// it is what refreshes this subtree's entry at the node
+			// where dst originally joined. Refresh locally en route.
+			dst.Timer.Refresh()
+			return netsim.Continue
+		}
+		if e := st.mft.Get(j.R); e != nil {
+			e.Timer.Refresh()
+			return netsim.Consumed
+		}
+		r.addMFTEntry(st, j.Channel, j.R)
+		return netsim.Consumed
+	}
+
+	if st.mct != nil && st.mct.Node != j.R && !st.mct.Stale() {
+		// A join from a second receiver crossing a node with live
+		// control state: this node becomes a branching node with the
+		// recorded receiver as dst (Figure 2(a): R3 intercepts
+		// join(S, r2) and takes r1 as dst).
+		r.becomeBranching(st, j.Channel, j.R)
+		return netsim.Consumed
+	}
+	return netsim.Continue
+}
+
+// becomeBranching converts the MCT entry into an MFT whose dst is the
+// recorded receiver, then admits the joining receiver.
+func (r *Router) becomeBranching(st *chanState, ch addr.Channel, joiner addr.Addr) {
+	dst := st.mct.Node
+	st.mct.Timer.Cancel()
+	st.mct = nil
+	r.observe(ch, ChangeMCTRemove, dst)
+	r.observe(ch, ChangeBecomeBranching, r.node.Addr())
+	st.mft = NewMFT()
+	st.mft.Add(dst, r.newEntryTimer(ch, dst))
+	r.observe(ch, ChangeMFTAdd, dst)
+	st.mft.Liveness = r.sim.NewSoftTimer(r.cfg.T1, r.cfg.T2, nil, func() {
+		r.destroyMFT(ch)
+	})
+	r.addMFTEntry(st, ch, joiner)
+}
+
+// onTree installs and refreshes tree state as the refresh travels
+// downstream toward its receiver.
+func (r *Router) onTree(t *packet.Tree) netsim.Verdict {
+	if t.R == r.node.Addr() {
+		// Receivers are hosts; a tree addressed to a router is stale
+		// junk state. Drop it.
+		return netsim.Consumed
+	}
+	ch := t.Channel
+	st := r.chans[ch]
+	if st == nil {
+		st = &chanState{}
+		r.chans[ch] = st
+	}
+
+	if st.mft != nil {
+		dst := st.mft.Dst()
+		if dst != nil && dst.Node == t.R {
+			if st.mft.Liveness != nil {
+				st.mft.Liveness.Refresh()
+			}
+			if t.Marked() {
+				// Upstream announced dst's data flow will stop: go
+				// stale so joins escalate past us (Figure 2(b)).
+				if !st.mft.TableStale {
+					st.mft.TableStale = true
+					r.observe(ch, ChangeTableStale, dst.Node)
+				}
+			} else {
+				st.mft.TableStale = false
+				dst.Timer.Refresh()
+			}
+			// Regenerate one tree per additional receiver; a stale
+			// entry's tree is marked, dissolving its downstream state.
+			// Rate-limited to the refresh period.
+			now := r.sim.Now()
+			if !st.hasRegen || now-st.lastRegen >= r.cfg.TreeInterval*9/10 {
+				st.hasRegen = true
+				st.lastRegen = now
+				for _, e := range st.mft.Entries()[1:] {
+					r.sendTree(ch, e.Node, e.Stale())
+				}
+			}
+			return netsim.Continue // original continues toward dst
+		}
+		// A tree for a non-dst member transits: REUNITE installs and
+		// refreshes nothing here — non-dst MFT entries are refreshed
+		// exclusively by the member's intercepted joins ("join(S, rj)
+		// refreshes the rj entry in the MFT of the node where rj
+		// joined"). Refreshing them from passing trees would keep a
+		// member alive in several tables at once and duplicate its
+		// deliveries indefinitely.
+		return netsim.Continue
+	}
+
+	// Non-branching: single-entry control state.
+	if t.Marked() {
+		// Destruction of any R control entry (Figure 2(b)).
+		if st.mct != nil && st.mct.Node == t.R {
+			r.removeMCT(ch, st)
+		}
+		return netsim.Continue
+	}
+	switch {
+	case st.mct == nil:
+		r.createMCT(st, ch, t.R)
+	case st.mct.Node == t.R:
+		st.mct.Timer.Refresh()
+	case st.mct.Stale():
+		// The recorded receiver is going away; adopt the new one.
+		r.removeMCT(ch, st)
+		r.createMCT(st, ch, t.R)
+	default:
+		// A second receiver's tree transits, but REUNITE has no way to
+		// record it: the node stays blind to the shared path. This is
+		// the root of the Figure 3 duplication.
+	}
+	return netsim.Continue
+}
+
+func (r *Router) createMCT(st *chanState, ch addr.Channel, node addr.Addr) {
+	st.mct = &MCT{Node: node, Timer: r.sim.NewSoftTimer(r.cfg.T1, r.cfg.T2, nil, func() {
+		if st.mct != nil && st.mct.Node == node {
+			r.removeMCT(ch, st)
+		}
+	})}
+	r.observe(ch, ChangeMCTCreate, node)
+}
+
+func (r *Router) removeMCT(ch addr.Channel, st *chanState) {
+	if st.mct == nil {
+		return
+	}
+	node := st.mct.Node
+	st.mct.Timer.Cancel()
+	st.mct = nil
+	r.observe(ch, ChangeMCTRemove, node)
+	r.maybeDrop(ch, st)
+}
+
+// onData duplicates data addressed to this node's MFT dst: one copy
+// per additional receiver, while the original flows on toward dst.
+// Each packet is replicated at most once per node: without that guard,
+// two branching nodes lying on each other's delivery paths (possible
+// under asymmetric routing) would ping-pong fresh copies forever.
+func (r *Router) onData(d *packet.Data) netsim.Verdict {
+	st := r.chans[d.Channel]
+	if st == nil || st.mft == nil {
+		return netsim.Continue
+	}
+	dst := st.mft.Dst()
+	if dst == nil || dst.Node != d.Dst {
+		return netsim.Continue
+	}
+	if r.seenData(d.Channel, d.Seq) {
+		return netsim.Continue
+	}
+	for _, e := range st.mft.Entries()[1:] {
+		copyMsg := packet.Clone(d).(*packet.Data)
+		copyMsg.Src = r.node.Addr()
+		copyMsg.Dst = e.Node
+		r.node.SendUnicast(copyMsg)
+	}
+	return netsim.Continue
+}
+
+// seenDataCap bounds the per-channel duplicate-suppression window.
+const seenDataCap = 4096
+
+// seenData records (channel, seq) and reports whether this node
+// already replicated that packet.
+func (r *Router) seenData(ch addr.Channel, seq uint32) bool {
+	if r.seen == nil {
+		r.seen = make(map[addr.Channel]map[uint32]bool)
+	}
+	m := r.seen[ch]
+	if m == nil {
+		m = make(map[uint32]bool)
+		r.seen[ch] = m
+	}
+	if m[seq] {
+		return true
+	}
+	if len(m) >= seenDataCap {
+		m = make(map[uint32]bool)
+		r.seen[ch] = m
+	}
+	m[seq] = true
+	return false
+}
+
+func (r *Router) sendTree(ch addr.Channel, target addr.Addr, marked bool) {
+	var flags uint8
+	if marked {
+		flags = packet.FlagMarked
+	}
+	t := &packet.Tree{
+		Header: packet.Header{
+			Proto:   packet.ProtoREUNITE,
+			Type:    packet.TypeTree,
+			Flags:   flags,
+			Channel: ch,
+			Src:     r.node.Addr(),
+			Dst:     target,
+		},
+		R: target,
+	}
+	r.node.SendUnicast(t)
+}
+
+func (r *Router) newEntryTimer(ch addr.Channel, node addr.Addr) *eventsim.SoftTimer {
+	return r.sim.NewSoftTimer(r.cfg.T1, r.cfg.T2, nil, func() {
+		st := r.chans[ch]
+		if st == nil || st.mft == nil {
+			return
+		}
+		st.mft.Remove(node)
+		r.observe(ch, ChangeMFTRemove, node)
+		if st.mft.Len() == 0 {
+			r.destroyMFT(ch)
+		}
+	})
+}
+
+func (r *Router) addMFTEntry(st *chanState, ch addr.Channel, node addr.Addr) {
+	st.mft.Add(node, r.newEntryTimer(ch, node))
+	r.observe(ch, ChangeMFTAdd, node)
+}
+
+func (r *Router) destroyMFT(ch addr.Channel) {
+	st := r.chans[ch]
+	if st == nil || st.mft == nil {
+		return
+	}
+	st.mft.Destroy()
+	st.mft = nil
+	r.observe(ch, ChangeTableDestroy, r.node.Addr())
+	r.maybeDrop(ch, st)
+}
+
+func (r *Router) maybeDrop(ch addr.Channel, st *chanState) {
+	if st.mct == nil && st.mft == nil {
+		delete(r.chans, ch)
+	}
+}

@@ -1,0 +1,130 @@
+package reunite
+
+import (
+	"hbh/internal/addr"
+	"hbh/internal/eventsim"
+	"hbh/internal/netsim"
+	"hbh/internal/packet"
+)
+
+// Source is the REUNITE channel root: it owns the top-level MFT whose
+// dst is the first receiver that joined the group, emits periodic tree
+// refreshes (marked for a stale dst), and originates data addressed to
+// dst with one extra copy per additional entry.
+type Source struct {
+	cfg      Config
+	node     *netsim.Node
+	sim      *eventsim.Sim
+	ch       addr.Channel
+	mft      *MFT
+	ticker   *eventsim.Ticker
+	observer ChangeObserver
+	nextSeq  uint32
+}
+
+// SetObserver installs the state-change observer (nil clears it).
+func (s *Source) SetObserver(o ChangeObserver) { s.observer = o }
+
+func (s *Source) observe(kind ChangeKind, node addr.Addr) {
+	if s.observer != nil {
+		s.observer(s.node.Addr(), s.ch, kind, node)
+	}
+}
+
+// AttachSource creates the channel <n.Addr(), group> rooted at host n.
+func AttachSource(n *netsim.Node, group addr.Addr, cfg Config) *Source {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	ch, err := addr.NewChannel(n.Addr(), group)
+	if err != nil {
+		panic(err)
+	}
+	s := &Source{
+		cfg:  cfg,
+		node: n,
+		sim:  n.Network().Sim(),
+		ch:   ch,
+		mft:  NewMFT(),
+	}
+	s.ticker = s.sim.NewTicker(cfg.TreeInterval, s.emitTrees)
+	n.AddHandler(s)
+	return s
+}
+
+// Channel returns the channel this source roots.
+func (s *Source) Channel() addr.Channel { return s.ch }
+
+// MFT exposes the source table for tests.
+func (s *Source) MFT() *MFT { return s.mft }
+
+// Stop halts the periodic tree emission.
+func (s *Source) Stop() { s.ticker.Stop() }
+
+// Handle implements netsim.Handler for joins that reached the source.
+func (s *Source) Handle(n *netsim.Node, msg packet.Message) netsim.Verdict {
+	j, ok := msg.(*packet.Join)
+	if !ok || j.Proto != packet.ProtoREUNITE || j.Channel != s.ch {
+		return netsim.Continue
+	}
+	if e := s.mft.Get(j.R); e != nil {
+		e.Timer.Refresh()
+		return netsim.Consumed
+	}
+	node := j.R
+	s.mft.Add(node, s.sim.NewSoftTimer(s.cfg.T1, s.cfg.T2, nil, func() {
+		if s.mft.Remove(node) {
+			s.observe(ChangeMFTRemove, node)
+		}
+	}))
+	s.observe(ChangeMFTAdd, node)
+	return netsim.Consumed
+}
+
+// emitTrees sends the periodic refresh: tree(S, dst) — marked when dst
+// is stale, announcing the upcoming teardown — plus one tree per
+// additional entry.
+func (s *Source) emitTrees() {
+	for _, e := range s.mft.Entries() {
+		marked := e.Stale()
+		var flags uint8
+		if marked {
+			flags = packet.FlagMarked
+		}
+		t := &packet.Tree{
+			Header: packet.Header{
+				Proto:   packet.ProtoREUNITE,
+				Type:    packet.TypeTree,
+				Flags:   flags,
+				Channel: s.ch,
+				Src:     s.node.Addr(),
+				Dst:     e.Node,
+			},
+			R: e.Node,
+		}
+		s.node.SendUnicast(t)
+	}
+}
+
+// SendData originates one multicast payload: the packet addressed to
+// dst plus one rewritten copy per additional live entry. Returns the
+// sequence number used.
+func (s *Source) SendData(payload []byte) uint32 {
+	seq := s.nextSeq
+	s.nextSeq++
+	for _, e := range s.mft.Entries() {
+		d := &packet.Data{
+			Header: packet.Header{
+				Proto:   packet.ProtoNone,
+				Type:    packet.TypeData,
+				Channel: s.ch,
+				Src:     s.node.Addr(),
+				Dst:     e.Node,
+			},
+			Seq:     seq,
+			Payload: append([]byte(nil), payload...),
+		}
+		s.node.SendUnicast(d)
+	}
+	return seq
+}

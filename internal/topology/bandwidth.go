@@ -1,0 +1,66 @@
+package topology
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Per-direction link bandwidths support the QoS-routing extension (the
+// paper's §5 future work: "include QoS parameters inside HBH's tree
+// construction"). Bandwidth is an abstract capacity figure; the
+// experiments draw it uniformly and route for the widest bottleneck.
+
+// DefaultBandwidth is assumed for links whose bandwidth was never set.
+const DefaultBandwidth = 100
+
+// bwKey identifies a directed link.
+type bwKey struct{ from, to NodeID }
+
+// bandwidths lives beside Graph but is allocated lazily so graphs that
+// never use QoS pay nothing.
+func (g *Graph) ensureBW() {
+	if g.bw == nil {
+		g.bw = make(map[bwKey]int)
+	}
+}
+
+// SetBandwidth assigns the directed bandwidth from -> to. The link
+// must exist; bandwidth must be positive.
+func (g *Graph) SetBandwidth(from, to NodeID, bw int) {
+	if g.Cost(from, to) == 0 {
+		panic(fmt.Sprintf("topology: SetBandwidth on missing link %d->%d", from, to))
+	}
+	if bw < 1 {
+		panic(fmt.Sprintf("topology: non-positive bandwidth %d", bw))
+	}
+	g.ensureBW()
+	g.bw[bwKey{from, to}] = bw
+}
+
+// Bandwidth returns the directed bandwidth from -> to
+// (DefaultBandwidth when unset, 0 when the link does not exist).
+func (g *Graph) Bandwidth(from, to NodeID) int {
+	if g.Cost(from, to) == 0 {
+		return 0
+	}
+	if g.bw != nil {
+		if bw, ok := g.bw[bwKey{from, to}]; ok {
+			return bw
+		}
+	}
+	return DefaultBandwidth
+}
+
+// RandomizeBandwidths draws every directed link bandwidth uniformly in
+// [lo, hi], independently per direction (asymmetric capacities, like
+// asymmetric costs).
+func (g *Graph) RandomizeBandwidths(rng *rand.Rand, lo, hi int) {
+	if lo < 1 || hi < lo {
+		panic(fmt.Sprintf("topology: bad bandwidth range [%d,%d]", lo, hi))
+	}
+	g.ensureBW()
+	for _, e := range g.edges {
+		g.bw[bwKey{e.A, e.B}] = lo + rng.Intn(hi-lo+1)
+		g.bw[bwKey{e.B, e.A}] = lo + rng.Intn(hi-lo+1)
+	}
+}

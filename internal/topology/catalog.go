@@ -1,0 +1,80 @@
+package topology
+
+import (
+	"fmt"
+
+	"hbh/internal/addr"
+)
+
+// Classic research backbones, usable as additional evaluation
+// substrates beyond the paper's two topologies. Wiring follows the
+// standard published adjacencies; as everywhere in this repository,
+// per-direction costs are drawn per run and one potential-receiver
+// host hangs off every router (the host on router 0 is the source by
+// the experiment convention).
+
+// nsfnetLinks is the 14-node NSFNET T1 backbone (1991), a fixture of
+// networking evaluations. Nodes: 0 WA, 1 CA1, 2 CA2, 3 UT, 4 CO, 5 TX,
+// 6 NE, 7 IL, 8 PA, 9 GA, 10 MI, 11 NY, 12 NJ, 13 DC/MD.
+var nsfnetLinks = [][2]int{
+	{0, 1}, {0, 2}, {0, 7},
+	{1, 2}, {1, 3},
+	{2, 5},
+	{3, 4}, {3, 10},
+	{4, 5}, {4, 6},
+	{5, 9}, {5, 12},
+	{6, 7}, {6, 13},
+	{7, 8},
+	{8, 11}, {8, 13},
+	{9, 11}, {9, 13},
+	{10, 11}, {10, 12},
+}
+
+// NSFNET builds the 14-router NSFNET backbone with one host per
+// router.
+func NSFNET() *Graph {
+	return fromLinks("NSFNET", 14, nsfnetLinks)
+}
+
+// abileneLinks is the 11-node Abilene / Internet2 backbone. Nodes:
+// 0 Seattle, 1 Sunnyvale, 2 Los Angeles, 3 Denver, 4 Kansas City,
+// 5 Houston, 6 Chicago, 7 Indianapolis, 8 Atlanta, 9 Washington,
+// 10 New York.
+var abileneLinks = [][2]int{
+	{0, 1}, {0, 3},
+	{1, 2}, {1, 3},
+	{2, 5},
+	{3, 4},
+	{4, 5}, {4, 7},
+	{5, 8},
+	{6, 7}, {6, 10},
+	{7, 8},
+	{8, 9},
+	{9, 10},
+}
+
+// Abilene builds the 11-router Abilene backbone with one host per
+// router.
+func Abilene() *Graph {
+	return fromLinks("Abilene", 11, abileneLinks)
+}
+
+// fromLinks assembles a catalog topology: routers 0..n-1 with the given
+// undirected links (unit costs until randomised) and one host each.
+func fromLinks(name string, n int, links [][2]int) *Graph {
+	g := New()
+	for i := 0; i < n; i++ {
+		g.AddNode(Router, addr.RouterAddr(i), fmt.Sprintf("R%d", i))
+	}
+	for _, l := range links {
+		g.AddLink(NodeID(l[0]), NodeID(l[1]), 1, 1)
+	}
+	for i := 0; i < n; i++ {
+		h := g.AddNode(Host, addr.ReceiverAddr(i), fmt.Sprintf("h%d", n+i))
+		g.AddLink(h, NodeID(i), 1, 1)
+	}
+	if !g.Connected() {
+		panic("topology: " + name + " graph not connected")
+	}
+	return g
+}

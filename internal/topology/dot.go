@@ -1,0 +1,37 @@
+package topology
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// DOT renders the graph in Graphviz format: routers as boxes, hosts as
+// ellipses, one edge per link labelled "costAB/costBA". Pipe through
+// `dot -Tsvg` to visualise a topology.
+func (g *Graph) DOT() string {
+	var b strings.Builder
+	b.WriteString("graph topology {\n")
+	b.WriteString("  layout=neato; overlap=false; splines=true;\n")
+	for _, n := range g.nodes {
+		shape := "box"
+		if n.Kind == Host {
+			shape = "ellipse"
+		}
+		fmt.Fprintf(&b, "  %q [shape=%s label=\"%s\\n%s\"];\n",
+			n.Name, shape, n.Name, n.Addr)
+	}
+	edges := append([]Edge(nil), g.edges...)
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].A != edges[j].A {
+			return edges[i].A < edges[j].A
+		}
+		return edges[i].B < edges[j].B
+	})
+	for _, e := range edges {
+		fmt.Fprintf(&b, "  %q -- %q [label=\"%d/%d\"];\n",
+			g.nodes[e.A].Name, g.nodes[e.B].Name, e.CostAB, e.CostBA)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

@@ -1,0 +1,26 @@
+package topology
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDOT(t *testing.T) {
+	g := Line(2, true)
+	out := g.DOT()
+	for _, want := range []string{
+		"graph topology {",
+		`"R0" [shape=box`,
+		`"h2" [shape=ellipse`,
+		`"R0" -- "R1"`,
+		"}",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT missing %q:\n%s", want, out)
+		}
+	}
+	// Deterministic output.
+	if g.DOT() != out {
+		t.Error("DOT not deterministic")
+	}
+}

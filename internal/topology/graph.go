@@ -1,0 +1,388 @@
+// Package topology provides the network-graph substrate: directed
+// graphs with an independent integer cost per link direction (the
+// paper's asymmetric-routing model), the 18-router ISP topology of
+// Figure 6, and the 50-node random topology generator used in the
+// evaluation.
+//
+// Every link n1–n2 carries two costs, c(n1,n2) and c(n2,n1), each an
+// integer chosen uniformly in [1,10]. A cost is simultaneously the
+// routing metric and the propagation delay in "time units", exactly as
+// in the paper's NS setup.
+package topology
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"hbh/internal/addr"
+)
+
+// NodeID identifies a node within one Graph. IDs are dense: 0..N-1.
+type NodeID int
+
+// None is the invalid node ID, used as a sentinel (e.g. "no next hop").
+const None NodeID = -1
+
+// Kind distinguishes routers from end hosts (potential receivers and
+// sources). Hosts never forward transit traffic and always hang off
+// exactly one router.
+type Kind uint8
+
+const (
+	// Router is an interior node that forwards packets.
+	Router Kind = iota
+	// Host is a leaf end-system (a potential receiver or a source).
+	Host
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Router:
+		return "router"
+	case Host:
+		return "host"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Node is a vertex in the graph.
+type Node struct {
+	ID   NodeID
+	Kind Kind
+	Addr addr.Addr // unique unicast address
+	Name string    // human-readable label, e.g. "R3" or "r21"
+}
+
+// Edge is one undirected link with its two directed costs.
+type Edge struct {
+	A, B NodeID
+	// CostAB is the cost (= delay) of the direction A -> B, CostBA of
+	// B -> A. Both are >= 1.
+	CostAB, CostBA int
+}
+
+// Graph is a connected network of routers and hosts. Construct with
+// New, then AddNode/AddLink. Graphs are immutable once handed to the
+// routing and simulation layers by convention (nothing enforces it, but
+// routing tables are computed eagerly and would go stale).
+type Graph struct {
+	nodes []Node
+	// adj[v] lists the directed out-neighbors of v with the cost of the
+	// out direction.
+	adj    [][]Neighbor
+	edges  []Edge
+	byAddr map[addr.Addr]NodeID
+	// bw holds optional per-directed-link bandwidths (see bandwidth.go).
+	bw map[bwKey]int
+}
+
+// Neighbor is a directed adjacency: the far end of a link and the cost
+// of traversing the link in this direction.
+type Neighbor struct {
+	To   NodeID
+	Cost int
+}
+
+// New returns an empty graph.
+func New() *Graph {
+	return &Graph{byAddr: make(map[addr.Addr]NodeID)}
+}
+
+// AddNode appends a node and returns its ID. The address must be
+// unicast and unused.
+func (g *Graph) AddNode(kind Kind, a addr.Addr, name string) NodeID {
+	if !a.IsUnicast() {
+		panic(fmt.Sprintf("topology: node address %v is not unicast", a))
+	}
+	if _, dup := g.byAddr[a]; dup {
+		panic(fmt.Sprintf("topology: duplicate node address %v", a))
+	}
+	id := NodeID(len(g.nodes))
+	g.nodes = append(g.nodes, Node{ID: id, Kind: kind, Addr: a, Name: name})
+	g.adj = append(g.adj, nil)
+	g.byAddr[a] = id
+	return id
+}
+
+// AddLink connects a and b with directed costs costAB (a->b) and costBA
+// (b->a). Self-loops, duplicate links and non-positive costs panic —
+// these are always construction bugs.
+func (g *Graph) AddLink(a, b NodeID, costAB, costBA int) {
+	if a == b {
+		panic("topology: self-loop")
+	}
+	if !g.valid(a) || !g.valid(b) {
+		panic(fmt.Sprintf("topology: link %d-%d references unknown node", a, b))
+	}
+	if costAB < 1 || costBA < 1 {
+		panic(fmt.Sprintf("topology: non-positive link cost %d/%d", costAB, costBA))
+	}
+	if g.HasLink(a, b) {
+		panic(fmt.Sprintf("topology: duplicate link %d-%d", a, b))
+	}
+	g.adj[a] = append(g.adj[a], Neighbor{To: b, Cost: costAB})
+	g.adj[b] = append(g.adj[b], Neighbor{To: a, Cost: costBA})
+	g.edges = append(g.edges, Edge{A: a, B: b, CostAB: costAB, CostBA: costBA})
+}
+
+func (g *Graph) valid(v NodeID) bool { return v >= 0 && int(v) < len(g.nodes) }
+
+// HasLink reports whether an (undirected) link between a and b exists.
+func (g *Graph) HasLink(a, b NodeID) bool {
+	if !g.valid(a) || !g.valid(b) {
+		return false
+	}
+	for _, n := range g.adj[a] {
+		if n.To == b {
+			return true
+		}
+	}
+	return false
+}
+
+// Cost returns the directed cost from -> to, or 0 if no link exists.
+func (g *Graph) Cost(from, to NodeID) int {
+	for _, n := range g.adj[from] {
+		if n.To == to {
+			return n.Cost
+		}
+	}
+	return 0
+}
+
+// NumNodes returns the number of nodes.
+func (g *Graph) NumNodes() int { return len(g.nodes) }
+
+// NumEdges returns the number of undirected links.
+func (g *Graph) NumEdges() int { return len(g.edges) }
+
+// Node returns the node record for id.
+func (g *Graph) Node(id NodeID) Node {
+	if !g.valid(id) {
+		panic(fmt.Sprintf("topology: unknown node %d", id))
+	}
+	return g.nodes[id]
+}
+
+// Nodes returns all nodes in ID order. The returned slice is shared;
+// callers must not mutate it.
+func (g *Graph) Nodes() []Node { return g.nodes }
+
+// Edges returns all undirected links. The returned slice is shared.
+func (g *Graph) Edges() []Edge { return g.edges }
+
+// Neighbors returns the directed out-adjacency of v. The returned slice
+// is shared.
+func (g *Graph) Neighbors(v NodeID) []Neighbor { return g.adj[v] }
+
+// Degree returns the number of links incident to v.
+func (g *Graph) Degree(v NodeID) int { return len(g.adj[v]) }
+
+// ByAddr resolves a node by unicast address.
+func (g *Graph) ByAddr(a addr.Addr) (NodeID, bool) {
+	id, ok := g.byAddr[a]
+	return id, ok
+}
+
+// MustByAddr resolves a node by address and panics if absent.
+func (g *Graph) MustByAddr(a addr.Addr) NodeID {
+	id, ok := g.byAddr[a]
+	if !ok {
+		panic(fmt.Sprintf("topology: no node with address %v", a))
+	}
+	return id
+}
+
+// Routers returns the IDs of all router nodes in ID order.
+func (g *Graph) Routers() []NodeID {
+	var out []NodeID
+	for _, n := range g.nodes {
+		if n.Kind == Router {
+			out = append(out, n.ID)
+		}
+	}
+	return out
+}
+
+// Hosts returns the IDs of all host nodes in ID order.
+func (g *Graph) Hosts() []NodeID {
+	var out []NodeID
+	for _, n := range g.nodes {
+		if n.Kind == Host {
+			out = append(out, n.ID)
+		}
+	}
+	return out
+}
+
+// AttachedRouter returns the router a host hangs off. Panics if v is
+// not a host or is mis-wired (hosts have exactly one link, to a
+// router).
+func (g *Graph) AttachedRouter(v NodeID) NodeID {
+	if g.Node(v).Kind != Host {
+		panic(fmt.Sprintf("topology: node %d is not a host", v))
+	}
+	if len(g.adj[v]) != 1 {
+		panic(fmt.Sprintf("topology: host %d has %d links, want 1", v, len(g.adj[v])))
+	}
+	r := g.adj[v][0].To
+	if g.Node(r).Kind != Router {
+		panic(fmt.Sprintf("topology: host %d attached to non-router %d", v, r))
+	}
+	return r
+}
+
+// Connected reports whether the graph is connected (treating links as
+// undirected; directed costs never disconnect a direction since both
+// directions always exist).
+func (g *Graph) Connected() bool {
+	if len(g.nodes) == 0 {
+		return true
+	}
+	seen := make([]bool, len(g.nodes))
+	stack := []NodeID{0}
+	seen[0] = true
+	count := 1
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, n := range g.adj[v] {
+			if !seen[n.To] {
+				seen[n.To] = true
+				count++
+				stack = append(stack, n.To)
+			}
+		}
+	}
+	return count == len(g.nodes)
+}
+
+// AvgRouterDegree returns the average degree of router nodes counting
+// only router-router links, the connectivity statistic the paper quotes
+// (3.3 for the ISP topology, 8.6 for the 50-node topology).
+func (g *Graph) AvgRouterDegree() float64 {
+	routers := g.Routers()
+	if len(routers) == 0 {
+		return 0
+	}
+	total := 0
+	for _, r := range routers {
+		for _, n := range g.adj[r] {
+			if g.Node(n.To).Kind == Router {
+				total++
+			}
+		}
+	}
+	return float64(total) / float64(len(routers))
+}
+
+// RandomizeCosts reassigns every directed cost uniformly in [lo, hi]
+// using rng. The paper redraws costs for each of the 500 runs; the two
+// directions of a link are drawn independently, which is what produces
+// routing asymmetry.
+func (g *Graph) RandomizeCosts(rng *rand.Rand, lo, hi int) {
+	if lo < 1 || hi < lo {
+		panic(fmt.Sprintf("topology: bad cost range [%d,%d]", lo, hi))
+	}
+	draw := func() int { return lo + rng.Intn(hi-lo+1) }
+	for i := range g.edges {
+		e := &g.edges[i]
+		e.CostAB = draw()
+		e.CostBA = draw()
+		g.setCost(e.A, e.B, e.CostAB)
+		g.setCost(e.B, e.A, e.CostBA)
+	}
+}
+
+// SymmetrizeCosts makes every link symmetric (c(a,b) == c(b,a)) by
+// copying the A->B cost. Used by tests and the asymmetry-sweep
+// experiment's zero-asymmetry end point.
+func (g *Graph) SymmetrizeCosts() {
+	for i := range g.edges {
+		e := &g.edges[i]
+		e.CostBA = e.CostAB
+		g.setCost(e.B, e.A, e.CostBA)
+	}
+}
+
+// PerturbCosts draws symmetric base costs in [lo,hi] and then skews
+// each direction by a uniform offset in [0, spread], clamping at lo.
+// spread 0 yields symmetric routing; larger spreads increase asymmetry.
+// Used by the asymmetry-sweep extension experiment.
+func (g *Graph) PerturbCosts(rng *rand.Rand, lo, hi, spread int) {
+	if lo < 1 || hi < lo || spread < 0 {
+		panic(fmt.Sprintf("topology: bad perturb params [%d,%d] spread %d", lo, hi, spread))
+	}
+	for i := range g.edges {
+		e := &g.edges[i]
+		base := lo + rng.Intn(hi-lo+1)
+		skew := func() int {
+			c := base
+			if spread > 0 {
+				c += rng.Intn(spread+1) - spread/2
+			}
+			if c < lo {
+				c = lo
+			}
+			return c
+		}
+		e.CostAB = skew()
+		e.CostBA = skew()
+		g.setCost(e.A, e.B, e.CostAB)
+		g.setCost(e.B, e.A, e.CostBA)
+	}
+}
+
+func (g *Graph) setCost(from, to NodeID, c int) {
+	for i := range g.adj[from] {
+		if g.adj[from][i].To == to {
+			g.adj[from][i].Cost = c
+			return
+		}
+	}
+	panic(fmt.Sprintf("topology: setCost on missing link %d->%d", from, to))
+}
+
+// Clone returns a deep copy of the graph. Experiments clone the shared
+// base topology before randomizing costs so runs stay independent.
+func (g *Graph) Clone() *Graph {
+	c := &Graph{
+		nodes:  append([]Node(nil), g.nodes...),
+		adj:    make([][]Neighbor, len(g.adj)),
+		edges:  append([]Edge(nil), g.edges...),
+		byAddr: make(map[addr.Addr]NodeID, len(g.byAddr)),
+	}
+	for i, ns := range g.adj {
+		c.adj[i] = append([]Neighbor(nil), ns...)
+	}
+	for a, id := range g.byAddr {
+		c.byAddr[a] = id
+	}
+	if g.bw != nil {
+		c.bw = make(map[bwKey]int, len(g.bw))
+		for k, v := range g.bw {
+			c.bw[k] = v
+		}
+	}
+	return c
+}
+
+// String renders a compact multi-line description, stable across runs.
+func (g *Graph) String() string {
+	edges := append([]Edge(nil), g.edges...)
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].A != edges[j].A {
+			return edges[i].A < edges[j].A
+		}
+		return edges[i].B < edges[j].B
+	})
+	s := fmt.Sprintf("graph: %d nodes, %d links, avg router degree %.2f\n",
+		g.NumNodes(), g.NumEdges(), g.AvgRouterDegree())
+	for _, e := range edges {
+		s += fmt.Sprintf("  %s <-> %s  cost %d/%d\n",
+			g.nodes[e.A].Name, g.nodes[e.B].Name, e.CostAB, e.CostBA)
+	}
+	return s
+}

@@ -1,0 +1,176 @@
+package topology
+
+import (
+	"fmt"
+	"math/rand"
+
+	"hbh/internal/addr"
+)
+
+// ispLinks is the reconstructed 18-router ISP backbone of Figure 6
+// (originally from Apostolopoulos et al., SIGCOMM'98). The paper gives
+// the node count (18 routers), the average router connectivity (3.3,
+// i.e. 30 router-router links) and the general character ("typical of a
+// large ISP's network"); the exact adjacency is not recoverable from
+// the scan, so this is a faithful-in-statistics reconstruction: a
+// six-router national core (ring plus full chord set) with twelve edge
+// routers, most dual-homed, plus regional cross-links and stubs.
+// See DESIGN.md, "Substitutions".
+// The reconstructed network has three tiers, typical of a large ISP:
+// a national core (ring plus chords, routers 12-17), edge/aggregation
+// routers hanging off the core (5-11), and a metro access mesh
+// (routers 0-4) behind which the multicast source of the evaluation
+// sits (node 18, the host on router 0). The access mesh gives the
+// source multi-path connectivity to the core: packets the source
+// emits can pick cheap directed links across it, while packets routed
+// by receivers' reverse paths cross it at whatever the reverse
+// direction costs. That is the structural property behind the paper's
+// Figure 8(a) observation that an RP-centred shared tree (whose
+// source->RP leg is delay-minimised) can deliver lower delay than the
+// source-rooted reverse SPT.
+var ispLinks = [][2]int{
+	// National core ring 12-17.
+	{12, 13}, {13, 14}, {14, 15}, {15, 16}, {16, 17}, {17, 12},
+	// Core chords.
+	{12, 15}, {13, 16}, {14, 17},
+	// Source-side metro access mesh: R0 (source attachment) reaches
+	// the core over two aggregation stages with path diversity.
+	{0, 1}, {0, 2},
+	{1, 3}, {1, 4},
+	{2, 3}, {2, 4},
+	{3, 12}, {3, 13},
+	{4, 16}, {4, 17},
+	// Edge routers off the core: four dual-homed, three single-homed.
+	{5, 13}, {5, 14},
+	{6, 14}, {6, 15},
+	{7, 15}, {7, 16},
+	{8, 17}, {8, 12},
+	{9, 13},
+	{10, 15},
+	{11, 6},
+}
+
+// NumISPRouters is the number of routers in the ISP topology (nodes
+// 0..17 in Figure 6).
+const NumISPRouters = 18
+
+// ISPSourceHost is the node ID of the fixed multicast source in the ISP
+// experiments: node 18 in Figure 6, the host attached to router 0.
+const ISPSourceHost NodeID = NodeID(NumISPRouters)
+
+// ISP builds the Figure 6 evaluation topology: 18 routers (IDs 0..17)
+// each with one potential-receiver host attached (IDs 18..35, host
+// 18+i on router i). All directed link costs start at 1; experiments
+// redraw them with RandomizeCosts per run.
+func ISP() *Graph {
+	g := New()
+	for i := 0; i < NumISPRouters; i++ {
+		g.AddNode(Router, addr.RouterAddr(i), fmt.Sprintf("R%d", i))
+	}
+	for _, l := range ispLinks {
+		g.AddLink(NodeID(l[0]), NodeID(l[1]), 1, 1)
+	}
+	for i := 0; i < NumISPRouters; i++ {
+		h := g.AddNode(Host, addr.ReceiverAddr(i), fmt.Sprintf("h%d", NumISPRouters+i))
+		g.AddLink(h, NodeID(i), 1, 1)
+	}
+	if !g.Connected() {
+		panic("topology: ISP graph not connected")
+	}
+	return g
+}
+
+// RandomConfig parameterises the flat random topology generator.
+type RandomConfig struct {
+	// Routers is the number of router nodes. The paper uses 50.
+	Routers int
+	// AvgDegree is the target average router-router connectivity. The
+	// paper quotes 8.6.
+	AvgDegree float64
+	// Hosts attaches one potential-receiver host per router when true
+	// (the evaluation model: "only one receiver is connected to each
+	// node").
+	Hosts bool
+}
+
+// Paper50 is the generator configuration for the paper's 50-node
+// random topology (connectivity 8.6).
+func Paper50() RandomConfig {
+	return RandomConfig{Routers: 50, AvgDegree: 8.6, Hosts: true}
+}
+
+// Random generates a connected flat random router graph per cfg using
+// rng: first a uniform random spanning tree guarantees connectivity,
+// then uniformly random extra links are added until the target edge
+// count round(Routers*AvgDegree/2) is reached. Host leaves are appended
+// after all routers so router IDs stay dense at 0..Routers-1.
+func Random(cfg RandomConfig, rng *rand.Rand) *Graph {
+	if cfg.Routers < 2 {
+		panic("topology: Random needs at least 2 routers")
+	}
+	maxEdges := cfg.Routers * (cfg.Routers - 1) / 2
+	target := int(float64(cfg.Routers)*cfg.AvgDegree/2 + 0.5)
+	if target < cfg.Routers-1 {
+		target = cfg.Routers - 1
+	}
+	if target > maxEdges {
+		panic(fmt.Sprintf("topology: average degree %.1f impossible with %d routers",
+			cfg.AvgDegree, cfg.Routers))
+	}
+
+	g := New()
+	for i := 0; i < cfg.Routers; i++ {
+		g.AddNode(Router, addr.RouterAddr(i), fmt.Sprintf("R%d", i))
+	}
+
+	// Uniform random spanning tree by random attachment: shuffle the
+	// nodes, then attach each to a uniformly chosen earlier node.
+	perm := rng.Perm(cfg.Routers)
+	for i := 1; i < cfg.Routers; i++ {
+		parent := perm[rng.Intn(i)]
+		g.AddLink(NodeID(perm[i]), NodeID(parent), 1, 1)
+	}
+
+	for g.NumEdges() < target {
+		a := NodeID(rng.Intn(cfg.Routers))
+		b := NodeID(rng.Intn(cfg.Routers))
+		if a == b || g.HasLink(a, b) {
+			continue
+		}
+		g.AddLink(a, b, 1, 1)
+	}
+
+	if cfg.Hosts {
+		for i := 0; i < cfg.Routers; i++ {
+			h := g.AddNode(Host, addr.ReceiverAddr(i), fmt.Sprintf("h%d", cfg.Routers+i))
+			g.AddLink(h, NodeID(i), 1, 1)
+		}
+	}
+	if !g.Connected() {
+		panic("topology: random graph not connected")
+	}
+	return g
+}
+
+// Line builds a chain of n routers (R0 - R1 - ... - Rn-1) with unit
+// costs, plus one host per router when hosts is true. Used by tests and
+// the hand-built protocol scenarios.
+func Line(n int, hosts bool) *Graph {
+	if n < 1 {
+		panic("topology: Line needs at least 1 router")
+	}
+	g := New()
+	for i := 0; i < n; i++ {
+		g.AddNode(Router, addr.RouterAddr(i), fmt.Sprintf("R%d", i))
+	}
+	for i := 0; i+1 < n; i++ {
+		g.AddLink(NodeID(i), NodeID(i+1), 1, 1)
+	}
+	if hosts {
+		for i := 0; i < n; i++ {
+			h := g.AddNode(Host, addr.ReceiverAddr(i), fmt.Sprintf("h%d", n+i))
+			g.AddLink(h, NodeID(i), 1, 1)
+		}
+	}
+	return g
+}

@@ -1,0 +1,211 @@
+// Package unicast implements the unicast routing substrate: per-node
+// shortest-path routing tables computed with Dijkstra over the directed
+// link costs.
+//
+// Because the two directions of a link carry independent costs, the
+// shortest path from A to B generally differs from the reverse of the
+// shortest path from B to A. This asymmetry is the central phenomenon
+// the paper studies: every multicast protocol in the reproduction
+// forwards packets (and control messages) along these tables, and the
+// difference between forward shortest-path trees (HBH) and reverse
+// shortest-path trees (PIM) falls out of it.
+package unicast
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+
+	"hbh/internal/topology"
+)
+
+// Infinity is the distance reported for unreachable destinations.
+const Infinity = math.MaxInt
+
+// Routing holds the full set of unicast routing tables for one graph:
+// for every ordered pair (from, to), the next hop on and the total cost
+// of the shortest directed path from -> to. Tables are computed eagerly
+// by Compute and never change; recompute after mutating costs.
+type Routing struct {
+	g *topology.Graph
+	// next[from][to] is the first hop on the shortest path from->to,
+	// topology.None when unreachable or from == to.
+	next [][]topology.NodeID
+	// dist[from][to] is the cost of that path, Infinity if unreachable.
+	dist [][]int
+}
+
+// Compute builds routing tables for g by running Dijkstra from every
+// node over the directed costs. Ties are broken deterministically
+// (lowest finalisation order by (distance, node ID)), so two runs over
+// identical costs produce identical tables — required for reproducible
+// experiments.
+func Compute(g *topology.Graph) *Routing {
+	n := g.NumNodes()
+	r := &Routing{
+		g:    g,
+		next: make([][]topology.NodeID, n),
+		dist: make([][]int, n),
+	}
+	for s := 0; s < n; s++ {
+		r.next[s], r.dist[s] = dijkstra(g, topology.NodeID(s))
+	}
+	return r
+}
+
+// pqItem is a priority-queue entry for Dijkstra.
+type pqItem struct {
+	node topology.NodeID
+	dist int
+}
+
+type pq []pqItem
+
+func (q pq) Len() int { return len(q) }
+func (q pq) Less(i, j int) bool {
+	if q[i].dist != q[j].dist {
+		return q[i].dist < q[j].dist
+	}
+	return q[i].node < q[j].node
+}
+func (q pq) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *pq) Push(x any)   { *q = append(*q, x.(pqItem)) }
+func (q *pq) Pop() any {
+	old := *q
+	it := old[len(old)-1]
+	*q = old[:len(old)-1]
+	return it
+}
+
+// dijkstra computes, for source s, the first hop and distance of the
+// shortest directed path s -> x for every x.
+func dijkstra(g *topology.Graph, s topology.NodeID) ([]topology.NodeID, []int) {
+	n := g.NumNodes()
+	dist := make([]int, n)
+	first := make([]topology.NodeID, n)
+	done := make([]bool, n)
+	for i := range dist {
+		dist[i] = Infinity
+		first[i] = topology.None
+	}
+	dist[s] = 0
+
+	q := &pq{{node: s, dist: 0}}
+	for q.Len() > 0 {
+		it := heap.Pop(q).(pqItem)
+		v := it.node
+		if done[v] {
+			continue
+		}
+		done[v] = true
+		for _, nb := range g.Neighbors(v) {
+			nd := dist[v] + nb.Cost
+			if nd < dist[nb.To] {
+				dist[nb.To] = nd
+				if v == s {
+					first[nb.To] = nb.To
+				} else {
+					first[nb.To] = first[v]
+				}
+				heap.Push(q, pqItem{node: nb.To, dist: nd})
+			}
+		}
+	}
+	return first, dist
+}
+
+// NextHop returns the first hop on the shortest path from -> to.
+// Returns topology.None when from == to or to is unreachable.
+func (r *Routing) NextHop(from, to topology.NodeID) topology.NodeID {
+	return r.next[from][to]
+}
+
+// Dist returns the cost of the shortest directed path from -> to
+// (0 when from == to, Infinity when unreachable).
+func (r *Routing) Dist(from, to topology.NodeID) int {
+	return r.dist[from][to]
+}
+
+// Reachable reports whether to can be reached from from.
+func (r *Routing) Reachable(from, to topology.NodeID) bool {
+	return r.dist[from][to] != Infinity
+}
+
+// Path returns the node sequence of the shortest directed path
+// from -> to, inclusive of both endpoints. Returns nil when to is
+// unreachable; returns [from] when from == to.
+func (r *Routing) Path(from, to topology.NodeID) []topology.NodeID {
+	if from == to {
+		return []topology.NodeID{from}
+	}
+	if !r.Reachable(from, to) {
+		return nil
+	}
+	path := []topology.NodeID{from}
+	cur := from
+	for cur != to {
+		nxt := r.next[cur][to]
+		if nxt == topology.None {
+			panic(fmt.Sprintf("unicast: broken table %d->%d at %d", from, to, cur))
+		}
+		path = append(path, nxt)
+		cur = nxt
+	}
+	return path
+}
+
+// PathLinks returns the directed links of the shortest path from -> to
+// as (a, b) hops. Nil when unreachable or from == to.
+func (r *Routing) PathLinks(from, to topology.NodeID) [][2]topology.NodeID {
+	p := r.Path(from, to)
+	if len(p) < 2 {
+		return nil
+	}
+	links := make([][2]topology.NodeID, 0, len(p)-1)
+	for i := 0; i+1 < len(p); i++ {
+		links = append(links, [2]topology.NodeID{p[i], p[i+1]})
+	}
+	return links
+}
+
+// Asymmetric reports whether the shortest path a -> b differs from the
+// reverse of the shortest path b -> a, node-by-node. This is the
+// paper's notion of a routing asymmetry between two sites.
+func (r *Routing) Asymmetric(a, b topology.NodeID) bool {
+	fwd := r.Path(a, b)
+	rev := r.Path(b, a)
+	if len(fwd) != len(rev) {
+		return true
+	}
+	for i := range fwd {
+		if fwd[i] != rev[len(rev)-1-i] {
+			return true
+		}
+	}
+	return false
+}
+
+// AsymmetryFraction returns the fraction of ordered router pairs whose
+// forward and reverse shortest paths differ. Diagnostic used by the
+// asymmetry-sweep experiment and by tests that validate the substrate
+// actually produces asymmetric routes (Paxson's measurements motivate
+// the paper; ~30-50% of pairs asymmetric is realistic).
+func (r *Routing) AsymmetryFraction() float64 {
+	routers := r.g.Routers()
+	pairs, asym := 0, 0
+	for i, a := range routers {
+		for _, b := range routers[i+1:] {
+			pairs++
+			if r.Asymmetric(a, b) {
+				asym++
+			}
+		}
+	}
+	if pairs == 0 {
+		return 0
+	}
+	return float64(asym) / float64(pairs)
+}
+
+// Graph returns the graph these tables were computed over.
+func (r *Routing) Graph() *topology.Graph { return r.g }

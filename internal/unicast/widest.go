@@ -1,0 +1,133 @@
+package unicast
+
+import (
+	"container/heap"
+
+	"hbh/internal/topology"
+)
+
+// Widest-path (maximum-bottleneck) routing supports the QoS extension:
+// the paper argues HBH "is suitable for an eventual implementation of
+// Quality of Service based routing" precisely because it builds
+// forward trees on whatever unicast tables the network uses. Swap the
+// delay-shortest tables for widest-bandwidth tables and HBH members
+// inherit maximum-bottleneck paths from the source; reverse-path
+// protocols inherit the bottleneck of the wrong direction.
+
+// WidestRouting bundles routing tables selected for maximum bottleneck
+// bandwidth with the resulting per-pair bottlenecks.
+type WidestRouting struct {
+	*Routing
+	// bottleneck[from][to] is the bandwidth of the selected path's
+	// narrowest link (0 when unreachable or from == to).
+	bottleneck [][]int
+}
+
+// Bottleneck returns the selected path's narrowest directed bandwidth
+// from -> to.
+func (w *WidestRouting) Bottleneck(from, to topology.NodeID) int {
+	return w.bottleneck[from][to]
+}
+
+// ComputeWidest builds, for every ordered pair, a path maximising the
+// bottleneck bandwidth, with ties broken by lower additive cost and
+// then by node order (deterministic). The embedded Routing reports the
+// additive cost and next hops of the SELECTED paths, so it plugs into
+// the simulator exactly like delay-based tables.
+func ComputeWidest(g *topology.Graph) *WidestRouting {
+	n := g.NumNodes()
+	w := &WidestRouting{
+		Routing: &Routing{
+			g:    g,
+			next: make([][]topology.NodeID, n),
+			dist: make([][]int, n),
+		},
+		bottleneck: make([][]int, n),
+	}
+	for s := 0; s < n; s++ {
+		w.Routing.next[s], w.Routing.dist[s], w.bottleneck[s] = widestFrom(g, topology.NodeID(s))
+	}
+	return w
+}
+
+// wpItem orders the widest-path heap: wider bottleneck first, then
+// cheaper cost, then lower node id.
+type wpItem struct {
+	node   topology.NodeID
+	bottle int
+	cost   int
+}
+
+type wpq []wpItem
+
+func (q wpq) Len() int { return len(q) }
+func (q wpq) Less(i, j int) bool {
+	if q[i].bottle != q[j].bottle {
+		return q[i].bottle > q[j].bottle
+	}
+	if q[i].cost != q[j].cost {
+		return q[i].cost < q[j].cost
+	}
+	return q[i].node < q[j].node
+}
+func (q wpq) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *wpq) Push(x any)   { *q = append(*q, x.(wpItem)) }
+func (q *wpq) Pop() any {
+	old := *q
+	it := old[len(old)-1]
+	*q = old[:len(old)-1]
+	return it
+}
+
+const maxInt = int(^uint(0) >> 1)
+
+func widestFrom(g *topology.Graph, s topology.NodeID) ([]topology.NodeID, []int, []int) {
+	n := g.NumNodes()
+	bottle := make([]int, n)
+	cost := make([]int, n)
+	first := make([]topology.NodeID, n)
+	done := make([]bool, n)
+	for i := range first {
+		first[i] = topology.None
+		cost[i] = Infinity
+	}
+	bottle[s] = maxInt
+	cost[s] = 0
+
+	q := &wpq{{node: s, bottle: maxInt, cost: 0}}
+	for q.Len() > 0 {
+		it := heap.Pop(q).(wpItem)
+		v := it.node
+		if done[v] {
+			continue
+		}
+		done[v] = true
+		for _, nb := range g.Neighbors(v) {
+			bw := g.Bandwidth(v, nb.To)
+			cand := min(bottle[v], bw)
+			nc := cost[v] + nb.Cost
+			better := cand > bottle[nb.To] ||
+				(cand == bottle[nb.To] && nc < cost[nb.To])
+			if !better || done[nb.To] {
+				continue
+			}
+			bottle[nb.To] = cand
+			cost[nb.To] = nc
+			if v == s {
+				first[nb.To] = nb.To
+			} else {
+				first[nb.To] = first[v]
+			}
+			heap.Push(q, wpItem{node: nb.To, bottle: cand, cost: nc})
+		}
+	}
+	bottle[s] = 0
+	return first, cost, bottle
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
