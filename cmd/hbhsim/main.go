@@ -11,6 +11,7 @@
 //
 // Figures: 7a 7b 8a 8b (paper), stability (Fig. 4 departure study),
 // ablation-fusion (A1), unicast-clouds (A2), asymmetry-sweep (A3),
+// failure-recovery (A10, fault script selected with -faults),
 // paper (7a+7b+8a+8b sharing runs), all (everything).
 package main
 
@@ -26,11 +27,12 @@ import (
 
 func main() {
 	var (
-		figure  = flag.String("figure", "paper", "which figure to regenerate: 7a, 7b, 8a, 8b, paper, stability, ablation-fusion, unicast-clouds, asymmetry-sweep, forwarding-state, control-overhead, loss-robustness, qos, cross-topo, delay-tail, all")
+		figure  = flag.String("figure", "paper", "which figure to regenerate: 7a, 7b, 8a, 8b, paper, stability, ablation-fusion, unicast-clouds, asymmetry-sweep, forwarding-state, control-overhead, loss-robustness, qos, cross-topo, delay-tail, failure-recovery, all")
 		runs    = flag.Int("runs", 500, "simulation runs per data point (the paper uses 500)")
 		seed    = flag.Int64("seed", 1, "base RNG seed")
 		csv     = flag.Bool("csv", false, "emit CSV instead of text tables")
 		workers = flag.Int("workers", 1, "parallel simulation workers for the paper-figure sweeps (results are deterministic regardless)")
+		faultsF = flag.String("faults", "combined", "fault scenario for -figure failure-recovery: link-cut, crash, combined")
 	)
 	flag.Parse()
 	experiment.DefaultWorkers = *workers
@@ -77,6 +79,8 @@ func main() {
 		figs = append(figs, c, d)
 	case "delay-tail":
 		extra = append(extra, experiment.DelayTail(*runs, *seed).FormatTable())
+	case "failure-recovery":
+		extra = append(extra, failure(*runs, *seed, experiment.FaultScenario(*faultsF)))
 	case "all":
 		emitPaper(experiment.TopoISP)
 		emitPaper(experiment.TopoRandom50)
@@ -88,7 +92,8 @@ func main() {
 			experiment.ControlOverhead(*runs, *seed),
 			experiment.LossRobustness(*runs, *seed),
 			experiment.QoSRouting(*runs, *seed))
-		extra = append(extra, stability(*runs, *seed))
+		extra = append(extra, stability(*runs, *seed),
+			failure(*runs, *seed, experiment.FaultScenario(*faultsF)))
 	default:
 		fmt.Fprintf(os.Stderr, "hbhsim: unknown figure %q\n", *figure)
 		flag.Usage()
@@ -106,6 +111,21 @@ func main() {
 		fmt.Println(s)
 	}
 	fmt.Fprintf(os.Stderr, "hbhsim: done in %v\n", time.Since(start).Round(time.Millisecond))
+}
+
+func failure(runs int, seed int64, scenario experiment.FaultScenario) string {
+	switch scenario {
+	case experiment.ScenarioCombined, experiment.ScenarioLinkCut, experiment.ScenarioCrash:
+	default:
+		fmt.Fprintf(os.Stderr, "hbhsim: unknown fault scenario %q\n", scenario)
+		flag.Usage()
+		os.Exit(2)
+	}
+	res := experiment.FailureExperiment(experiment.FailureConfig{
+		Topo: experiment.TopoISP, Receivers: 8, Runs: runs, Seed: seed,
+		Scenario: scenario,
+	})
+	return res.FormatTable()
 }
 
 func stability(runs int, seed int64) string {

@@ -8,6 +8,7 @@
 //	hbhtrace -scenario asymmetric-join             # Fig. 2 vs Fig. 5
 //	hbhtrace -scenario duplication                 # Fig. 3
 //	hbhtrace -scenario departure                   # Fig. 4
+//	hbhtrace -scenario failure                     # link cut + router crash
 //	hbhtrace -scenario asymmetric-join -verbose    # full packet trace
 package main
 
@@ -19,6 +20,7 @@ import (
 	"hbh/internal/addr"
 	"hbh/internal/core"
 	"hbh/internal/eventsim"
+	"hbh/internal/faults"
 	"hbh/internal/mtree"
 	"hbh/internal/netsim"
 	"hbh/internal/reunite"
@@ -28,14 +30,14 @@ import (
 
 func main() {
 	var (
-		scenario = flag.String("scenario", "asymmetric-join", "asymmetric-join | duplication | departure")
+		scenario = flag.String("scenario", "asymmetric-join", "asymmetric-join | duplication | departure | failure")
 		verbose  = flag.Bool("verbose", false, "print the full packet-level trace")
 	)
 	flag.Parse()
 
 	var sc topology.Scenario
 	switch *scenario {
-	case "asymmetric-join", "departure":
+	case "asymmetric-join", "departure", "failure":
 		sc = topology.Fig2Scenario()
 	case "duplication":
 		sc = topology.Fig3Scenario()
@@ -49,7 +51,13 @@ func main() {
 	fmt.Print(sc.Graph.String())
 	fmt.Println()
 
-	for _, proto := range []string{"REUNITE", "HBH"} {
+	// The failure scenario exercises HBH's self-healing; the worked
+	// examples compare both protocols.
+	protos := []string{"REUNITE", "HBH"}
+	if *scenario == "failure" {
+		protos = []string{"HBH"}
+	}
+	for _, proto := range protos {
 		fmt.Printf("=== %s ===\n", proto)
 		runScenario(proto, *scenario, sc, *verbose)
 		fmt.Println()
@@ -64,6 +72,9 @@ type session struct {
 	send    func() uint32
 	r1, r2  mtree.Member
 	leaveR1 func()
+	// routers gives the failure scenario access to protocol state loss
+	// on crash (HBH only).
+	routers map[topology.NodeID]*core.Router
 }
 
 func buildSession(proto string, sc topology.Scenario, verbose bool) *session {
@@ -78,8 +89,9 @@ func buildSession(proto string, sc topology.Scenario, verbose bool) *session {
 	switch proto {
 	case "HBH":
 		cfg := core.DefaultConfig()
+		s.routers = make(map[topology.NodeID]*core.Router)
 		for _, r := range sc.Graph.Routers() {
-			core.AttachRouter(net.Node(r), cfg)
+			s.routers[r] = core.AttachRouter(net.Node(r), cfg)
 		}
 		src := core.AttachSource(net.Node(sc.Source), addr.GroupAddr(0), cfg)
 		r1 := core.AttachReceiver(net.Node(sc.R1), src.Channel(), cfg)
@@ -129,6 +141,58 @@ func runScenario(proto, scenario string, sc topology.Scenario, verbose bool) {
 		d := res.Delays[m.Addr()]
 		sp := s.routing.Dist(g.MustByAddr(sc.Graph.Node(sc.Source).Addr), g.MustByAddr(m.Addr()))
 		fmt.Printf("  %v delay %v (shortest possible %d)\n", m.Addr(), d, sp)
+	}
+
+	if scenario == "failure" {
+		// Fault script on the Fig. 2 ring: cut the A-D shortcut r2's
+		// branch rides on, heal it, then crash router B on r1's branch.
+		// Every event is announced as it fires, interleaved with the
+		// probes; HBH must reroute each time with no repair messages.
+		pcfg := core.DefaultConfig()
+		gen := pcfg.T1 + pcfg.T2
+		a, b, d := topology.NodeID(0), topology.NodeID(1), topology.NodeID(3)
+		t0 := s.sim.Now()
+		plan := faults.NewPlan().
+			LinkDown(t0+100, a, d).
+			LinkUp(t0+100+12*gen, a, d).
+			NodeDown(t0+100+28*gen, b).
+			NodeUp(t0+100+30*gen, b)
+		in := faults.NewInjector(s.net, plan)
+		in.OnNodeDown(func(v topology.NodeID) {
+			if r := s.routers[v]; r != nil {
+				r.Reset()
+			}
+		})
+		in.OnEvent(func(ev faults.Event) {
+			switch ev.Kind {
+			case faults.NodeDown, faults.NodeUp:
+				fmt.Printf("%8.1f  %s %s\n", float64(s.sim.Now()), ev.Kind, g.Node(ev.A).Name)
+			default:
+				fmt.Printf("%8.1f  %s %s-%s\n", float64(s.sim.Now()), ev.Kind,
+					g.Node(ev.A).Name, g.Node(ev.B).Name)
+			}
+		})
+		in.Schedule()
+
+		report := func(label string) {
+			res := probe(s.r1, s.r2)
+			fmt.Printf("tree %s:\n%s", label, res.FormatTree(g))
+			for _, m := range []mtree.Member{s.r1, s.r2} {
+				if _, ok := res.Delays[m.Addr()]; !ok {
+					fmt.Printf("  %v NOT SERVED\n", m.Addr())
+					continue
+				}
+				sp := s.routing.Dist(sc.Source, g.MustByAddr(m.Addr()))
+				fmt.Printf("  %v delay %v (shortest possible %d)\n", m.Addr(), res.Delays[m.Addr()], sp)
+			}
+		}
+		run(100 + 8*gen) // the cut fires, then the tree re-heals
+		report("with link A-D down")
+		run(12 * gen) // past the repair, settled again
+		report("after link repair")
+		run(14 * gen) // past crash and restart, settled again
+		report("after router B crash and restart")
+		return
 	}
 
 	if scenario == "departure" {

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"hbh/internal/eventsim"
+	"hbh/internal/faults"
 	"hbh/internal/mtree"
 	"hbh/internal/topology"
 )
@@ -86,5 +87,59 @@ func TestAllRoutersCrashRecovery(t *testing.T) {
 	}
 	if after.MaxLinkCopies() != 1 {
 		t.Errorf("duplication after full wipeout:\n%s", after.FormatTree(g))
+	}
+}
+
+// TestJoinDuringBlackout subscribes a receiver while the link to its
+// branch is down. Its first join (and every refresh until the repair)
+// dies on the cut link; once the link heals and routing reconverges,
+// the next periodic refresh must graft it — joining mid-blackout needs
+// no special handling beyond the soft-state refresh that already
+// exists.
+func TestJoinDuringBlackout(t *testing.T) {
+	g := topology.Line(4, true)
+	h := newHarness(t, g)
+	src := h.source(hostOf(g, 0))
+	r1 := h.receiver(hostOf(g, 1), src.Channel())
+	h.sim.At(10, r1.Join)
+	h.converge(t)
+
+	now := h.sim.Now()
+	gen := h.cfg.T1 + h.cfg.T2
+	plan := faults.NewPlan().
+		LinkDown(now+10, 2, 3).
+		LinkUp(now+10+4*gen, 2, 3)
+	in := faults.NewInjector(h.net, plan)
+	in.Schedule()
+
+	// The new receiver joins squarely inside the blackout.
+	r3 := h.receiver(hostOf(g, 3), src.Channel())
+	h.sim.At(now+10+gen, r3.Join)
+
+	// While the branch is down the join cannot have taken: the member
+	// set upstream must not contain r3 yet.
+	h.sim.At(now+10+3*gen, func() {
+		if !r3.Joined() {
+			t.Error("receiver gave up joining during the blackout")
+		}
+		if st := h.routers[3].MCTFor(src.Channel()); st != nil {
+			// R3 is cut off from the source; no channel state can have
+			// formed there from this join.
+			t.Error("blackout join installed state on the isolated router")
+		}
+	})
+	if err := h.sim.Run(now + 10 + 4*gen + 8*gen); err != nil {
+		t.Fatal(err)
+	}
+	after := h.probe(t, src, []mtree.Member{r1, r3})
+	if !after.Complete() {
+		t.Fatalf("mid-blackout join not grafted after repair: %v", after)
+	}
+	if after.MaxLinkCopies() != 1 {
+		t.Errorf("duplication after graft:\n%s", after.FormatTree(g))
+	}
+	want := eventsim.Time(h.routing.Dist(hostOf(g, 0), hostOf(g, 3)))
+	if after.Delays[r3.Addr()] != want {
+		t.Errorf("grafted receiver delay = %v, want %v", after.Delays[r3.Addr()], want)
 	}
 }

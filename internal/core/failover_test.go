@@ -1,0 +1,152 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"hbh/internal/addr"
+	"hbh/internal/eventsim"
+	"hbh/internal/faults"
+	"hbh/internal/mtree"
+	"hbh/internal/topology"
+)
+
+// diamond builds the failover topology: two router paths between the
+// source's and the receiver's access routers, with the direct one
+// cheaper.
+//
+//	S - R0 - R1 - R2 - r      (cost 1 per core hop)
+//	     \         /
+//	      +-- R3 -+           (cost 2 per hop: the detour)
+func diamond() (g *topology.Graph, s, r topology.NodeID) {
+	g = topology.New()
+	for i := 0; i < 4; i++ {
+		g.AddNode(topology.Router, addr.RouterAddr(i), fmt.Sprintf("R%d", i))
+	}
+	g.AddLink(0, 1, 1, 1)
+	g.AddLink(1, 2, 1, 1)
+	g.AddLink(0, 3, 2, 2)
+	g.AddLink(3, 2, 2, 2)
+	s = g.AddNode(topology.Host, addr.ReceiverAddr(0), "S")
+	g.AddLink(s, 0, 1, 1)
+	r = g.AddNode(topology.Host, addr.ReceiverAddr(2), "r")
+	g.AddLink(r, 2, 1, 1)
+	return g, s, r
+}
+
+// expectHealed probes the tree and asserts it is fully repaired under
+// the CURRENT routing tables: every member served, no duplication, and
+// shortest-path delays.
+func expectHealed(t *testing.T, h *harness, src *Source, srcHost topology.NodeID,
+	members []mtree.Member, context string) {
+	t.Helper()
+	// Snapshot the expected shortest-path delays before probing: the
+	// probe's settle window may run the clock across a scheduled repair
+	// event, and the probe packet measures the tree as of send time.
+	want := make(map[addr.Addr]eventsim.Time, len(members))
+	for _, m := range members {
+		want[m.Addr()] = eventsim.Time(h.routing.Dist(srcHost, h.g.MustByAddr(m.Addr())))
+	}
+	res := h.probe(t, src, members)
+	if !res.Complete() {
+		t.Fatalf("%s: tree not healed: %v", context, res)
+	}
+	if res.MaxLinkCopies() != 1 {
+		t.Errorf("%s: duplication after heal:\n%s", context, res.FormatTree(h.g))
+	}
+	for _, m := range members {
+		if res.Delays[m.Addr()] != want[m.Addr()] {
+			t.Errorf("%s: %v delay = %v, want %v (shortest path under live routing)",
+				context, m.Addr(), res.Delays[m.Addr()], want[m.Addr()])
+		}
+	}
+}
+
+// TestTreeHealsAfterLinkFailure cuts the tree's trunk link and checks
+// that HBH reroutes the branch onto the detour purely through its
+// soft-state refreshes, then snaps back when the link heals. No new
+// protocol machinery is involved: joins simply start following the
+// reconverged unicast tables.
+func TestTreeHealsAfterLinkFailure(t *testing.T) {
+	g, sHost, rHost := diamond()
+	h := newHarness(t, g)
+	src := h.source(sHost)
+	rcv := h.receiver(rHost, src.Channel())
+	h.sim.At(10, rcv.Join)
+	h.converge(t)
+
+	members := []mtree.Member{rcv}
+	before := h.probe(t, src, members)
+	if !before.Complete() || before.Delays[rcv.Addr()] != 4 {
+		t.Fatalf("unexpected pre-failure tree: %v", before)
+	}
+
+	now := h.sim.Now()
+	gen := h.cfg.T1 + h.cfg.T2
+	plan := faults.NewPlan().
+		LinkDown(now+10, 1, 2).
+		LinkUp(now+10+10*gen, 1, 2)
+	in := faults.NewInjector(h.net, plan)
+	in.Schedule()
+
+	// Phase 1: run to just before the repair; the tree must be serving
+	// the receiver over the detour (delay 1+2+2+1 = 6).
+	if err := h.sim.Run(now + 10 + 9*gen); err != nil {
+		t.Fatal(err)
+	}
+	if d := h.routing.Dist(sHost, rHost); d != 6 {
+		t.Fatalf("detour routing dist = %d, want 6", d)
+	}
+	expectHealed(t, h, src, sHost, members, "after link cut")
+
+	// Phase 2: run past the repair; the tree must snap back to the
+	// direct path (delay 4).
+	if err := h.sim.Run(now + 10 + 19*gen); err != nil {
+		t.Fatal(err)
+	}
+	if d := h.routing.Dist(sHost, rHost); d != 4 {
+		t.Fatalf("restored routing dist = %d, want 4", d)
+	}
+	expectHealed(t, h, src, sHost, members, "after link repair")
+}
+
+// TestTreeHealsAfterRouterCrashViaInjector runs the crash scenario of
+// TestRouterCrashRecovery through the fault-injection layer: the
+// injector marks the router down (blackout — unlike a bare Reset, no
+// packets transit it), wipes its soft state through the node-down
+// hook, and restores it later. The members past the crash point are
+// re-grafted once the router returns.
+func TestTreeHealsAfterRouterCrashViaInjector(t *testing.T) {
+	g := topology.Line(5, true)
+	h := newHarness(t, g)
+	src := h.source(hostOf(g, 0))
+	r2 := h.receiver(hostOf(g, 2), src.Channel())
+	r4 := h.receiver(hostOf(g, 4), src.Channel())
+	h.sim.At(10, r2.Join)
+	h.sim.At(25, r4.Join)
+	h.converge(t)
+
+	now := h.sim.Now()
+	gen := h.cfg.T1 + h.cfg.T2
+	plan := faults.NewPlan().NodeDown(now+10, 2).NodeUp(now+10+3*gen, 2)
+	in := faults.NewInjector(h.net, plan)
+	in.OnNodeDown(func(v topology.NodeID) { h.routers[v].Reset() })
+	in.Schedule()
+
+	// Mid-crash, the line is partitioned at R2: nothing reaches r2/r4.
+	h.sim.At(now+10+gen, func() {
+		if h.routing.Reachable(hostOf(g, 0), hostOf(g, 4)) {
+			t.Error("partition not visible in routing mid-crash")
+		}
+		if h.routers[2].MCTFor(src.Channel()) != nil {
+			t.Error("crash hook did not wipe R2's soft state")
+		}
+	})
+	if err := h.sim.Run(now + 10 + 3*gen + 8*gen); err != nil {
+		t.Fatal(err)
+	}
+	expectHealed(t, h, src, hostOf(g, 0), []mtree.Member{r2, r4}, "after router crash")
+	if h.routers[2].MFTFor(src.Channel()) == nil {
+		t.Error("R2 is not a branching node again after restart")
+	}
+}

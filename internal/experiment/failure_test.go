@@ -1,0 +1,57 @@
+package experiment
+
+import "testing"
+
+// TestFailureRecoveryHeals is the A10 acceptance check: after a
+// scripted tree-branch cut and a router crash, the HBH tree must be
+// verifiably repaired — every receiver served exactly once at
+// shortest-path delay under the restored routing — within the bounded
+// measurement windows (8 generations after the cut, 10 after the
+// crash).
+func TestFailureRecoveryHeals(t *testing.T) {
+	res := FailureExperiment(FailureConfig{
+		Topo: TopoISP, Receivers: 8, Runs: 3, Seed: 1,
+	})
+	if res.FinalComplete.Mean() != 1 {
+		t.Errorf("final tree incomplete in some runs: %v", res.FinalComplete.Mean())
+	}
+	if res.FinalClean.Mean() != 1 {
+		t.Errorf("duplication survived recovery in some runs: %v", res.FinalClean.Mean())
+	}
+	if res.FinalShortest.Mean() != 1 {
+		t.Errorf("post-recovery delays off shortest path: %v", res.FinalShortest.Mean())
+	}
+	if res.LinkRepaired.Mean() != 1 {
+		t.Errorf("link-cut repair missed its 8-generation window in %v of runs",
+			1-res.LinkRepaired.Mean())
+	}
+	if res.CrashRepaired.Mean() != 1 {
+		t.Errorf("crash repair missed its window in %v of runs", 1-res.CrashRepaired.Mean())
+	}
+	if res.LinkRepair.N() > 0 && res.LinkRepair.Max() > 8 {
+		t.Errorf("link repair took %v generations, bound is 8", res.LinkRepair.Max())
+	}
+	if res.CrashRepair.N() > 0 && res.CrashRepair.Max() > 10 {
+		t.Errorf("crash repair took %v generations, bound is 10", res.CrashRepair.Max())
+	}
+	// The faults must actually bite: a blackout with no missed probes
+	// means the script cut a link the tree was not using.
+	if res.LinkBlackoutRatio.Min() >= 1 {
+		t.Error("link cut caused no delivery dip — cut link not on the tree?")
+	}
+	if res.CrashBlackoutRatio.Min() >= 1 {
+		t.Error("router crash caused no delivery dip")
+	}
+}
+
+// TestFailureRecoveryDeterministic re-runs the experiment with the same
+// seed and demands bit-identical reports: fault plans, probe schedules
+// and repairs are all driven by the seeded RNG and the virtual clock.
+func TestFailureRecoveryDeterministic(t *testing.T) {
+	cfg := FailureConfig{Topo: TopoISP, Receivers: 4, Runs: 2, Seed: 99}
+	a := FailureExperiment(cfg).FormatTable()
+	b := FailureExperiment(cfg).FormatTable()
+	if a != b {
+		t.Errorf("same seed produced different reports:\n--- a ---\n%s--- b ---\n%s", a, b)
+	}
+}

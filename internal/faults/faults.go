@@ -1,0 +1,296 @@
+// Package faults is the fault-injection layer: deterministic,
+// eventsim-scheduled plans of link failures (LinkDown/LinkUp), router
+// crashes (NodeDown/NodeUp) and route flaps, applied to a running
+// netsim.Network.
+//
+// The layer exists to test the protocols' headline robustness claim:
+// HBH's soft-state join/tree/fusion machinery is supposed to heal
+// shortest-path trees after substrate failures purely through its
+// periodic refreshes, with no dedicated repair messages. The injector
+// therefore only touches the substrate — it flips topology link state,
+// marks netsim nodes down, and reconverges the unicast routing tables
+// (the simulated IGP) — and leaves every protocol table alone. What a
+// crash does to a router's own soft state is the protocol layer's
+// decision, wired in through the node-down hook (core.Router.Reset for
+// HBH).
+//
+// Everything is deterministic: plans are explicit event lists (or
+// drawn from a caller-seeded RNG), events fire on the simulation
+// clock, and routing reconvergence happens atomically inside the
+// event, so a run with a fixed seed is exactly reproducible.
+package faults
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"hbh/internal/eventsim"
+	"hbh/internal/netsim"
+	"hbh/internal/topology"
+)
+
+// Kind classifies a fault event.
+type Kind uint8
+
+const (
+	// LinkDown disables an undirected link (both directions).
+	LinkDown Kind = iota
+	// LinkUp re-enables a previously disabled link.
+	LinkUp
+	// NodeDown crashes a node: it stops handling packets and all its
+	// incident links go down.
+	NodeDown
+	// NodeUp restores a crashed node and the incident links that went
+	// down with it (links failed independently stay down).
+	NodeUp
+)
+
+func (k Kind) String() string {
+	switch k {
+	case LinkDown:
+		return "LINK-DOWN"
+	case LinkUp:
+		return "LINK-UP"
+	case NodeDown:
+		return "NODE-DOWN"
+	case NodeUp:
+		return "NODE-UP"
+	default:
+		return fmt.Sprintf("fault(%d)", uint8(k))
+	}
+}
+
+// Event is one scheduled fault. For link events A and B are the link's
+// endpoints; for node events A is the node and B is topology.None.
+type Event struct {
+	At   eventsim.Time
+	Kind Kind
+	A, B topology.NodeID
+}
+
+// String renders the event with raw node IDs; the injector's trace
+// output uses topology names instead.
+func (e Event) String() string {
+	if e.Kind == NodeDown || e.Kind == NodeUp {
+		return fmt.Sprintf("%v %s node %d", e.At, e.Kind, e.A)
+	}
+	return fmt.Sprintf("%v %s link %d-%d", e.At, e.Kind, e.A, e.B)
+}
+
+// Plan is an ordered fault schedule. Build one with the fluent
+// methods, or draw a random one with RandomPlan.
+type Plan struct {
+	events []Event
+}
+
+// NewPlan returns an empty plan.
+func NewPlan() *Plan { return &Plan{} }
+
+// LinkDown schedules a link failure at time at.
+func (p *Plan) LinkDown(at eventsim.Time, a, b topology.NodeID) *Plan {
+	p.events = append(p.events, Event{At: at, Kind: LinkDown, A: a, B: b})
+	return p
+}
+
+// LinkUp schedules a link repair at time at.
+func (p *Plan) LinkUp(at eventsim.Time, a, b topology.NodeID) *Plan {
+	p.events = append(p.events, Event{At: at, Kind: LinkUp, A: a, B: b})
+	return p
+}
+
+// NodeDown schedules a node crash at time at.
+func (p *Plan) NodeDown(at eventsim.Time, n topology.NodeID) *Plan {
+	p.events = append(p.events, Event{At: at, Kind: NodeDown, A: n, B: topology.None})
+	return p
+}
+
+// NodeUp schedules a node restart at time at.
+func (p *Plan) NodeUp(at eventsim.Time, n topology.NodeID) *Plan {
+	p.events = append(p.events, Event{At: at, Kind: NodeUp, A: n, B: topology.None})
+	return p
+}
+
+// LinkFlap schedules count down/up cycles of the link starting at
+// start: down at start + i*period, up again downFor later. downFor
+// must be shorter than period.
+func (p *Plan) LinkFlap(start, downFor, period eventsim.Time, count int, a, b topology.NodeID) *Plan {
+	if downFor <= 0 || downFor >= period {
+		panic(fmt.Sprintf("faults: flap downFor %v must be in (0, period %v)", downFor, period))
+	}
+	for i := 0; i < count; i++ {
+		at := start + eventsim.Time(i)*period
+		p.LinkDown(at, a, b)
+		p.LinkUp(at+downFor, a, b)
+	}
+	return p
+}
+
+// Events returns the plan's events sorted by (time, insertion order).
+func (p *Plan) Events() []Event {
+	out := append([]Event(nil), p.events...)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].At < out[j].At })
+	return out
+}
+
+// Len returns the number of scheduled events.
+func (p *Plan) Len() int { return len(p.events) }
+
+// RandomPlan draws n independent router–router link failure/repair
+// pairs from rng: failure i hits a uniformly chosen core link at
+// start + i*spacing and heals downFor later. Host access links are
+// never cut (the paper's receivers are singly homed; cutting their
+// only link tests nothing but the obvious). The plan is a pure
+// function of (rng state, g, parameters), so seeded runs reproduce.
+func RandomPlan(rng *rand.Rand, g *topology.Graph, n int, start, spacing, downFor eventsim.Time) *Plan {
+	var core [][2]topology.NodeID
+	for _, e := range g.Edges() {
+		if g.Node(e.A).Kind == topology.Router && g.Node(e.B).Kind == topology.Router {
+			core = append(core, [2]topology.NodeID{e.A, e.B})
+		}
+	}
+	if len(core) == 0 {
+		panic("faults: graph has no router-router links")
+	}
+	p := NewPlan()
+	for i := 0; i < n; i++ {
+		l := core[rng.Intn(len(core))]
+		at := start + eventsim.Time(i)*spacing
+		p.LinkDown(at, l[0], l[1])
+		p.LinkUp(at+downFor, l[0], l[1])
+	}
+	return p
+}
+
+// Observer receives every applied fault event, after the substrate
+// change and routing reconvergence took effect.
+type Observer func(ev Event)
+
+// Injector applies a Plan to a running network. Create with
+// NewInjector, optionally register hooks, then Schedule before (or
+// while) the simulation runs.
+type Injector struct {
+	net  *netsim.Network
+	plan *Plan
+	// routingDelay defers routing reconvergence after each event,
+	// modelling the IGP's detection + convergence lag: packets in
+	// flight during the window still follow the stale tables and die
+	// at the failure point.
+	routingDelay eventsim.Time
+	observers    []Observer
+	onNodeDown   []func(topology.NodeID)
+	onNodeUp     []func(topology.NodeID)
+	// tookDown remembers, per crashed node, the incident links this
+	// injector disabled for it, so NodeUp restores exactly those and
+	// leaves independently failed links down.
+	tookDown map[topology.NodeID][][2]topology.NodeID
+	applied  int
+}
+
+// NewInjector binds a plan to a network.
+func NewInjector(net *netsim.Network, plan *Plan) *Injector {
+	return &Injector{net: net, plan: plan, tookDown: make(map[topology.NodeID][][2]topology.NodeID)}
+}
+
+// SetRoutingDelay makes unicast reconvergence lag each fault by d time
+// units (default 0: the IGP converges instantly within the event).
+func (in *Injector) SetRoutingDelay(d eventsim.Time) {
+	if d < 0 {
+		panic("faults: negative routing delay")
+	}
+	in.routingDelay = d
+}
+
+// OnEvent registers an observer called for every applied event.
+func (in *Injector) OnEvent(o Observer) { in.observers = append(in.observers, o) }
+
+// OnNodeDown registers a hook called when a node crashes, after the
+// substrate change. Protocol layers use it to model state loss
+// (e.g. core.Router.Reset).
+func (in *Injector) OnNodeDown(f func(topology.NodeID)) { in.onNodeDown = append(in.onNodeDown, f) }
+
+// OnNodeUp registers a hook called when a node restarts.
+func (in *Injector) OnNodeUp(f func(topology.NodeID)) { in.onNodeUp = append(in.onNodeUp, f) }
+
+// Applied returns how many events have fired so far.
+func (in *Injector) Applied() int { return in.applied }
+
+// Schedule queues every plan event on the network's simulation clock.
+// Events in the past panic (eventsim semantics): fault plans are built
+// before the phase of the run they perturb.
+func (in *Injector) Schedule() {
+	sim := in.net.Sim()
+	for _, ev := range in.plan.Events() {
+		ev := ev
+		sim.At(ev.At, func() { in.apply(ev) })
+	}
+}
+
+// apply executes one fault event: substrate first, then routing
+// reconvergence, then hooks and observers.
+func (in *Injector) apply(ev Event) {
+	g := in.net.Topology()
+	switch ev.Kind {
+	case LinkDown:
+		in.net.Tracef("FAULT %s %s-%s", ev.Kind, in.net.NodeName(ev.A), in.net.NodeName(ev.B))
+		g.SetLinkEnabled(ev.A, ev.B, false)
+		in.reconverge([2]topology.NodeID{ev.A, ev.B})
+	case LinkUp:
+		in.net.Tracef("FAULT %s %s-%s", ev.Kind, in.net.NodeName(ev.A), in.net.NodeName(ev.B))
+		g.SetLinkEnabled(ev.A, ev.B, true)
+		in.reconverge([2]topology.NodeID{ev.A, ev.B})
+	case NodeDown:
+		in.net.Tracef("FAULT %s %s", ev.Kind, in.net.NodeName(ev.A))
+		var took [][2]topology.NodeID
+		for _, nb := range g.Neighbors(ev.A) {
+			if g.LinkEnabled(ev.A, nb.To) {
+				g.SetLinkEnabled(ev.A, nb.To, false)
+				took = append(took, [2]topology.NodeID{ev.A, nb.To})
+			}
+		}
+		in.tookDown[ev.A] = took
+		in.net.SetNodeUp(ev.A, false)
+		in.reconverge(took...)
+		for _, f := range in.onNodeDown {
+			f(ev.A)
+		}
+	case NodeUp:
+		in.net.Tracef("FAULT %s %s", ev.Kind, in.net.NodeName(ev.A))
+		took := in.tookDown[ev.A]
+		delete(in.tookDown, ev.A)
+		for _, l := range took {
+			g.SetLinkEnabled(l[0], l[1], true)
+		}
+		in.net.SetNodeUp(ev.A, true)
+		in.reconverge(took...)
+		for _, f := range in.onNodeUp {
+			f(ev.A)
+		}
+	default:
+		panic(fmt.Sprintf("faults: unknown event kind %d", ev.Kind))
+	}
+	in.applied++
+	for _, o := range in.observers {
+		o(ev)
+	}
+}
+
+// reconverge updates the unicast tables for the changed links, either
+// immediately or after the configured routing delay.
+func (in *Injector) reconverge(changed ...[2]topology.NodeID) {
+	if len(changed) == 0 {
+		return
+	}
+	if in.routingDelay == 0 {
+		in.net.Routing().RecomputeLinks(changed...)
+		return
+	}
+	// With a convergence lag, further faults may land inside the
+	// window; the incremental dirty test would then judge against
+	// tables stale by more than one change. A full recompute against
+	// whatever the graph looks like when the IGP catches up is always
+	// correct.
+	in.net.Sim().After(in.routingDelay, func() {
+		in.net.Routing().Recompute()
+	})
+}

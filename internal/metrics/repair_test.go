@@ -1,0 +1,125 @@
+package metrics
+
+import "testing"
+
+// fill marks receiver r as having received probes [lo, hi).
+func fill(m *DeliveryMatrix, r, lo, hi int) {
+	for p := lo; p < hi; p++ {
+		m.Delivered(r, p)
+	}
+}
+
+func TestDeliveryMatrixBasics(t *testing.T) {
+	m := NewDeliveryMatrix(2)
+	for i := 0; i < 5; i++ {
+		if p := m.Sent(float64(i * 10)); p != i {
+			t.Fatalf("Sent returned index %d, want %d", p, i)
+		}
+	}
+	if m.Receivers() != 2 || m.Probes() != 5 {
+		t.Fatalf("shape = %dx%d", m.Receivers(), m.Probes())
+	}
+	if m.SendTime(3) != 30 {
+		t.Errorf("SendTime(3) = %v", m.SendTime(3))
+	}
+	m.Delivered(0, 2)
+	m.Delivered(0, 2) // duplicate marks are fine
+	if !m.Received(0, 2) || m.Received(1, 2) {
+		t.Error("Received bookkeeping wrong")
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Error("decreasing send time did not panic")
+		}
+	}()
+	m.Sent(5)
+}
+
+func TestDeliveryRatioWindows(t *testing.T) {
+	m := NewDeliveryMatrix(2)
+	for i := 0; i < 10; i++ {
+		m.Sent(float64(i * 10))
+	}
+	fill(m, 0, 0, 10) // receiver 0 gets everything
+	fill(m, 1, 0, 3)  // receiver 1 blacks out for probes 3..6
+	fill(m, 1, 7, 10)
+
+	if r := m.DeliveryRatio(0, 100); r != 16.0/20.0 {
+		t.Errorf("overall ratio = %v, want 0.8", r)
+	}
+	// The blackout window [30, 70): receiver 0 has 4/4, receiver 1 has 0/4.
+	if r := m.DeliveryRatio(30, 70); r != 0.5 {
+		t.Errorf("blackout-window ratio = %v, want 0.5", r)
+	}
+	if r := m.DeliveryRatio(200, 300); r != 1 {
+		t.Errorf("empty-window ratio = %v, want 1", r)
+	}
+}
+
+func TestBlackouts(t *testing.T) {
+	m := NewDeliveryMatrix(1)
+	for i := 0; i < 10; i++ {
+		m.Sent(float64(i * 10))
+	}
+	// Received: 0,1  miss: 2,3  received: 4,5  miss: 6..9 (still open).
+	fill(m, 0, 0, 2)
+	fill(m, 0, 4, 6)
+
+	bs := m.Blackouts(0)
+	if len(bs) != 2 {
+		t.Fatalf("blackouts = %+v", bs)
+	}
+	first, second := bs[0], bs[1]
+	if first.Start != 20 || first.End != 40 || first.Missed != 2 || !first.Healed {
+		t.Errorf("first blackout = %+v", first)
+	}
+	if first.Duration() != 20 {
+		t.Errorf("first duration = %v", first.Duration())
+	}
+	if second.Start != 60 || second.End != 90 || second.Missed != 4 || second.Healed {
+		t.Errorf("open blackout = %+v", second)
+	}
+	if m.MaxBlackout(0) != 30 {
+		t.Errorf("MaxBlackout = %v, want 30", m.MaxBlackout(0))
+	}
+}
+
+func TestRepairedAt(t *testing.T) {
+	m := NewDeliveryMatrix(2)
+	for i := 0; i < 10; i++ {
+		m.Sent(float64(i * 10))
+	}
+	fill(m, 0, 0, 10)
+	fill(m, 1, 0, 3) // fault hits receiver 1 from probe 3
+	fill(m, 1, 6, 10)
+
+	// Fault at t=30: receiver 1 misses probes 3..5, so the tree is whole
+	// again from probe 6 (t=60) onward.
+	at, ok := m.RepairedAt(30, 100)
+	if !ok || at != 60 {
+		t.Fatalf("RepairedAt = %v, %v; want 60, true", at, ok)
+	}
+	lat, ok := m.RepairLatency(30, 100)
+	if !ok || lat != 30 {
+		t.Errorf("RepairLatency = %v, %v; want 30, true", lat, ok)
+	}
+
+	// A window that ends inside the blackout has no repair point.
+	if _, ok := m.RepairedAt(30, 60); ok {
+		t.Error("repair reported inside an unhealed window")
+	}
+	// A receiver that never recovers blocks repair forever.
+	m2 := NewDeliveryMatrix(2)
+	for i := 0; i < 5; i++ {
+		m2.Sent(float64(i))
+	}
+	fill(m2, 0, 0, 5)
+	if _, ok := m2.RepairedAt(0, 10); ok {
+		t.Error("repair reported with a permanently dark receiver")
+	}
+	// An empty window reports no repair.
+	if _, ok := m.RepairedAt(500, 600); ok {
+		t.Error("repair reported in an empty window")
+	}
+}

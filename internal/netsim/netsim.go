@@ -71,10 +71,52 @@ type Stats struct {
 	Transmissions int // individual link traversals, all packet types
 	DataCopies    int // link traversals by data packets (the paper's tree cost, per packet)
 	Delivered     int // local deliveries
+	DataDelivered int // local deliveries of data packets
 	HopLimitDrops int // packets dropped for exceeding the hop limit
 	NoRouteDrops  int // packets dropped for an unroutable destination
 	Consumed      int // packets consumed by handlers
+	DataConsumed  int // data packets consumed by handlers (receivers and branching nodes)
 	LossDrops     int // control packets dropped by the loss model
+	DataLossDrops int // data packets dropped by the loss model
+	LinkDownDrops int // packets dropped at a disabled (failed) link
+	NodeDownDrops int // packets dropped at or by a down node
+	DataDrops     int // data packets dropped for any reason (subset of the drop counters)
+}
+
+// DeliveryRatio returns the fraction of terminated data-packet copies
+// that reached a protocol entity (handler consumption at a receiver or
+// branching node, or local delivery) rather than being dropped. It is
+// the transport-level delivery ratio the failure experiments report
+// over a measurement window (snapshot Stats before and after, Delta,
+// then DeliveryRatio); per-receiver application-level ratios come from
+// metrics.DeliveryMatrix instead. With no data traffic it returns 1.
+func (s Stats) DeliveryRatio() float64 {
+	ok := s.DataDelivered + s.DataConsumed
+	total := ok + s.DataDrops
+	if total == 0 {
+		return 1
+	}
+	return float64(ok) / float64(total)
+}
+
+// Delta returns the counter differences s - prev, for windowed
+// measurements over a running network.
+func (s Stats) Delta(prev Stats) Stats {
+	return Stats{
+		Transmissions: s.Transmissions - prev.Transmissions,
+		DataCopies:    s.DataCopies - prev.DataCopies,
+		Delivered:     s.Delivered - prev.Delivered,
+		DataDelivered: s.DataDelivered - prev.DataDelivered,
+		HopLimitDrops: s.HopLimitDrops - prev.HopLimitDrops,
+		NoRouteDrops:  s.NoRouteDrops - prev.NoRouteDrops,
+		Consumed:      s.Consumed - prev.Consumed,
+		DataConsumed:  s.DataConsumed - prev.DataConsumed,
+		LossDrops:     s.LossDrops - prev.LossDrops,
+		DataLossDrops: s.DataLossDrops - prev.DataLossDrops,
+		LinkDownDrops: s.LinkDownDrops - prev.LinkDownDrops,
+		NodeDownDrops: s.NodeDownDrops - prev.NodeDownDrops,
+		DataDrops:     s.DataDrops - prev.DataDrops,
+	}
 }
 
 // Network binds a topology, its unicast routing tables and a
@@ -89,9 +131,11 @@ type Network struct {
 	trace     TraceFunc
 	hopLimit  int
 	wireCheck bool
-	lossRate  float64
-	lossRNG   *rand.Rand
-	stats     Stats
+	loss      LossModel
+	// nodeDown marks crashed nodes: they neither handle, forward nor
+	// originate packets until brought back up (see SetNodeUp).
+	nodeDown []bool
+	stats    Stats
 }
 
 // Node is the per-vertex runtime state: the resident handlers and the
@@ -113,6 +157,7 @@ func New(sim *eventsim.Sim, g *topology.Graph, r *unicast.Routing) *Network {
 	}
 	n := &Network{sim: sim, topo: g, routing: r, hopLimit: DefaultHopLimit}
 	n.nodes = make([]*Node, g.NumNodes())
+	n.nodeDown = make([]bool, g.NumNodes())
 	for _, nd := range g.Nodes() {
 		n.nodes[nd.ID] = &Node{net: n, id: nd.ID, addr: nd.Addr, name: nd.Name}
 	}
@@ -127,6 +172,31 @@ func (n *Network) Topology() *topology.Graph { return n.topo }
 
 // Routing returns the unicast tables.
 func (n *Network) Routing() *unicast.Routing { return n.routing }
+
+// SetRouting swaps in freshly computed routing tables mid-run, e.g.
+// after a topology change recomputed them from scratch. The tables
+// must belong to this network's graph. (Tables mutated in place via
+// Routing().Recompute* need no swap — the network always consults the
+// live object.)
+func (n *Network) SetRouting(r *unicast.Routing) {
+	if r.Graph() != n.topo {
+		panic("netsim: SetRouting with tables computed for a different graph")
+	}
+	n.routing = r
+}
+
+// SetNodeUp marks a node as up (the default) or down. A down node is
+// the fault model of a crashed router or host: packets arriving at it,
+// transiting it, or originated by its resident agents are dropped and
+// counted as NodeDownDrops. Protocol soft state held by agents on the
+// node is untouched — wiping it on crash is the protocol layer's
+// decision (e.g. core.Router.Reset), not the transport's.
+func (n *Network) SetNodeUp(id topology.NodeID, up bool) {
+	n.nodeDown[id] = !up
+}
+
+// NodeUp reports whether the node is up.
+func (n *Network) NodeUp(id topology.NodeID) bool { return !n.nodeDown[id] }
 
 // Node returns the runtime node for id.
 func (n *Network) Node(id topology.NodeID) *Node { return n.nodes[id] }
@@ -158,20 +228,53 @@ func (n *Network) SetTrace(t TraceFunc) { n.trace = t }
 // bug.
 func (n *Network) SetWireCheck(on bool) { n.wireCheck = on }
 
+// LossModel configures probabilistic per-link packet drops. Control
+// and Data are independent per-traversal drop probabilities in [0, 1)
+// for non-data and data packets respectively; RNG drives the draws and
+// must be non-nil when either rate is positive.
+type LossModel struct {
+	Control float64
+	Data    float64
+	RNG     *rand.Rand
+}
+
+func (m LossModel) validate() {
+	for _, p := range []float64{m.Control, m.Data} {
+		if p < 0 || p >= 1 {
+			panic(fmt.Sprintf("netsim: loss rate %v out of [0,1)", p))
+		}
+	}
+	if (m.Control > 0 || m.Data > 0) && m.RNG == nil {
+		panic("netsim: loss model needs an RNG")
+	}
+}
+
+// SetLossModel installs (or, with the zero model, removes) the
+// per-link loss model. Dropped control packets count as LossDrops,
+// dropped data packets as DataLossDrops; the latter feed the
+// delivery-ratio measurements of the failure experiments.
+func (n *Network) SetLossModel(m LossModel) {
+	m.validate()
+	n.loss = m
+}
+
 // SetControlLoss makes every link traversal drop non-data packets with
 // probability p, using rng. Soft-state protocols are designed to
 // tolerate control-message loss — refreshes repair it — and the A6
-// experiment quantifies how well. Data packets are never dropped so
-// tree measurements keep their meaning: what degrades under loss is
-// the protocol state that routes them.
+// experiment quantifies how well. Data packets are never dropped under
+// this setting (use SetLossModel to drop data too), so tree
+// measurements keep their meaning: what degrades under loss is the
+// protocol state that routes them.
+//
+// It is a compatibility wrapper over SetLossModel that preserves any
+// data-loss rate already configured.
 func (n *Network) SetControlLoss(p float64, rng *rand.Rand) {
-	if p < 0 || p >= 1 {
-		panic(fmt.Sprintf("netsim: control loss rate %v out of [0,1)", p))
+	m := n.loss
+	m.Control = p
+	if rng != nil {
+		m.RNG = rng
 	}
-	if p > 0 && rng == nil {
-		panic("netsim: control loss needs an RNG")
-	}
-	n.lossRate, n.lossRNG = p, rng
+	n.SetLossModel(m)
 }
 
 // SetHopLimit overrides the per-packet hop budget.
@@ -185,6 +288,22 @@ func (n *Network) SetHopLimit(l int) {
 func (n *Network) tracef(format string, args ...any) {
 	if n.trace != nil {
 		n.trace(fmt.Sprintf("%8.1f  ", float64(n.sim.Now())) + fmt.Sprintf(format, args...))
+	}
+}
+
+// Tracef emits a timestamped line into the trace stream (a no-op when
+// no tracer is installed). External layers — the fault injector in
+// particular — use it so their events interleave with the packet trace.
+func (n *Network) Tracef(format string, args ...any) { n.tracef(format, args...) }
+
+// NodeName returns the topology label of a node, for diagnostics.
+func (n *Network) NodeName(id topology.NodeID) string { return n.nodes[id].name }
+
+// dropData records the loss of a data packet for delivery-ratio
+// accounting; call alongside the specific drop counter.
+func (n *Network) dropData(msg packet.Message) {
+	if _, isData := msg.(*packet.Data); isData {
+		n.stats.DataDrops++
 	}
 }
 
@@ -219,9 +338,17 @@ type envelope struct {
 // delivers locally after handler processing, with no link traversal.
 func (nd *Node) SendUnicast(msg packet.Message) {
 	h := msg.Hdr()
+	if nd.net.nodeDown[nd.id] {
+		// A crashed node originates nothing; its agents' timers may
+		// still fire, but whatever they emit dies here.
+		nd.net.stats.NodeDownDrops++
+		nd.net.dropData(msg)
+		return
+	}
 	if !h.Dst.IsUnicast() {
 		nd.net.tracef("%s DROP non-unicast dst: %s", nd.name, packet.Format(msg))
 		nd.net.stats.NoRouteDrops++
+		nd.net.dropData(msg)
 		return
 	}
 	nd.net.tracef("%s SEND %s", nd.name, packet.Format(msg))
@@ -229,6 +356,7 @@ func (nd *Node) SendUnicast(msg packet.Message) {
 	dst, ok := nd.net.topo.ByAddr(h.Dst)
 	if !ok {
 		nd.net.stats.NoRouteDrops++
+		nd.net.dropData(msg)
 		return
 	}
 	if dst == nd.id {
@@ -248,6 +376,11 @@ func (nd *Node) SendDirect(to topology.NodeID, msg packet.Message) {
 		panic(fmt.Sprintf("netsim: SendDirect %s -> %s without a link",
 			nd.name, nd.net.nodes[to].name))
 	}
+	if nd.net.nodeDown[nd.id] {
+		nd.net.stats.NodeDownDrops++
+		nd.net.dropData(msg)
+		return
+	}
 	nd.net.tracef("%s SEND-DIRECT->%s %s", nd.name, nd.net.nodes[to].name, packet.Format(msg))
 	nd.net.transmit(nd.id, to, &envelope{msg: msg, hops: nd.net.hopLimit})
 }
@@ -258,6 +391,7 @@ func (n *Network) forward(from topology.NodeID, env *envelope) {
 	dst, ok := n.topo.ByAddr(h.Dst)
 	if !ok || !n.routing.Reachable(from, dst) {
 		n.stats.NoRouteDrops++
+		n.dropData(env.msg)
 		n.tracef("%s DROP no route: %s", n.nodes[from].name, packet.Format(env.msg))
 		return
 	}
@@ -270,17 +404,35 @@ func (n *Network) forward(from topology.NodeID, env *envelope) {
 func (n *Network) transmit(from, to topology.NodeID, env *envelope) {
 	if env.hops <= 0 {
 		n.stats.HopLimitDrops++
+		n.dropData(env.msg)
 		n.tracef("%s DROP hop limit: %s", n.nodes[from].name, packet.Format(env.msg))
 		return
 	}
 	env.hops--
+	if !n.topo.LinkEnabled(from, to) {
+		// The link is administratively down (fault injection). Packets
+		// already routed onto it die here, exactly like frames on a cut
+		// wire; the stale routing that chose it is the unicast layer's
+		// problem until Recompute converges it.
+		n.stats.LinkDownDrops++
+		n.dropData(env.msg)
+		n.tracef("%s DROP link down ->%s: %s", n.nodes[from].name, n.nodes[to].name, packet.Format(env.msg))
+		return
+	}
 	cost := n.topo.Cost(from, to)
 	if cost == 0 {
 		panic(fmt.Sprintf("netsim: transmit over missing link %d->%d", from, to))
 	}
-	if n.lossRate > 0 {
-		if _, isData := env.msg.(*packet.Data); !isData && n.lossRNG.Float64() < n.lossRate {
+	if n.loss.Control > 0 || n.loss.Data > 0 {
+		_, isData := env.msg.(*packet.Data)
+		switch {
+		case !isData && n.loss.Control > 0 && n.loss.RNG.Float64() < n.loss.Control:
 			n.stats.LossDrops++
+			n.tracef("%s LOSS %s", n.nodes[from].name, packet.Format(env.msg))
+			return
+		case isData && n.loss.Data > 0 && n.loss.RNG.Float64() < n.loss.Data:
+			n.stats.DataLossDrops++
+			n.stats.DataDrops++
 			n.tracef("%s LOSS %s", n.nodes[from].name, packet.Format(env.msg))
 			return
 		}
@@ -310,9 +462,20 @@ func (n *Network) transmit(from, to topology.NodeID, env *envelope) {
 // or onward forwarding.
 func (n *Network) arrive(v topology.NodeID, env *envelope) {
 	nd := n.nodes[v]
+	if n.nodeDown[v] {
+		// A crashed node handles nothing: no interception, no
+		// forwarding, no delivery.
+		n.stats.NodeDownDrops++
+		n.dropData(env.msg)
+		n.tracef("%s DROP node down: %s", nd.name, packet.Format(env.msg))
+		return
+	}
 	for _, h := range nd.handlers {
 		if h.Handle(nd, env.msg) == Consumed {
 			n.stats.Consumed++
+			if _, isData := env.msg.(*packet.Data); isData {
+				n.stats.DataConsumed++
+			}
 			n.tracef("%s CONSUME %s", nd.name, packet.Format(env.msg))
 			return
 		}
@@ -320,6 +483,9 @@ func (n *Network) arrive(v topology.NodeID, env *envelope) {
 	hdr := env.msg.Hdr()
 	if hdr.Dst == nd.addr {
 		n.stats.Delivered++
+		if _, isData := env.msg.(*packet.Data); isData {
+			n.stats.DataDelivered++
+		}
 		n.tracef("%s DELIVER %s", nd.name, packet.Format(env.msg))
 		if nd.deliver != nil {
 			nd.deliver(nd, env.msg)
@@ -330,6 +496,7 @@ func (n *Network) arrive(v topology.NodeID, env *envelope) {
 		// Undeliverable multicast destination: only handlers can
 		// forward those, and none claimed it.
 		n.stats.NoRouteDrops++
+		n.dropData(env.msg)
 		n.tracef("%s DROP unclaimed multicast: %s", nd.name, packet.Format(env.msg))
 		return
 	}

@@ -76,6 +76,22 @@ type Graph struct {
 	byAddr map[addr.Addr]NodeID
 	// bw holds optional per-directed-link bandwidths (see bandwidth.go).
 	bw map[bwKey]int
+	// down marks administratively disabled links (both directions at
+	// once — a failed link carries nothing either way). The structural
+	// graph is untouched: costs, adjacency and edges stay in place so a
+	// later re-enable restores the exact pre-failure substrate. The
+	// routing and simulation layers consult LinkEnabled on every use.
+	down map[linkKey]bool
+}
+
+// linkKey identifies an undirected link by its normalized endpoints.
+type linkKey struct{ lo, hi NodeID }
+
+func mkLinkKey(a, b NodeID) linkKey {
+	if a > b {
+		a, b = b, a
+	}
+	return linkKey{lo: a, hi: b}
 }
 
 // Neighbor is a directed adjacency: the far end of a link and the cost
@@ -140,6 +156,55 @@ func (g *Graph) HasLink(a, b NodeID) bool {
 		}
 	}
 	return false
+}
+
+// SetLinkEnabled enables or disables the (undirected) link between a
+// and b. Disabling is the fault-injection model of a link failure:
+// both directions stop carrying packets (netsim drops them as
+// LinkDownDrops) and shortest-path computation skips the link, while
+// the link's costs are preserved for re-enabling. Toggling a missing
+// link panics — fault plans referencing nonexistent links are
+// construction bugs.
+func (g *Graph) SetLinkEnabled(a, b NodeID, enabled bool) {
+	if !g.HasLink(a, b) {
+		panic(fmt.Sprintf("topology: SetLinkEnabled on missing link %d-%d", a, b))
+	}
+	if enabled {
+		delete(g.down, mkLinkKey(a, b))
+		return
+	}
+	if g.down == nil {
+		g.down = make(map[linkKey]bool)
+	}
+	g.down[mkLinkKey(a, b)] = true
+}
+
+// LinkEnabled reports whether the link between a and b exists and is
+// not disabled. Links are enabled by default.
+func (g *Graph) LinkEnabled(a, b NodeID) bool {
+	if len(g.down) > 0 && g.down[mkLinkKey(a, b)] {
+		return false
+	}
+	return g.HasLink(a, b)
+}
+
+// DownLinks returns the currently disabled links as normalized
+// (lo, hi) pairs in deterministic order.
+func (g *Graph) DownLinks() [][2]NodeID {
+	if len(g.down) == 0 {
+		return nil
+	}
+	out := make([][2]NodeID, 0, len(g.down))
+	for k := range g.down {
+		out = append(out, [2]NodeID{k.lo, k.hi})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i][0] != out[j][0] {
+			return out[i][0] < out[j][0]
+		}
+		return out[i][1] < out[j][1]
+	})
+	return out
 }
 
 // Cost returns the directed cost from -> to, or 0 if no link exists.
@@ -234,9 +299,11 @@ func (g *Graph) AttachedRouter(v NodeID) NodeID {
 	return r
 }
 
-// Connected reports whether the graph is connected (treating links as
-// undirected; directed costs never disconnect a direction since both
-// directions always exist).
+// Connected reports whether the graph is connected over its enabled
+// links (treating links as undirected; directed costs never disconnect
+// a direction since both directions always exist). With no links
+// disabled this is plain structural connectivity; with faults injected
+// it answers whether the current failure set partitions the network.
 func (g *Graph) Connected() bool {
 	if len(g.nodes) == 0 {
 		return true
@@ -249,7 +316,7 @@ func (g *Graph) Connected() bool {
 		v := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
 		for _, n := range g.adj[v] {
-			if !seen[n.To] {
+			if !seen[n.To] && g.LinkEnabled(v, n.To) {
 				seen[n.To] = true
 				count++
 				stack = append(stack, n.To)
@@ -364,6 +431,12 @@ func (g *Graph) Clone() *Graph {
 		c.bw = make(map[bwKey]int, len(g.bw))
 		for k, v := range g.bw {
 			c.bw[k] = v
+		}
+	}
+	if len(g.down) > 0 {
+		c.down = make(map[linkKey]bool, len(g.down))
+		for k := range g.down {
+			c.down[k] = true
 		}
 	}
 	return c

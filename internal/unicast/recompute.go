@@ -1,0 +1,62 @@
+package unicast
+
+import "hbh/internal/topology"
+
+// This file implements routing reconvergence after topology changes
+// (link failures and repairs injected by the faults layer). The tables
+// are mutated in place, so every layer holding a *Routing — netsim,
+// the protocol engines' forward-path checks — observes the converged
+// tables at once, exactly as if the unicast IGP had finished
+// reconverging.
+
+// Recompute rebuilds every routing table over the graph's current
+// costs and link state by re-running Dijkstra from every node.
+func (r *Routing) Recompute() {
+	for s := range r.next {
+		r.next[s], r.dist[s] = dijkstra(r.g, topology.NodeID(s))
+	}
+}
+
+// RecomputeLinks reconverges the tables after the given undirected
+// links changed state (went down or came back up). Only dirty sources
+// are recomputed: a source s is dirty for a changed link iff one of
+// the link's directions lies on some current shortest path from s
+// (relevant when the link went down) or could now provide an equal or
+// shorter path (relevant when it came up). Both tests run against the
+// pre-change tables, which is sound either way:
+//
+//   - removal of a link with dist(s,u) + c(u,v) > dist(s,v) strictly
+//     cannot change any final distance or deterministic tie-break, and
+//   - an added link failing the same test never wins or ties a
+//     relaxation, so the tables s would recompute are bit-identical.
+//
+// Dirty sources get a full Dijkstra, so the result always equals a
+// full Recompute — this is purely a work-avoidance path (on the
+// evaluation topologies a single link cut typically dirties a fraction
+// of the sources). Call after the graph's link state has been updated.
+func (r *Routing) RecomputeLinks(changed ...[2]topology.NodeID) {
+	for s := range r.next {
+		src := topology.NodeID(s)
+		for _, l := range changed {
+			if r.linkMayAffect(src, l[0], l[1]) || r.linkMayAffect(src, l[1], l[0]) {
+				r.next[s], r.dist[s] = dijkstra(r.g, src)
+				break
+			}
+		}
+	}
+}
+
+// linkMayAffect reports whether the directed link u -> v can be on, or
+// can improve/tie, a shortest path from s, judged by the current
+// (pre-change) tables.
+func (r *Routing) linkMayAffect(s, u, v topology.NodeID) bool {
+	du := r.dist[s][u]
+	if du == Infinity {
+		return false
+	}
+	c := r.g.Cost(u, v)
+	if c == 0 {
+		return false
+	}
+	return du+c <= r.dist[s][v]
+}

@@ -1,0 +1,113 @@
+package unicast
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"hbh/internal/addr"
+	"hbh/internal/topology"
+)
+
+// tablesEqual compares two routings entry by entry.
+func tablesEqual(t *testing.T, got, want *Routing, context string) {
+	t.Helper()
+	n := want.Graph().NumNodes()
+	for s := 0; s < n; s++ {
+		for d := 0; d < n; d++ {
+			from, to := topology.NodeID(s), topology.NodeID(d)
+			if got.Dist(from, to) != want.Dist(from, to) {
+				t.Fatalf("%s: dist[%d][%d] = %v, want %v", context, s, d,
+					got.Dist(from, to), want.Dist(from, to))
+			}
+			if got.NextHop(from, to) != want.NextHop(from, to) {
+				t.Fatalf("%s: next[%d][%d] = %v, want %v", context, s, d,
+					got.NextHop(from, to), want.NextHop(from, to))
+			}
+		}
+	}
+}
+
+func TestRecomputeAfterLinkDown(t *testing.T) {
+	// Square with a shortcut: 0-1-2, 0-3-2; the direct 0-1-2 route is
+	// cheaper until 0-1 fails.
+	g := topology.New()
+	for i := 0; i < 4; i++ {
+		g.AddNode(topology.Router, addr.RouterAddr(i), fmt.Sprintf("R%d", i))
+	}
+	g.AddLink(0, 1, 1, 1)
+	g.AddLink(1, 2, 1, 1)
+	g.AddLink(0, 3, 5, 5)
+	g.AddLink(3, 2, 5, 5)
+
+	r := Compute(g)
+	if d := r.Dist(0, 2); d != 2 {
+		t.Fatalf("pre-failure dist 0->2 = %d, want 2", d)
+	}
+
+	g.SetLinkEnabled(0, 1, false)
+	r.Recompute()
+	if d := r.Dist(0, 2); d != 10 {
+		t.Errorf("post-failure dist 0->2 = %d, want 10 (via R3)", d)
+	}
+	if nh := r.NextHop(0, 2); nh != 3 {
+		t.Errorf("post-failure next hop 0->2 = %v, want 3", nh)
+	}
+	if r.Dist(0, 1) != 11 { // 0->3->2->1
+		t.Errorf("dist 0->1 = %d, want 11", r.Dist(0, 1))
+	}
+
+	g.SetLinkEnabled(0, 1, true)
+	r.Recompute()
+	tablesEqual(t, r, Compute(g), "after repair")
+}
+
+func TestRecomputeLinksMatchesFullRecompute(t *testing.T) {
+	// Randomized equivalence: on a random 20-router graph, fail and
+	// repair random links; after each change the incremental
+	// RecomputeLinks must produce tables bit-identical to a from-scratch
+	// Compute (same Dijkstra tie-breaks included).
+	rng := rand.New(rand.NewSource(99))
+	g := topology.Random(topology.RandomConfig{Routers: 20, AvgDegree: 4, Hosts: true}, rng)
+	g.RandomizeCosts(rng, 1, 10)
+	r := Compute(g)
+
+	edges := g.Edges()
+	for step := 0; step < 40; step++ {
+		e := edges[rng.Intn(len(edges))]
+		down := rng.Intn(2) == 0
+		g.SetLinkEnabled(e.A, e.B, !down)
+		r.RecomputeLinks([2]topology.NodeID{e.A, e.B})
+		tablesEqual(t, r, Compute(g), "incremental step")
+	}
+}
+
+func TestPartitionUnreachable(t *testing.T) {
+	// Cutting the middle of a line partitions it: distances must go to
+	// Infinity, next hops to None, paths to nil — and nothing panics.
+	g := topology.Line(4, true)
+	r := Compute(g)
+	g.SetLinkEnabled(1, 2, false)
+	r.RecomputeLinks([2]topology.NodeID{1, 2})
+
+	if r.Reachable(0, 3) {
+		t.Fatal("partitioned destination still reachable")
+	}
+	if d := r.Dist(0, 3); d != Infinity {
+		t.Errorf("dist across partition = %d, want Infinity", d)
+	}
+	if nh := r.NextHop(0, 3); nh != topology.None {
+		t.Errorf("next hop across partition = %v, want None", nh)
+	}
+	if p := r.Path(0, 3); p != nil {
+		t.Errorf("path across partition = %v, want nil", p)
+	}
+	// Within each side routing still works.
+	if !r.Reachable(0, 1) || !r.Reachable(2, 3) {
+		t.Error("intra-partition routes lost")
+	}
+	// Repair reconnects and restores the original tables.
+	g.SetLinkEnabled(1, 2, true)
+	r.RecomputeLinks([2]topology.NodeID{1, 2})
+	tablesEqual(t, r, Compute(g), "after partition repair")
+}

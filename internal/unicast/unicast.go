@@ -25,7 +25,9 @@ const Infinity = math.MaxInt
 // Routing holds the full set of unicast routing tables for one graph:
 // for every ordered pair (from, to), the next hop on and the total cost
 // of the shortest directed path from -> to. Tables are computed eagerly
-// by Compute and never change; recompute after mutating costs.
+// by Compute; after mutating costs or link state call Recompute (all
+// sources) or RecomputeLinks (only the sources a changed link can have
+// affected) to converge them again.
 type Routing struct {
 	g *topology.Graph
 	// next[from][to] is the first hop on the shortest path from->to,
@@ -99,6 +101,9 @@ func dijkstra(g *topology.Graph, s topology.NodeID) ([]topology.NodeID, []int) {
 		}
 		done[v] = true
 		for _, nb := range g.Neighbors(v) {
+			if !g.LinkEnabled(v, nb.To) {
+				continue
+			}
 			nd := dist[v] + nb.Cost
 			if nd < dist[nb.To] {
 				dist[nb.To] = nd
