@@ -19,6 +19,7 @@ import (
 
 	"hbh/internal/eventsim"
 	"hbh/internal/experiment"
+	"hbh/internal/netsim"
 	"hbh/internal/packet"
 	"hbh/internal/topology"
 	"hbh/internal/unicast"
@@ -44,6 +45,7 @@ func reportSeries(b *testing.B, fig *experiment.Figure, suffix string) {
 // BenchmarkFigure7a regenerates Figure 7(a): tree cost vs group size
 // on the ISP topology for PIM-SM, PIM-SS, REUNITE and HBH.
 func BenchmarkFigure7a(b *testing.B) {
+	b.ReportAllocs()
 	var fig *experiment.Figure
 	for i := 0; i < b.N; i++ {
 		fig = experiment.Figure7a(benchRuns, int64(i+1))
@@ -54,6 +56,7 @@ func BenchmarkFigure7a(b *testing.B) {
 // BenchmarkFigure7b regenerates Figure 7(b): tree cost on the 50-node
 // random topology.
 func BenchmarkFigure7b(b *testing.B) {
+	b.ReportAllocs()
 	var fig *experiment.Figure
 	for i := 0; i < b.N; i++ {
 		fig = experiment.Figure7b(benchRuns, int64(i+1))
@@ -65,6 +68,7 @@ func BenchmarkFigure7b(b *testing.B) {
 // the ISP topology (the paper's "shared trees beat source reverse
 // SPTs here" observation).
 func BenchmarkFigure8a(b *testing.B) {
+	b.ReportAllocs()
 	var fig *experiment.Figure
 	for i := 0; i < b.N; i++ {
 		fig = experiment.Figure8a(benchRuns, int64(i+1))
@@ -75,6 +79,7 @@ func BenchmarkFigure8a(b *testing.B) {
 // BenchmarkFigure8b regenerates Figure 8(b): receiver average delay on
 // the 50-node random topology.
 func BenchmarkFigure8b(b *testing.B) {
+	b.ReportAllocs()
 	var fig *experiment.Figure
 	for i := 0; i < b.N; i++ {
 		fig = experiment.Figure8b(benchRuns, int64(i+1))
@@ -86,6 +91,7 @@ func BenchmarkFigure8b(b *testing.B) {
 // comparison: route changes inflicted on remaining members per
 // departure.
 func BenchmarkStability(b *testing.B) {
+	b.ReportAllocs()
 	var res *experiment.StabilityResult
 	for i := 0; i < b.N; i++ {
 		res = experiment.StabilityExperiment(experiment.StabilityConfig{
@@ -101,6 +107,7 @@ func BenchmarkStability(b *testing.B) {
 // mechanism disabled degenerates to a unicast star; the cost gap is
 // what fusion buys.
 func BenchmarkAblationFusion(b *testing.B) {
+	b.ReportAllocs()
 	var fig *experiment.Figure
 	for i := 0; i < b.N; i++ {
 		fig = experiment.AblationFusion(benchRuns, int64(i+1))
@@ -111,6 +118,7 @@ func BenchmarkAblationFusion(b *testing.B) {
 // BenchmarkUnicastClouds regenerates extension A2: HBH and REUNITE
 // tree cost as the fraction of multicast-capable routers varies.
 func BenchmarkUnicastClouds(b *testing.B) {
+	b.ReportAllocs()
 	var fig *experiment.Figure
 	for i := 0; i < b.N; i++ {
 		fig = experiment.UnicastClouds(benchRuns, int64(i+1))
@@ -122,6 +130,7 @@ func BenchmarkUnicastClouds(b *testing.B) {
 // gap between HBH and the reverse-path protocols as per-direction cost
 // skew grows.
 func BenchmarkAsymmetrySweep(b *testing.B) {
+	b.ReportAllocs()
 	var fig *experiment.Figure
 	for i := 0; i < b.N; i++ {
 		fig = experiment.AsymmetrySweep(benchRuns, int64(i+1))
@@ -133,6 +142,7 @@ func BenchmarkAsymmetrySweep(b *testing.B) {
 // control-plane state footprint of the recursive-unicast protocols
 // versus classical IP multicast.
 func BenchmarkForwardingState(b *testing.B) {
+	b.ReportAllocs()
 	var fig *experiment.Figure
 	for i := 0; i < b.N; i++ {
 		fig = experiment.ForwardingState(benchRuns/2+1, int64(i+1))
@@ -143,6 +153,7 @@ func BenchmarkForwardingState(b *testing.B) {
 // BenchmarkControlOverhead regenerates extension A5: steady-state
 // control transmissions per refresh interval.
 func BenchmarkControlOverhead(b *testing.B) {
+	b.ReportAllocs()
 	var fig *experiment.Figure
 	for i := 0; i < b.N; i++ {
 		fig = experiment.ControlOverhead(benchRuns/2+1, int64(i+1))
@@ -154,6 +165,7 @@ func BenchmarkControlOverhead(b *testing.B) {
 // bandwidth under a widest-path unicast substrate (HBH reaches the
 // optimum; reverse-path trees do not).
 func BenchmarkQoSRouting(b *testing.B) {
+	b.ReportAllocs()
 	var fig *experiment.Figure
 	for i := 0; i < b.N; i++ {
 		fig = experiment.QoSRouting(benchRuns/2+1, int64(i+1))
@@ -166,6 +178,7 @@ func BenchmarkQoSRouting(b *testing.B) {
 // BenchmarkSingleRunHBH measures one full HBH simulation run (ISP
 // topology, 8 receivers: converge + probe).
 func BenchmarkSingleRunHBH(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		experiment.Run(experiment.RunConfig{
 			Topo: experiment.TopoISP, Protocol: experiment.HBH,
@@ -176,6 +189,7 @@ func BenchmarkSingleRunHBH(b *testing.B) {
 
 // BenchmarkSingleRunREUNITE measures one full REUNITE run.
 func BenchmarkSingleRunREUNITE(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		experiment.Run(experiment.RunConfig{
 			Topo: experiment.TopoISP, Protocol: experiment.REUNITE,
@@ -186,6 +200,7 @@ func BenchmarkSingleRunREUNITE(b *testing.B) {
 
 // BenchmarkSingleRunPIMSS measures one centralised PIM-SS run.
 func BenchmarkSingleRunPIMSS(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		experiment.Run(experiment.RunConfig{
 			Topo: experiment.TopoISP, Protocol: experiment.PIMSS,
@@ -199,6 +214,7 @@ func BenchmarkSingleRunPIMSS(b *testing.B) {
 // state is independent, so this stresses the multiplexing overhead of
 // the shared routers.
 func BenchmarkManyChannels(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		g := root.ISPTopology()
 		g.RandomizeCosts(rand.New(rand.NewSource(int64(i+1))), 1, 10)
@@ -228,6 +244,7 @@ func BenchmarkManyChannels(b *testing.B) {
 // BenchmarkDijkstra measures the all-pairs routing-table computation
 // on the 50-node topology (100 nodes with hosts).
 func BenchmarkDijkstra(b *testing.B) {
+	b.ReportAllocs()
 	g := topology.Random(topology.Paper50(), rand.New(rand.NewSource(1)))
 	g.RandomizeCosts(rand.New(rand.NewSource(2)), 1, 10)
 	b.ResetTimer()
@@ -236,9 +253,55 @@ func BenchmarkDijkstra(b *testing.B) {
 	}
 }
 
+// BenchmarkDijkstraRecompute measures the steady-state table refresh:
+// recomputing all-pairs routes into the tables' existing backing
+// arrays (the path fault rerouting takes). The contrast with
+// BenchmarkDijkstra is the point — Compute pays a one-time flat
+// allocation; Recompute must be allocation-free.
+func BenchmarkDijkstraRecompute(b *testing.B) {
+	b.ReportAllocs()
+	g := topology.Random(topology.Paper50(), rand.New(rand.NewSource(1)))
+	g.RandomizeCosts(rand.New(rand.NewSource(2)), 1, 10)
+	r := unicast.Compute(g)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Recompute()
+	}
+}
+
+// BenchmarkForwardOneHop measures the zero-copy per-hop forwarding
+// path in isolation: one data packet crossing one link (schedule,
+// transmit, arrive, deliver) with no protocol handlers attached.
+func BenchmarkForwardOneHop(b *testing.B) {
+	b.ReportAllocs()
+	g := topology.Line(2, false)
+	sim := eventsim.New()
+	net := netsim.New(sim, g, unicast.Compute(g))
+	delivered := 0
+	net.Node(1).SetDeliver(func(*netsim.Node, packet.Message) { delivered++ })
+	msg := &packet.Data{
+		Header: packet.Header{
+			Type:    packet.TypeData,
+			Channel: root.Channel{S: 0x0A000001, G: 0xE0000001},
+			Dst:     g.Node(1).Addr,
+		},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.Node(0).SendUnicast(msg)
+		if err := sim.RunAll(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if delivered != b.N {
+		b.Fatalf("delivered %d of %d", delivered, b.N)
+	}
+}
+
 // BenchmarkPacketRoundTrip measures marshal+unmarshal of a fusion
 // message (the largest control format).
 func BenchmarkPacketRoundTrip(b *testing.B) {
+	b.ReportAllocs()
 	f := &packet.Fusion{
 		Header: packet.Header{
 			Proto:   packet.ProtoHBH,
@@ -265,6 +328,7 @@ func BenchmarkPacketRoundTrip(b *testing.B) {
 // BenchmarkEventLoop measures raw discrete-event throughput: schedule
 // and fire chained events.
 func BenchmarkEventLoop(b *testing.B) {
+	b.ReportAllocs()
 	sim := eventsim.New()
 	n := 0
 	var chain func()

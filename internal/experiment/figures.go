@@ -57,11 +57,16 @@ type SweepConfig struct {
 	Metric Metric
 	// Extra tweaks applied to each RunConfig (may be nil).
 	Tweak func(*RunConfig)
-	// Workers parallelises the independent simulation runs across
+	// Workers parallelises the independent simulation scenarios across
 	// goroutines (<=1 means serial). Results are folded in a fixed
 	// order, so the aggregated output is bit-identical to a serial
 	// sweep regardless of scheduling.
 	Workers int
+	// noScenarioCache disables the per-scenario routing cache, forcing
+	// every protocol run to rebuild its own graph and tables. Only the
+	// determinism tests use it (it is the reference path the cache must
+	// match bit-for-bit); it is deliberately unexported.
+	noScenarioCache bool
 }
 
 // SweepBoth runs the full grid once and aggregates BOTH metrics (each
@@ -76,7 +81,7 @@ func SweepBoth(cfg SweepConfig) (cost, delay *Figure) {
 		delay.Series = append(delay.Series, metrics.NewSeries(string(p), cfg.Sizes))
 	}
 
-	runOne := func(si, run, pi int) RunResult {
+	makeRC := func(si, run, pi int) RunConfig {
 		rc := RunConfig{
 			Topo:      cfg.Topo,
 			Protocol:  cfg.Protocols[pi],
@@ -86,7 +91,28 @@ func SweepBoth(cfg SweepConfig) (cost, delay *Figure) {
 		if cfg.Tweak != nil {
 			cfg.Tweak(&rc)
 		}
-		return Run(rc)
+		return rc
+	}
+	nP := len(cfg.Protocols)
+	// runScenario simulates every protocol at one (size, run) grid
+	// point. All protocols share the same seed-derived costs, so the
+	// graph clone and the all-pairs Dijkstra are done once per scenario
+	// and threaded through RunConfig — an nP-fold cut in routing work.
+	// A Tweak that alters the cost model per protocol (none does today)
+	// degrades gracefully: the incompatible protocol rebuilds its own.
+	runScenario := func(si, run int, out []RunResult) {
+		base := makeRC(si, run, 0)
+		var sc *Scenario
+		if !cfg.noScenarioCache {
+			sc = PrepareScenario(base)
+		}
+		for pi := 0; pi < nP; pi++ {
+			rc := makeRC(si, run, pi)
+			if sc != nil && SameScenario(rc, base) {
+				rc.Scenario = sc
+			}
+			out[pi] = Run(rc)
+		}
 	}
 	fold := func(si int, pi int, res RunResult) {
 		if res.Missing > 0 {
@@ -102,24 +128,29 @@ func SweepBoth(cfg SweepConfig) (cost, delay *Figure) {
 		cfg.Workers = DefaultWorkers
 	}
 	if cfg.Workers <= 1 {
+		row := make([]RunResult, nP)
 		for si := range cfg.Sizes {
 			for run := 0; run < cfg.Runs; run++ {
+				runScenario(si, run, row)
 				for pi := range cfg.Protocols {
-					fold(si, pi, runOne(si, run, pi))
+					fold(si, pi, row[pi])
 				}
 			}
 		}
 		return cost, delay
 	}
 
-	// Parallel mode: every (size, run, protocol) triple is an
-	// independent simulation. Results land in a preallocated grid and
-	// are folded afterwards in the same deterministic order as the
-	// serial loop, so Welford aggregation sees an identical sequence.
-	type job struct{ si, run, pi int }
-	nP := len(cfg.Protocols)
+	// Parallel mode: every (size, run) scenario is an independent job
+	// (its protocols run serially inside the job, sharing the prebuilt
+	// routing). Results land in a preallocated grid and are folded
+	// afterwards in the same deterministic order as the serial loop, so
+	// Welford aggregation sees an identical sequence.
+	type job struct{ si, run int }
 	grid := make([]RunResult, len(cfg.Sizes)*cfg.Runs*nP)
-	idx := func(j job) int { return (j.si*cfg.Runs+j.run)*nP + j.pi }
+	rowOf := func(j job) []RunResult {
+		base := (j.si*cfg.Runs + j.run) * nP
+		return grid[base : base+nP : base+nP]
+	}
 
 	jobs := make(chan job)
 	var wg sync.WaitGroup
@@ -128,15 +159,13 @@ func SweepBoth(cfg SweepConfig) (cost, delay *Figure) {
 		go func() {
 			defer wg.Done()
 			for j := range jobs {
-				grid[idx(j)] = runOne(j.si, j.run, j.pi)
+				runScenario(j.si, j.run, rowOf(j))
 			}
 		}()
 	}
 	for si := range cfg.Sizes {
 		for run := 0; run < cfg.Runs; run++ {
-			for pi := range cfg.Protocols {
-				jobs <- job{si, run, pi}
-			}
+			jobs <- job{si, run}
 		}
 	}
 	close(jobs)
@@ -144,8 +173,9 @@ func SweepBoth(cfg SweepConfig) (cost, delay *Figure) {
 
 	for si := range cfg.Sizes {
 		for run := 0; run < cfg.Runs; run++ {
+			row := rowOf(job{si, run})
 			for pi := range cfg.Protocols {
-				fold(si, pi, grid[idx(job{si, run, pi})])
+				fold(si, pi, row[pi])
 			}
 		}
 	}
@@ -268,10 +298,12 @@ func UnicastClouds(runs int, seed int64) *Figure {
 	for fi, frac := range fractions {
 		for run := 0; run < runs; run++ {
 			s := seed + int64(fi)*1_000_003 + int64(run)*7919
+			sc := PrepareScenario(RunConfig{Topo: TopoISP, Seed: s})
 			for pi, p := range protos {
 				rc := RunConfig{
 					Topo: TopoISP, Protocol: p, Receivers: 8, Seed: s,
 					MulticastFraction: float64(frac) / 100,
+					Scenario:          sc,
 				}
 				if frac == 0 {
 					// fraction 0 must mean "none capable", but the zero
@@ -308,10 +340,14 @@ func AsymmetrySweep(runs int, seed int64) *Figure {
 	for si, spread := range spreads {
 		for run := 0; run < runs; run++ {
 			s := seed + int64(si)*1_000_003 + int64(run)*7919
+			sc := PrepareScenario(RunConfig{
+				Topo: TopoISP, Seed: s, UseAsymSpread: true, AsymSpread: spread,
+			})
 			for pi, p := range protos {
 				res := Run(RunConfig{
 					Topo: TopoISP, Protocol: p, Receivers: 8, Seed: s,
 					UseAsymSpread: true, AsymSpread: spread,
+					Scenario: sc,
 				})
 				if res.Missing > 0 {
 					fig.BadRuns++

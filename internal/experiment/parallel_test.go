@@ -22,3 +22,60 @@ func TestParallelSweepIdentical(t *testing.T) {
 		t.Errorf("bad runs differ: %d vs %d", sc.BadRuns, pc.BadRuns)
 	}
 }
+
+// TestScenarioCacheIdentical: the scenario-level routing cache (graph +
+// all-pairs Dijkstra built once per (size, run) point and shared by all
+// protocols) must produce Figure output bit-identical to the uncached
+// reference path where every protocol run rebuilds its own substrate —
+// serial and parallel alike. This is the guarantee that lets the cache
+// exist at all: it is purely a work-avoidance optimisation.
+func TestScenarioCacheIdentical(t *testing.T) {
+	base := SweepConfig{
+		Topo: TopoISP, Sizes: []int{2, 8}, Protocols: AllPaperProtocols(),
+		Runs: 3, Seed: 42,
+	}
+
+	ref := base
+	ref.noScenarioCache = true
+	refCost, refDelay := SweepBoth(ref)
+
+	for _, workers := range []int{1, 4} {
+		cfg := base
+		cfg.Workers = workers
+		gotCost, gotDelay := SweepBoth(cfg)
+		if refCost.FormatCSV() != gotCost.FormatCSV() {
+			t.Errorf("workers=%d: cached cost differs from uncached reference:\nref:\n%s\ncached:\n%s",
+				workers, refCost.FormatCSV(), gotCost.FormatCSV())
+		}
+		if refDelay.FormatCSV() != gotDelay.FormatCSV() {
+			t.Errorf("workers=%d: cached delay differs from uncached reference:\nref:\n%s\ncached:\n%s",
+				workers, refDelay.FormatCSV(), gotDelay.FormatCSV())
+		}
+		if refCost.BadRuns != gotCost.BadRuns {
+			t.Errorf("workers=%d: bad runs differ: %d vs %d", workers, refCost.BadRuns, gotCost.BadRuns)
+		}
+	}
+}
+
+// TestPreparedRunIdentical: a single Run handed a prebuilt Scenario
+// must reproduce the self-built run exactly, for every protocol and
+// for the perturbed-cost (asymmetry sweep) model too.
+func TestPreparedRunIdentical(t *testing.T) {
+	for _, p := range []Protocol{HBH, HBHNoFusion, REUNITE, PIMSM, PIMSS} {
+		rc := RunConfig{Topo: TopoISP, Protocol: p, Receivers: 6, Seed: 77}
+		want := Run(rc)
+		rc.Scenario = PrepareScenario(rc)
+		if got := Run(rc); got != want {
+			t.Errorf("%s: prepared run %+v != self-built run %+v", p, got, want)
+		}
+	}
+	rc := RunConfig{
+		Topo: TopoISP, Protocol: HBH, Receivers: 6, Seed: 78,
+		UseAsymSpread: true, AsymSpread: 4,
+	}
+	want := Run(rc)
+	rc.Scenario = PrepareScenario(rc)
+	if got := Run(rc); got != want {
+		t.Errorf("perturbed: prepared run %+v != self-built run %+v", got, want)
+	}
+}

@@ -126,6 +126,53 @@ type RunConfig struct {
 	// ConvergeIntervals overrides the soft-state settling time in
 	// units of the refresh interval (default 40).
 	ConvergeIntervals int
+	// Scenario, when non-nil, supplies the prebuilt cost-randomized
+	// graph and routing tables for this run (see PrepareScenario). All
+	// protocols simulated at one (size, run) grid point share the same
+	// seed-derived costs, so the sweeps build the graph and run the
+	// all-pairs Dijkstra once per scenario instead of once per
+	// protocol. The run still consumes the rng draws cost assignment
+	// would have, so its results are bit-identical to the uncached
+	// path. The scenario must have been prepared from a RunConfig with
+	// identical Topo, Seed and cost fields.
+	Scenario *Scenario
+}
+
+// Scenario is the seed-derived simulation substrate shared by every
+// protocol at one sweep grid point: the cost-randomized topology and
+// the unicast routing tables computed over it. Protocol runs treat
+// both as read-only.
+type Scenario struct {
+	Graph   *topology.Graph
+	Routing *unicast.Routing
+}
+
+// PrepareScenario builds the scenario a RunConfig describes: clone the
+// base topology, randomize costs from the seed, compute routing. The
+// protocol-specific fields of cfg are ignored.
+func PrepareScenario(cfg RunConfig) *Scenario {
+	lo, hi := cfg.CostLo, cfg.CostHi
+	if lo == 0 && hi == 0 {
+		lo, hi = 1, 10
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	g := BaseGraph(cfg.Topo).Clone()
+	if cfg.UseAsymSpread {
+		g.PerturbCosts(rng, lo, hi, cfg.AsymSpread)
+	} else {
+		g.RandomizeCosts(rng, lo, hi)
+	}
+	return &Scenario{Graph: g, Routing: unicast.Compute(g)}
+}
+
+// SameScenario reports whether two run configs describe the same
+// scenario (identical topology, seed and cost model), i.e. whether a
+// Scenario prepared for one can be reused for the other.
+func SameScenario(a, b RunConfig) bool {
+	return a.Topo == b.Topo && a.Seed == b.Seed &&
+		a.CostLo == b.CostLo && a.CostHi == b.CostHi &&
+		a.UseAsymSpread == b.UseAsymSpread &&
+		(!a.UseAsymSpread || a.AsymSpread == b.AsymSpread)
 }
 
 // RunResult is one run's measurement.
@@ -155,13 +202,27 @@ func Run(cfg RunConfig) RunResult {
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
 
-	g := BaseGraph(cfg.Topo).Clone()
-	if cfg.UseAsymSpread {
-		g.PerturbCosts(rng, lo, hi, cfg.AsymSpread)
+	var g *topology.Graph
+	var routing *unicast.Routing
+	if cfg.Scenario != nil {
+		g, routing = cfg.Scenario.Graph, cfg.Scenario.Routing
+		// The scenario already carries the costs this seed draws;
+		// consume the identical rng draws so receiver sampling and
+		// join jitter below see the same stream as the uncached path.
+		if cfg.UseAsymSpread {
+			g.SkipPerturbCosts(rng, lo, hi, cfg.AsymSpread)
+		} else {
+			g.SkipRandomizeCosts(rng, lo, hi)
+		}
 	} else {
-		g.RandomizeCosts(rng, lo, hi)
+		g = BaseGraph(cfg.Topo).Clone()
+		if cfg.UseAsymSpread {
+			g.PerturbCosts(rng, lo, hi, cfg.AsymSpread)
+		} else {
+			g.RandomizeCosts(rng, lo, hi)
+		}
+		routing = unicast.Compute(g)
 	}
-	routing := unicast.Compute(g)
 
 	sourceHost := sourceHostOf(g)
 	members := sampleReceivers(g, rng, sourceHost, cfg.Receivers)

@@ -219,13 +219,15 @@ func (n *Network) AddTap(t Tap) { n.taps = append(n.taps, t) }
 // SetTrace installs (or, with nil, removes) the human-readable tracer.
 func (n *Network) SetTrace(t TraceFunc) { n.trace = t }
 
-// SetWireCheck makes every link transmission marshal the message to
-// its binary wire format and decode it again on arrival, exactly as a
-// real network would. The simulator normally passes decoded messages
-// between hops for speed; wire-check mode proves the wire formats are
-// complete (nothing the protocols rely on is lost in encoding) under
-// live protocol traffic. A codec failure panics: it is always a format
-// bug.
+// SetWireCheck turns on strict-wire mode: every link transmission
+// marshals the message to its binary wire format and decodes it again
+// on arrival, exactly as a real network would. The simulator normally
+// forwards the decoded message by reference hop to hop (zero-copy) and
+// serializes only at capture boundaries; strict-wire mode proves the
+// wire formats are complete (nothing the protocols rely on is lost in
+// encoding) under live protocol traffic, so tests keep the codec
+// honest without taxing every simulation run. A codec failure panics:
+// it is always a format bug.
 func (n *Network) SetWireCheck(on bool) { n.wireCheck = on }
 
 // LossModel configures probabilistic per-link packet drops. Control
@@ -291,6 +293,13 @@ func (n *Network) tracef(format string, args ...any) {
 	}
 }
 
+// tracing reports whether a tracer is installed. The per-packet paths
+// check it BEFORE building trace arguments: packet.Format is far too
+// expensive to evaluate eagerly on every hop only to be discarded by
+// the nil check inside tracef (it used to dominate whole-run CPU
+// profiles at >50%).
+func (n *Network) tracing() bool { return n.trace != nil }
+
 // Tracef emits a timestamped line into the trace stream (a no-op when
 // no tracer is installed). External layers — the fault injector in
 // particular — use it so their events interleave with the packet trace.
@@ -327,10 +336,20 @@ func (nd *Node) AddHandler(h Handler) { nd.handlers = append(nd.handlers, h) }
 func (nd *Node) SetDeliver(d DeliverFunc) { nd.deliver = d }
 
 // envelope carries a packet in flight together with its hop budget.
+// The decoded message travels by reference from hop to hop — nothing
+// re-encodes it in transit (zero-copy forwarding); serialization
+// happens only at capture taps and under the opt-in strict-wire mode
+// (SetWireCheck). The envelope doubles as the eventsim.Caller for its
+// own next arrival, so a hop costs no closure or event allocation.
 type envelope struct {
 	msg  packet.Message
 	hops int
+	net  *Network
+	to   topology.NodeID // arrival node of the in-flight transmission
 }
+
+// Fire delivers the in-flight transmission at its arrival node.
+func (e *envelope) Fire() { e.net.arrive(e.to, e) }
 
 // SendUnicast originates msg at this node and forwards it hop by hop
 // toward msg.Hdr().Dst using the unicast tables. The packet is
@@ -346,13 +365,17 @@ func (nd *Node) SendUnicast(msg packet.Message) {
 		return
 	}
 	if !h.Dst.IsUnicast() {
-		nd.net.tracef("%s DROP non-unicast dst: %s", nd.name, packet.Format(msg))
+		if nd.net.tracing() {
+			nd.net.tracef("%s DROP non-unicast dst: %s", nd.name, packet.Format(msg))
+		}
 		nd.net.stats.NoRouteDrops++
 		nd.net.dropData(msg)
 		return
 	}
-	nd.net.tracef("%s SEND %s", nd.name, packet.Format(msg))
-	env := &envelope{msg: msg, hops: nd.net.hopLimit}
+	if nd.net.tracing() {
+		nd.net.tracef("%s SEND %s", nd.name, packet.Format(msg))
+	}
+	env := &envelope{msg: msg, hops: nd.net.hopLimit, net: nd.net}
 	dst, ok := nd.net.topo.ByAddr(h.Dst)
 	if !ok {
 		nd.net.stats.NoRouteDrops++
@@ -361,7 +384,8 @@ func (nd *Node) SendUnicast(msg packet.Message) {
 	}
 	if dst == nd.id {
 		// Local: process immediately in a fresh event for causal order.
-		nd.net.sim.After(0, func() { nd.net.arrive(nd.id, env) })
+		env.to = nd.id
+		nd.net.sim.AfterCall(0, env)
 		return
 	}
 	nd.net.forward(nd.id, env)
@@ -381,8 +405,10 @@ func (nd *Node) SendDirect(to topology.NodeID, msg packet.Message) {
 		nd.net.dropData(msg)
 		return
 	}
-	nd.net.tracef("%s SEND-DIRECT->%s %s", nd.name, nd.net.nodes[to].name, packet.Format(msg))
-	nd.net.transmit(nd.id, to, &envelope{msg: msg, hops: nd.net.hopLimit})
+	if nd.net.tracing() {
+		nd.net.tracef("%s SEND-DIRECT->%s %s", nd.name, nd.net.nodes[to].name, packet.Format(msg))
+	}
+	nd.net.transmit(nd.id, to, &envelope{msg: msg, hops: nd.net.hopLimit, net: nd.net})
 }
 
 // forward routes env one hop closer to its destination address.
@@ -392,7 +418,9 @@ func (n *Network) forward(from topology.NodeID, env *envelope) {
 	if !ok || !n.routing.Reachable(from, dst) {
 		n.stats.NoRouteDrops++
 		n.dropData(env.msg)
-		n.tracef("%s DROP no route: %s", n.nodes[from].name, packet.Format(env.msg))
+		if n.tracing() {
+			n.tracef("%s DROP no route: %s", n.nodes[from].name, packet.Format(env.msg))
+		}
 		return
 	}
 	next := n.routing.NextHop(from, dst)
@@ -405,7 +433,9 @@ func (n *Network) transmit(from, to topology.NodeID, env *envelope) {
 	if env.hops <= 0 {
 		n.stats.HopLimitDrops++
 		n.dropData(env.msg)
-		n.tracef("%s DROP hop limit: %s", n.nodes[from].name, packet.Format(env.msg))
+		if n.tracing() {
+			n.tracef("%s DROP hop limit: %s", n.nodes[from].name, packet.Format(env.msg))
+		}
 		return
 	}
 	env.hops--
@@ -416,7 +446,9 @@ func (n *Network) transmit(from, to topology.NodeID, env *envelope) {
 		// problem until Recompute converges it.
 		n.stats.LinkDownDrops++
 		n.dropData(env.msg)
-		n.tracef("%s DROP link down ->%s: %s", n.nodes[from].name, n.nodes[to].name, packet.Format(env.msg))
+		if n.tracing() {
+			n.tracef("%s DROP link down ->%s: %s", n.nodes[from].name, n.nodes[to].name, packet.Format(env.msg))
+		}
 		return
 	}
 	cost := n.topo.Cost(from, to)
@@ -428,12 +460,16 @@ func (n *Network) transmit(from, to topology.NodeID, env *envelope) {
 		switch {
 		case !isData && n.loss.Control > 0 && n.loss.RNG.Float64() < n.loss.Control:
 			n.stats.LossDrops++
-			n.tracef("%s LOSS %s", n.nodes[from].name, packet.Format(env.msg))
+			if n.tracing() {
+				n.tracef("%s LOSS %s", n.nodes[from].name, packet.Format(env.msg))
+			}
 			return
 		case isData && n.loss.Data > 0 && n.loss.RNG.Float64() < n.loss.Data:
 			n.stats.DataLossDrops++
 			n.stats.DataDrops++
-			n.tracef("%s LOSS %s", n.nodes[from].name, packet.Format(env.msg))
+			if n.tracing() {
+				n.tracef("%s LOSS %s", n.nodes[from].name, packet.Format(env.msg))
+			}
 			return
 		}
 	}
@@ -455,7 +491,8 @@ func (n *Network) transmit(from, to topology.NodeID, env *envelope) {
 	for _, tap := range n.taps {
 		tap(from, to, env.msg)
 	}
-	n.sim.After(eventsim.Time(cost), func() { n.arrive(to, env) })
+	env.to = to
+	n.sim.AfterCall(eventsim.Time(cost), env)
 }
 
 // arrive processes env at node v: handlers first, then local delivery
@@ -467,7 +504,9 @@ func (n *Network) arrive(v topology.NodeID, env *envelope) {
 		// forwarding, no delivery.
 		n.stats.NodeDownDrops++
 		n.dropData(env.msg)
-		n.tracef("%s DROP node down: %s", nd.name, packet.Format(env.msg))
+		if n.tracing() {
+			n.tracef("%s DROP node down: %s", nd.name, packet.Format(env.msg))
+		}
 		return
 	}
 	for _, h := range nd.handlers {
@@ -476,7 +515,9 @@ func (n *Network) arrive(v topology.NodeID, env *envelope) {
 			if _, isData := env.msg.(*packet.Data); isData {
 				n.stats.DataConsumed++
 			}
-			n.tracef("%s CONSUME %s", nd.name, packet.Format(env.msg))
+			if n.tracing() {
+				n.tracef("%s CONSUME %s", nd.name, packet.Format(env.msg))
+			}
 			return
 		}
 	}
@@ -486,7 +527,9 @@ func (n *Network) arrive(v topology.NodeID, env *envelope) {
 		if _, isData := env.msg.(*packet.Data); isData {
 			n.stats.DataDelivered++
 		}
-		n.tracef("%s DELIVER %s", nd.name, packet.Format(env.msg))
+		if n.tracing() {
+			n.tracef("%s DELIVER %s", nd.name, packet.Format(env.msg))
+		}
 		if nd.deliver != nil {
 			nd.deliver(nd, env.msg)
 		}
@@ -497,7 +540,9 @@ func (n *Network) arrive(v topology.NodeID, env *envelope) {
 		// forward those, and none claimed it.
 		n.stats.NoRouteDrops++
 		n.dropData(env.msg)
-		n.tracef("%s DROP unclaimed multicast: %s", nd.name, packet.Format(env.msg))
+		if n.tracing() {
+			n.tracef("%s DROP unclaimed multicast: %s", nd.name, packet.Format(env.msg))
+		}
 		return
 	}
 	n.forward(v, env)

@@ -350,14 +350,36 @@ func (g *Graph) AvgRouterDegree() float64 {
 // directions of a link are drawn independently, which is what produces
 // routing asymmetry.
 func (g *Graph) RandomizeCosts(rng *rand.Rand, lo, hi int) {
+	g.randomizeCosts(rng, lo, hi, true)
+}
+
+// SkipRandomizeCosts consumes exactly the rng draws RandomizeCosts
+// would, without touching the graph. The experiment layer's
+// scenario-level routing cache uses it: a run handed a prebuilt
+// cost-randomized graph must still advance its private rng past the
+// cost draws so everything downstream (receiver sampling, join jitter)
+// sees the identical stream and results stay bit-identical to the
+// uncached path.
+func (g *Graph) SkipRandomizeCosts(rng *rand.Rand, lo, hi int) {
+	g.randomizeCosts(rng, lo, hi, false)
+}
+
+// randomizeCosts is the single implementation behind RandomizeCosts
+// and SkipRandomizeCosts, so the two can never drift in how many draws
+// they consume.
+func (g *Graph) randomizeCosts(rng *rand.Rand, lo, hi int, apply bool) {
 	if lo < 1 || hi < lo {
 		panic(fmt.Sprintf("topology: bad cost range [%d,%d]", lo, hi))
 	}
 	draw := func() int { return lo + rng.Intn(hi-lo+1) }
 	for i := range g.edges {
+		ab, ba := draw(), draw()
+		if !apply {
+			continue
+		}
 		e := &g.edges[i]
-		e.CostAB = draw()
-		e.CostBA = draw()
+		e.CostAB = ab
+		e.CostBA = ba
 		g.setCost(e.A, e.B, e.CostAB)
 		g.setCost(e.B, e.A, e.CostBA)
 	}
@@ -379,11 +401,20 @@ func (g *Graph) SymmetrizeCosts() {
 // spread 0 yields symmetric routing; larger spreads increase asymmetry.
 // Used by the asymmetry-sweep extension experiment.
 func (g *Graph) PerturbCosts(rng *rand.Rand, lo, hi, spread int) {
+	g.perturbCosts(rng, lo, hi, spread, true)
+}
+
+// SkipPerturbCosts consumes exactly the rng draws PerturbCosts would,
+// without touching the graph (see SkipRandomizeCosts).
+func (g *Graph) SkipPerturbCosts(rng *rand.Rand, lo, hi, spread int) {
+	g.perturbCosts(rng, lo, hi, spread, false)
+}
+
+func (g *Graph) perturbCosts(rng *rand.Rand, lo, hi, spread int, apply bool) {
 	if lo < 1 || hi < lo || spread < 0 {
 		panic(fmt.Sprintf("topology: bad perturb params [%d,%d] spread %d", lo, hi, spread))
 	}
 	for i := range g.edges {
-		e := &g.edges[i]
 		base := lo + rng.Intn(hi-lo+1)
 		skew := func() int {
 			c := base
@@ -395,8 +426,13 @@ func (g *Graph) PerturbCosts(rng *rand.Rand, lo, hi, spread int) {
 			}
 			return c
 		}
-		e.CostAB = skew()
-		e.CostBA = skew()
+		ab, ba := skew(), skew()
+		if !apply {
+			continue
+		}
+		e := &g.edges[i]
+		e.CostAB = ab
+		e.CostBA = ba
 		g.setCost(e.A, e.B, e.CostAB)
 		g.setCost(e.B, e.A, e.CostBA)
 	}

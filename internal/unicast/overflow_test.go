@@ -1,0 +1,128 @@
+package unicast
+
+import (
+	"testing"
+
+	"hbh/internal/addr"
+	"hbh/internal/topology"
+)
+
+// TestAddDistSaturates: distance sums touching Infinity must saturate
+// rather than wrap. Infinity is math.MaxInt, so a naive Dist(a,b) +
+// Dist(b,c) with one unreachable leg overflows negative and would
+// compare as the SHORTEST path — the worst possible failure mode.
+func TestAddDistSaturates(t *testing.T) {
+	cases := []struct{ a, b, want int }{
+		{0, 0, 0},
+		{3, 4, 7},
+		{Infinity, 0, Infinity},
+		{0, Infinity, Infinity},
+		{Infinity, 10, Infinity},
+		{Infinity, Infinity, Infinity},
+		{Infinity - 1, 2, Infinity},
+	}
+	for _, c := range cases {
+		if got := AddDist(c.a, c.b); got != c.want {
+			t.Errorf("AddDist(%d, %d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+		if got := AddDist(c.a, c.b); got < 0 {
+			t.Errorf("AddDist(%d, %d) overflowed negative: %d", c.a, c.b, got)
+		}
+	}
+}
+
+// isolatedGraph builds a triangle of routers plus one node with no
+// links at all — the structural analogue of a fully partitioned router.
+func isolatedGraph() (*topology.Graph, topology.NodeID) {
+	g := topology.New()
+	a := g.AddNode(topology.Router, addr.RouterAddr(0), "A")
+	b := g.AddNode(topology.Router, addr.RouterAddr(1), "B")
+	c := g.AddNode(topology.Router, addr.RouterAddr(2), "C")
+	iso := g.AddNode(topology.Router, addr.RouterAddr(3), "ISO")
+	g.AddLink(a, b, 1, 1)
+	g.AddLink(b, c, 1, 1)
+	g.AddLink(a, c, 2, 2)
+	return g, iso
+}
+
+// TestDisconnectedNode: routing over a graph containing a node with no
+// links must report Infinity/None for every pair touching it, survive
+// Recompute and RecomputeLinks, and never panic or produce a negative
+// distance (the overflow regression this file guards).
+func TestDisconnectedNode(t *testing.T) {
+	g, iso := isolatedGraph()
+	r := Compute(g)
+
+	check := func() {
+		t.Helper()
+		for v := topology.NodeID(0); int(v) < g.NumNodes(); v++ {
+			if v == iso {
+				continue
+			}
+			if d := r.Dist(v, iso); d != Infinity {
+				t.Errorf("Dist(%d, iso) = %d, want Infinity", v, d)
+			}
+			if d := r.Dist(iso, v); d != Infinity {
+				t.Errorf("Dist(iso, %d) = %d, want Infinity", v, d)
+			}
+			if d := r.Dist(v, iso); d < 0 {
+				t.Errorf("Dist(%d, iso) went negative: overflow", v)
+			}
+			if nh := r.NextHop(v, iso); nh != topology.None {
+				t.Errorf("NextHop(%d, iso) = %d, want None", v, nh)
+			}
+			if p := r.Path(v, iso); p != nil {
+				t.Errorf("Path(%d, iso) = %v, want nil", v, p)
+			}
+			if r.Reachable(v, iso) {
+				t.Errorf("Reachable(%d, iso) = true", v)
+			}
+		}
+		if d := r.Dist(iso, iso); d != 0 {
+			t.Errorf("Dist(iso, iso) = %d, want 0", d)
+		}
+		// Summing two unreachable legs through the public API must
+		// saturate, not wrap (the call pattern protocol code uses for
+		// two-leg RP delays).
+		if got := AddDist(r.Dist(0, iso), r.Dist(iso, 1)); got != Infinity {
+			t.Errorf("AddDist of two infinite legs = %d, want Infinity", got)
+		}
+	}
+
+	check()
+	r.Recompute()
+	check()
+	// A link-state change elsewhere must not disturb the isolated rows.
+	g.SetLinkEnabled(0, 1, false)
+	r.RecomputeLinks([2]topology.NodeID{0, 1})
+	if d := r.Dist(0, 1); d != 3 { // now via C: 2 + 1
+		t.Errorf("Dist(0,1) after cut = %d, want 3", d)
+	}
+	g.SetLinkEnabled(0, 1, true)
+	r.RecomputeLinks([2]topology.NodeID{0, 1})
+	check()
+}
+
+// TestWidestDisconnectedNode: the widest-path tables must likewise
+// treat an isolated node as unreachable without overflow.
+func TestWidestDisconnectedNode(t *testing.T) {
+	g, iso := isolatedGraph()
+	w := ComputeWidest(g)
+	for v := topology.NodeID(0); int(v) < g.NumNodes(); v++ {
+		if v == iso {
+			continue
+		}
+		if bw := w.Bottleneck(v, iso); bw != 0 {
+			t.Errorf("Bottleneck(%d, iso) = %d, want 0", v, bw)
+		}
+		if d := w.Dist(v, iso); d != Infinity {
+			t.Errorf("widest Dist(%d, iso) = %d, want Infinity", v, d)
+		}
+		if d := w.Dist(v, iso); d < 0 {
+			t.Errorf("widest Dist(%d, iso) went negative: overflow", v)
+		}
+		if nh := w.NextHop(v, iso); nh != topology.None {
+			t.Errorf("widest NextHop(%d, iso) = %d, want None", v, nh)
+		}
+	}
+}

@@ -10,10 +10,17 @@ import "hbh/internal/topology"
 // reconverging.
 
 // Recompute rebuilds every routing table over the graph's current
-// costs and link state by re-running Dijkstra from every node.
+// costs and link state by re-running Dijkstra from every node. The
+// tables and the Dijkstra heap are reused in place, so reconvergence
+// allocates nothing.
 func (r *Routing) Recompute() {
+	if r.scratch == nil {
+		// Routings assembled row-by-row (ComputeWidest's embedded
+		// tables) lack the shared scratch; build it on first use.
+		r.scratch = newSPTScratch(len(r.next))
+	}
 	for s := range r.next {
-		r.next[s], r.dist[s] = dijkstra(r.g, topology.NodeID(s))
+		dijkstraInto(r.g, topology.NodeID(s), r.next[s], r.dist[s], r.scratch)
 	}
 }
 
@@ -35,11 +42,14 @@ func (r *Routing) Recompute() {
 // evaluation topologies a single link cut typically dirties a fraction
 // of the sources). Call after the graph's link state has been updated.
 func (r *Routing) RecomputeLinks(changed ...[2]topology.NodeID) {
+	if r.scratch == nil {
+		r.scratch = newSPTScratch(len(r.next))
+	}
 	for s := range r.next {
 		src := topology.NodeID(s)
 		for _, l := range changed {
 			if r.linkMayAffect(src, l[0], l[1]) || r.linkMayAffect(src, l[1], l[0]) {
-				r.next[s], r.dist[s] = dijkstra(r.g, src)
+				dijkstraInto(r.g, src, r.next[s], r.dist[s], r.scratch)
 				break
 			}
 		}
@@ -58,5 +68,5 @@ func (r *Routing) linkMayAffect(s, u, v topology.NodeID) bool {
 	if c == 0 {
 		return false
 	}
-	return du+c <= r.dist[s][v]
+	return AddDist(du, c) <= r.dist[s][v]
 }

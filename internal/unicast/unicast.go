@@ -12,7 +12,6 @@
 package unicast
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 
@@ -22,19 +21,41 @@ import (
 // Infinity is the distance reported for unreachable destinations.
 const Infinity = math.MaxInt
 
+// AddDist adds two distances, saturating at Infinity so that sums
+// involving an unreachable leg can never overflow into a small (or
+// negative) "reachable" value. Use it whenever combining Dist results
+// or extending a distance by a link cost that might be Infinity.
+func AddDist(a, b int) int {
+	if a == Infinity || b == Infinity || a > Infinity-b {
+		return Infinity
+	}
+	return a + b
+}
+
 // Routing holds the full set of unicast routing tables for one graph:
 // for every ordered pair (from, to), the next hop on and the total cost
 // of the shortest directed path from -> to. Tables are computed eagerly
 // by Compute; after mutating costs or link state call Recompute (all
 // sources) or RecomputeLinks (only the sources a changed link can have
 // affected) to converge them again.
+//
+// The per-source rows are views into two flat contiguous backing
+// arrays, and the Dijkstra working state (indexed heap, positions) is
+// retained on the Routing and reused, so Recompute/RecomputeLinks run
+// allocation-free — the experiment sweeps recompute tables hundreds of
+// thousands of times.
 type Routing struct {
 	g *topology.Graph
 	// next[from][to] is the first hop on the shortest path from->to,
-	// topology.None when unreachable or from == to.
+	// topology.None when unreachable or from == to. Rows alias nextFlat.
 	next [][]topology.NodeID
 	// dist[from][to] is the cost of that path, Infinity if unreachable.
+	// Rows alias distFlat.
 	dist [][]int
+
+	nextFlat []topology.NodeID
+	distFlat []int
+	scratch  *sptScratch
 }
 
 // Compute builds routing tables for g by running Dijkstra from every
@@ -45,66 +66,124 @@ type Routing struct {
 func Compute(g *topology.Graph) *Routing {
 	n := g.NumNodes()
 	r := &Routing{
-		g:    g,
-		next: make([][]topology.NodeID, n),
-		dist: make([][]int, n),
+		g:        g,
+		next:     make([][]topology.NodeID, n),
+		dist:     make([][]int, n),
+		nextFlat: make([]topology.NodeID, n*n),
+		distFlat: make([]int, n*n),
+		scratch:  newSPTScratch(n),
 	}
 	for s := 0; s < n; s++ {
-		r.next[s], r.dist[s] = dijkstra(g, topology.NodeID(s))
+		r.next[s] = r.nextFlat[s*n : (s+1)*n : (s+1)*n]
+		r.dist[s] = r.distFlat[s*n : (s+1)*n : (s+1)*n]
 	}
+	r.Recompute()
 	return r
 }
 
-// pqItem is a priority-queue entry for Dijkstra.
-type pqItem struct {
-	node topology.NodeID
-	dist int
+// sptScratch is the reusable Dijkstra working state: an indexed binary
+// min-heap of frontier nodes with decrease-key support. One instance
+// serves every source of a Routing in turn (a Routing is never
+// recomputed concurrently), so per-source runs allocate nothing.
+type sptScratch struct {
+	heap []topology.NodeID
+	// pos[v] is v's index in heap, -1 when not queued. int32 keeps the
+	// array compact; topologies are far below 2^31 nodes.
+	pos []int32
 }
 
-type pq []pqItem
+func newSPTScratch(n int) *sptScratch {
+	return &sptScratch{heap: make([]topology.NodeID, 0, n), pos: make([]int32, n)}
+}
 
-func (q pq) Len() int { return len(q) }
-func (q pq) Less(i, j int) bool {
-	if q[i].dist != q[j].dist {
-		return q[i].dist < q[j].dist
+// less orders frontier nodes by (tentative distance, node ID) — the
+// same deterministic tie-break the container/heap implementation used.
+func (sc *sptScratch) less(a, b topology.NodeID, dist []int) bool {
+	if dist[a] != dist[b] {
+		return dist[a] < dist[b]
 	}
-	return q[i].node < q[j].node
-}
-func (q pq) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
-func (q *pq) Push(x any)   { *q = append(*q, x.(pqItem)) }
-func (q *pq) Pop() any {
-	old := *q
-	it := old[len(old)-1]
-	*q = old[:len(old)-1]
-	return it
+	return a < b
 }
 
-// dijkstra computes, for source s, the first hop and distance of the
-// shortest directed path s -> x for every x.
-func dijkstra(g *topology.Graph, s topology.NodeID) ([]topology.NodeID, []int) {
-	n := g.NumNodes()
-	dist := make([]int, n)
-	first := make([]topology.NodeID, n)
-	done := make([]bool, n)
+func (sc *sptScratch) swap(i, j int) {
+	h := sc.heap
+	h[i], h[j] = h[j], h[i]
+	sc.pos[h[i]] = int32(i)
+	sc.pos[h[j]] = int32(j)
+}
+
+// fix inserts v or restores its heap position after a decrease-key
+// (Dijkstra relaxations only ever lower a tentative distance, so a
+// sift-up suffices).
+func (sc *sptScratch) fix(v topology.NodeID, dist []int) {
+	i := int(sc.pos[v])
+	if i < 0 {
+		sc.heap = append(sc.heap, v)
+		i = len(sc.heap) - 1
+		sc.pos[v] = int32(i)
+	}
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !sc.less(sc.heap[i], sc.heap[parent], dist) {
+			break
+		}
+		sc.swap(i, parent)
+		i = parent
+	}
+}
+
+// pop removes and returns the minimum frontier node.
+func (sc *sptScratch) pop(dist []int) topology.NodeID {
+	h := sc.heap
+	v := h[0]
+	n := len(h) - 1
+	sc.swap(0, n)
+	sc.pos[v] = -1
+	sc.heap = h[:n]
+	// sift down from the root.
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		least := l
+		if r := l + 1; r < n && sc.less(sc.heap[r], sc.heap[l], dist) {
+			least = r
+		}
+		if !sc.less(sc.heap[least], sc.heap[i], dist) {
+			break
+		}
+		sc.swap(i, least)
+		i = least
+	}
+	return v
+}
+
+// dijkstraInto computes, for source s, the first hop and distance of
+// the shortest directed path s -> x for every x, writing the results
+// into the caller's rows. With decrease-key every node enters the heap
+// at most once and is final when popped; the pop order over the unique
+// key (distance, node ID) is identical to the previous lazy-deletion
+// implementation, so the resulting tables are bit-identical.
+func dijkstraInto(g *topology.Graph, s topology.NodeID, first []topology.NodeID, dist []int, sc *sptScratch) {
 	for i := range dist {
 		dist[i] = Infinity
 		first[i] = topology.None
+		sc.pos[i] = -1
 	}
 	dist[s] = 0
+	sc.heap = sc.heap[:0]
+	sc.fix(s, dist)
 
-	q := &pq{{node: s, dist: 0}}
-	for q.Len() > 0 {
-		it := heap.Pop(q).(pqItem)
-		v := it.node
-		if done[v] {
-			continue
-		}
-		done[v] = true
+	for len(sc.heap) > 0 {
+		v := sc.pop(dist)
+		dv := dist[v]
 		for _, nb := range g.Neighbors(v) {
 			if !g.LinkEnabled(v, nb.To) {
 				continue
 			}
-			nd := dist[v] + nb.Cost
+			nd := AddDist(dv, nb.Cost)
 			if nd < dist[nb.To] {
 				dist[nb.To] = nd
 				if v == s {
@@ -112,11 +191,10 @@ func dijkstra(g *topology.Graph, s topology.NodeID) ([]topology.NodeID, []int) {
 				} else {
 					first[nb.To] = first[v]
 				}
-				heap.Push(q, pqItem{node: nb.To, dist: nd})
+				sc.fix(nb.To, dist)
 			}
 		}
 	}
-	return first, dist
 }
 
 // NextHop returns the first hop on the shortest path from -> to.

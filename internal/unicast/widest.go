@@ -1,8 +1,6 @@
 package unicast
 
 import (
-	"container/heap"
-
 	"hbh/internal/topology"
 )
 
@@ -19,7 +17,8 @@ import (
 type WidestRouting struct {
 	*Routing
 	// bottleneck[from][to] is the bandwidth of the selected path's
-	// narrowest link (0 when unreachable or from == to).
+	// narrowest link (0 when unreachable or from == to). Rows alias one
+	// flat backing array.
 	bottleneck [][]int
 }
 
@@ -33,19 +32,28 @@ func (w *WidestRouting) Bottleneck(from, to topology.NodeID) int {
 // bottleneck bandwidth, with ties broken by lower additive cost and
 // then by node order (deterministic). The embedded Routing reports the
 // additive cost and next hops of the SELECTED paths, so it plugs into
-// the simulator exactly like delay-based tables.
+// the simulator exactly like delay-based tables. Like Compute, the
+// per-source rows are views into flat contiguous arrays and one
+// scratch heap serves every source.
 func ComputeWidest(g *topology.Graph) *WidestRouting {
 	n := g.NumNodes()
 	w := &WidestRouting{
 		Routing: &Routing{
-			g:    g,
-			next: make([][]topology.NodeID, n),
-			dist: make([][]int, n),
+			g:        g,
+			next:     make([][]topology.NodeID, n),
+			dist:     make([][]int, n),
+			nextFlat: make([]topology.NodeID, n*n),
+			distFlat: make([]int, n*n),
 		},
 		bottleneck: make([][]int, n),
 	}
+	bottleFlat := make([]int, n*n)
+	sc := &wpScratch{heap: make([]wpItem, 0, n), done: make([]bool, n)}
 	for s := 0; s < n; s++ {
-		w.Routing.next[s], w.Routing.dist[s], w.bottleneck[s] = widestFrom(g, topology.NodeID(s))
+		w.Routing.next[s] = w.Routing.nextFlat[s*n : (s+1)*n : (s+1)*n]
+		w.Routing.dist[s] = w.Routing.distFlat[s*n : (s+1)*n : (s+1)*n]
+		w.bottleneck[s] = bottleFlat[s*n : (s+1)*n : (s+1)*n]
+		widestInto(g, topology.NodeID(s), w.Routing.next[s], w.Routing.dist[s], w.bottleneck[s], sc)
 	}
 	return w
 }
@@ -58,57 +66,91 @@ type wpItem struct {
 	cost   int
 }
 
-type wpq []wpItem
-
-func (q wpq) Len() int { return len(q) }
-func (q wpq) Less(i, j int) bool {
-	if q[i].bottle != q[j].bottle {
-		return q[i].bottle > q[j].bottle
-	}
-	if q[i].cost != q[j].cost {
-		return q[i].cost < q[j].cost
-	}
-	return q[i].node < q[j].node
+// wpScratch is the reusable widest-path working state. The heap keeps
+// the lazy-deletion discipline of the original container/heap version
+// (duplicates allowed, stale entries skipped via done), just without
+// the interface dispatch and per-push allocations.
+type wpScratch struct {
+	heap []wpItem
+	done []bool
 }
-func (q wpq) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
-func (q *wpq) Push(x any)   { *q = append(*q, x.(wpItem)) }
-func (q *wpq) Pop() any {
-	old := *q
-	it := old[len(old)-1]
-	*q = old[:len(old)-1]
+
+func wpBefore(a, b wpItem) bool {
+	if a.bottle != b.bottle {
+		return a.bottle > b.bottle
+	}
+	if a.cost != b.cost {
+		return a.cost < b.cost
+	}
+	return a.node < b.node
+}
+
+func (sc *wpScratch) push(it wpItem) {
+	sc.heap = append(sc.heap, it)
+	i := len(sc.heap) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !wpBefore(sc.heap[i], sc.heap[parent]) {
+			break
+		}
+		sc.heap[i], sc.heap[parent] = sc.heap[parent], sc.heap[i]
+		i = parent
+	}
+}
+
+func (sc *wpScratch) pop() wpItem {
+	h := sc.heap
+	it := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	sc.heap = h[:n]
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		least := l
+		if r := l + 1; r < n && wpBefore(sc.heap[r], sc.heap[l]) {
+			least = r
+		}
+		if !wpBefore(sc.heap[least], sc.heap[i]) {
+			break
+		}
+		sc.heap[i], sc.heap[least] = sc.heap[least], sc.heap[i]
+		i = least
+	}
 	return it
 }
 
 const maxInt = int(^uint(0) >> 1)
 
-func widestFrom(g *topology.Graph, s topology.NodeID) ([]topology.NodeID, []int, []int) {
-	n := g.NumNodes()
-	bottle := make([]int, n)
-	cost := make([]int, n)
-	first := make([]topology.NodeID, n)
-	done := make([]bool, n)
+func widestInto(g *topology.Graph, s topology.NodeID, first []topology.NodeID, cost, bottle []int, sc *wpScratch) {
 	for i := range first {
 		first[i] = topology.None
 		cost[i] = Infinity
+		bottle[i] = 0
+		sc.done[i] = false
 	}
 	bottle[s] = maxInt
 	cost[s] = 0
 
-	q := &wpq{{node: s, bottle: maxInt, cost: 0}}
-	for q.Len() > 0 {
-		it := heap.Pop(q).(wpItem)
+	sc.heap = sc.heap[:0]
+	sc.push(wpItem{node: s, bottle: maxInt, cost: 0})
+	for len(sc.heap) > 0 {
+		it := sc.pop()
 		v := it.node
-		if done[v] {
+		if sc.done[v] {
 			continue
 		}
-		done[v] = true
+		sc.done[v] = true
 		for _, nb := range g.Neighbors(v) {
 			bw := g.Bandwidth(v, nb.To)
 			cand := min(bottle[v], bw)
-			nc := cost[v] + nb.Cost
+			nc := AddDist(cost[v], nb.Cost)
 			better := cand > bottle[nb.To] ||
 				(cand == bottle[nb.To] && nc < cost[nb.To])
-			if !better || done[nb.To] {
+			if !better || sc.done[nb.To] {
 				continue
 			}
 			bottle[nb.To] = cand
@@ -118,11 +160,10 @@ func widestFrom(g *topology.Graph, s topology.NodeID) ([]topology.NodeID, []int,
 			} else {
 				first[nb.To] = first[v]
 			}
-			heap.Push(q, wpItem{node: nb.To, bottle: cand, cost: nc})
+			sc.push(wpItem{node: nb.To, bottle: cand, cost: nc})
 		}
 	}
 	bottle[s] = 0
-	return first, cost, bottle
 }
 
 func min(a, b int) int {
