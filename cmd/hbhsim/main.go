@@ -35,11 +35,15 @@ func main() {
 		csv     = flag.Bool("csv", false, "emit CSV instead of text tables")
 		workers = flag.Int("workers", runtime.NumCPU(), "parallel simulation workers for the figure sweeps (results are deterministic regardless; defaults to the CPU count)")
 		faultsF = flag.String("faults", "combined", "fault scenario for -figure failure-recovery: link-cut, crash, combined")
+		check   = flag.Bool("check", false, "run every simulation under the runtime invariant checker; any violation aborts with a node/channel-attributed report (equivalent to HBH_INVARIANT_CHECK=1)")
 		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file (inspect with go tool pprof)")
 		memProf = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 	experiment.DefaultWorkers = *workers
+	if *check {
+		experiment.CheckInvariants = true
+	}
 
 	if *cpuProf != "" {
 		f, err := os.Create(*cpuProf)

@@ -5,6 +5,7 @@ import (
 
 	"hbh/internal/addr"
 	"hbh/internal/eventsim"
+	"hbh/internal/invariant"
 	"hbh/internal/mtree"
 	"hbh/internal/netsim"
 	"hbh/internal/topology"
@@ -12,14 +13,18 @@ import (
 )
 
 // harness wires a graph into a running network with an HBH router on
-// every router node.
+// every router node. Harnesses built with newHarness run every channel
+// under the invariant checker: structural invariants are validated
+// continuously, and any violation fails the test at cleanup.
 type harness struct {
-	sim     *eventsim.Sim
-	g       *topology.Graph
-	routing *unicast.Routing
-	net     *netsim.Network
-	routers map[topology.NodeID]*Router
-	cfg     Config
+	sim      *eventsim.Sim
+	g        *topology.Graph
+	routing  *unicast.Routing
+	net      *netsim.Network
+	routers  map[topology.NodeID]*Router
+	cfg      Config
+	t        *testing.T
+	checkers []*invariant.Checker
 }
 
 // srcGroup is the group address used by all protocol tests.
@@ -42,11 +47,66 @@ func newQuietHarness(g *topology.Graph) *harness {
 
 func newHarness(t *testing.T, g *topology.Graph) *harness {
 	t.Helper()
-	return newQuietHarness(g)
+	h := newQuietHarness(g)
+	h.t = t
+	t.Cleanup(func() {
+		for _, c := range h.checkers {
+			if !c.Clean() {
+				t.Errorf("%s", c.Report())
+			}
+		}
+	})
+	return h
 }
 
 func (h *harness) source(host topology.NodeID) *Source {
-	return AttachSource(h.net.Node(host), srcGroup, h.cfg)
+	s := AttachSource(h.net.Node(host), srcGroup, h.cfg)
+	if h.t != nil {
+		h.watch(s)
+	}
+	return s
+}
+
+// watch puts s's channel under the invariant checker: every state
+// change at the source or any router re-validates the structural
+// invariants after the event that caused it.
+func (h *harness) watch(s *Source) *invariant.Checker {
+	routers := h.routerList()
+	chk := invariant.New(h.net, s.Channel(), invariant.ProfileHBH(), NewAudit(s, routers))
+	h.checkers = append(h.checkers, chk)
+	// Any channel's change marks every checker dirty: re-checking a
+	// clean channel is cheap, and one observer slot per agent keeps the
+	// wiring trivial for multichannel tests.
+	obs := func(addr.Addr, addr.Channel, ChangeKind, addr.Addr) {
+		for _, c := range h.checkers {
+			c.MarkDirty()
+		}
+	}
+	s.SetObserver(obs)
+	for _, r := range routers {
+		r.SetObserver(obs)
+	}
+	invariant.InstallContinuous(h.sim, h.checkers...)
+	return chk
+}
+
+// checker returns the invariant checker watching ch.
+func (h *harness) checker(ch addr.Channel) *invariant.Checker {
+	for _, c := range h.checkers {
+		if c.Channel() == ch {
+			return c
+		}
+	}
+	return nil
+}
+
+// routerList returns the attached routers in topology order.
+func (h *harness) routerList() []*Router {
+	out := make([]*Router, 0, len(h.routers))
+	for _, id := range h.g.Routers() {
+		out = append(out, h.routers[id])
+	}
+	return out
 }
 
 func (h *harness) receiver(host topology.NodeID, ch addr.Channel) *Receiver {

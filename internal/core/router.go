@@ -433,6 +433,12 @@ func applyFusion(t *MFT, bp addr.Addr, listed []addr.Addr, matched []*Entry,
 		}
 	}
 	for _, e := range matched {
+		if t.Get(e.Node) != e {
+			// The caller collected matched before handing control here;
+			// an entry expired (or was replaced) in between must not be
+			// resurrected by marking a dead row.
+			continue
+		}
 		if !e.Marked {
 			e.Marked = true
 			if markObs != nil {
@@ -511,6 +517,12 @@ func (r *Router) onData(d *packet.Data) netsim.Verdict {
 		r.leaf.deliverLocal(d)
 	}
 	if hasMFT {
+		// The replication loop ranges over the table's live backing
+		// slice. All send side effects are deferred events, so nothing
+		// may mutate the table mid-loop; the version guard turns any
+		// future violation of that into a loud failure instead of a
+		// silently skipped or double-served entry.
+		v := st.mft.Version()
 		for _, e := range st.mft.Entries() {
 			if e.Marked || e.Node == d.Src {
 				continue
@@ -519,6 +531,9 @@ func (r *Router) onData(d *packet.Data) netsim.Verdict {
 			copyMsg.Src = r.node.Addr()
 			copyMsg.Dst = e.Node
 			r.node.SendUnicast(copyMsg)
+		}
+		if st.mft.Version() != v {
+			panic("core: MFT mutated during onData replication")
 		}
 	}
 	return netsim.Consumed
@@ -665,9 +680,13 @@ func (r *Router) removeMCT(st *chanState, ch addr.Channel) {
 	r.observe(ch, ChangeMCTRemove, r.node.Addr())
 }
 
-// maybeDrop garbage-collects empty channel state.
+// maybeDrop garbage-collects empty channel state, including the
+// duplicate-suppression window: a window that outlives the channel
+// leaks per dead channel and, worse, makes a router that later
+// re-joins the channel silently swallow re-sent sequence numbers.
 func (r *Router) maybeDrop(ch addr.Channel, st *chanState) {
 	if st.mct == nil && st.mft == nil {
 		delete(r.chans, ch)
+		delete(r.seen, ch)
 	}
 }

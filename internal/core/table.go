@@ -37,6 +37,12 @@ func (e *Entry) Stale() bool { return e.Timer.Stale() }
 type MFT struct {
 	entries []*Entry
 	index   map[addr.Addr]*Entry
+	// version counts membership mutations (Add/Remove/Destroy). The
+	// shared slice Entries returns is only safe to hold across code
+	// that cannot mutate the table; holders that might interleave with
+	// mutations compare Version before and after (see onData) or
+	// revalidate entries against the live index (see applyFusion).
+	version uint64
 }
 
 // NewMFT returns an empty table.
@@ -59,6 +65,7 @@ func (t *MFT) Add(node addr.Addr, timer *eventsim.SoftTimer) *Entry {
 	e := &Entry{Node: node, Timer: timer}
 	t.entries = append(t.entries, e)
 	t.index[node] = e
+	t.version++
 	return e
 }
 
@@ -77,12 +84,18 @@ func (t *MFT) Remove(node addr.Addr) bool {
 			break
 		}
 	}
+	t.version++
 	return true
 }
 
 // Entries returns the live entries in insertion order. The slice is
-// shared: callers iterate, they do not mutate.
+// shared: callers iterate, they do not mutate, and they must not hold
+// it across table mutations (guard with Version when in doubt).
 func (t *MFT) Entries() []*Entry { return t.entries }
+
+// Version returns the membership mutation counter. Equal values before
+// and after an iteration prove the entry set did not change under it.
+func (t *MFT) Version() uint64 { return t.version }
 
 // Nodes returns the entry addresses in insertion order. Used to build
 // fusion messages ("the fusion messages produced by B contain all the
@@ -102,6 +115,7 @@ func (t *MFT) Destroy() {
 	}
 	t.entries = nil
 	t.index = make(map[addr.Addr]*Entry)
+	t.version++
 }
 
 // String renders the table for traces: "[r1* r3(m) H3]" where *

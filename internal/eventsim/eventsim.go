@@ -152,6 +152,11 @@ type Sim struct {
 	// free recycles fired AfterCall events so steady-state packet
 	// forwarding allocates nothing per hop.
 	free []*Event
+	// afterEvent, when non-nil, runs after every fired event returns.
+	// It observes the simulation at event granularity — between events
+	// all protocol state is settled, so it is the natural hook for
+	// runtime invariant checking without catching mid-event transients.
+	afterEvent func()
 }
 
 // New returns a fresh simulator positioned at time 0.
@@ -219,6 +224,12 @@ func (s *Sim) AfterCall(delay Time, c Caller) {
 // Stop halts Run after the currently executing event returns.
 func (s *Sim) Stop() { s.stopped = true }
 
+// SetAfterEvent installs (or, with nil, removes) a callback invoked
+// after each fired event returns. The callback must not schedule past
+// events; scheduling future ones is fine. Exactly one callback is
+// supported — composition is the caller's business.
+func (s *Sim) SetAfterEvent(fn func()) { s.afterEvent = fn }
+
 // Run executes events in timestamp order until the queue drains, the
 // next event would fire after horizon, or Stop is called. The clock is
 // left at the time of the last fired event (or at horizon if the queue
@@ -252,6 +263,9 @@ func (s *Sim) Run(horizon Time) error {
 		}
 		if next.pooled {
 			s.recycle(next)
+		}
+		if s.afterEvent != nil {
+			s.afterEvent()
 		}
 	}
 	if s.stopped {

@@ -19,6 +19,7 @@ import (
 	"hbh/internal/addr"
 	"hbh/internal/core"
 	"hbh/internal/eventsim"
+	"hbh/internal/invariant"
 	"hbh/internal/mtree"
 	"hbh/internal/netsim"
 	"hbh/internal/pim"
@@ -126,6 +127,9 @@ type RunConfig struct {
 	// ConvergeIntervals overrides the soft-state settling time in
 	// units of the refresh interval (default 40).
 	ConvergeIntervals int
+	// Check enables the runtime invariant checker for this run (see
+	// CheckInvariants for the sweep-wide switch).
+	Check bool
 	// Scenario, when non-nil, supplies the prebuilt cost-randomized
 	// graph and routing tables for this run (see PrepareScenario). All
 	// protocols simulated at one (size, run) grid point share the same
@@ -293,11 +297,23 @@ func runPIM(cfg RunConfig, g *topology.Graph, routing *unicast.Routing,
 		mode = pim.SM
 	}
 	sess := pim.Build(net, mode, sourceHost, addr.GroupAddr(0), members, topology.None)
+	var chk *invariant.Checker
+	if checkingEnabled(cfg) {
+		// No StateProvider: PIM trees are installed centrally, so only
+		// the delivery-level invariants are checkable.
+		chk = invariant.New(net, sess.Channel(), profileFor(cfg.Protocol), nil)
+		chk.SetMembers(memberAddrs(g, members))
+	}
 	ms := make([]mtree.Member, 0, len(members))
 	for _, m := range members {
 		ms = append(ms, sess.Member(m))
 	}
 	res := mtree.Probe(net, func() uint32 { return sess.SendData(nil) }, ms)
+	if chk != nil {
+		chk.CheckConverged(res.Seq)
+		chk.MustClean(fmt.Sprintf("%s on %s (seed=%d receivers=%d)",
+			cfg.Protocol, cfg.Topo, cfg.Seed, cfg.Receivers))
+	}
 	return toRunResult(res)
 }
 
@@ -320,6 +336,9 @@ type dynSession struct {
 	// marked, branching transitions) across all routers and the source
 	// — the Figure 4 stability metric.
 	changes *int
+	// checker, when non-nil, validates the protocol's invariant profile
+	// continuously and at converged checkpoints (see check.go).
+	checker *invariant.Checker
 }
 
 // stateFootprint is a snapshot of a protocol's table usage.
@@ -402,10 +421,22 @@ func setupHBH(cfg RunConfig, g *topology.Graph, routing *unicast.Routing,
 		},
 	}
 	s.changes = new(int)
-	for _, r := range routers {
-		r.SetObserver(func(addr.Addr, addr.Channel, core.ChangeKind, addr.Addr) { *s.changes++ })
+	if checkingEnabled(cfg) {
+		s.checker = invariant.New(net, src.Channel(), profileFor(cfg.Protocol),
+			core.NewAudit(src, routers))
+		s.checker.SetMembers(memberAddrs(g, members))
+		invariant.InstallContinuous(sim, s.checker)
 	}
-	src.SetObserver(func(addr.Addr, addr.Channel, core.ChangeKind, addr.Addr) { *s.changes++ })
+	obs := func(addr.Addr, addr.Channel, core.ChangeKind, addr.Addr) {
+		*s.changes++
+		if s.checker != nil {
+			s.checker.MarkDirty()
+		}
+	}
+	for _, r := range routers {
+		r.SetObserver(obs)
+	}
+	src.SetObserver(obs)
 	var rcvs []*core.Receiver
 	for _, m := range members {
 		rcv := core.AttachReceiver(net.Node(m), src.Channel(), pcfg)
@@ -451,10 +482,22 @@ func setupREUNITE(cfg RunConfig, g *topology.Graph, routing *unicast.Routing,
 		},
 	}
 	s.changes = new(int)
-	for _, r := range routers {
-		r.SetObserver(func(addr.Addr, addr.Channel, reunite.ChangeKind, addr.Addr) { *s.changes++ })
+	if checkingEnabled(cfg) {
+		s.checker = invariant.New(net, src.Channel(), profileFor(cfg.Protocol),
+			reunite.NewAudit(src, routers))
+		s.checker.SetMembers(memberAddrs(g, members))
+		invariant.InstallContinuous(sim, s.checker)
 	}
-	src.SetObserver(func(addr.Addr, addr.Channel, reunite.ChangeKind, addr.Addr) { *s.changes++ })
+	obs := func(addr.Addr, addr.Channel, reunite.ChangeKind, addr.Addr) {
+		*s.changes++
+		if s.checker != nil {
+			s.checker.MarkDirty()
+		}
+	}
+	for _, r := range routers {
+		r.SetObserver(obs)
+	}
+	src.SetObserver(obs)
 	var rcvs []*reunite.Receiver
 	for _, m := range members {
 		rcv := reunite.AttachReceiver(net.Node(m), src.Channel(), pcfg)
@@ -484,14 +527,18 @@ func runHBH(cfg RunConfig, g *topology.Graph, routing *unicast.Routing,
 	sourceHost topology.NodeID, members []topology.NodeID, rng *rand.Rand) RunResult {
 	s := setupHBH(cfg, g, routing, sourceHost, members, rng)
 	converge(s.sim, s.interval, cfg.ConvergeIntervals)
-	return toRunResult(s.ProbeSettled())
+	res := s.ProbeSettled()
+	s.checkConverged(cfg, res)
+	return toRunResult(res)
 }
 
 func runREUNITE(cfg RunConfig, g *topology.Graph, routing *unicast.Routing,
 	sourceHost topology.NodeID, members []topology.NodeID, rng *rand.Rand) RunResult {
 	s := setupREUNITE(cfg, g, routing, sourceHost, members, rng)
 	converge(s.sim, s.interval, cfg.ConvergeIntervals)
-	return toRunResult(s.ProbeSettled())
+	res := s.ProbeSettled()
+	s.checkConverged(cfg, res)
+	return toRunResult(res)
 }
 
 func converge(sim *eventsim.Sim, interval eventsim.Time, intervals int) {

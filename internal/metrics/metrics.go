@@ -68,10 +68,31 @@ func (a *Accumulator) StdErr() float64 {
 	return a.Std() / math.Sqrt(float64(a.n))
 }
 
-// CI95 returns the half-width of the normal-approximation 95%
-// confidence interval of the mean. With the paper's 500 runs per
-// point the normal approximation is exact enough.
-func (a *Accumulator) CI95() float64 { return 1.96 * a.StdErr() }
+// tCrit95 holds the two-tailed 95% Student-t critical values for
+// degrees of freedom 1..29. Above that the normal approximation is
+// within half a percent and z=1.96 takes over.
+var tCrit95 = [...]float64{
+	12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262,
+	2.228, 2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101,
+	2.093, 2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052,
+	2.048, 2.045,
+}
+
+// CI95 returns the half-width of the 95% confidence interval of the
+// mean: Student-t critical values for n < 30 (a hardcoded z=1.96 would
+// overstate confidence at the small-n grid points some sweeps
+// produce), the normal approximation beyond. With fewer than two
+// samples there is no interval and it returns 0.
+func (a *Accumulator) CI95() float64 {
+	if a.n < 2 {
+		return 0
+	}
+	crit := 1.96
+	if df := a.n - 1; df < 30 {
+		crit = tCrit95[df-1]
+	}
+	return crit * a.StdErr()
+}
 
 // String renders "mean ± ci95 (n=..)".
 func (a *Accumulator) String() string {

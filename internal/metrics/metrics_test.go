@@ -123,3 +123,30 @@ func TestRelativeGap(t *testing.T) {
 	}()
 	a.RelativeGap(c)
 }
+
+// TestCI95StudentT pins the small-sample critical values: with n
+// samples the half-width must use the Student-t quantile, not z=1.96 —
+// at n=2 the difference is a factor of 6.5.
+func TestCI95StudentT(t *testing.T) {
+	cases := []struct {
+		n    int
+		crit float64
+	}{
+		{2, 12.706}, {3, 4.303}, {10, 2.262}, {30, 2.045}, {31, 1.96}, {500, 1.96},
+	}
+	for _, tc := range cases {
+		var a Accumulator
+		for i := 0; i < tc.n; i++ {
+			a.Add(float64(i % 2)) // alternating 0/1: nonzero variance
+		}
+		want := tc.crit * a.StdErr()
+		if got := a.CI95(); math.Abs(got-want) > 1e-12 {
+			t.Errorf("n=%d: CI95 = %v, want %v (crit %v)", tc.n, got, want, tc.crit)
+		}
+	}
+	var a Accumulator
+	a.Add(1)
+	if a.CI95() != 0 {
+		t.Errorf("CI95 with one sample = %v, want 0", a.CI95())
+	}
+}

@@ -63,6 +63,14 @@ type DeliverFunc func(n *Node, msg packet.Message)
 // nodes; msg is the packet as transmitted. Taps must not mutate msg.
 type Tap func(from, to topology.NodeID, msg packet.Message)
 
+// DeliveryTap observes every packet that terminates at a node: either
+// consumed by a protocol handler (consumed=true — the receiver-agent
+// path both multicast protocols use) or locally delivered to the node's
+// destination-address sink (consumed=false). Drops are not reported.
+// Taps must not mutate msg. The invariant checker counts per-sequence
+// data arrivals through this hook.
+type DeliveryTap func(at topology.NodeID, msg packet.Message, consumed bool)
+
 // TraceFunc receives human-readable event lines when tracing is on.
 type TraceFunc func(line string)
 
@@ -128,6 +136,7 @@ type Network struct {
 	nodes   []*Node
 
 	taps      []Tap
+	delTaps   []DeliveryTap
 	trace     TraceFunc
 	hopLimit  int
 	wireCheck bool
@@ -215,6 +224,9 @@ func (n *Network) ResetStats() { n.stats = Stats{} }
 
 // AddTap registers a link observer.
 func (n *Network) AddTap(t Tap) { n.taps = append(n.taps, t) }
+
+// AddDeliveryTap registers a packet-termination observer.
+func (n *Network) AddDeliveryTap(t DeliveryTap) { n.delTaps = append(n.delTaps, t) }
 
 // SetTrace installs (or, with nil, removes) the human-readable tracer.
 func (n *Network) SetTrace(t TraceFunc) { n.trace = t }
@@ -518,6 +530,9 @@ func (n *Network) arrive(v topology.NodeID, env *envelope) {
 			if n.tracing() {
 				n.tracef("%s CONSUME %s", nd.name, packet.Format(env.msg))
 			}
+			for _, t := range n.delTaps {
+				t(v, env.msg, true)
+			}
 			return
 		}
 	}
@@ -532,6 +547,9 @@ func (n *Network) arrive(v topology.NodeID, env *envelope) {
 		}
 		if nd.deliver != nil {
 			nd.deliver(nd, env.msg)
+		}
+		for _, t := range n.delTaps {
+			t(v, env.msg, false)
 		}
 		return
 	}

@@ -1,0 +1,158 @@
+package reunite
+
+import (
+	"fmt"
+
+	"hbh/internal/addr"
+	"hbh/internal/invariant"
+	"hbh/internal/topology"
+)
+
+// Audit exposes one REUNITE channel's live state to the invariant
+// checker, mirroring core.Audit for HBH.
+type Audit struct {
+	src     *Source
+	routers []*Router
+}
+
+// NewAudit builds the provider for src's channel over the given
+// routers.
+func NewAudit(src *Source, routers []*Router) *Audit {
+	return &Audit{src: src, routers: routers}
+}
+
+var _ invariant.StateProvider = (*Audit)(nil)
+
+// Root implements invariant.StateProvider.
+func (a *Audit) Root() addr.Addr { return a.src.node.Addr() }
+
+// States implements invariant.StateProvider. REUNITE entries have no
+// marked bit, so only the MCT/MFT exclusion and self-entry checks bite.
+func (a *Audit) States() []invariant.NodeState {
+	ch := a.src.ch
+	out := []invariant.NodeState{{
+		Node:    a.src.node.Addr(),
+		IsRoot:  true,
+		HasMFT:  true,
+		Entries: entryStates(a.src.mft),
+	}}
+	for _, r := range a.routers {
+		st := r.chans[ch]
+		if st == nil {
+			continue
+		}
+		ns := invariant.NodeState{Node: r.node.Addr()}
+		if st.mct != nil {
+			ns.HasMCT = true
+			ns.MCTNode = st.mct.Node
+		}
+		if st.mft != nil {
+			ns.HasMFT = true
+			ns.Entries = entryStates(st.mft)
+		}
+		out = append(out, ns)
+	}
+	return out
+}
+
+func entryStates(t *MFT) []invariant.EntryState {
+	out := make([]invariant.EntryState, 0, t.Len())
+	for _, e := range t.Entries() {
+		out = append(out, invariant.EntryState{Node: e.Node, Stale: e.Stale()})
+	}
+	return out
+}
+
+// DeliveryTree implements invariant.StateProvider by replaying
+// REUNITE's data path over the live tables: the source addresses one
+// copy per entry, each copy follows the unicast path to its dst
+// receiver, and any branching router along the way whose table dst
+// matches the copy's destination replicates one extra copy per
+// additional entry — at most once per node, mirroring the runtime's
+// per-packet dedup window. The window is what makes replication cycles
+// structurally impossible (two branching nodes on each other's delivery
+// paths — a normal REUNITE pattern under asymmetric routing — transit
+// each other's copies without re-replicating, yielding the duplicate
+// deliveries the experiments measure, not a loop), so the walk records
+// no Loops; what remains checkable is that every copy terminates on a
+// finite unicast path, which the walk guarantees by construction.
+func (a *Audit) DeliveryTree() *invariant.Tree {
+	ch := a.src.ch
+	net := a.src.node.Network()
+	g, rt := net.Topology(), net.Routing()
+
+	branches := make(map[topology.NodeID]*MFT, len(a.routers))
+	for _, r := range a.routers {
+		if t := r.MFTFor(ch); t != nil {
+			branches[r.node.ID()] = t
+		}
+	}
+
+	root := a.src.node.Addr()
+	tree := invariant.NewTree(root)
+	replicated := make(map[topology.NodeID]bool)
+
+	var deliver func(origin topology.NodeID, dst addr.Addr, chain []addr.Addr)
+	deliver = func(origin topology.NodeID, dst addr.Addr, chain []addr.Addr) {
+		dstID, ok := g.ByAddr(dst)
+		if !ok || !rt.Reachable(origin, dstID) {
+			return // copy dies in the network; spanning (when on) reports it
+		}
+		for v := origin; v != dstID; {
+			v = rt.NextHop(v, dstID)
+			if v == topology.None {
+				return
+			}
+			if v == dstID {
+				tree.AddChain(dst, chain)
+				return
+			}
+			mft, isBranch := branches[v]
+			if !isBranch || mft.Dst() == nil || mft.Dst().Node != dst {
+				continue
+			}
+			if replicated[v] {
+				continue // dedup window: this node already replicated the packet
+			}
+			replicated[v] = true
+			sub := append(append([]addr.Addr(nil), chain...), g.Node(v).Addr)
+			for _, e := range mft.Entries()[1:] {
+				deliver(v, e.Node, sub)
+			}
+		}
+	}
+
+	rootID := a.src.node.ID()
+	for _, e := range a.src.mft.Entries() {
+		deliver(rootID, e.Node, []addr.Addr{root})
+	}
+	return tree
+}
+
+// Residuals implements invariant.StateProvider.
+func (a *Audit) Residuals() []invariant.Residual {
+	ch := a.src.ch
+	var out []invariant.Residual
+	if n := a.src.mft.Len(); n > 0 {
+		out = append(out, invariant.Residual{
+			Node:   a.src.node.Addr(),
+			Detail: fmt.Sprintf("source MFT still holds %d entries", n),
+		})
+	}
+	for _, r := range a.routers {
+		if st := r.chans[ch]; st != nil {
+			out = append(out, invariant.Residual{
+				Node: r.node.Addr(),
+				Detail: fmt.Sprintf("per-channel state survives teardown (mct=%v mft=%v)",
+					st.mct != nil, st.mft != nil),
+			})
+		}
+		if w := r.seen[ch]; w != nil {
+			out = append(out, invariant.Residual{
+				Node:   r.node.Addr(),
+				Detail: fmt.Sprintf("dedup window still holds %d sequence numbers", len(w)),
+			})
+		}
+	}
+	return out
+}

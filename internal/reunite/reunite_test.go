@@ -5,6 +5,7 @@ import (
 
 	"hbh/internal/addr"
 	"hbh/internal/eventsim"
+	"hbh/internal/invariant"
 	"hbh/internal/mtree"
 	"hbh/internal/netsim"
 	"hbh/internal/topology"
@@ -12,12 +13,13 @@ import (
 )
 
 type harness struct {
-	sim     *eventsim.Sim
-	g       *topology.Graph
-	routing *unicast.Routing
-	net     *netsim.Network
-	cfg     Config
-	routers map[topology.NodeID]*Router
+	sim      *eventsim.Sim
+	g        *topology.Graph
+	routing  *unicast.Routing
+	net      *netsim.Network
+	cfg      Config
+	routers  map[topology.NodeID]*Router
+	checkers []*invariant.Checker
 }
 
 func newHarness(t *testing.T, g *topology.Graph) *harness {
@@ -31,7 +33,38 @@ func newHarness(t *testing.T, g *topology.Graph) *harness {
 	for _, r := range g.Routers() {
 		h.routers[r] = AttachRouter(h.net.Node(r), h.cfg)
 	}
+	t.Cleanup(func() {
+		for _, c := range h.checkers {
+			if !c.Clean() {
+				t.Errorf("%s", c.Report())
+			}
+		}
+	})
 	return h
+}
+
+// watch puts src's channel under the invariant checker (the REUNITE
+// profile: structural, loop-freedom and leak invariants — tree-shape
+// guarantees are what the protocol lacks by design). Violations fail
+// the test at cleanup.
+func (h *harness) watch(src *Source) *invariant.Checker {
+	routers := make([]*Router, 0, len(h.routers))
+	for _, id := range h.g.Routers() {
+		routers = append(routers, h.routers[id])
+	}
+	chk := invariant.New(h.net, src.Channel(), invariant.ProfileREUNITE(), NewAudit(src, routers))
+	h.checkers = append(h.checkers, chk)
+	obs := func(addr.Addr, addr.Channel, ChangeKind, addr.Addr) {
+		for _, c := range h.checkers {
+			c.MarkDirty()
+		}
+	}
+	src.SetObserver(obs)
+	for _, r := range routers {
+		r.SetObserver(obs)
+	}
+	invariant.InstallContinuous(h.sim, h.checkers...)
+	return chk
 }
 
 // routerAt returns the Router attached to the given node.

@@ -197,7 +197,21 @@ func (r *Router) becomeBranching(st *chanState, ch addr.Channel, joiner addr.Add
 	st.mft = NewMFT()
 	st.mft.Add(dst, r.newEntryTimer(ch, dst))
 	r.observe(ch, ChangeMFTAdd, dst)
-	st.mft.Liveness = r.sim.NewSoftTimer(r.cfg.T1, r.cfg.T2, nil, func() {
+	st.mft.Liveness = r.sim.NewSoftTimer(r.cfg.T1, r.cfg.T2, func() {
+		// No tree for dst within t1: this node has fallen off the
+		// channel's refresh path. A table in that state must stop
+		// intercepting joins — otherwise it starves the upstream entries
+		// its members actually depend on (they are refreshed exclusively
+		// by those joins), while its own un-refreshed table runs down
+		// toward destruction: the two expiries chase each other and the
+		// members oscillate between served and starved without ever
+		// settling. Going stale lets joins escalate toward the source
+		// (Figure 2(c)) for the t2 tail, exactly like a stale MCT.
+		if st.mft != nil && !st.mft.TableStale {
+			st.mft.TableStale = true
+			r.observe(ch, ChangeTableStale, r.node.Addr())
+		}
+	}, func() {
 		r.destroyMFT(ch)
 	})
 	r.addMFTEntry(st, ch, joiner)
@@ -214,6 +228,14 @@ func (r *Router) onTree(t *packet.Tree) netsim.Verdict {
 	ch := t.Channel
 	st := r.chans[ch]
 	if st == nil {
+		if t.Marked() {
+			// A teardown announcement transiting a stateless router:
+			// there is nothing to dissolve, and materialising empty
+			// channel state just to witness it would leak one chanState
+			// per dead channel (the source keeps emitting marked trees
+			// until the entry finally expires).
+			return netsim.Continue
+		}
 		st = &chanState{}
 		r.chans[ch] = st
 	}
@@ -403,8 +425,13 @@ func (r *Router) destroyMFT(ch addr.Channel) {
 	r.maybeDrop(ch, st)
 }
 
+// maybeDrop garbage-collects empty channel state, including the
+// duplicate-suppression window — leaving the window behind would leak
+// per dead channel and swallow re-sent sequence numbers if this node
+// later rejoins the channel's tree.
 func (r *Router) maybeDrop(ch addr.Channel, st *chanState) {
 	if st.mct == nil && st.mft == nil {
 		delete(r.chans, ch)
+		delete(r.seen, ch)
 	}
 }
