@@ -20,6 +20,7 @@ import (
 	"hbh/internal/eventsim"
 	"hbh/internal/experiment"
 	"hbh/internal/netsim"
+	"hbh/internal/obs"
 	"hbh/internal/packet"
 	"hbh/internal/topology"
 	"hbh/internal/unicast"
@@ -269,16 +270,16 @@ func BenchmarkDijkstraRecompute(b *testing.B) {
 	}
 }
 
-// BenchmarkForwardOneHop measures the zero-copy per-hop forwarding
-// path in isolation: one data packet crossing one link (schedule,
-// transmit, arrive, deliver) with no protocol handlers attached.
-func BenchmarkForwardOneHop(b *testing.B) {
-	b.ReportAllocs()
+// forwardOneHopSetup builds the one-link forwarding fixture shared by
+// the hot-path benchmarks: one data packet crossing one link
+// (schedule, transmit, arrive, deliver) with no protocol handlers
+// attached.
+func forwardOneHopSetup() (*eventsim.Sim, *netsim.Network, *packet.Data, *int) {
 	g := topology.Line(2, false)
 	sim := eventsim.New()
 	net := netsim.New(sim, g, unicast.Compute(g))
-	delivered := 0
-	net.Node(1).SetDeliver(func(*netsim.Node, packet.Message) { delivered++ })
+	delivered := new(int)
+	net.Node(1).SetDeliver(func(*netsim.Node, packet.Message) { *delivered++ })
 	msg := &packet.Data{
 		Header: packet.Header{
 			Type:    packet.TypeData,
@@ -286,6 +287,17 @@ func BenchmarkForwardOneHop(b *testing.B) {
 			Dst:     g.Node(1).Addr,
 		},
 	}
+	return sim, net, msg, delivered
+}
+
+// BenchmarkForwardOneHop measures the zero-copy per-hop forwarding
+// path in isolation with observability disabled. The acceptance bar
+// for the obs layer is that this stays at 0 allocs/op: the disabled
+// path must not box event arguments or touch the observer at all (see
+// TestForwardDisabledObsZeroAlloc for the hard assertion).
+func BenchmarkForwardOneHop(b *testing.B) {
+	b.ReportAllocs()
+	sim, net, msg, delivered := forwardOneHopSetup()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		net.Node(0).SendUnicast(msg)
@@ -293,8 +305,52 @@ func BenchmarkForwardOneHop(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
-	if delivered != b.N {
-		b.Fatalf("delivered %d of %d", delivered, b.N)
+	if *delivered != b.N {
+		b.Fatalf("delivered %d of %d", *delivered, b.N)
+	}
+}
+
+// BenchmarkForwardOneHopObs is the same hop with the observability
+// pipeline attached (counters + flight recorder, no sinks): the price
+// of turning observation on, to be read against BenchmarkForwardOneHop
+// for the enabled/disabled delta.
+func BenchmarkForwardOneHopObs(b *testing.B) {
+	b.ReportAllocs()
+	sim, net, msg, delivered := forwardOneHopSetup()
+	o := obs.New(sim.Now)
+	o.EnableCounters()
+	o.EnableRecorder(obs.DefaultRecorderDepth)
+	net.SetObserver(o)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.Node(0).SendUnicast(msg)
+		if err := sim.RunAll(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if *delivered != b.N {
+		b.Fatalf("delivered %d of %d", *delivered, b.N)
+	}
+}
+
+// TestForwardDisabledObsZeroAlloc pins the acceptance criterion as a
+// test, not just a benchmark number: with no observer installed, the
+// per-hop forwarding path performs zero heap allocations.
+func TestForwardDisabledObsZeroAlloc(t *testing.T) {
+	sim, net, msg, _ := forwardOneHopSetup()
+	// Warm the envelope freelist (the first hop allocates its envelope).
+	net.Node(0).SendUnicast(msg)
+	if err := sim.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		net.Node(0).SendUnicast(msg)
+		if err := sim.RunAll(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled-obs forwarding path allocates %.1f allocs/op, want 0", allocs)
 	}
 }
 

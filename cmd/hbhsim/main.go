@@ -13,6 +13,14 @@
 // ablation-fusion (A1), unicast-clouds (A2), asymmetry-sweep (A3),
 // failure-recovery (A10, fault script selected with -faults),
 // paper (7a+7b+8a+8b sharing runs), all (everything).
+//
+// Single-run observability mode (replaces the figure sweep when
+// -trace or -obs-metrics is given):
+//
+//	hbhsim -trace                                  # one ISP run, JSONL event stream on stdout
+//	hbhsim -trace -trace-format text               # human-readable trace instead
+//	hbhsim -trace -trace-filter '<10.0.0.18,224.0.0.0>/h4'  # one channel at one node
+//	hbhsim -obs-metrics metrics.prom -receivers 12 # Prometheus-style counter export
 package main
 
 import (
@@ -25,6 +33,7 @@ import (
 	"time"
 
 	"hbh/internal/experiment"
+	"hbh/internal/obs"
 )
 
 func main() {
@@ -38,6 +47,15 @@ func main() {
 		check   = flag.Bool("check", false, "run every simulation under the runtime invariant checker; any violation aborts with a node/channel-attributed report (equivalent to HBH_INVARIANT_CHECK=1)")
 		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file (inspect with go tool pprof)")
 		memProf = flag.String("memprofile", "", "write a heap profile to this file on exit")
+
+		trace       = flag.Bool("trace", false, "single-run observability mode: run one simulation and stream its protocol events instead of sweeping a figure")
+		traceOut    = flag.String("trace-out", "", "write the event stream to this file (default stdout)")
+		traceFormat = flag.String("trace-format", "jsonl", "event stream format: jsonl or text")
+		traceFilter = flag.String("trace-filter", "", "restrict the stream to matching events: comma/space-separated <S,G> channels and node names; e.g. '<10.0.0.18,224.0.0.0>/h4' (counters and the flight recorder always see everything)")
+		obsMetrics  = flag.String("obs-metrics", "", "write Prometheus-style counters (plus virtual-time state series) to this file after a single run; implies single-run mode")
+		protoF      = flag.String("proto", "HBH", "single-run protocol: HBH, HBH-nofusion, REUNITE, PIM-SM, PIM-SS")
+		topoF       = flag.String("topo", "isp", "single-run topology: isp, random50, nsfnet, abilene")
+		receivers   = flag.Int("receivers", 8, "single-run receiver count")
 	)
 	flag.Parse()
 	experiment.DefaultWorkers = *workers
@@ -72,6 +90,15 @@ func main() {
 				os.Exit(1)
 			}
 		}()
+	}
+
+	if *trace || *obsMetrics != "" {
+		runTraced(tracedOptions{
+			out: *traceOut, format: *traceFormat, filter: *traceFilter,
+			metrics: *obsMetrics, proto: *protoF, topo: *topoF,
+			receivers: *receivers, seed: *seed, check: *check,
+		})
+		return
 	}
 
 	start := time.Now()
@@ -148,6 +175,96 @@ func main() {
 		fmt.Println(s)
 	}
 	fmt.Fprintf(os.Stderr, "hbhsim: done in %v\n", time.Since(start).Round(time.Millisecond))
+}
+
+// tracedOptions carries the single-run observability flags.
+type tracedOptions struct {
+	out, format, filter, metrics string
+	proto, topo                  string
+	receivers                    int
+	seed                         int64
+	check                        bool
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "hbhsim: "+format+"\n", args...)
+	os.Exit(2)
+}
+
+// runTraced executes one simulation with the observability layer
+// attached: the protocol event stream goes to -trace-out (stdout by
+// default), counters to -obs-metrics, and the run summary to stderr so
+// the event stream stays machine-parseable.
+func runTraced(opt tracedOptions) {
+	proto, ok := map[string]experiment.Protocol{
+		"hbh":          experiment.HBH,
+		"hbh-nofusion": experiment.HBHNoFusion,
+		"reunite":      experiment.REUNITE,
+		"pim-sm":       experiment.PIMSM,
+		"pim-ss":       experiment.PIMSS,
+	}[strings.ToLower(opt.proto)]
+	if !ok {
+		fail("unknown protocol %q", opt.proto)
+	}
+	topo := experiment.Topo(strings.ToLower(opt.topo))
+	switch topo {
+	case experiment.TopoISP, experiment.TopoRandom50, experiment.TopoNSFNET, experiment.TopoAbilene:
+	default:
+		fail("unknown topology %q", opt.topo)
+	}
+
+	o := obs.New(nil) // the run's network binds its own clock
+	w := os.Stdout
+	if opt.out != "" {
+		f, err := os.Create(opt.out)
+		if err != nil {
+			fail("trace-out: %v", err)
+		}
+		defer f.Close()
+		w = f
+	}
+	switch opt.format {
+	case "jsonl":
+		o.AddSink(&obs.JSONLSink{W: w})
+	case "text":
+		o.AddSink(obs.NewTextSink(func(line string) { fmt.Fprintln(w, line) }))
+	default:
+		fail("unknown trace format %q (want jsonl or text)", opt.format)
+	}
+	if opt.filter != "" {
+		f, err := obs.ParseFilter(opt.filter)
+		if err != nil {
+			fail("trace-filter: %v", err)
+		}
+		o.SetFilter(f)
+	}
+	o.EnableRecorder(obs.DefaultRecorderDepth)
+	o.SetDumpOnFaultDrop(true)
+	if opt.metrics != "" {
+		o.EnableCounters()
+	}
+
+	res := experiment.Run(experiment.RunConfig{
+		Topo: topo, Protocol: proto, Receivers: opt.receivers,
+		Seed: opt.seed, Check: opt.check, Obs: o,
+	})
+
+	if opt.metrics != "" {
+		f, err := os.Create(opt.metrics)
+		if err != nil {
+			fail("obs-metrics: %v", err)
+		}
+		if err := o.Counters().Export(f); err != nil {
+			fail("obs-metrics: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			fail("obs-metrics: %v", err)
+		}
+	}
+	fmt.Fprintf(os.Stderr,
+		"hbhsim: %s on %s seed=%d receivers=%d: cost=%d meanDelay=%.2f missing=%d duplicates=%d\n",
+		proto, topo, opt.seed, opt.receivers,
+		res.Cost, res.MeanDelay, res.Missing, res.Duplicates)
 }
 
 func failure(runs int, seed int64, scenario experiment.FaultScenario) string {

@@ -1,0 +1,236 @@
+// End-to-end CLI tests: the test binary re-executes itself with
+// HBH_RUN_MAIN=1 so main() runs exactly as an installed hbhsim would
+// (flag parsing, exit codes, output streams), without needing `go
+// build` artifacts inside the test.
+//
+// The quick-mode golden tests pin the committed results/ methodology
+// at a tiny run count: the full tables in results/*.txt take minutes,
+// these take milliseconds and still catch any drift in the seeded
+// simulation or the table formatting. Regenerate the goldens after an
+// intentional change with:
+//
+//	HBH_UPDATE_GOLDEN=1 go test ./cmd/hbhsim/
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestMain(m *testing.M) {
+	if os.Getenv("HBH_RUN_MAIN") == "1" {
+		main()
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+// runMain re-executes the test binary as hbhsim with args.
+func runMain(t *testing.T, args ...string) (stdout, stderr string, code int) {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], args...)
+	cmd.Env = append(os.Environ(), "HBH_RUN_MAIN=1")
+	var out, errb bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &out, &errb
+	err := cmd.Run()
+	code = 0
+	if ee, ok := err.(*exec.ExitError); ok {
+		code = ee.ExitCode()
+	} else if err != nil {
+		t.Fatalf("exec %v: %v", args, err)
+	}
+	return out.String(), errb.String(), code
+}
+
+func TestUnknownFigureExits2(t *testing.T) {
+	_, stderr, code := runMain(t, "-figure", "nonsense")
+	if code != 2 {
+		t.Fatalf("exit code %d, want 2", code)
+	}
+	if !strings.Contains(stderr, "unknown figure") {
+		t.Errorf("stderr missing diagnosis: %q", stderr)
+	}
+}
+
+func TestCSVOutputShape(t *testing.T) {
+	stdout, _, code := runMain(t, "-figure", "7a", "-runs", "2", "-csv")
+	if code != 0 {
+		t.Fatalf("exit code %d, want 0", code)
+	}
+	if !strings.HasPrefix(stdout, "# Figure 7a") {
+		t.Errorf("CSV output does not start with the figure header:\n%.200s", stdout)
+	}
+	if !strings.Contains(stdout, "HBH") || !strings.Contains(stdout, ",") {
+		t.Errorf("CSV output missing series:\n%.200s", stdout)
+	}
+}
+
+// goldenCompare checks got against the committed golden file,
+// rewriting it when HBH_UPDATE_GOLDEN is set.
+func goldenCompare(t *testing.T, golden, got string) {
+	t.Helper()
+	path := filepath.Join("..", "..", "results", "quick", golden)
+	if os.Getenv("HBH_UPDATE_GOLDEN") != "" {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden %s (regenerate with HBH_UPDATE_GOLDEN=1 go test ./cmd/hbhsim/): %v", golden, err)
+	}
+	if string(want) != got {
+		t.Errorf("output drifted from %s.\nIf the change is intentional, regenerate with HBH_UPDATE_GOLDEN=1.\n--- want ---\n%s\n--- got ---\n%s", golden, want, got)
+	}
+}
+
+// The quick goldens: each table must be bit-identical run to run (the
+// simulation is seed-deterministic) and across observability changes
+// (the obs layer must not perturb results with tracing off).
+func TestGoldenFigure7aQuick(t *testing.T) {
+	stdout, _, code := runMain(t, "-figure", "7a", "-runs", "3")
+	if code != 0 {
+		t.Fatalf("exit code %d, want 0", code)
+	}
+	goldenCompare(t, "figure7a_runs3.txt", stdout)
+}
+
+func TestGoldenFigure8aQuick(t *testing.T) {
+	stdout, _, code := runMain(t, "-figure", "8a", "-runs", "3")
+	if code != 0 {
+		t.Fatalf("exit code %d, want 0", code)
+	}
+	goldenCompare(t, "figure8a_runs3.txt", stdout)
+}
+
+func TestGoldenStabilityQuick(t *testing.T) {
+	stdout, _, code := runMain(t, "-figure", "stability", "-runs", "3")
+	if code != 0 {
+		t.Fatalf("exit code %d, want 0", code)
+	}
+	goldenCompare(t, "stability_runs3.txt", stdout)
+}
+
+func TestGoldenFailureRecoveryQuick(t *testing.T) {
+	stdout, _, code := runMain(t, "-figure", "failure-recovery", "-runs", "3")
+	if code != 0 {
+		t.Fatalf("exit code %d, want 0", code)
+	}
+	goldenCompare(t, "failure_runs3.txt", stdout)
+}
+
+// TestTraceJSONLLifecycle drives the acceptance scenario: a single ISP
+// run with -trace must emit one valid JSON object per line, and one
+// receiver's full protocol lifecycle — lifecycle span, join sent,
+// data consumed, joining span closed — must be greppable from the
+// stream by its <S,G> channel and node name alone.
+func TestTraceJSONLLifecycle(t *testing.T) {
+	stdout, stderr, code := runMain(t, "-trace", "-receivers", "4")
+	if code != 0 {
+		t.Fatalf("exit code %d, want 0 (stderr: %s)", code, stderr)
+	}
+	if !strings.Contains(stderr, "cost=") {
+		t.Errorf("run summary missing from stderr: %q", stderr)
+	}
+	lines := strings.Split(strings.TrimRight(stdout, "\n"), "\n")
+	if len(lines) < 100 {
+		t.Fatalf("suspiciously short trace: %d lines", len(lines))
+	}
+	type ev struct {
+		Kind string `json:"kind"`
+		Node string `json:"node"`
+		Ch   string `json:"ch"`
+	}
+	var first ev // the first receiver-lifecycle span names our receiver
+	kinds := map[string]bool{}
+	for i, ln := range lines {
+		var e ev
+		if err := json.Unmarshal([]byte(ln), &e); err != nil {
+			t.Fatalf("line %d is not valid JSON: %v\n%s", i+1, err, ln)
+		}
+		if first.Node == "" && e.Kind == "span-begin" {
+			first = e
+		}
+		if e.Node == first.Node && e.Ch == first.Ch {
+			kinds[e.Kind] = true
+		}
+	}
+	if first.Node == "" {
+		t.Fatal("no receiver-lifecycle span in the trace")
+	}
+	for _, want := range []string{"span-begin", "join-send", "consume", "span-end"} {
+		if !kinds[want] {
+			t.Errorf("receiver %s on %s: lifecycle kind %q not greppable from the stream (got %v)",
+				first.Node, first.Ch, want, kinds)
+		}
+	}
+}
+
+func TestTraceTextAndFilter(t *testing.T) {
+	// An unfiltered text run to learn the channel, then a filtered one.
+	stdout, _, code := runMain(t, "-trace", "-trace-format", "text", "-receivers", "2")
+	if code != 0 {
+		t.Fatalf("exit code %d, want 0", code)
+	}
+	if !strings.Contains(stdout, "JOIN-SEND") || !strings.Contains(stdout, "FORWARD") {
+		t.Fatalf("text trace missing protocol vocabulary:\n%.300s", stdout)
+	}
+	ch := stdout[strings.Index(stdout, "<"):]
+	ch = ch[:strings.Index(ch, ">")+1]
+
+	filtered, _, code := runMain(t, "-trace", "-trace-format", "text", "-receivers", "2",
+		"-trace-filter", ch+"/h300") // no such node: channel term still matches
+	if code != 0 {
+		t.Fatalf("filtered run exit code %d, want 0", code)
+	}
+	if len(filtered) >= len(stdout) {
+		t.Errorf("filter did not narrow the stream: %d -> %d bytes", len(stdout), len(filtered))
+	}
+
+	if _, stderr, code := runMain(t, "-trace", "-trace-filter", ",,/"); code != 2 {
+		t.Errorf("bad filter exit code %d, want 2 (stderr %q)", code, stderr)
+	}
+	if _, _, code := runMain(t, "-trace", "-trace-format", "xml"); code != 2 {
+		t.Errorf("bad format exit code %d, want 2", code)
+	}
+	if _, _, code := runMain(t, "-trace", "-proto", "IGMP"); code != 2 {
+		t.Errorf("bad protocol exit code %d, want 2", code)
+	}
+	if _, _, code := runMain(t, "-trace", "-topo", "torus"); code != 2 {
+		t.Errorf("bad topology exit code %d, want 2", code)
+	}
+}
+
+func TestObsMetricsExport(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "metrics.prom")
+	_, stderr, code := runMain(t, "-obs-metrics", path, "-trace-out", os.DevNull, "-receivers", "6")
+	if code != 0 {
+		t.Fatalf("exit code %d, want 0 (stderr: %s)", code, stderr)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := string(data)
+	for _, want := range []string{
+		"# HELP hbh_sends_total",
+		"# TYPE hbh_table_entries gauge",
+		"hbh_joins_sent_total{",
+		"hbh_data_copies_total{",
+		"hbh_state_mft_entries{protocol=\"HBH\"}",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics export missing %q", want)
+		}
+	}
+}

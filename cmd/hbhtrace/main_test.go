@@ -1,0 +1,86 @@
+// End-to-end CLI tests, re-exec pattern: see cmd/hbhsim/main_test.go.
+package main
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+func TestMain(m *testing.M) {
+	if os.Getenv("HBH_RUN_MAIN") == "1" {
+		main()
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+func runMain(t *testing.T, args ...string) (stdout, stderr string, code int) {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], args...)
+	cmd.Env = append(os.Environ(), "HBH_RUN_MAIN=1")
+	var out, errb bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &out, &errb
+	err := cmd.Run()
+	code = 0
+	if ee, ok := err.(*exec.ExitError); ok {
+		code = ee.ExitCode()
+	} else if err != nil {
+		t.Fatalf("exec %v: %v", args, err)
+	}
+	return out.String(), errb.String(), code
+}
+
+func TestScenarios(t *testing.T) {
+	for _, tc := range []struct {
+		scenario string
+		want     []string
+	}{
+		{"asymmetric-join", []string{"=== REUNITE ===", "=== HBH ===", "tree cost:", "delay"}},
+		{"duplication", []string{"=== REUNITE ===", "=== HBH ===", "tree cost:"}},
+		{"departure", []string{"r1 leaves the channel", "tree after departure:"}},
+		{"failure", []string{"=== HBH ===", "with link A-D down", "after router B crash and restart"}},
+	} {
+		t.Run(tc.scenario, func(t *testing.T) {
+			stdout, stderr, code := runMain(t, "-scenario", tc.scenario)
+			if code != 0 {
+				t.Fatalf("exit code %d, want 0 (stderr: %s)", code, stderr)
+			}
+			if !strings.Contains(stdout, "Topology:") {
+				t.Errorf("missing topology header:\n%.200s", stdout)
+			}
+			for _, w := range tc.want {
+				if !strings.Contains(stdout, w) {
+					t.Errorf("output missing %q", w)
+				}
+			}
+		})
+	}
+}
+
+// TestVerboseTraceRidesObsPipeline: -verbose uses netsim.SetTrace,
+// which is now a TextSink on the observability pipeline — the packet
+// trace must still interleave with the scenario narration.
+func TestVerboseTraceRidesObsPipeline(t *testing.T) {
+	stdout, _, code := runMain(t, "-scenario", "asymmetric-join", "-verbose")
+	if code != 0 {
+		t.Fatalf("exit code %d, want 0", code)
+	}
+	for _, w := range []string{"JOIN-SEND", "FORWARD", "tree cost:"} {
+		if !strings.Contains(stdout, w) {
+			t.Errorf("verbose output missing %q", w)
+		}
+	}
+}
+
+func TestUnknownScenarioExits2(t *testing.T) {
+	_, stderr, code := runMain(t, "-scenario", "bogus")
+	if code != 2 {
+		t.Fatalf("exit code %d, want 2", code)
+	}
+	if !strings.Contains(stderr, "unknown scenario") {
+		t.Errorf("stderr missing diagnosis: %q", stderr)
+	}
+}

@@ -1,0 +1,70 @@
+// End-to-end CLI tests, re-exec pattern: see cmd/hbhsim/main_test.go.
+package main
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+func TestMain(m *testing.M) {
+	if os.Getenv("HBH_RUN_MAIN") == "1" {
+		main()
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+func runMain(t *testing.T, args ...string) (stdout, stderr string, code int) {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], args...)
+	cmd.Env = append(os.Environ(), "HBH_RUN_MAIN=1")
+	var out, errb bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &out, &errb
+	err := cmd.Run()
+	code = 0
+	if ee, ok := err.(*exec.ExitError); ok {
+		code = ee.ExitCode()
+	} else if err != nil {
+		t.Fatalf("exec %v: %v", args, err)
+	}
+	return out.String(), errb.String(), code
+}
+
+func TestISPTopology(t *testing.T) {
+	stdout, stderr, code := runMain(t, "-topo", "isp", "-seed", "7")
+	if code != 0 {
+		t.Fatalf("exit code %d, want 0 (stderr: %s)", code, stderr)
+	}
+	if !strings.Contains(stdout, "graph: 36 nodes, 48 links") {
+		t.Errorf("unexpected ISP graph summary:\n%.200s", stdout)
+	}
+	if !strings.Contains(stdout, "R0 <-> R1") || !strings.Contains(stdout, "cost") {
+		t.Errorf("missing link lines:\n%.400s", stdout)
+	}
+}
+
+// TestRandomDeterministic: same seed, same graph — the generators must
+// stay reproducible because every results table depends on it.
+func TestRandomDeterministic(t *testing.T) {
+	a, _, code := runMain(t, "-topo", "random", "-routers", "20", "-seed", "42")
+	if code != 0 {
+		t.Fatalf("exit code %d, want 0", code)
+	}
+	b, _, _ := runMain(t, "-topo", "random", "-routers", "20", "-seed", "42")
+	if a != b {
+		t.Error("same seed produced different graphs")
+	}
+	c, _, _ := runMain(t, "-topo", "random", "-routers", "20", "-seed", "43")
+	if a == c {
+		t.Error("different seeds produced identical graphs")
+	}
+}
+
+func TestUnknownTopoExits2(t *testing.T) {
+	if _, _, code := runMain(t, "-topo", "torus"); code != 2 {
+		t.Fatalf("exit code %d, want 2", code)
+	}
+}

@@ -1,0 +1,8 @@
+package main
+
+import "testing"
+
+// TestSmoke runs the example end to end; any panic or deadlock fails
+// the build. The example has no flags and writes only to stdout, so
+// calling main directly is safe.
+func TestSmoke(t *testing.T) { main() }

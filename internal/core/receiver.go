@@ -4,6 +4,7 @@ import (
 	"hbh/internal/addr"
 	"hbh/internal/eventsim"
 	"hbh/internal/netsim"
+	"hbh/internal/obs"
 	"hbh/internal/packet"
 )
 
@@ -38,6 +39,11 @@ type Receiver struct {
 
 	// OnData, when non-nil, is invoked on every data arrival.
 	OnData func(d Delivery)
+
+	// lifeSpan covers the whole subscription (Join..Leave); joinSpan is
+	// its child covering the joining phase, closed by the first data
+	// delivery — the per-receiver convergence moment the trace exposes.
+	lifeSpan, joinSpan obs.SpanID
 }
 
 // AttachReceiver creates a (not yet joined) receiver agent on host n
@@ -73,6 +79,10 @@ func (r *Receiver) Join() {
 		return
 	}
 	r.joined = true
+	if o := r.node.Network().Observer(); o != nil {
+		r.lifeSpan = o.BeginSpan("receiver-lifecycle", r.ch, r.node.Addr(), r.node.Name(), 0)
+		r.joinSpan = o.BeginSpan("joining", r.ch, r.node.Addr(), r.node.Name(), r.lifeSpan)
+	}
 	r.sendJoin(true)
 	r.ticker = r.sim.NewTicker(r.cfg.JoinInterval, func() { r.sendJoin(false) })
 }
@@ -87,12 +97,28 @@ func (r *Receiver) Leave() {
 	r.joined = false
 	r.ticker.Stop()
 	r.ticker = nil
+	if o := r.node.Network().Observer(); o != nil {
+		o.EndSpan(r.joinSpan, "joining", r.ch, r.node.Addr(), r.node.Name())
+		o.EndSpan(r.lifeSpan, "receiver-lifecycle", r.ch, r.node.Addr(), r.node.Name())
+	}
+	r.joinSpan, r.lifeSpan = 0, 0
 }
 
 func (r *Receiver) sendJoin(first bool) {
 	var flags uint8
 	if first {
 		flags = packet.FlagFirst
+	}
+	if o := r.node.Network().Observer(); o != nil {
+		detail := "refresh"
+		if first {
+			detail = "first"
+		}
+		o.Emit(obs.Event{
+			Kind: obs.KindJoinSend, Node: r.node.Addr(), NodeName: r.node.Name(),
+			Channel: r.ch, Peer: r.ch.S, Span: r.joinSpan, Parent: r.lifeSpan,
+			Detail: detail,
+		})
 	}
 	j := &packet.Join{
 		Header: packet.Header{
@@ -129,6 +155,14 @@ func (r *Receiver) Handle(n *netsim.Node, msg packet.Message) netsim.Verdict {
 		}
 		r.seen[m.Seq] = true
 		r.Deliveries = append(r.Deliveries, d)
+		if r.joinSpan != 0 {
+			// First data delivery: the joining phase of the lifecycle
+			// span ends here — this receiver's tree is carrying data.
+			if o := r.node.Network().Observer(); o != nil {
+				o.EndSpan(r.joinSpan, "joining", r.ch, r.node.Addr(), r.node.Name())
+			}
+			r.joinSpan = 0
+		}
 		if r.OnData != nil {
 			r.OnData(d)
 		}

@@ -1,9 +1,12 @@
 package core
 
 import (
+	"fmt"
+
 	"hbh/internal/addr"
 	"hbh/internal/eventsim"
 	"hbh/internal/netsim"
+	"hbh/internal/obs"
 	"hbh/internal/packet"
 	"hbh/internal/topology"
 )
@@ -218,11 +221,13 @@ func (r *Router) onJoin(j *packet.Join) netsim.Verdict {
 	// regular child once its joins arrive) and B joins the channel
 	// itself at the next upstream branching router.
 	e.Timer.Refresh()
+	r.node.EmitProto(obs.KindJoinIntercept, j.Channel, j.R, 0, "rule 3: refresh entry, self-join upstream")
 	r.sendJoinSelf(j.Channel)
 	return netsim.Consumed
 }
 
 func (r *Router) sendJoinSelf(ch addr.Channel) {
+	r.node.EmitProto(obs.KindJoinSend, ch, ch.S, 0, "branching-node self join")
 	j := &packet.Join{
 		Header: packet.Header{
 			Proto:   packet.ProtoHBH,
@@ -286,6 +291,7 @@ func (r *Router) onTree(t *packet.Tree) netsim.Verdict {
 		}
 		// Rule 2: a new receiver's delivery path crosses this branching
 		// node: adopt it and tell the emitting upstream node.
+		r.node.EmitProto(obs.KindTreeAdopt, ch, t.R, 0, "rule 2: delivery path crosses branching node")
 		r.addMFT(st, ch, t.R)
 		r.sendFusion(ch, t.Src)
 		t.Src = r.node.Addr()
@@ -322,6 +328,7 @@ func (r *Router) onTree(t *packet.Tree) netsim.Verdict {
 	r.removeMCT(st, ch)
 	st.mft = NewMFT()
 	r.observe(ch, ChangeBecomeBranching, r.node.Addr())
+	r.node.EmitProto(obs.KindBranch, ch, t.R, 0, "rule 8: second live target")
 	r.addMFT(st, ch, old)
 	r.addMFT(st, ch, t.R)
 	r.sendFusion(ch, t.Src)
@@ -480,6 +487,10 @@ func unmarkServedBy(t *MFT, relay addr.Addr) {
 }
 
 func (r *Router) applyFusion(st *chanState, ch addr.Channel, f *packet.Fusion, matched []*Entry) {
+	if r.node.Observing() {
+		r.node.EmitProto(obs.KindFusionAccept, ch, f.Bp, 0,
+			fmt.Sprintf("%d of %d targets handed to relay", len(matched), len(f.Rs)))
+	}
 	applyFusion(st.mft, f.Bp, f.Rs, matched,
 		func(node addr.Addr) *Entry {
 			e := r.addMFT(st, ch, node)
@@ -527,6 +538,7 @@ func (r *Router) onData(d *packet.Data) netsim.Verdict {
 			if e.Marked || e.Node == d.Src {
 				continue
 			}
+			r.node.EmitProto(obs.KindReplicate, d.Channel, e.Node, d.Seq, "")
 			copyMsg := packet.Clone(d).(*packet.Data)
 			copyMsg.Src = r.node.Addr()
 			copyMsg.Dst = e.Node
@@ -567,6 +579,7 @@ func (r *Router) seenData(ch addr.Channel, seq uint32) bool {
 }
 
 func (r *Router) sendTree(ch addr.Channel, target addr.Addr) {
+	r.node.EmitProto(obs.KindTreeSend, ch, target, 0, "branching-node regeneration")
 	t := &packet.Tree{
 		Header: packet.Header{
 			Proto:   packet.ProtoHBH,
@@ -602,6 +615,7 @@ func (r *Router) sendFusion(ch addr.Channel, upstream addr.Addr) {
 	}
 	st.hasFusion = true
 	st.lastFusion = now
+	r.node.EmitProto(obs.KindFusionSend, ch, upstream, 0, "announce branching candidate")
 	f := &packet.Fusion{
 		Header: packet.Header{
 			Proto:   packet.ProtoHBH,
@@ -624,6 +638,7 @@ func (r *Router) addMFT(st *chanState, ch addr.Channel, node addr.Addr) *Entry {
 	})
 	e := st.mft.Add(node, timer)
 	r.observe(ch, ChangeMFTAdd, node)
+	r.node.EmitProto(obs.KindTableAdd, ch, node, 0, "mft")
 	return e
 }
 
@@ -635,6 +650,7 @@ func (r *Router) expireMFT(st *chanState, ch addr.Channel, node addr.Addr) {
 	}
 	st.mft.Remove(node)
 	r.observe(ch, ChangeMFTRemove, node)
+	r.node.EmitProto(obs.KindTableRemove, ch, node, 0, "mft")
 	// If the departed entry was a relay, the members it served must get
 	// data directly again.
 	unmarkServedBy(st.mft, node)
@@ -642,6 +658,7 @@ func (r *Router) expireMFT(st *chanState, ch addr.Channel, node addr.Addr) {
 	case st.mft.Len() == 0:
 		st.mft = nil
 		r.observe(ch, ChangeCollapse, r.node.Addr())
+		r.node.EmitProto(obs.KindCollapse, ch, addr.Unspecified, 0, "mft empty")
 		r.maybeDrop(ch, st)
 	case st.mft.Len() == 1 && r.cfg.CollapseRelays:
 		// A single fresh entry means one live child chain: this node no
@@ -655,6 +672,7 @@ func (r *Router) expireMFT(st *chanState, ch addr.Channel, node addr.Addr) {
 			st.mft.Destroy()
 			st.mft = nil
 			r.observe(ch, ChangeCollapse, r.node.Addr())
+			r.node.EmitProto(obs.KindCollapse, ch, target, 0, "single child chain")
 			r.createMCT(st, ch, target)
 		}
 	}
@@ -669,6 +687,7 @@ func (r *Router) createMCT(st *chanState, ch addr.Channel, node addr.Addr) {
 	})
 	st.mct = &MCT{Node: node, Timer: timer}
 	r.observe(ch, ChangeMCTCreate, node)
+	r.node.EmitProto(obs.KindTableAdd, ch, node, 0, "mct")
 }
 
 func (r *Router) removeMCT(st *chanState, ch addr.Channel) {
@@ -678,6 +697,7 @@ func (r *Router) removeMCT(st *chanState, ch addr.Channel) {
 	st.mct.Timer.Cancel()
 	st.mct = nil
 	r.observe(ch, ChangeMCTRemove, r.node.Addr())
+	r.node.EmitProto(obs.KindTableRemove, ch, addr.Unspecified, 0, "mct")
 }
 
 // maybeDrop garbage-collects empty channel state, including the

@@ -1,9 +1,12 @@
 package core
 
 import (
+	"fmt"
+
 	"hbh/internal/addr"
 	"hbh/internal/eventsim"
 	"hbh/internal/netsim"
+	"hbh/internal/obs"
 	"hbh/internal/packet"
 )
 
@@ -89,8 +92,10 @@ func (s *Source) Handle(n *netsim.Node, msg packet.Message) netsim.Verdict {
 func (s *Source) onJoin(j *packet.Join) {
 	if e := s.mft.Get(j.R); e != nil {
 		e.Timer.Refresh()
+		s.node.EmitProto(obs.KindJoinAdmit, s.ch, j.R, 0, "refresh")
 		return
 	}
+	s.node.EmitProto(obs.KindJoinAdmit, s.ch, j.R, 0, "install")
 	s.addEntry(j.R, false)
 }
 
@@ -117,6 +122,10 @@ func (s *Source) onFusion(f *packet.Fusion) {
 		// verifiably hand over: nothing to splice.
 		return
 	}
+	if s.node.Observing() {
+		s.node.EmitProto(obs.KindFusionAccept, s.ch, f.Bp, 0,
+			fmt.Sprintf("%d of %d targets handed to relay", len(matched), len(f.Rs)))
+	}
 	applyFusion(s.mft, f.Bp, f.Rs, matched,
 		func(node addr.Addr) *Entry { return s.addEntry(node, true) },
 		func(node addr.Addr) { s.observe(ChangeMFTMark, node) })
@@ -127,11 +136,13 @@ func (s *Source) addEntry(node addr.Addr, forceStale bool) *Entry {
 		if s.mft.Get(node) != nil {
 			s.mft.Remove(node)
 			s.observe(ChangeMFTRemove, node)
+			s.node.EmitProto(obs.KindTableRemove, s.ch, node, 0, "mft")
 			unmarkServedBy(s.mft, node)
 		}
 	})
 	e := s.mft.Add(node, timer)
 	s.observe(ChangeMFTAdd, node)
+	s.node.EmitProto(obs.KindTableAdd, s.ch, node, 0, "mft")
 	if forceStale {
 		e.Timer.ForceStale()
 	}
@@ -145,6 +156,7 @@ func (s *Source) emitTrees() {
 		if e.Stale() {
 			continue
 		}
+		s.node.EmitProto(obs.KindTreeSend, s.ch, e.Node, 0, "source refresh")
 		t := &packet.Tree{
 			Header: packet.Header{
 				Proto:   packet.ProtoHBH,
@@ -169,6 +181,7 @@ func (s *Source) SendData(payload []byte) uint32 {
 		if e.Marked {
 			continue
 		}
+		s.node.EmitProto(obs.KindReplicate, s.ch, e.Node, seq, "source copy")
 		d := &packet.Data{
 			Header: packet.Header{
 				Proto:   packet.ProtoNone,

@@ -22,6 +22,7 @@ import (
 	"hbh/internal/invariant"
 	"hbh/internal/mtree"
 	"hbh/internal/netsim"
+	"hbh/internal/obs"
 	"hbh/internal/pim"
 	"hbh/internal/reunite"
 	"hbh/internal/topology"
@@ -130,6 +131,14 @@ type RunConfig struct {
 	// Check enables the runtime invariant checker for this run (see
 	// CheckInvariants for the sweep-wide switch).
 	Check bool
+	// Obs, when non-nil, attaches the observability pipeline to the
+	// run's network: trace sinks, counters and the flight recorder all
+	// hang off it. When it carries a recorder and the run is checked,
+	// invariant violations are reported with the offending node's
+	// flight-recorder dump. nil (the default, and the only value the
+	// figure sweeps use) keeps the hot path allocation-free and the
+	// committed results bit-identical.
+	Obs *obs.Observer
 	// Scenario, when non-nil, supplies the prebuilt cost-randomized
 	// graph and routing tables for this run (see PrepareScenario). All
 	// protocols simulated at one (size, run) grid point share the same
@@ -292,6 +301,9 @@ func runPIM(cfg RunConfig, g *topology.Graph, routing *unicast.Routing,
 	sourceHost topology.NodeID, members []topology.NodeID) RunResult {
 	sim := eventsim.New()
 	net := netsim.New(sim, g, routing)
+	if cfg.Obs != nil {
+		net.SetObserver(cfg.Obs)
+	}
 	mode := pim.SS
 	if cfg.Protocol == PIMSM {
 		mode = pim.SM
@@ -303,6 +315,7 @@ func runPIM(cfg RunConfig, g *topology.Graph, routing *unicast.Routing,
 		// the delivery-level invariants are checkable.
 		chk = invariant.New(net, sess.Channel(), profileFor(cfg.Protocol), nil)
 		chk.SetMembers(memberAddrs(g, members))
+		wireRecent(chk, cfg.Obs)
 	}
 	ms := make([]mtree.Member, 0, len(members))
 	for _, m := range members {
@@ -389,6 +402,9 @@ func setupHBH(cfg RunConfig, g *topology.Graph, routing *unicast.Routing,
 	sourceHost topology.NodeID, members []topology.NodeID, rng *rand.Rand) *dynSession {
 	sim := eventsim.New()
 	net := netsim.New(sim, g, routing)
+	if cfg.Obs != nil {
+		net.SetObserver(cfg.Obs)
+	}
 	pcfg := core.DefaultConfig()
 	if cfg.Protocol == HBHNoFusion {
 		pcfg.EnableFusion = false
@@ -426,17 +442,19 @@ func setupHBH(cfg RunConfig, g *topology.Graph, routing *unicast.Routing,
 			core.NewAudit(src, routers))
 		s.checker.SetMembers(memberAddrs(g, members))
 		invariant.InstallContinuous(sim, s.checker)
+		wireRecent(s.checker, cfg.Obs)
 	}
-	obs := func(addr.Addr, addr.Channel, core.ChangeKind, addr.Addr) {
+	installFootprintSampler(cfg, s, string(cfg.Protocol))
+	chg := func(addr.Addr, addr.Channel, core.ChangeKind, addr.Addr) {
 		*s.changes++
 		if s.checker != nil {
 			s.checker.MarkDirty()
 		}
 	}
 	for _, r := range routers {
-		r.SetObserver(obs)
+		r.SetObserver(chg)
 	}
-	src.SetObserver(obs)
+	src.SetObserver(chg)
 	var rcvs []*core.Receiver
 	for _, m := range members {
 		rcv := core.AttachReceiver(net.Node(m), src.Channel(), pcfg)
@@ -453,6 +471,9 @@ func setupREUNITE(cfg RunConfig, g *topology.Graph, routing *unicast.Routing,
 	sourceHost topology.NodeID, members []topology.NodeID, rng *rand.Rand) *dynSession {
 	sim := eventsim.New()
 	net := netsim.New(sim, g, routing)
+	if cfg.Obs != nil {
+		net.SetObserver(cfg.Obs)
+	}
 	pcfg := reunite.DefaultConfig()
 	capable := capableSet(g, rng, cfg.MulticastFraction)
 	var routers []*reunite.Router
@@ -487,17 +508,19 @@ func setupREUNITE(cfg RunConfig, g *topology.Graph, routing *unicast.Routing,
 			reunite.NewAudit(src, routers))
 		s.checker.SetMembers(memberAddrs(g, members))
 		invariant.InstallContinuous(sim, s.checker)
+		wireRecent(s.checker, cfg.Obs)
 	}
-	obs := func(addr.Addr, addr.Channel, reunite.ChangeKind, addr.Addr) {
+	installFootprintSampler(cfg, s, string(cfg.Protocol))
+	chg := func(addr.Addr, addr.Channel, reunite.ChangeKind, addr.Addr) {
 		*s.changes++
 		if s.checker != nil {
 			s.checker.MarkDirty()
 		}
 	}
 	for _, r := range routers {
-		r.SetObserver(obs)
+		r.SetObserver(chg)
 	}
-	src.SetObserver(obs)
+	src.SetObserver(chg)
 	var rcvs []*reunite.Receiver
 	for _, m := range members {
 		rcv := reunite.AttachReceiver(net.Node(m), src.Channel(), pcfg)
@@ -508,6 +531,43 @@ func setupREUNITE(cfg RunConfig, g *topology.Graph, routing *unicast.Routing,
 	}
 	s.leave = func(i int) { rcvs[i].Leave() }
 	return s
+}
+
+// wireRecent attaches the flight recorder's per-node dump to the
+// checker, so invariant violations report the last protocol events the
+// offending node saw. No-op unless o carries a recorder.
+func wireRecent(chk *invariant.Checker, o *obs.Observer) {
+	if chk == nil || o == nil {
+		return
+	}
+	if rec := o.Recorder(); rec != nil {
+		chk.SetRecent(rec.Dump)
+	}
+}
+
+// installFootprintSampler samples the session's forwarding-state
+// footprint into the observer's counter registry once per refresh
+// interval, producing the virtual-time convergence curves the metrics
+// export exposes (hbh_state_* series). No-op unless cfg.Obs carries a
+// counter registry.
+func installFootprintSampler(cfg RunConfig, s *dynSession, protocol string) {
+	if cfg.Obs == nil {
+		return
+	}
+	c := cfg.Obs.Counters()
+	if c == nil {
+		return
+	}
+	mftRouters := c.NewSeries("hbh_state_mft_routers", "protocol", protocol)
+	mftEntries := c.NewSeries("hbh_state_mft_entries", "protocol", protocol)
+	mctRouters := c.NewSeries("hbh_state_mct_routers", "protocol", protocol)
+	s.sim.NewTicker(s.interval, func() {
+		fp := s.state()
+		now := s.sim.Now()
+		mftRouters.Sample(now, float64(fp.MFTRouters))
+		mftEntries.Sample(now, float64(fp.MFTEntries))
+		mctRouters.Sample(now, float64(fp.MCTRouters))
+	})
 }
 
 // setupDyn builds the session for a dynamic protocol.

@@ -27,6 +27,7 @@ import (
 
 	"hbh/internal/eventsim"
 	"hbh/internal/netsim"
+	"hbh/internal/obs"
 	"hbh/internal/topology"
 )
 
@@ -226,21 +227,33 @@ func (in *Injector) Schedule() {
 	}
 }
 
+// faultf emits one structured fault event; the rendered detail keeps
+// the legacy "FAULT ..." trace line verbatim so existing trace
+// consumers keep working, while counters and the flight recorder see a
+// typed KindFault.
+func (in *Injector) faultf(format string, args ...any) {
+	o := in.net.Observer()
+	if o == nil {
+		return
+	}
+	o.Emit(obs.Event{Kind: obs.KindFault, Detail: fmt.Sprintf(format, args...)})
+}
+
 // apply executes one fault event: substrate first, then routing
 // reconvergence, then hooks and observers.
 func (in *Injector) apply(ev Event) {
 	g := in.net.Topology()
 	switch ev.Kind {
 	case LinkDown:
-		in.net.Tracef("FAULT %s %s-%s", ev.Kind, in.net.NodeName(ev.A), in.net.NodeName(ev.B))
+		in.faultf("FAULT %s %s-%s", ev.Kind, in.net.NodeName(ev.A), in.net.NodeName(ev.B))
 		g.SetLinkEnabled(ev.A, ev.B, false)
 		in.reconverge([2]topology.NodeID{ev.A, ev.B})
 	case LinkUp:
-		in.net.Tracef("FAULT %s %s-%s", ev.Kind, in.net.NodeName(ev.A), in.net.NodeName(ev.B))
+		in.faultf("FAULT %s %s-%s", ev.Kind, in.net.NodeName(ev.A), in.net.NodeName(ev.B))
 		g.SetLinkEnabled(ev.A, ev.B, true)
 		in.reconverge([2]topology.NodeID{ev.A, ev.B})
 	case NodeDown:
-		in.net.Tracef("FAULT %s %s", ev.Kind, in.net.NodeName(ev.A))
+		in.faultf("FAULT %s %s", ev.Kind, in.net.NodeName(ev.A))
 		var took [][2]topology.NodeID
 		for _, nb := range g.Neighbors(ev.A) {
 			if g.LinkEnabled(ev.A, nb.To) {
@@ -255,7 +268,7 @@ func (in *Injector) apply(ev Event) {
 			f(ev.A)
 		}
 	case NodeUp:
-		in.net.Tracef("FAULT %s %s", ev.Kind, in.net.NodeName(ev.A))
+		in.faultf("FAULT %s %s", ev.Kind, in.net.NodeName(ev.A))
 		took := in.tookDown[ev.A]
 		delete(in.tookDown, ev.A)
 		for _, l := range took {

@@ -38,6 +38,11 @@ type Checker struct {
 	violations []Violation
 	suppressed int
 
+	// recent, when set, resolves a node address to its flight-recorder
+	// dump; violate attaches it so every violation carries the last
+	// protocol events the offending node saw.
+	recent func(addr.Addr) string
+
 	// arrivals counts data-packet terminations per sequence number and
 	// node; linkCopies counts per-link data copies per sequence number.
 	arrivals   map[uint32]map[addr.Addr]int
@@ -78,6 +83,11 @@ func (c *Checker) SetMembers(members []addr.Addr) {
 		c.memberSet[m] = true
 	}
 }
+
+// SetRecent wires a flight-recorder lookup (typically
+// obs.Recorder.Dump): every violation recorded afterwards carries the
+// dump for its node in Violation.Recent. nil clears it.
+func (c *Checker) SetRecent(f func(addr.Addr) string) { c.recent = f }
 
 // MarkDirty flags that protocol state changed; the next OnEvent runs
 // the structural checks. Wire it into the engine's ChangeObserver.
@@ -286,9 +296,13 @@ func (c *Checker) violate(node addr.Addr, invariant, detail, tree string) {
 		c.suppressed++
 		return
 	}
+	recent := ""
+	if c.recent != nil {
+		recent = c.recent(node)
+	}
 	c.violations = append(c.violations, Violation{
 		At: c.net.Sim().Now(), Node: node, Channel: c.ch,
-		Invariant: invariant, Detail: detail, Tree: tree,
+		Invariant: invariant, Detail: detail, Tree: tree, Recent: recent,
 	})
 }
 

@@ -39,6 +39,10 @@ type Violation struct {
 	// Tree is the reconstructed delivery-tree dump captured when the
 	// violation was detected (empty for node-local checks).
 	Tree string
+	// Recent is the flight-recorder dump for the violating node — the
+	// last protocol events it saw before the breach — captured when a
+	// recorder is wired in via Checker.SetRecent (empty otherwise).
+	Recent string
 }
 
 // String renders the violation as a single diagnostic block.
@@ -47,6 +51,9 @@ func (v Violation) String() string {
 		float64(v.At), v.Node, v.Channel, v.Invariant, v.Detail)
 	if v.Tree != "" {
 		s += "\n" + v.Tree
+	}
+	if v.Recent != "" {
+		s += "\n" + v.Recent
 	}
 	return s
 }

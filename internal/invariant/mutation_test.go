@@ -16,6 +16,7 @@ import (
 	"hbh/internal/invariant"
 	"hbh/internal/mtree"
 	"hbh/internal/netsim"
+	"hbh/internal/obs"
 	"hbh/internal/topology"
 	"hbh/internal/unicast"
 )
@@ -99,5 +100,60 @@ func TestMutationBrokenFusionCaught(t *testing.T) {
 	}
 	if found.Tree == "" || !strings.Contains(found.Tree, "tree root=") {
 		t.Errorf("violation carries no reconstructed tree dump:\n%s", found.String())
+	}
+}
+
+// TestMutationViolationCarriesFlightRecorder forces the same corruption
+// with the observability layer attached and requires the violation to
+// carry the offending node's flight-recorder dump — the last protocol
+// events that node saw before the breach.
+func TestMutationViolationCarriesFlightRecorder(t *testing.T) {
+	g := topology.Line(5, true)
+	s := newHBHSim(g)
+
+	o := obs.New(s.sim.Now)
+	o.EnableRecorder(obs.DefaultRecorderDepth)
+	s.net.SetObserver(o)
+
+	src := core.AttachSource(s.net.Node(hostAt(g, 0)), addr.GroupAddr(0), s.cfg)
+	chk := invariant.New(s.net, src.Channel(), invariant.ProfileHBH(),
+		core.NewAudit(src, s.routers))
+	chk.SetRecent(o.Recorder().Dump)
+	r2 := core.AttachReceiver(s.net.Node(hostAt(g, 2)), src.Channel(), s.cfg)
+	r4 := core.AttachReceiver(s.net.Node(hostAt(g, 4)), src.Channel(), s.cfg)
+	s.sim.At(10, r2.Join)
+	s.sim.At(25, r4.Join)
+	if err := s.sim.Run(40 * s.cfg.TreeInterval); err != nil {
+		t.Fatal(err)
+	}
+
+	res := mtree.Probe(s.net, func() uint32 { return src.SendData([]byte("probe")) },
+		[]mtree.Member{r2, r4})
+	chk.SetMembers([]addr.Addr{r2.Addr(), r4.Addr()})
+	src.MFT().Add(r4.Addr(), s.sim.NewSoftTimer(s.cfg.T1, s.cfg.T2, nil, nil))
+	chk.CheckConverged(res.Seq)
+	if chk.Clean() {
+		t.Fatal("checker missed the injected parallel delivery chain")
+	}
+	var found *invariant.Violation
+	for i, v := range chk.Violations() {
+		if v.Invariant == "unique-service" {
+			found = &chk.Violations()[i]
+			break
+		}
+	}
+	if found == nil {
+		t.Fatalf("no unique-service violation in:\n%s", chk.Report())
+	}
+	if !strings.Contains(found.Recent, "flight recorder:") {
+		t.Fatalf("violation carries no flight-recorder dump:\n%s", found.String())
+	}
+	// The dump must show actual protocol history of the violating node:
+	// its joins went out and data arrived before the corruption.
+	if !strings.Contains(found.Recent, "JOIN-SEND") && !strings.Contains(found.Recent, "DELIVER") {
+		t.Errorf("flight-recorder dump has no protocol events:\n%s", found.Recent)
+	}
+	if !strings.Contains(found.String(), "flight recorder:") {
+		t.Errorf("String() omits the recorder dump:\n%s", found.String())
 	}
 }

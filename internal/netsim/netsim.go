@@ -20,6 +20,7 @@ import (
 
 	"hbh/internal/addr"
 	"hbh/internal/eventsim"
+	"hbh/internal/obs"
 	"hbh/internal/packet"
 	"hbh/internal/topology"
 	"hbh/internal/unicast"
@@ -72,6 +73,8 @@ type Tap func(from, to topology.NodeID, msg packet.Message)
 type DeliveryTap func(at topology.NodeID, msg packet.Message, consumed bool)
 
 // TraceFunc receives human-readable event lines when tracing is on.
+// It survives as the SetTrace compatibility surface; the structured
+// pipeline underneath is obs.Observer (SetObserver).
 type TraceFunc func(line string)
 
 // Stats aggregates transport-level counters for one Network.
@@ -135,16 +138,28 @@ type Network struct {
 	routing *unicast.Routing
 	nodes   []*Node
 
-	taps      []Tap
-	delTaps   []DeliveryTap
-	trace     TraceFunc
-	hopLimit  int
-	wireCheck bool
-	loss      LossModel
+	taps    []Tap
+	delTaps []DeliveryTap
+	// obsv is the structured observability pipeline. nil means fully
+	// disabled: every emission site nil-checks it before building any
+	// event, which keeps the forwarding hot path allocation-free.
+	obsv *obs.Observer
+	// traceSink backs the SetTrace compatibility shim; traceOwned
+	// records that the observer itself was created by SetTrace (and may
+	// be torn down again by SetTrace(nil)).
+	traceSink  *obs.TextSink
+	traceOwned bool
+	hopLimit   int
+	wireCheck  bool
+	loss       LossModel
 	// nodeDown marks crashed nodes: they neither handle, forward nor
 	// originate packets until brought back up (see SetNodeUp).
 	nodeDown []bool
 	stats    Stats
+	// freeEnv recycles envelopes so steady-state forwarding allocates
+	// nothing: every terminal point of a packet's life (drop, consume,
+	// deliver) returns its envelope here.
+	freeEnv []*envelope
 }
 
 // Node is the per-vertex runtime state: the resident handlers and the
@@ -228,8 +243,52 @@ func (n *Network) AddTap(t Tap) { n.taps = append(n.taps, t) }
 // AddDeliveryTap registers a packet-termination observer.
 func (n *Network) AddDeliveryTap(t DeliveryTap) { n.delTaps = append(n.delTaps, t) }
 
+// SetObserver installs (or, with nil, removes) the structured
+// observability pipeline. All transport events — sends, per-hop
+// forwards, consumes, deliveries, and cause-attributed drops — flow
+// into it; the protocol engines discover it through Observer() and add
+// their control-plane events to the same stream.
+func (n *Network) SetObserver(o *obs.Observer) {
+	if o != nil {
+		// Bind the network's clock: CLI code builds the observer before
+		// the simulation exists.
+		o.SetNow(func() eventsim.Time { return n.sim.Now() })
+	}
+	n.obsv = o
+	n.traceSink = nil
+	n.traceOwned = false
+}
+
+// Observer returns the installed pipeline (nil when observation is
+// off). Protocol code must nil-check before building events.
+func (n *Network) Observer() *obs.Observer { return n.obsv }
+
 // SetTrace installs (or, with nil, removes) the human-readable tracer.
-func (n *Network) SetTrace(t TraceFunc) { n.trace = t }
+// It is a compatibility shim over the obs pipeline: the callback
+// becomes a text sink rendering the same lines the pre-obs tracer
+// printed (plus the protocol events the engines now emit).
+func (n *Network) SetTrace(t TraceFunc) {
+	if t == nil {
+		if n.traceSink != nil && n.obsv != nil {
+			n.obsv.RemoveSink(n.traceSink)
+			if n.traceOwned && n.obsv.Empty() {
+				n.obsv = nil
+				n.traceOwned = false
+			}
+		}
+		n.traceSink = nil
+		return
+	}
+	if n.obsv == nil {
+		n.obsv = obs.New(func() eventsim.Time { return n.sim.Now() })
+		n.traceOwned = true
+	}
+	if n.traceSink != nil {
+		n.obsv.RemoveSink(n.traceSink)
+	}
+	n.traceSink = obs.NewTextSink(t)
+	n.obsv.AddSink(n.traceSink)
+}
 
 // SetWireCheck turns on strict-wire mode: every link transmission
 // marshals the message to its binary wire format and decodes it again
@@ -299,23 +358,33 @@ func (n *Network) SetHopLimit(l int) {
 	n.hopLimit = l
 }
 
-func (n *Network) tracef(format string, args ...any) {
-	if n.trace != nil {
-		n.trace(fmt.Sprintf("%8.1f  ", float64(n.sim.Now())) + fmt.Sprintf(format, args...))
+// Tracef emits a free-form annotation into the event stream (a no-op
+// when observation is off). External layers use it so their notes
+// interleave with the packet trace; the fault injector emits structured
+// obs.KindFault events instead.
+func (n *Network) Tracef(format string, args ...any) { n.obsv.Notef(format, args...) }
+
+// emitMsg builds and emits one transport event for msg. Callers must
+// have checked n.obsv != nil first — this keeps argument construction
+// (interface boxing, channel/seq extraction) entirely off the disabled
+// path, where it used to dominate whole-run CPU profiles at >50% when
+// done eagerly.
+func (n *Network) emitMsg(kind obs.Kind, cause obs.Cause, nd, peer *Node, msg packet.Message) {
+	ev := obs.Event{Kind: kind, Cause: cause, Msg: msg}
+	if nd != nil {
+		ev.Node = nd.addr
+		ev.NodeName = nd.name
 	}
+	if peer != nil {
+		ev.Peer = peer.addr
+		ev.PeerName = peer.name
+	}
+	ev.Channel = msg.Hdr().Channel
+	if d, ok := msg.(*packet.Data); ok {
+		ev.Seq = d.Seq
+	}
+	n.obsv.Emit(ev)
 }
-
-// tracing reports whether a tracer is installed. The per-packet paths
-// check it BEFORE building trace arguments: packet.Format is far too
-// expensive to evaluate eagerly on every hop only to be discarded by
-// the nil check inside tracef (it used to dominate whole-run CPU
-// profiles at >50%).
-func (n *Network) tracing() bool { return n.trace != nil }
-
-// Tracef emits a timestamped line into the trace stream (a no-op when
-// no tracer is installed). External layers — the fault injector in
-// particular — use it so their events interleave with the packet trace.
-func (n *Network) Tracef(format string, args ...any) { n.tracef(format, args...) }
 
 // NodeName returns the topology label of a node, for diagnostics.
 func (n *Network) NodeName(id topology.NodeID) string { return n.nodes[id].name }
@@ -344,6 +413,33 @@ func (nd *Node) Network() *Network { return nd.net }
 // registration order; the first Consumed verdict wins.
 func (nd *Node) AddHandler(h Handler) { nd.handlers = append(nd.handlers, h) }
 
+// Observing reports whether an observability pipeline is attached.
+// Engines check it before assembling event details that cost anything
+// to build (formatted strings, slices).
+func (nd *Node) Observing() bool { return nd.net.obsv != nil }
+
+// EmitProto emits one protocol-level event at this node into the
+// network's observability pipeline (a cheap no-op when observation is
+// off). The engines use it for join interception, tree adoption,
+// fusion, and table mutations; peer is the other endpoint when there
+// is one, seq the data sequence number for replication events.
+func (nd *Node) EmitProto(kind obs.Kind, ch addr.Channel, peer addr.Addr, seq uint32, detail string) {
+	o := nd.net.obsv
+	if o == nil {
+		return
+	}
+	ev := obs.Event{
+		Kind: kind, Node: nd.addr, NodeName: nd.name,
+		Channel: ch, Peer: peer, Seq: seq, Detail: detail,
+	}
+	if peer != addr.Unspecified {
+		if id, ok := nd.net.topo.ByAddr(peer); ok {
+			ev.PeerName = nd.net.nodes[id].name
+		}
+	}
+	o.Emit(ev)
+}
+
 // SetDeliver installs the local delivery sink.
 func (nd *Node) SetDeliver(d DeliverFunc) { nd.deliver = d }
 
@@ -352,7 +448,9 @@ func (nd *Node) SetDeliver(d DeliverFunc) { nd.deliver = d }
 // re-encodes it in transit (zero-copy forwarding); serialization
 // happens only at capture taps and under the opt-in strict-wire mode
 // (SetWireCheck). The envelope doubles as the eventsim.Caller for its
-// own next arrival, so a hop costs no closure or event allocation.
+// own next arrival, so a hop costs no closure or event allocation, and
+// envelopes themselves recycle through Network.freeEnv, so steady-state
+// forwarding allocates nothing at all.
 type envelope struct {
 	msg  packet.Message
 	hops int
@@ -362,6 +460,30 @@ type envelope struct {
 
 // Fire delivers the in-flight transmission at its arrival node.
 func (e *envelope) Fire() { e.net.arrive(e.to, e) }
+
+// newEnvelope takes an envelope from the freelist (or allocates one)
+// and arms it with a full hop budget.
+func (n *Network) newEnvelope(msg packet.Message) *envelope {
+	if k := len(n.freeEnv); k > 0 {
+		env := n.freeEnv[k-1]
+		n.freeEnv = n.freeEnv[:k-1]
+		env.msg = msg
+		env.hops = n.hopLimit
+		env.to = 0
+		return env
+	}
+	return &envelope{msg: msg, hops: n.hopLimit, net: n}
+}
+
+// recycle returns an envelope whose packet's life ended (dropped,
+// consumed, delivered). The message reference is cleared so the
+// freelist never pins packets; each envelope is referenced from
+// exactly one place at a time, so every terminal branch recycles
+// exactly once.
+func (n *Network) recycle(env *envelope) {
+	env.msg = nil
+	n.freeEnv = append(n.freeEnv, env)
+}
 
 // SendUnicast originates msg at this node and forwards it hop by hop
 // toward msg.Hdr().Dst using the unicast tables. The packet is
@@ -374,26 +496,32 @@ func (nd *Node) SendUnicast(msg packet.Message) {
 		// still fire, but whatever they emit dies here.
 		nd.net.stats.NodeDownDrops++
 		nd.net.dropData(msg)
+		if nd.net.obsv != nil {
+			nd.net.emitMsg(obs.KindDrop, obs.CauseNodeDown, nd, nil, msg)
+		}
 		return
 	}
 	if !h.Dst.IsUnicast() {
-		if nd.net.tracing() {
-			nd.net.tracef("%s DROP non-unicast dst: %s", nd.name, packet.Format(msg))
+		if nd.net.obsv != nil {
+			nd.net.emitMsg(obs.KindDrop, obs.CauseNonUnicast, nd, nil, msg)
 		}
 		nd.net.stats.NoRouteDrops++
 		nd.net.dropData(msg)
 		return
 	}
-	if nd.net.tracing() {
-		nd.net.tracef("%s SEND %s", nd.name, packet.Format(msg))
+	if nd.net.obsv != nil {
+		nd.net.emitMsg(obs.KindSend, obs.CauseNone, nd, nil, msg)
 	}
-	env := &envelope{msg: msg, hops: nd.net.hopLimit, net: nd.net}
 	dst, ok := nd.net.topo.ByAddr(h.Dst)
 	if !ok {
 		nd.net.stats.NoRouteDrops++
 		nd.net.dropData(msg)
+		if nd.net.obsv != nil {
+			nd.net.emitMsg(obs.KindDrop, obs.CauseNoRoute, nd, nil, msg)
+		}
 		return
 	}
+	env := nd.net.newEnvelope(msg)
 	if dst == nd.id {
 		// Local: process immediately in a fresh event for causal order.
 		env.to = nd.id
@@ -415,12 +543,15 @@ func (nd *Node) SendDirect(to topology.NodeID, msg packet.Message) {
 	if nd.net.nodeDown[nd.id] {
 		nd.net.stats.NodeDownDrops++
 		nd.net.dropData(msg)
+		if nd.net.obsv != nil {
+			nd.net.emitMsg(obs.KindDrop, obs.CauseNodeDown, nd, nil, msg)
+		}
 		return
 	}
-	if nd.net.tracing() {
-		nd.net.tracef("%s SEND-DIRECT->%s %s", nd.name, nd.net.nodes[to].name, packet.Format(msg))
+	if nd.net.obsv != nil {
+		nd.net.emitMsg(obs.KindSendDirect, obs.CauseNone, nd, nd.net.nodes[to], msg)
 	}
-	nd.net.transmit(nd.id, to, &envelope{msg: msg, hops: nd.net.hopLimit, net: nd.net})
+	nd.net.transmit(nd.id, to, nd.net.newEnvelope(msg))
 }
 
 // forward routes env one hop closer to its destination address.
@@ -430,9 +561,10 @@ func (n *Network) forward(from topology.NodeID, env *envelope) {
 	if !ok || !n.routing.Reachable(from, dst) {
 		n.stats.NoRouteDrops++
 		n.dropData(env.msg)
-		if n.tracing() {
-			n.tracef("%s DROP no route: %s", n.nodes[from].name, packet.Format(env.msg))
+		if n.obsv != nil {
+			n.emitMsg(obs.KindDrop, obs.CauseNoRoute, n.nodes[from], nil, env.msg)
 		}
+		n.recycle(env)
 		return
 	}
 	next := n.routing.NextHop(from, dst)
@@ -445,9 +577,10 @@ func (n *Network) transmit(from, to topology.NodeID, env *envelope) {
 	if env.hops <= 0 {
 		n.stats.HopLimitDrops++
 		n.dropData(env.msg)
-		if n.tracing() {
-			n.tracef("%s DROP hop limit: %s", n.nodes[from].name, packet.Format(env.msg))
+		if n.obsv != nil {
+			n.emitMsg(obs.KindDrop, obs.CauseHopLimit, n.nodes[from], nil, env.msg)
 		}
+		n.recycle(env)
 		return
 	}
 	env.hops--
@@ -458,9 +591,10 @@ func (n *Network) transmit(from, to topology.NodeID, env *envelope) {
 		// problem until Recompute converges it.
 		n.stats.LinkDownDrops++
 		n.dropData(env.msg)
-		if n.tracing() {
-			n.tracef("%s DROP link down ->%s: %s", n.nodes[from].name, n.nodes[to].name, packet.Format(env.msg))
+		if n.obsv != nil {
+			n.emitMsg(obs.KindDrop, obs.CauseLinkDown, n.nodes[from], n.nodes[to], env.msg)
 		}
+		n.recycle(env)
 		return
 	}
 	cost := n.topo.Cost(from, to)
@@ -472,16 +606,18 @@ func (n *Network) transmit(from, to topology.NodeID, env *envelope) {
 		switch {
 		case !isData && n.loss.Control > 0 && n.loss.RNG.Float64() < n.loss.Control:
 			n.stats.LossDrops++
-			if n.tracing() {
-				n.tracef("%s LOSS %s", n.nodes[from].name, packet.Format(env.msg))
+			if n.obsv != nil {
+				n.emitMsg(obs.KindDrop, obs.CauseLoss, n.nodes[from], n.nodes[to], env.msg)
 			}
+			n.recycle(env)
 			return
 		case isData && n.loss.Data > 0 && n.loss.RNG.Float64() < n.loss.Data:
 			n.stats.DataLossDrops++
 			n.stats.DataDrops++
-			if n.tracing() {
-				n.tracef("%s LOSS %s", n.nodes[from].name, packet.Format(env.msg))
+			if n.obsv != nil {
+				n.emitMsg(obs.KindDrop, obs.CauseLoss, n.nodes[from], n.nodes[to], env.msg)
 			}
+			n.recycle(env)
 			return
 		}
 	}
@@ -503,6 +639,9 @@ func (n *Network) transmit(from, to topology.NodeID, env *envelope) {
 	for _, tap := range n.taps {
 		tap(from, to, env.msg)
 	}
+	if n.obsv != nil {
+		n.emitMsg(obs.KindForward, obs.CauseNone, n.nodes[from], n.nodes[to], env.msg)
+	}
 	env.to = to
 	n.sim.AfterCall(eventsim.Time(cost), env)
 }
@@ -516,9 +655,10 @@ func (n *Network) arrive(v topology.NodeID, env *envelope) {
 		// forwarding, no delivery.
 		n.stats.NodeDownDrops++
 		n.dropData(env.msg)
-		if n.tracing() {
-			n.tracef("%s DROP node down: %s", nd.name, packet.Format(env.msg))
+		if n.obsv != nil {
+			n.emitMsg(obs.KindDrop, obs.CauseNodeDown, nd, nil, env.msg)
 		}
+		n.recycle(env)
 		return
 	}
 	for _, h := range nd.handlers {
@@ -527,12 +667,13 @@ func (n *Network) arrive(v topology.NodeID, env *envelope) {
 			if _, isData := env.msg.(*packet.Data); isData {
 				n.stats.DataConsumed++
 			}
-			if n.tracing() {
-				n.tracef("%s CONSUME %s", nd.name, packet.Format(env.msg))
+			if n.obsv != nil {
+				n.emitMsg(obs.KindConsume, obs.CauseNone, nd, nil, env.msg)
 			}
 			for _, t := range n.delTaps {
 				t(v, env.msg, true)
 			}
+			n.recycle(env)
 			return
 		}
 	}
@@ -542,8 +683,8 @@ func (n *Network) arrive(v topology.NodeID, env *envelope) {
 		if _, isData := env.msg.(*packet.Data); isData {
 			n.stats.DataDelivered++
 		}
-		if n.tracing() {
-			n.tracef("%s DELIVER %s", nd.name, packet.Format(env.msg))
+		if n.obsv != nil {
+			n.emitMsg(obs.KindDeliver, obs.CauseNone, nd, nil, env.msg)
 		}
 		if nd.deliver != nil {
 			nd.deliver(nd, env.msg)
@@ -551,6 +692,7 @@ func (n *Network) arrive(v topology.NodeID, env *envelope) {
 		for _, t := range n.delTaps {
 			t(v, env.msg, false)
 		}
+		n.recycle(env)
 		return
 	}
 	if !hdr.Dst.IsUnicast() {
@@ -558,9 +700,10 @@ func (n *Network) arrive(v topology.NodeID, env *envelope) {
 		// forward those, and none claimed it.
 		n.stats.NoRouteDrops++
 		n.dropData(env.msg)
-		if n.tracing() {
-			n.tracef("%s DROP unclaimed multicast: %s", nd.name, packet.Format(env.msg))
+		if n.obsv != nil {
+			n.emitMsg(obs.KindDrop, obs.CauseUnclaimedMulticast, nd, nil, env.msg)
 		}
+		n.recycle(env)
 		return
 	}
 	n.forward(v, env)

@@ -1,0 +1,269 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"hbh/internal/addr"
+	"hbh/internal/eventsim"
+)
+
+// metricHelp documents the metrics the registry derives from the event
+// stream; the export emits it as Prometheus HELP/TYPE preamble.
+var metricHelp = []struct{ name, kind, help string }{
+	{"hbh_sends_total", "counter", "packets originated, by node and packet type"},
+	{"hbh_forwards_total", "counter", "link traversals forwarded through a node"},
+	{"hbh_deliveries_total", "counter", "packets terminating at a node (consumed or locally delivered)"},
+	{"hbh_drops_total", "counter", "packets dropped, by node and cause"},
+	{"hbh_joins_sent_total", "counter", "join messages emitted, by node and channel"},
+	{"hbh_joins_intercepted_total", "counter", "joins intercepted by a branching router, by node and channel"},
+	{"hbh_joins_admitted_total", "counter", "joins installed or refreshed at the channel root, by channel"},
+	{"hbh_trees_sent_total", "counter", "tree refreshes emitted, by node and channel"},
+	{"hbh_trees_adopted_total", "counter", "tree targets adopted into an MFT, by node and channel"},
+	{"hbh_fusions_sent_total", "counter", "fusion announcements emitted, by node and channel"},
+	{"hbh_fusions_accepted_total", "counter", "fusion splices accepted upstream, by node and channel"},
+	{"hbh_branch_events_total", "counter", "non-branching to branching transitions, by node and channel"},
+	{"hbh_collapse_events_total", "counter", "branching state collapses, by node and channel"},
+	{"hbh_data_copies_total", "counter", "data copies emitted by replication, by node and channel"},
+	{"hbh_table_entries", "gauge", "live forwarding-table entries, by node and channel"},
+	{"hbh_faults_total", "counter", "fault-injection events applied"},
+	{"hbh_state_mft_routers", "gauge", "routers holding a data-plane table, sampled per refresh interval (virtual-time series)"},
+	{"hbh_state_mft_entries", "gauge", "total data-plane rows across routers and the source, sampled per refresh interval (virtual-time series)"},
+	{"hbh_state_mct_routers", "gauge", "routers holding only control-plane state, sampled per refresh interval (virtual-time series)"},
+}
+
+// counterKey identifies one labelled sample of one metric.
+type counterKey struct {
+	name   string
+	labels string // pre-rendered, sorted label block: {a="x",b="y"}
+}
+
+// Counters is the metric registry fed by Observer.Emit. It derives
+// per-node / per-channel counters from the event stream and holds
+// opt-in virtual-time series (Series) for convergence curves. Export
+// renders everything in the Prometheus text exposition format; series
+// samples carry their virtual time as the (normally wall-clock)
+// timestamp column.
+type Counters struct {
+	vals   map[counterKey]float64
+	series []*Series
+}
+
+// NewCounters builds an empty registry.
+func NewCounters() *Counters {
+	return &Counters{vals: make(map[counterKey]float64)}
+}
+
+// Add increments metric name by v under the given label pairs
+// (alternating key, value; keys must arrive sorted or at least in a
+// fixed order so identical samples collide).
+func (c *Counters) Add(name string, v float64, kv ...string) {
+	c.vals[counterKey{name, renderLabels(kv)}] += v
+}
+
+// Get reads back one sample (tests and threshold checks).
+func (c *Counters) Get(name string, kv ...string) float64 {
+	return c.vals[counterKey{name, renderLabels(kv)}]
+}
+
+// Total sums every sample of metric name across all label sets.
+func (c *Counters) Total(name string) float64 {
+	var sum float64
+	for k, v := range c.vals {
+		if k.name == name {
+			sum += v
+		}
+	}
+	return sum
+}
+
+func renderLabels(kv []string) string {
+	if len(kv) == 0 {
+		return ""
+	}
+	if len(kv)%2 != 0 {
+		panic("obs: odd label key/value list")
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i := 0; i < len(kv); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(kv[i])
+		b.WriteByte('=')
+		b.WriteString(strconv.Quote(kv[i+1]))
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// Apply derives metric increments from one event.
+func (c *Counters) Apply(ev Event) {
+	ch := ""
+	if ev.Channel != (addr.Channel{}) {
+		ch = ev.Channel.String()
+	}
+	switch ev.Kind {
+	case KindSend, KindSendDirect:
+		typ := "control"
+		if ev.Msg != nil && ev.Msg.Hdr() != nil {
+			typ = ev.Msg.Hdr().Type.String()
+		}
+		c.Add("hbh_sends_total", 1, "node", ev.NodeName, "type", typ)
+	case KindForward:
+		c.Add("hbh_forwards_total", 1, "node", ev.NodeName)
+	case KindConsume, KindDeliver:
+		c.Add("hbh_deliveries_total", 1, "node", ev.NodeName)
+	case KindDrop:
+		c.Add("hbh_drops_total", 1, "node", ev.NodeName, "cause", ev.Cause.String())
+	case KindJoinSend:
+		c.Add("hbh_joins_sent_total", 1, "node", ev.NodeName, "channel", ch)
+	case KindJoinIntercept:
+		c.Add("hbh_joins_intercepted_total", 1, "node", ev.NodeName, "channel", ch)
+	case KindJoinAdmit:
+		c.Add("hbh_joins_admitted_total", 1, "channel", ch)
+	case KindTreeSend:
+		c.Add("hbh_trees_sent_total", 1, "node", ev.NodeName, "channel", ch)
+	case KindTreeAdopt:
+		c.Add("hbh_trees_adopted_total", 1, "node", ev.NodeName, "channel", ch)
+	case KindFusionSend:
+		c.Add("hbh_fusions_sent_total", 1, "node", ev.NodeName, "channel", ch)
+	case KindFusionAccept:
+		c.Add("hbh_fusions_accepted_total", 1, "node", ev.NodeName, "channel", ch)
+	case KindBranch:
+		c.Add("hbh_branch_events_total", 1, "node", ev.NodeName, "channel", ch)
+	case KindCollapse:
+		c.Add("hbh_collapse_events_total", 1, "node", ev.NodeName, "channel", ch)
+	case KindTableAdd:
+		c.Add("hbh_table_entries", 1, "node", ev.NodeName, "channel", ch)
+	case KindTableRemove:
+		c.Add("hbh_table_entries", -1, "node", ev.NodeName, "channel", ch)
+	case KindReplicate:
+		c.Add("hbh_data_copies_total", 1, "node", ev.NodeName, "channel", ch)
+	case KindFault:
+		c.Add("hbh_faults_total", 1)
+	}
+}
+
+// maxSeriesSamples bounds every time series so samplers can never grow
+// without limit on a long run; past the cap new samples are dropped
+// (the head of the curve is the part convergence analysis needs).
+const maxSeriesSamples = 4096
+
+// Series is a virtual-time sampled curve — table sizes over time,
+// deliveries over time — exported with its virtual timestamps in the
+// Prometheus timestamp column (milliseconds, as the format requires).
+type Series struct {
+	name    string
+	labels  string
+	samples []sample
+	dropped int
+}
+
+type sample struct {
+	at eventsim.Time
+	v  float64
+}
+
+// NewSeries registers a time series under name and labels.
+func (c *Counters) NewSeries(name string, kv ...string) *Series {
+	s := &Series{name: name, labels: renderLabels(kv)}
+	c.series = append(c.series, s)
+	return s
+}
+
+// Sample appends one observation at virtual time at.
+func (s *Series) Sample(at eventsim.Time, v float64) {
+	if len(s.samples) >= maxSeriesSamples {
+		s.dropped++
+		return
+	}
+	s.samples = append(s.samples, sample{at, v})
+}
+
+// Len returns the number of retained samples.
+func (s *Series) Len() int { return len(s.samples) }
+
+// Export writes the registry in the Prometheus text exposition format,
+// deterministically ordered (metrics by name, samples by label block).
+func (c *Counters) Export(w io.Writer) error {
+	byName := make(map[string][]counterKey)
+	for k := range c.vals {
+		byName[k.name] = append(byName[k.name], k)
+	}
+	seriesByName := make(map[string][]*Series)
+	for _, s := range c.series {
+		seriesByName[s.name] = append(seriesByName[s.name], s)
+	}
+
+	var names []string
+	seen := make(map[string]bool)
+	for _, m := range metricHelp {
+		if len(byName[m.name]) > 0 || len(seriesByName[m.name]) > 0 {
+			names = append(names, m.name)
+			seen[m.name] = true
+		}
+	}
+	// Metrics added via Add/NewSeries without a help entry still export.
+	var extra []string
+	for n := range byName {
+		if !seen[n] {
+			extra = append(extra, n)
+			seen[n] = true
+		}
+	}
+	for n := range seriesByName {
+		if !seen[n] {
+			extra = append(extra, n)
+			seen[n] = true
+		}
+	}
+	sort.Strings(extra)
+	names = append(names, extra...)
+
+	help := make(map[string]struct{ kind, help string })
+	for _, m := range metricHelp {
+		help[m.name] = struct{ kind, help string }{m.kind, m.help}
+	}
+
+	for _, name := range names {
+		if h, ok := help[name]; ok {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, h.help, name, h.kind); err != nil {
+				return err
+			}
+		} else if _, err := fmt.Fprintf(w, "# TYPE %s untyped\n", name); err != nil {
+			return err
+		}
+		keys := byName[name]
+		sort.Slice(keys, func(i, j int) bool { return keys[i].labels < keys[j].labels })
+		for _, k := range keys {
+			if _, err := fmt.Fprintf(w, "%s%s %s\n", k.name, k.labels, formatValue(c.vals[k])); err != nil {
+				return err
+			}
+		}
+		ss := seriesByName[name]
+		sort.Slice(ss, func(i, j int) bool { return ss[i].labels < ss[j].labels })
+		for _, s := range ss {
+			for _, smp := range s.samples {
+				// Timestamp column carries the *virtual* time in ms.
+				if _, err := fmt.Fprintf(w, "%s%s %s %d\n", s.name, s.labels, formatValue(smp.v), int64(float64(smp.at)*1000)); err != nil {
+					return err
+				}
+			}
+			if s.dropped > 0 {
+				if _, err := fmt.Fprintf(w, "# %s%s truncated: %d samples dropped past cap %d\n", s.name, s.labels, s.dropped, maxSeriesSamples); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func formatValue(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -1,0 +1,103 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"hbh/internal/addr"
+)
+
+// DefaultRecorderDepth is the per-node ring size when the caller does
+// not choose one: enough to hold several refresh cycles of protocol
+// chatter around the moment something goes wrong.
+const DefaultRecorderDepth = 64
+
+// Recorder is the flight recorder: a fixed-size ring buffer of the
+// most recent events per node, kept as pre-rendered text. Rendering at
+// record time matters — the simulator forwards packets zero-copy and
+// rewrites them in place (a Tree's Src changes at every regenerating
+// hop), so holding packet.Message pointers would silently revise
+// history. When an invariant violation or a fault-attributed drop
+// fires, Dump reconstructs what the node saw leading up to it.
+type Recorder struct {
+	depth int
+	rings map[addr.Addr]*ring
+}
+
+type ring struct {
+	name  string
+	lines []string
+	next  int
+	total int
+}
+
+// NewRecorder builds a recorder keeping the last perNode events per
+// node (DefaultRecorderDepth if perNode <= 0).
+func NewRecorder(perNode int) *Recorder {
+	if perNode <= 0 {
+		perNode = DefaultRecorderDepth
+	}
+	return &Recorder{depth: perNode, rings: make(map[addr.Addr]*ring)}
+}
+
+// Depth returns the per-node ring capacity.
+func (r *Recorder) Depth() int { return r.depth }
+
+// Record appends ev to its node's ring. Events without a node (pure
+// notes) are kept under the zero address so nothing is lost.
+func (r *Recorder) Record(ev Event) {
+	rg := r.rings[ev.Node]
+	if rg == nil {
+		rg = &ring{name: ev.NodeName, lines: make([]string, 0, r.depth)}
+		r.rings[ev.Node] = rg
+	}
+	if rg.name == "" {
+		rg.name = ev.NodeName
+	}
+	line := stamp(ev) + Line(ev)
+	if len(rg.lines) < r.depth {
+		rg.lines = append(rg.lines, line)
+	} else {
+		rg.lines[rg.next] = line
+		rg.next = (rg.next + 1) % r.depth
+	}
+	rg.total++
+}
+
+// Dump renders the ring of one node, oldest first, with a header
+// giving the node and how much history scrolled past the ring.
+func (r *Recorder) Dump(node addr.Addr) string {
+	rg := r.rings[node]
+	if rg == nil || rg.total == 0 {
+		return fmt.Sprintf("flight recorder: no events recorded for %v", node)
+	}
+	var b strings.Builder
+	label := rg.name
+	if label == "" {
+		label = node.String()
+	} else {
+		label = fmt.Sprintf("%s (%v)", rg.name, node)
+	}
+	fmt.Fprintf(&b, "flight recorder: %s — last %d of %d events\n",
+		label, len(rg.lines), rg.total)
+	for i := 0; i < len(rg.lines); i++ {
+		b.WriteString(rg.lines[(rg.next+i)%len(rg.lines)])
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// DumpAll renders every node's ring, nodes in address order.
+func (r *Recorder) DumpAll() string {
+	nodes := make([]addr.Addr, 0, len(r.rings))
+	for a := range r.rings {
+		nodes = append(nodes, a)
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+	var b strings.Builder
+	for _, a := range nodes {
+		b.WriteString(r.Dump(a))
+	}
+	return b.String()
+}

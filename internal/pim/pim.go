@@ -28,6 +28,7 @@ import (
 	"hbh/internal/addr"
 	"hbh/internal/eventsim"
 	"hbh/internal/netsim"
+	"hbh/internal/obs"
 	"hbh/internal/packet"
 	"hbh/internal/topology"
 	"hbh/internal/unicast"
@@ -259,6 +260,11 @@ func Build(net *netsim.Network, mode Mode, sourceHost topology.NodeID,
 	// RP, which also decapsulates).
 	for node := range s.children {
 		node := node
+		nd := net.Node(node)
+		if nd.Observing() {
+			nd.EmitProto(obs.KindTableAdd, ch, addr.Unspecified, 0,
+				fmt.Sprintf("%v tree: %d children", mode, len(s.children[node])))
+		}
 		net.Node(node).AddHandler(netsim.HandlerFunc(func(n *netsim.Node, msg packet.Message) netsim.Verdict {
 			return s.forward(n, msg)
 		}))
@@ -302,6 +308,9 @@ func (s *Session) forward(n *netsim.Node, msg packet.Message) netsim.Verdict {
 	case d.Dst == s.ch.G:
 		// Native multicast: replicate down the tree.
 		for _, child := range s.children[n.ID()] {
+			if n.Observing() {
+				n.EmitProto(obs.KindReplicate, s.ch, s.net.Topology().Node(child).Addr, d.Seq, "tree copy")
+			}
 			c := packet.Clone(d).(*packet.Data)
 			c.Src = n.Addr()
 			n.SendDirect(child, c)
@@ -310,6 +319,9 @@ func (s *Session) forward(n *netsim.Node, msg packet.Message) netsim.Verdict {
 	case s.mode == SM && n.ID() == s.rp && d.Dst == s.rpAddr:
 		// Decapsulate at the RP and start native replication.
 		for _, child := range s.children[n.ID()] {
+			if n.Observing() {
+				n.EmitProto(obs.KindReplicate, s.ch, s.net.Topology().Node(child).Addr, d.Seq, "RP decap copy")
+			}
 			c := packet.Clone(d).(*packet.Data)
 			c.Src = n.Addr()
 			c.Dst = s.ch.G
@@ -359,6 +371,9 @@ func (s *Session) SendData(payload []byte) uint32 {
 	case SS:
 		d.Dst = s.ch.G
 		for _, child := range s.children[s.source] {
+			if src.Observing() {
+				src.EmitProto(obs.KindReplicate, s.ch, s.net.Topology().Node(child).Addr, seq, "source copy")
+			}
 			c := packet.Clone(d).(*packet.Data)
 			src.SendDirect(child, c)
 		}

@@ -4,6 +4,7 @@ import (
 	"hbh/internal/addr"
 	"hbh/internal/eventsim"
 	"hbh/internal/netsim"
+	"hbh/internal/obs"
 	"hbh/internal/packet"
 )
 
@@ -31,6 +32,11 @@ type Receiver struct {
 	seen       map[uint32]bool
 	// TreeMsgs counts tree refreshes addressed to this receiver.
 	TreeMsgs int
+
+	// lifeSpan covers the whole subscription (Join..Leave); joinSpan is
+	// its child covering the joining phase, closed by the first data
+	// delivery.
+	lifeSpan, joinSpan obs.SpanID
 }
 
 // AttachReceiver creates a (not yet joined) receiver agent on host n.
@@ -64,6 +70,10 @@ func (r *Receiver) Join() {
 		return
 	}
 	r.joined = true
+	if o := r.node.Network().Observer(); o != nil {
+		r.lifeSpan = o.BeginSpan("receiver-lifecycle", r.ch, r.node.Addr(), r.node.Name(), 0)
+		r.joinSpan = o.BeginSpan("joining", r.ch, r.node.Addr(), r.node.Name(), r.lifeSpan)
+	}
 	r.sendJoin()
 	r.ticker = r.sim.NewTicker(r.cfg.JoinInterval, r.sendJoin)
 }
@@ -76,9 +86,21 @@ func (r *Receiver) Leave() {
 	r.joined = false
 	r.ticker.Stop()
 	r.ticker = nil
+	if o := r.node.Network().Observer(); o != nil {
+		o.EndSpan(r.joinSpan, "joining", r.ch, r.node.Addr(), r.node.Name())
+		o.EndSpan(r.lifeSpan, "receiver-lifecycle", r.ch, r.node.Addr(), r.node.Name())
+	}
+	r.joinSpan, r.lifeSpan = 0, 0
 }
 
 func (r *Receiver) sendJoin() {
+	if o := r.node.Network().Observer(); o != nil {
+		o.Emit(obs.Event{
+			Kind: obs.KindJoinSend, Node: r.node.Addr(), NodeName: r.node.Name(),
+			Channel: r.ch, Peer: r.ch.S, Span: r.joinSpan, Parent: r.lifeSpan,
+			Detail: "refresh",
+		})
+	}
 	j := &packet.Join{
 		Header: packet.Header{
 			Proto:   packet.ProtoREUNITE,
@@ -112,6 +134,14 @@ func (r *Receiver) Handle(n *netsim.Node, msg packet.Message) netsim.Verdict {
 		}
 		r.seen[m.Seq] = true
 		r.Deliveries = append(r.Deliveries, Delivery{Seq: m.Seq, At: r.sim.Now()})
+		if r.joinSpan != 0 {
+			// First data delivery ends the joining phase of the
+			// lifecycle span.
+			if o := r.node.Network().Observer(); o != nil {
+				o.EndSpan(r.joinSpan, "joining", r.ch, r.node.Addr(), r.node.Name())
+			}
+			r.joinSpan = 0
+		}
 		return netsim.Consumed
 	default:
 		return netsim.Continue

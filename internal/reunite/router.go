@@ -4,6 +4,7 @@ import (
 	"hbh/internal/addr"
 	"hbh/internal/eventsim"
 	"hbh/internal/netsim"
+	"hbh/internal/obs"
 	"hbh/internal/packet"
 )
 
@@ -169,8 +170,10 @@ func (r *Router) onJoin(j *packet.Join) netsim.Verdict {
 		}
 		if e := st.mft.Get(j.R); e != nil {
 			e.Timer.Refresh()
+			r.node.EmitProto(obs.KindJoinIntercept, j.Channel, j.R, 0, "refresh member entry")
 			return netsim.Consumed
 		}
+		r.node.EmitProto(obs.KindJoinIntercept, j.Channel, j.R, 0, "admit new member")
 		r.addMFTEntry(st, j.Channel, j.R)
 		return netsim.Consumed
 	}
@@ -194,6 +197,7 @@ func (r *Router) becomeBranching(st *chanState, ch addr.Channel, joiner addr.Add
 	st.mct = nil
 	r.observe(ch, ChangeMCTRemove, dst)
 	r.observe(ch, ChangeBecomeBranching, r.node.Addr())
+	r.node.EmitProto(obs.KindBranch, ch, joiner, 0, "second receiver's join crossed live control state")
 	st.mft = NewMFT()
 	st.mft.Add(dst, r.newEntryTimer(ch, dst))
 	r.observe(ch, ChangeMFTAdd, dst)
@@ -210,6 +214,7 @@ func (r *Router) becomeBranching(st *chanState, ch addr.Channel, joiner addr.Add
 		if st.mft != nil && !st.mft.TableStale {
 			st.mft.TableStale = true
 			r.observe(ch, ChangeTableStale, r.node.Addr())
+			r.node.EmitProto(obs.KindCollapse, ch, addr.Unspecified, 0, "table stale: off the refresh path")
 		}
 	}, func() {
 		r.destroyMFT(ch)
@@ -252,6 +257,7 @@ func (r *Router) onTree(t *packet.Tree) netsim.Verdict {
 				if !st.mft.TableStale {
 					st.mft.TableStale = true
 					r.observe(ch, ChangeTableStale, dst.Node)
+					r.node.EmitProto(obs.KindCollapse, ch, dst.Node, 0, "table stale: marked tree for dst")
 				}
 			} else {
 				st.mft.TableStale = false
@@ -312,6 +318,7 @@ func (r *Router) createMCT(st *chanState, ch addr.Channel, node addr.Addr) {
 		}
 	})}
 	r.observe(ch, ChangeMCTCreate, node)
+	r.node.EmitProto(obs.KindTableAdd, ch, node, 0, "mct")
 }
 
 func (r *Router) removeMCT(ch addr.Channel, st *chanState) {
@@ -322,6 +329,7 @@ func (r *Router) removeMCT(ch addr.Channel, st *chanState) {
 	st.mct.Timer.Cancel()
 	st.mct = nil
 	r.observe(ch, ChangeMCTRemove, node)
+	r.node.EmitProto(obs.KindTableRemove, ch, node, 0, "mct")
 	r.maybeDrop(ch, st)
 }
 
@@ -343,6 +351,7 @@ func (r *Router) onData(d *packet.Data) netsim.Verdict {
 		return netsim.Continue
 	}
 	for _, e := range st.mft.Entries()[1:] {
+		r.node.EmitProto(obs.KindReplicate, d.Channel, e.Node, d.Seq, "")
 		copyMsg := packet.Clone(d).(*packet.Data)
 		copyMsg.Src = r.node.Addr()
 		copyMsg.Dst = e.Node
@@ -380,6 +389,9 @@ func (r *Router) sendTree(ch addr.Channel, target addr.Addr, marked bool) {
 	var flags uint8
 	if marked {
 		flags = packet.FlagMarked
+		r.node.EmitProto(obs.KindTreeSend, ch, target, 0, "regeneration [marked]")
+	} else {
+		r.node.EmitProto(obs.KindTreeSend, ch, target, 0, "regeneration")
 	}
 	t := &packet.Tree{
 		Header: packet.Header{
@@ -403,6 +415,7 @@ func (r *Router) newEntryTimer(ch addr.Channel, node addr.Addr) *eventsim.SoftTi
 		}
 		st.mft.Remove(node)
 		r.observe(ch, ChangeMFTRemove, node)
+		r.node.EmitProto(obs.KindTableRemove, ch, node, 0, "mft")
 		if st.mft.Len() == 0 {
 			r.destroyMFT(ch)
 		}
@@ -412,6 +425,7 @@ func (r *Router) newEntryTimer(ch addr.Channel, node addr.Addr) *eventsim.SoftTi
 func (r *Router) addMFTEntry(st *chanState, ch addr.Channel, node addr.Addr) {
 	st.mft.Add(node, r.newEntryTimer(ch, node))
 	r.observe(ch, ChangeMFTAdd, node)
+	r.node.EmitProto(obs.KindTableAdd, ch, node, 0, "mft")
 }
 
 func (r *Router) destroyMFT(ch addr.Channel) {
@@ -422,6 +436,7 @@ func (r *Router) destroyMFT(ch addr.Channel) {
 	st.mft.Destroy()
 	st.mft = nil
 	r.observe(ch, ChangeTableDestroy, r.node.Addr())
+	r.node.EmitProto(obs.KindCollapse, ch, addr.Unspecified, 0, "mft destroyed")
 	r.maybeDrop(ch, st)
 }
 

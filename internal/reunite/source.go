@@ -4,6 +4,7 @@ import (
 	"hbh/internal/addr"
 	"hbh/internal/eventsim"
 	"hbh/internal/netsim"
+	"hbh/internal/obs"
 	"hbh/internal/packet"
 )
 
@@ -69,15 +70,19 @@ func (s *Source) Handle(n *netsim.Node, msg packet.Message) netsim.Verdict {
 	}
 	if e := s.mft.Get(j.R); e != nil {
 		e.Timer.Refresh()
+		s.node.EmitProto(obs.KindJoinAdmit, s.ch, j.R, 0, "refresh")
 		return netsim.Consumed
 	}
 	node := j.R
 	s.mft.Add(node, s.sim.NewSoftTimer(s.cfg.T1, s.cfg.T2, nil, func() {
 		if s.mft.Remove(node) {
 			s.observe(ChangeMFTRemove, node)
+			s.node.EmitProto(obs.KindTableRemove, s.ch, node, 0, "mft")
 		}
 	}))
 	s.observe(ChangeMFTAdd, node)
+	s.node.EmitProto(obs.KindJoinAdmit, s.ch, node, 0, "install")
+	s.node.EmitProto(obs.KindTableAdd, s.ch, node, 0, "mft")
 	return netsim.Consumed
 }
 
@@ -90,6 +95,13 @@ func (s *Source) emitTrees() {
 		var flags uint8
 		if marked {
 			flags = packet.FlagMarked
+		}
+		if s.node.Observing() {
+			detail := "source refresh"
+			if marked {
+				detail = "source refresh [marked]"
+			}
+			s.node.EmitProto(obs.KindTreeSend, s.ch, e.Node, 0, detail)
 		}
 		t := &packet.Tree{
 			Header: packet.Header{
@@ -113,6 +125,7 @@ func (s *Source) SendData(payload []byte) uint32 {
 	seq := s.nextSeq
 	s.nextSeq++
 	for _, e := range s.mft.Entries() {
+		s.node.EmitProto(obs.KindReplicate, s.ch, e.Node, seq, "source copy")
 		d := &packet.Data{
 			Header: packet.Header{
 				Proto:   packet.ProtoNone,
