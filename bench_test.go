@@ -333,6 +333,35 @@ func BenchmarkForwardOneHopObs(b *testing.B) {
 	}
 }
 
+// BenchmarkForwardOneHopTraced is the same hop with full causal
+// tracing on top of the obs pipeline: counters, convergence tracker
+// and episode builder attached, and every send rooted in a causal
+// episode so each hop is stamped, attributed and retained. The delta
+// against BenchmarkForwardOneHopObs is the price of causal attribution
+// specifically; the delta against BenchmarkForwardOneHop is the whole
+// observability bill.
+func BenchmarkForwardOneHopTraced(b *testing.B) {
+	b.ReportAllocs()
+	sim, net, msg, delivered := forwardOneHopSetup()
+	o := obs.New(sim.Now)
+	o.EnableCounters()
+	o.EnableConvergence()
+	o.AddSink(obs.NewEpisodeBuilder(64))
+	net.SetObserver(o)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		prev := net.Node(0).RootEpisode()
+		net.Node(0).SendUnicast(msg)
+		net.Node(0).SetCausalContext(prev)
+		if err := sim.RunAll(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if *delivered != b.N {
+		b.Fatalf("delivered %d of %d", *delivered, b.N)
+	}
+}
+
 // TestForwardDisabledObsZeroAlloc pins the acceptance criterion as a
 // test, not just a benchmark number: with no observer installed, the
 // per-hop forwarding path performs zero heap allocations.

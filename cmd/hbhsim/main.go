@@ -19,6 +19,7 @@
 //
 //	hbhsim -trace                                  # one ISP run, JSONL event stream on stdout
 //	hbhsim -trace -trace-format text               # human-readable trace instead
+//	hbhsim -trace -trace-format causal             # causal episode timelines (join/expiry/fault cascades)
 //	hbhsim -trace -trace-filter '<10.0.0.18,224.0.0.0>/h4'  # one channel at one node
 //	hbhsim -obs-metrics metrics.prom -receivers 12 # Prometheus-style counter export
 package main
@@ -38,7 +39,7 @@ import (
 
 func main() {
 	var (
-		figure  = flag.String("figure", "paper", "which figure to regenerate: 7a, 7b, 8a, 8b, paper, stability, ablation-fusion, unicast-clouds, asymmetry-sweep, forwarding-state, control-overhead, loss-robustness, qos, cross-topo, delay-tail, failure-recovery, all")
+		figure  = flag.String("figure", "paper", "which figure to regenerate: 7a, 7b, 8a, 8b, paper, stability, ablation-fusion, unicast-clouds, asymmetry-sweep, forwarding-state, control-overhead, loss-robustness, qos, cross-topo, delay-tail, failure-recovery, convergence, all")
 		runs    = flag.Int("runs", 500, "simulation runs per data point (the paper uses 500)")
 		seed    = flag.Int64("seed", 1, "base RNG seed")
 		csv     = flag.Bool("csv", false, "emit CSV instead of text tables")
@@ -50,7 +51,7 @@ func main() {
 
 		trace       = flag.Bool("trace", false, "single-run observability mode: run one simulation and stream its protocol events instead of sweeping a figure")
 		traceOut    = flag.String("trace-out", "", "write the event stream to this file (default stdout)")
-		traceFormat = flag.String("trace-format", "jsonl", "event stream format: jsonl or text")
+		traceFormat = flag.String("trace-format", "jsonl", "event stream format: jsonl, text, or causal (reconstructed per-episode timelines)")
 		traceFilter = flag.String("trace-filter", "", "restrict the stream to matching events: comma/space-separated <S,G> channels and node names; e.g. '<10.0.0.18,224.0.0.0>/h4' (counters and the flight recorder always see everything)")
 		obsMetrics  = flag.String("obs-metrics", "", "write Prometheus-style counters (plus virtual-time state series) to this file after a single run; implies single-run mode")
 		protoF      = flag.String("proto", "HBH", "single-run protocol: HBH, HBH-nofusion, REUNITE, PIM-SM, PIM-SS")
@@ -145,6 +146,8 @@ func main() {
 		extra = append(extra, experiment.DelayTail(*runs, *seed).FormatTable())
 	case "failure-recovery":
 		extra = append(extra, failure(*runs, *seed, experiment.FaultScenario(*faultsF)))
+	case "convergence":
+		extra = append(extra, convergence(*runs, *seed))
 	case "all":
 		emitPaper(experiment.TopoISP)
 		emitPaper(experiment.TopoRandom50)
@@ -157,7 +160,8 @@ func main() {
 			experiment.LossRobustness(*runs, *seed),
 			experiment.QoSRouting(*runs, *seed))
 		extra = append(extra, stability(*runs, *seed),
-			failure(*runs, *seed, experiment.FaultScenario(*faultsF)))
+			failure(*runs, *seed, experiment.FaultScenario(*faultsF)),
+			convergence(*runs, *seed))
 	default:
 		fmt.Fprintf(os.Stderr, "hbhsim: unknown figure %q\n", *figure)
 		flag.Usage()
@@ -223,13 +227,19 @@ func runTraced(opt tracedOptions) {
 		defer f.Close()
 		w = f
 	}
+	var episodes *obs.EpisodeBuilder
 	switch opt.format {
 	case "jsonl":
 		o.AddSink(&obs.JSONLSink{W: w})
 	case "text":
 		o.AddSink(obs.NewTextSink(func(line string) { fmt.Fprintln(w, line) }))
+	case "causal":
+		// Causal mode buffers the run and prints reconstructed episode
+		// timelines instead of the raw event stream.
+		episodes = obs.NewEpisodeBuilder(0)
+		o.AddSink(episodes)
 	default:
-		fail("unknown trace format %q (want jsonl or text)", opt.format)
+		fail("unknown trace format %q (want jsonl, text or causal)", opt.format)
 	}
 	if opt.filter != "" {
 		f, err := obs.ParseFilter(opt.filter)
@@ -249,6 +259,9 @@ func runTraced(opt tracedOptions) {
 		Seed: opt.seed, Check: opt.check, Obs: o,
 	})
 
+	if episodes != nil {
+		fmt.Fprint(w, episodes.Render())
+	}
 	if opt.metrics != "" {
 		f, err := os.Create(opt.metrics)
 		if err != nil {
@@ -278,6 +291,13 @@ func failure(runs int, seed int64, scenario experiment.FaultScenario) string {
 	res := experiment.FailureExperiment(experiment.FailureConfig{
 		Topo: experiment.TopoISP, Receivers: 8, Runs: runs, Seed: seed,
 		Scenario: scenario,
+	})
+	return res.FormatTable()
+}
+
+func convergence(runs int, seed int64) string {
+	res := experiment.ConvergenceExperiment(experiment.ConvergenceConfig{
+		Receivers: 8, Runs: runs, Seed: seed,
 	})
 	return res.FormatTable()
 }

@@ -120,6 +120,14 @@ func TestGoldenStabilityQuick(t *testing.T) {
 	goldenCompare(t, "stability_runs3.txt", stdout)
 }
 
+func TestGoldenConvergenceQuick(t *testing.T) {
+	stdout, _, code := runMain(t, "-figure", "convergence", "-runs", "3")
+	if code != 0 {
+		t.Fatalf("exit code %d, want 0", code)
+	}
+	goldenCompare(t, "convergence_runs3.txt", stdout)
+}
+
 func TestGoldenFailureRecoveryQuick(t *testing.T) {
 	stdout, _, code := runMain(t, "-figure", "failure-recovery", "-runs", "3")
 	if code != 0 {

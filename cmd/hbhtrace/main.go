@@ -10,6 +10,7 @@
 //	hbhtrace -scenario departure                   # Fig. 4
 //	hbhtrace -scenario failure                     # link cut + router crash
 //	hbhtrace -scenario asymmetric-join -verbose    # full packet trace
+//	hbhtrace -scenario duplication -causal         # reconstructed causal episode timelines
 package main
 
 import (
@@ -23,6 +24,7 @@ import (
 	"hbh/internal/faults"
 	"hbh/internal/mtree"
 	"hbh/internal/netsim"
+	"hbh/internal/obs"
 	"hbh/internal/reunite"
 	"hbh/internal/topology"
 	"hbh/internal/unicast"
@@ -32,6 +34,7 @@ func main() {
 	var (
 		scenario = flag.String("scenario", "asymmetric-join", "asymmetric-join | duplication | departure | failure")
 		verbose  = flag.Bool("verbose", false, "print the full packet-level trace")
+		causal   = flag.Bool("causal", false, "print the reconstructed causal episode timelines after each protocol's run")
 	)
 	flag.Parse()
 
@@ -59,7 +62,7 @@ func main() {
 	}
 	for _, proto := range protos {
 		fmt.Printf("=== %s ===\n", proto)
-		runScenario(proto, *scenario, sc, *verbose)
+		runScenario(proto, *scenario, sc, *verbose, *causal)
 		fmt.Println()
 	}
 }
@@ -75,9 +78,11 @@ type session struct {
 	// routers gives the failure scenario access to protocol state loss
 	// on crash (HBH only).
 	routers map[topology.NodeID]*core.Router
+	// episodes collects the causal timelines when -causal is on.
+	episodes *obs.EpisodeBuilder
 }
 
-func buildSession(proto string, sc topology.Scenario, verbose bool) *session {
+func buildSession(proto string, sc topology.Scenario, verbose, causal bool) *session {
 	sim := eventsim.New()
 	routing := unicast.Compute(sc.Graph)
 	net := netsim.New(sim, sc.Graph, routing)
@@ -85,6 +90,12 @@ func buildSession(proto string, sc topology.Scenario, verbose bool) *session {
 		net.SetTrace(func(line string) { fmt.Println("   ", line) })
 	}
 	s := &session{sim: sim, net: net, routing: routing}
+	if causal {
+		o := obs.New(nil) // SetObserver binds the network's clock
+		s.episodes = obs.NewEpisodeBuilder(0)
+		o.AddSink(s.episodes)
+		net.SetObserver(o)
+	}
 
 	switch proto {
 	case "HBH":
@@ -120,8 +131,13 @@ func buildSession(proto string, sc topology.Scenario, verbose bool) *session {
 	return s
 }
 
-func runScenario(proto, scenario string, sc topology.Scenario, verbose bool) {
-	s := buildSession(proto, sc, verbose)
+func runScenario(proto, scenario string, sc topology.Scenario, verbose, causal bool) {
+	s := buildSession(proto, sc, verbose, causal)
+	defer func() {
+		if s.episodes != nil {
+			fmt.Printf("causal timelines:\n%s", s.episodes.Render())
+		}
+	}()
 	g := sc.Graph
 
 	run := func(d eventsim.Time) {

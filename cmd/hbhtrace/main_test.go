@@ -5,6 +5,7 @@ import (
 	"bytes"
 	"os"
 	"os/exec"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -73,6 +74,112 @@ func TestVerboseTraceRidesObsPipeline(t *testing.T) {
 			t.Errorf("verbose output missing %q", w)
 		}
 	}
+}
+
+// goldenCompare checks got against the committed golden file,
+// rewriting it when HBH_UPDATE_GOLDEN is set (same convention as
+// cmd/hbhsim; regenerate with HBH_UPDATE_GOLDEN=1 go test ./cmd/hbhtrace/).
+func goldenCompare(t *testing.T, golden, got string) {
+	t.Helper()
+	path := filepath.Join("..", "..", "results", "quick", golden)
+	if os.Getenv("HBH_UPDATE_GOLDEN") != "" {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden %s (regenerate with HBH_UPDATE_GOLDEN=1 go test ./cmd/hbhtrace/): %v", golden, err)
+	}
+	if string(want) != got {
+		t.Errorf("output drifted from %s.\nIf the change is intentional, regenerate with HBH_UPDATE_GOLDEN=1.\n--- want ---\n%s\n--- got ---\n%s", golden, want, got)
+	}
+}
+
+// TestCausalSmoke: -causal must exit 0 and reconstruct at least one
+// complete episode (the CI smoke for the causal pipeline).
+func TestCausalSmoke(t *testing.T) {
+	stdout, stderr, code := runMain(t, "-scenario", "duplication", "-causal")
+	if code != 0 {
+		t.Fatalf("exit code %d, want 0 (stderr: %s)", code, stderr)
+	}
+	if !strings.Contains(stdout, "causal timelines:") {
+		t.Fatalf("no causal timelines section:\n%.300s", stdout)
+	}
+	complete := 0
+	for _, ln := range strings.Split(stdout, "\n") {
+		if strings.HasPrefix(ln, "episode ") && strings.Contains(ln, "complete") {
+			complete++
+		}
+	}
+	if complete == 0 {
+		t.Fatal("causal output reconstructed no complete episode")
+	}
+}
+
+// TestGoldenCausalDuplication pins the Figure-3 acceptance criterion:
+// on the asymmetric-routing duplication scenario, the HBH causal
+// timeline must show r2's first join as the root of a SINGLE episode
+// that contains — in causal order — the join cascade, the tree refresh
+// it installs, the routers becoming branching, and the fusion rewrite
+// those trees provoke. The full output is golden-tested on top of the
+// structural assertions, so any drift in the reconstruction shows up
+// as a reviewable diff.
+func TestGoldenCausalDuplication(t *testing.T) {
+	stdout, stderr, code := runMain(t, "-scenario", "duplication", "-causal")
+	if code != 0 {
+		t.Fatalf("exit code %d, want 0 (stderr: %s)", code, stderr)
+	}
+
+	// The HBH causal section is the one after the "=== HBH ===" banner.
+	hbh := stdout[strings.Index(stdout, "=== HBH ==="):]
+	// Find the episode block rooted at r2's first join.
+	i := strings.Index(hbh, "episode ")
+	for i >= 0 {
+		header := hbh[i:]
+		if strings.Contains(header[:strings.IndexByte(header, '\n')], "receiver join (first) — r2") {
+			break
+		}
+		next := strings.Index(hbh[i+1:], "\nepisode ")
+		if next < 0 {
+			i = -1
+			break
+		}
+		i += 1 + next + 1
+	}
+	if i < 0 {
+		t.Fatalf("no HBH episode rooted at r2's first join:\n%s", hbh)
+	}
+	block := hbh[i:]
+	if end := strings.Index(block, "\n\n"); end >= 0 {
+		block = block[:end]
+	}
+
+	// The fusion rewrite is attributed to the join episode, and the
+	// cascade appears in the paper's order within that one block.
+	last := -1
+	for _, step := range []string{
+		"JOIN-SEND", "JOIN-ADMIT", "TREE-SEND", "BECOME-BRANCHING",
+		"FUSION-SEND", "FUSION-ACCEPT",
+	} {
+		at := strings.Index(block, step)
+		if at < 0 {
+			t.Fatalf("r2's episode is missing %s:\n%s", step, block)
+		}
+		if at < last {
+			t.Errorf("%s appears before the step that should precede it", step)
+		}
+		last = at
+	}
+	if !strings.Contains(block, "complete") {
+		t.Error("r2's join episode is not complete")
+	}
+
+	goldenCompare(t, "trace_duplication_causal.txt", stdout)
 }
 
 func TestUnknownScenarioExits2(t *testing.T) {

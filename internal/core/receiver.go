@@ -109,16 +109,23 @@ func (r *Receiver) sendJoin(first bool) {
 	if first {
 		flags = packet.FlagFirst
 	}
+	// A join is a spontaneous protocol action: it roots a causal
+	// episode, and everything the join triggers downstream (admission,
+	// later tree refreshes of the installed entry, fusion rewrites)
+	// chains back to this event.
+	prev := r.node.RootEpisode()
 	if o := r.node.Network().Observer(); o != nil {
 		detail := "refresh"
 		if first {
 			detail = "first"
 		}
-		o.Emit(obs.Event{
+		ev := obs.Event{
 			Kind: obs.KindJoinSend, Node: r.node.Addr(), NodeName: r.node.Name(),
 			Channel: r.ch, Peer: r.ch.S, Span: r.joinSpan, Parent: r.lifeSpan,
 			Detail: detail,
-		})
+		}
+		r.node.StampCausal(&ev)
+		o.Emit(ev)
 	}
 	j := &packet.Join{
 		Header: packet.Header{
@@ -132,6 +139,7 @@ func (r *Receiver) sendJoin(first bool) {
 		R: r.node.Addr(),
 	}
 	r.node.SendUnicast(j)
+	r.node.SetCausalContext(prev)
 }
 
 // Handle implements netsim.Handler: consume channel traffic addressed

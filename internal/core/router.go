@@ -221,13 +221,14 @@ func (r *Router) onJoin(j *packet.Join) netsim.Verdict {
 	// regular child once its joins arrive) and B joins the channel
 	// itself at the next upstream branching router.
 	e.Timer.Refresh()
-	r.node.EmitProto(obs.KindJoinIntercept, j.Channel, j.R, 0, "rule 3: refresh entry, self-join upstream")
+	e.Cause = r.node.EmitProto(obs.KindJoinIntercept, j.Channel, j.R, 0, "rule 3: refresh entry, self-join upstream")
 	r.sendJoinSelf(j.Channel)
 	return netsim.Consumed
 }
 
 func (r *Router) sendJoinSelf(ch addr.Channel) {
-	r.node.EmitProto(obs.KindJoinSend, ch, ch.S, 0, "branching-node self join")
+	prev := r.node.CausalContext()
+	r.node.SetCausalContext(r.node.EmitProto(obs.KindJoinSend, ch, ch.S, 0, "branching-node self join"))
 	j := &packet.Join{
 		Header: packet.Header{
 			Proto:   packet.ProtoHBH,
@@ -239,6 +240,7 @@ func (r *Router) sendJoinSelf(ch addr.Channel) {
 		R: r.node.Addr(),
 	}
 	r.node.SendUnicast(j)
+	r.node.SetCausalContext(prev)
 }
 
 // onTree applies the tree rules of Figure 9(c).
@@ -261,12 +263,18 @@ func (r *Router) onTree(t *packet.Tree) netsim.Verdict {
 		}
 		st.hasRegen = true
 		st.lastRegen = now
+		// Each regenerated tree attributes to the join episode that
+		// installed or last refreshed its entry, not to the triggering
+		// upstream refresh (see Entry.Cause).
+		prev := r.node.CausalContext()
 		for _, e := range st.mft.Entries() {
 			if e.Stale() {
 				continue
 			}
+			r.node.SetCausalContext(e.Cause)
 			r.sendTree(ch, e.Node)
 		}
+		r.node.SetCausalContext(prev)
 		return netsim.Consumed
 	}
 
@@ -285,6 +293,7 @@ func (r *Router) onTree(t *packet.Tree) netsim.Verdict {
 			// nodes further down must fuse to us, the nearest branching
 			// point, not to the original emitter.
 			e.Timer.Refresh()
+			e.Cause = r.node.CausalContext()
 			r.sendFusion(ch, t.Src)
 			t.Src = r.node.Addr()
 			return netsim.Continue
@@ -306,6 +315,7 @@ func (r *Router) onTree(t *packet.Tree) netsim.Verdict {
 	if st.mct.Node == t.R {
 		// Rule 6: refresh.
 		st.mct.Timer.Refresh()
+		st.mct.Cause = r.node.CausalContext()
 		return netsim.Continue
 	}
 	if st.mct.Stale() {
@@ -325,11 +335,16 @@ func (r *Router) onTree(t *packet.Tree) netsim.Verdict {
 	// Rule 8: two live targets cross this router: become a branching
 	// node and announce the pair to the emitting upstream node.
 	old := st.mct.Node
+	oldCause := st.mct.Cause
 	r.removeMCT(st, ch)
 	st.mft = NewMFT()
 	r.observe(ch, ChangeBecomeBranching, r.node.Addr())
 	r.node.EmitProto(obs.KindBranch, ch, t.R, 0, "rule 8: second live target")
-	r.addMFT(st, ch, old)
+	if e := r.addMFT(st, ch, old); oldCause.Episode != 0 {
+		// The first child keeps the provenance its MCT entry carried, so
+		// its refresh chain stays attributed to its own join episode.
+		e.Cause = oldCause
+	}
 	r.addMFT(st, ch, t.R)
 	r.sendFusion(ch, t.Src)
 	t.Src = r.node.Addr()
@@ -472,6 +487,33 @@ func applyFusion(t *MFT, bp addr.Addr, listed []addr.Addr, matched []*Entry,
 	addEntry(bp)
 }
 
+// fusionChanges reports whether applyFusion would actually alter the
+// table: a new mark, a server reassignment, an unmark repair, or the
+// relay entry's install/unmark. Steady-state fusions re-announcing an
+// already-fused tree change nothing — the periodic message is a
+// liveness refresh, and observing it as a FUSION-ACCEPT mutation every
+// cycle would make a converged tree look like it never stops changing.
+func fusionChanges(t *MFT, bp addr.Addr, listed []addr.Addr, matched []*Entry) bool {
+	for _, e := range matched {
+		if !e.Marked || e.ServedBy != bp {
+			return true
+		}
+	}
+	inList := make(map[addr.Addr]bool, len(listed))
+	for _, n := range listed {
+		inList[n] = true
+	}
+	for _, e := range t.Entries() {
+		if e.Marked && e.ServedBy == bp && !inList[e.Node] {
+			return true
+		}
+	}
+	if e := t.Get(bp); e == nil || e.Marked {
+		return true
+	}
+	return false
+}
+
 // unmarkServedBy lifts the marks of entries served by a relay that is
 // going away.
 func unmarkServedBy(t *MFT, relay addr.Addr) {
@@ -487,7 +529,7 @@ func unmarkServedBy(t *MFT, relay addr.Addr) {
 }
 
 func (r *Router) applyFusion(st *chanState, ch addr.Channel, f *packet.Fusion, matched []*Entry) {
-	if r.node.Observing() {
+	if r.node.Observing() && fusionChanges(st.mft, f.Bp, f.Rs, matched) {
 		r.node.EmitProto(obs.KindFusionAccept, ch, f.Bp, 0,
 			fmt.Sprintf("%d of %d targets handed to relay", len(matched), len(f.Rs)))
 	}
@@ -579,7 +621,7 @@ func (r *Router) seenData(ch addr.Channel, seq uint32) bool {
 }
 
 func (r *Router) sendTree(ch addr.Channel, target addr.Addr) {
-	r.node.EmitProto(obs.KindTreeSend, ch, target, 0, "branching-node regeneration")
+	r.node.SetCausalContext(r.node.EmitProto(obs.KindTreeSend, ch, target, 0, "branching-node regeneration"))
 	t := &packet.Tree{
 		Header: packet.Header{
 			Proto:   packet.ProtoHBH,
@@ -615,7 +657,8 @@ func (r *Router) sendFusion(ch addr.Channel, upstream addr.Addr) {
 	}
 	st.hasFusion = true
 	st.lastFusion = now
-	r.node.EmitProto(obs.KindFusionSend, ch, upstream, 0, "announce branching candidate")
+	prev := r.node.CausalContext()
+	r.node.SetCausalContext(r.node.EmitProto(obs.KindFusionSend, ch, upstream, 0, "announce branching candidate"))
 	f := &packet.Fusion{
 		Header: packet.Header{
 			Proto:   packet.ProtoHBH,
@@ -628,6 +671,7 @@ func (r *Router) sendFusion(ch addr.Channel, upstream addr.Addr) {
 		Rs: st.mft.Nodes(),
 	}
 	r.node.SendUnicast(f)
+	r.node.SetCausalContext(prev)
 }
 
 // addMFT inserts node into the channel's MFT with fresh timers wired
@@ -638,7 +682,7 @@ func (r *Router) addMFT(st *chanState, ch addr.Channel, node addr.Addr) *Entry {
 	})
 	e := st.mft.Add(node, timer)
 	r.observe(ch, ChangeMFTAdd, node)
-	r.node.EmitProto(obs.KindTableAdd, ch, node, 0, "mft")
+	e.Cause = r.node.EmitProto(obs.KindTableAdd, ch, node, 0, "mft")
 	return e
 }
 
@@ -648,6 +692,11 @@ func (r *Router) expireMFT(st *chanState, ch addr.Channel, node addr.Addr) {
 	if st.mft == nil || st.mft.Get(node) == nil {
 		return
 	}
+	// Soft-state expiry fires from a timer: it is the spontaneous root
+	// of its own causal episode (the member went silent), covering the
+	// removal and any collapse it triggers.
+	prev := r.node.RootEpisode()
+	defer r.node.SetCausalContext(prev)
 	st.mft.Remove(node)
 	r.observe(ch, ChangeMFTRemove, node)
 	r.node.EmitProto(obs.KindTableRemove, ch, node, 0, "mft")
@@ -681,13 +730,16 @@ func (r *Router) expireMFT(st *chanState, ch addr.Channel, node addr.Addr) {
 func (r *Router) createMCT(st *chanState, ch addr.Channel, node addr.Addr) {
 	timer := r.sim.NewSoftTimer(r.cfg.T1, r.cfg.T2, nil, func() {
 		if st.mct != nil && st.mct.Node == node {
+			// Timer-driven expiry roots its own episode (see expireMFT).
+			prev := r.node.RootEpisode()
 			r.removeMCT(st, ch)
 			r.maybeDrop(ch, st)
+			r.node.SetCausalContext(prev)
 		}
 	})
 	st.mct = &MCT{Node: node, Timer: timer}
 	r.observe(ch, ChangeMCTCreate, node)
-	r.node.EmitProto(obs.KindTableAdd, ch, node, 0, "mct")
+	st.mct.Cause = r.node.EmitProto(obs.KindTableAdd, ch, node, 0, "mct")
 }
 
 func (r *Router) removeMCT(st *chanState, ch addr.Channel) {

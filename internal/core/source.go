@@ -92,7 +92,7 @@ func (s *Source) Handle(n *netsim.Node, msg packet.Message) netsim.Verdict {
 func (s *Source) onJoin(j *packet.Join) {
 	if e := s.mft.Get(j.R); e != nil {
 		e.Timer.Refresh()
-		s.node.EmitProto(obs.KindJoinAdmit, s.ch, j.R, 0, "refresh")
+		e.Cause = s.node.EmitProto(obs.KindJoinAdmit, s.ch, j.R, 0, "refresh")
 		return
 	}
 	s.node.EmitProto(obs.KindJoinAdmit, s.ch, j.R, 0, "install")
@@ -122,7 +122,7 @@ func (s *Source) onFusion(f *packet.Fusion) {
 		// verifiably hand over: nothing to splice.
 		return
 	}
-	if s.node.Observing() {
+	if s.node.Observing() && fusionChanges(s.mft, f.Bp, f.Rs, matched) {
 		s.node.EmitProto(obs.KindFusionAccept, s.ch, f.Bp, 0,
 			fmt.Sprintf("%d of %d targets handed to relay", len(matched), len(f.Rs)))
 	}
@@ -134,15 +134,19 @@ func (s *Source) onFusion(f *packet.Fusion) {
 func (s *Source) addEntry(node addr.Addr, forceStale bool) *Entry {
 	timer := s.sim.NewSoftTimer(s.cfg.T1, s.cfg.T2, nil, func() {
 		if s.mft.Get(node) != nil {
+			// Expiry is a spontaneous action (the member went silent):
+			// it roots its own causal episode.
+			prev := s.node.RootEpisode()
 			s.mft.Remove(node)
 			s.observe(ChangeMFTRemove, node)
 			s.node.EmitProto(obs.KindTableRemove, s.ch, node, 0, "mft")
 			unmarkServedBy(s.mft, node)
+			s.node.SetCausalContext(prev)
 		}
 	})
 	e := s.mft.Add(node, timer)
 	s.observe(ChangeMFTAdd, node)
-	s.node.EmitProto(obs.KindTableAdd, s.ch, node, 0, "mft")
+	e.Cause = s.node.EmitProto(obs.KindTableAdd, s.ch, node, 0, "mft")
 	if forceStale {
 		e.Timer.ForceStale()
 	}
@@ -156,7 +160,10 @@ func (s *Source) emitTrees() {
 		if e.Stale() {
 			continue
 		}
-		s.node.EmitProto(obs.KindTreeSend, s.ch, e.Node, 0, "source refresh")
+		// Attribute the refresh (and the tree message it sends) to the
+		// join episode that installed or last refreshed this entry.
+		s.node.SetCausalContext(e.Cause)
+		s.node.SetCausalContext(s.node.EmitProto(obs.KindTreeSend, s.ch, e.Node, 0, "source refresh"))
 		t := &packet.Tree{
 			Header: packet.Header{
 				Proto:   packet.ProtoHBH,
@@ -169,6 +176,7 @@ func (s *Source) emitTrees() {
 		}
 		s.node.SendUnicast(t)
 	}
+	s.node.SetCausalContext(obs.Causal{})
 }
 
 // SendData originates one multicast payload over the recursive unicast
@@ -177,6 +185,9 @@ func (s *Source) emitTrees() {
 func (s *Source) SendData(payload []byte) uint32 {
 	seq := s.nextSeq
 	s.nextSeq++
+	// One causal episode per originated packet: every replica cascade
+	// downstream attributes to this origination.
+	prev := s.node.RootEpisode()
 	for _, e := range s.mft.Entries() {
 		if e.Marked {
 			continue
@@ -195,5 +206,6 @@ func (s *Source) SendData(payload []byte) uint32 {
 		}
 		s.node.SendUnicast(d)
 	}
+	s.node.SetCausalContext(prev)
 	return seq
 }

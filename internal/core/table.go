@@ -6,6 +6,7 @@ import (
 
 	"hbh/internal/addr"
 	"hbh/internal/eventsim"
+	"hbh/internal/obs"
 )
 
 // Entry is one row of a Multicast Forwarding Table: a downstream node
@@ -26,6 +27,12 @@ type Entry struct {
 	// Timer is the (t1, t2) soft-state pair. Stale entries forward
 	// data but emit no downstream tree message.
 	Timer *eventsim.SoftTimer
+	// Cause is the causal provenance of this entry: the episode and
+	// step of the join (or fusion) that installed or last refreshed it.
+	// Timer-driven work on the entry — the periodic tree refresh above
+	// all — re-enters this context so downstream events attribute to
+	// the member's episode rather than appearing spontaneous.
+	Cause obs.Causal
 }
 
 // Stale reports whether the entry's t1 phase has expired.
@@ -147,6 +154,8 @@ type MCT struct {
 	Node addr.Addr
 	// Timer is the (t1, t2) pair refreshed by passing tree messages.
 	Timer *eventsim.SoftTimer
+	// Cause is the causal provenance of the entry (see Entry.Cause).
+	Cause obs.Causal
 }
 
 // Stale reports whether the t1 phase has expired.

@@ -13,6 +13,7 @@ import (
 	"hbh/internal/metrics"
 	"hbh/internal/mtree"
 	"hbh/internal/netsim"
+	"hbh/internal/obs"
 	"hbh/internal/topology"
 	"hbh/internal/unicast"
 )
@@ -30,6 +31,11 @@ type FailureConfig struct {
 	// Scenario selects which faults the script injects (hbhsim's
 	// -faults flag); empty means ScenarioCombined.
 	Scenario FaultScenario
+	// Obs, when non-nil, attaches the observability pipeline to every
+	// run's network. When nil, each run still attaches a private
+	// observer carrying only the convergence detector, which drives the
+	// settling phase (see convergeMeasured).
+	Obs *obs.Observer
 }
 
 // FaultScenario names a fault script of the A10 experiment.
@@ -119,6 +125,17 @@ func failureRun(cfg FailureConfig, seed int64, res *FailureResult) {
 
 	sim := eventsim.New()
 	net := netsim.New(sim, g, routing)
+	// The convergence detector decides when the tree has settled; a run
+	// without a caller-supplied observer gets a private one carrying
+	// only the tracker. Observation consumes no randomness and schedules
+	// no events, so runs stay deterministic.
+	o := cfg.Obs
+	if o == nil {
+		o = obs.New(nil)
+	}
+	tr := o.EnableConvergence()
+	tr.Reset()
+	net.SetObserver(o)
 	pcfg := core.DefaultConfig()
 	routers := make(map[topology.NodeID]*core.Router)
 	for _, r := range g.Routers() {
@@ -144,6 +161,7 @@ func failureRun(cfg FailureConfig, seed int64, res *FailureResult) {
 		for _, r := range routers {
 			r.SetObserver(obs)
 		}
+		wireEpisode(chk, net)
 	}
 	members := make([]mtree.Member, 0, len(memberHosts))
 	rcvs := make([]*core.Receiver, 0, len(memberHosts))
@@ -153,7 +171,19 @@ func failureRun(cfg FailureConfig, seed int64, res *FailureResult) {
 		members = append(members, rcv)
 		rcvs = append(rcvs, rcv)
 	}
-	converge(sim, pcfg.TreeInterval, defaultConvergeIntervals)
+	// Detector-driven settling: the fixed 40-interval budget could
+	// under-wait the 50-node random topology (long fusion and expiry
+	// cascades) and always over-waited the ISP one. convergeMeasured
+	// steps until the channel is quiescent, keeping the old interval
+	// count as the hard cap; a run that exhausts even the cap without
+	// settling — the case the fixed budget silently mismeasured — is
+	// logged through the observer.
+	convAt, used := convergeMeasured(sim, tr, src.Channel(), pcfg.TreeInterval, defaultConvergeIntervals)
+	if used >= defaultConvergeIntervals &&
+		!tr.Quiescent(src.Channel(), sim.Now(), eventsim.Time(convergeSettleIntervals)*pcfg.TreeInterval) {
+		o.Notef("convergence exceeded the fixed %d-interval settling budget (last table mutation at %.1f, control traffic still in flight)",
+			defaultConvergeIntervals, float64(convAt))
+	}
 
 	// The fault targets come from the actual converged tree, not the
 	// topology: the cut must hit a branch that is carrying traffic.

@@ -316,6 +316,7 @@ func runPIM(cfg RunConfig, g *topology.Graph, routing *unicast.Routing,
 		chk = invariant.New(net, sess.Channel(), profileFor(cfg.Protocol), nil)
 		chk.SetMembers(memberAddrs(g, members))
 		wireRecent(chk, cfg.Obs)
+		wireEpisode(chk, net)
 	}
 	ms := make([]mtree.Member, 0, len(members))
 	for _, m := range members {
@@ -443,6 +444,7 @@ func setupHBH(cfg RunConfig, g *topology.Graph, routing *unicast.Routing,
 		s.checker.SetMembers(memberAddrs(g, members))
 		invariant.InstallContinuous(sim, s.checker)
 		wireRecent(s.checker, cfg.Obs)
+		wireEpisode(s.checker, net)
 	}
 	installFootprintSampler(cfg, s, string(cfg.Protocol))
 	chg := func(addr.Addr, addr.Channel, core.ChangeKind, addr.Addr) {
@@ -509,6 +511,7 @@ func setupREUNITE(cfg RunConfig, g *topology.Graph, routing *unicast.Routing,
 		s.checker.SetMembers(memberAddrs(g, members))
 		invariant.InstallContinuous(sim, s.checker)
 		wireRecent(s.checker, cfg.Obs)
+		wireEpisode(s.checker, net)
 	}
 	installFootprintSampler(cfg, s, string(cfg.Protocol))
 	chg := func(addr.Addr, addr.Channel, reunite.ChangeKind, addr.Addr) {
@@ -543,6 +546,17 @@ func wireRecent(chk *invariant.Checker, o *obs.Observer) {
 	if rec := o.Recorder(); rec != nil {
 		chk.SetRecent(rec.Dump)
 	}
+}
+
+// wireEpisode attaches the network's ambient causal context to the
+// checker, so invariant violations cite the causal episode (join,
+// expiry or fault cascade) they were detected under. No-op unless the
+// network carries an observer.
+func wireEpisode(chk *invariant.Checker, net *netsim.Network) {
+	if chk == nil || net == nil || net.Observer() == nil {
+		return
+	}
+	chk.SetEpisode(func() uint64 { return uint64(net.CausalContext().Episode) })
 }
 
 // installFootprintSampler samples the session's forwarding-state
@@ -608,6 +622,38 @@ func converge(sim *eventsim.Sim, interval eventsim.Time, intervals int) {
 	if err := sim.Run(sim.Now() + eventsim.Time(intervals)*interval); err != nil {
 		panic(fmt.Sprintf("experiment: converge: %v", err))
 	}
+}
+
+// convergeSettleIntervals is the quiescence window convergeMeasured
+// requires: no table mutation for this many refresh intervals, with no
+// control message outstanding, before the channel counts as converged.
+const convergeSettleIntervals = 3
+
+// convergeMeasured is the detector-driven variant of converge: it steps
+// the simulation interval by interval until tr reports the channel
+// quiescent (or the maxIntervals hard cap — the old fixed budget — is
+// exhausted), and returns the measured convergence time (the last table
+// mutation before quiescence) plus how many intervals were consumed.
+// Unlike the fixed-interval converge, it cannot under-wait a run whose
+// cascade outlives the fixed budget, and it does not over-wait one that
+// settles early.
+func convergeMeasured(sim *eventsim.Sim, tr *obs.ConvergeTracker, ch addr.Channel,
+	interval eventsim.Time, maxIntervals int) (eventsim.Time, int) {
+	if maxIntervals <= 0 {
+		maxIntervals = defaultConvergeIntervals
+	}
+	settle := eventsim.Time(convergeSettleIntervals) * interval
+	used := 0
+	for used < maxIntervals {
+		if err := sim.Run(sim.Now() + interval); err != nil {
+			panic(fmt.Sprintf("experiment: convergeMeasured: %v", err))
+		}
+		used++
+		if used >= convergeSettleIntervals && tr.Quiescent(ch, sim.Now(), settle) {
+			break
+		}
+	}
+	return tr.Channel(ch).LastMutation, used
 }
 
 func toRunResult(res *mtree.Result) RunResult {

@@ -236,12 +236,21 @@ func (in *Injector) faultf(format string, args ...any) {
 	if o == nil {
 		return
 	}
-	o.Emit(obs.Event{Kind: obs.KindFault, Detail: fmt.Sprintf(format, args...)})
+	fev := obs.Event{Kind: obs.KindFault, Detail: fmt.Sprintf(format, args...)}
+	in.net.StampCausal(&fev)
+	o.Emit(fev)
 }
 
 // apply executes one fault event: substrate first, then routing
 // reconvergence, then hooks and observers.
+//
+// A fault is a spontaneous root cause: apply roots a causal episode
+// before touching anything, so the KindFault event and everything the
+// hooks emit (a crashed router resetting its tables, above all)
+// attribute to it.
 func (in *Injector) apply(ev Event) {
+	prev := in.net.RootEpisode()
+	defer in.net.SetCausalContext(prev)
 	g := in.net.Topology()
 	switch ev.Kind {
 	case LinkDown:

@@ -43,6 +43,11 @@ type Checker struct {
 	// protocol events the offending node saw.
 	recent func(addr.Addr) string
 
+	// episode, when set, reports the causal episode active at detection
+	// time; violate attaches it so violation reports cite the join,
+	// expiry or fault cascade they belong to.
+	episode func() uint64
+
 	// arrivals counts data-packet terminations per sequence number and
 	// node; linkCopies counts per-link data copies per sequence number.
 	arrivals   map[uint32]map[addr.Addr]int
@@ -88,6 +93,11 @@ func (c *Checker) SetMembers(members []addr.Addr) {
 // obs.Recorder.Dump): every violation recorded afterwards carries the
 // dump for its node in Violation.Recent. nil clears it.
 func (c *Checker) SetRecent(f func(addr.Addr) string) { c.recent = f }
+
+// SetEpisode wires a causal-episode lookup (typically reading the
+// network's ambient causal context): every violation recorded
+// afterwards cites the episode in Violation.Episode. nil clears it.
+func (c *Checker) SetEpisode(f func() uint64) { c.episode = f }
 
 // MarkDirty flags that protocol state changed; the next OnEvent runs
 // the structural checks. Wire it into the engine's ChangeObserver.
@@ -300,9 +310,14 @@ func (c *Checker) violate(node addr.Addr, invariant, detail, tree string) {
 	if c.recent != nil {
 		recent = c.recent(node)
 	}
+	var episode uint64
+	if c.episode != nil {
+		episode = c.episode()
+	}
 	c.violations = append(c.violations, Violation{
 		At: c.net.Sim().Now(), Node: node, Channel: c.ch,
 		Invariant: invariant, Detail: detail, Tree: tree, Recent: recent,
+		Episode: episode,
 	})
 }
 

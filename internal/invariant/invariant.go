@@ -43,12 +43,19 @@ type Violation struct {
 	// last protocol events it saw before the breach — captured when a
 	// recorder is wired in via Checker.SetRecent (empty otherwise).
 	Recent string
+	// Episode is the causal episode active when the breach was detected
+	// (0 when causal tracing is not wired in via Checker.SetEpisode):
+	// the join, expiry or fault cascade the violation belongs to.
+	Episode uint64
 }
 
 // String renders the violation as a single diagnostic block.
 func (v Violation) String() string {
 	s := fmt.Sprintf("t=%.1f node=%v channel=%v invariant=%s: %s",
 		float64(v.At), v.Node, v.Channel, v.Invariant, v.Detail)
+	if v.Episode != 0 {
+		s += fmt.Sprintf("\ncausal episode %d", v.Episode)
+	}
 	if v.Tree != "" {
 		s += "\n" + v.Tree
 	}

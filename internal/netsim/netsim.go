@@ -156,6 +156,13 @@ type Network struct {
 	// originate packets until brought back up (see SetNodeUp).
 	nodeDown []bool
 	stats    Stats
+	// cur is the ambient causal context: set from the in-flight
+	// envelope for the duration of each arrival (so everything a
+	// handler does inherits the packet's episode), explicitly installed
+	// by timer-driven emitters that act on behalf of recorded state
+	// (the source's tree refresh), and zero otherwise. The simulator is
+	// single-threaded, so one slot suffices.
+	cur obs.Causal
 	// freeEnv recycles envelopes so steady-state forwarding allocates
 	// nothing: every terminal point of a packet's life (drop, consume,
 	// deliver) returns its envelope here.
@@ -364,12 +371,15 @@ func (n *Network) SetHopLimit(l int) {
 // obs.KindFault events instead.
 func (n *Network) Tracef(format string, args ...any) { n.obsv.Notef(format, args...) }
 
-// emitMsg builds and emits one transport event for msg. Callers must
-// have checked n.obsv != nil first — this keeps argument construction
-// (interface boxing, channel/seq extraction) entirely off the disabled
-// path, where it used to dominate whole-run CPU profiles at >50% when
-// done eagerly.
-func (n *Network) emitMsg(kind obs.Kind, cause obs.Cause, nd, peer *Node, msg packet.Message) {
+// emitMsg builds and emits one transport event for msg, stamped with
+// the ambient causal context (the event's parent is the most recent
+// step of the context; the event gets a fresh step, returned so the
+// caller can chain a packet's in-flight causal pair to it). Callers
+// must have checked n.obsv != nil first — this keeps argument
+// construction (interface boxing, channel/seq extraction) entirely off
+// the disabled path, where it used to dominate whole-run CPU profiles
+// at >50% when done eagerly.
+func (n *Network) emitMsg(kind obs.Kind, cause obs.Cause, nd, peer *Node, msg packet.Message) obs.StepID {
 	ev := obs.Event{Kind: kind, Cause: cause, Msg: msg}
 	if nd != nil {
 		ev.Node = nd.addr
@@ -383,11 +393,55 @@ func (n *Network) emitMsg(kind obs.Kind, cause obs.Cause, nd, peer *Node, msg pa
 	if d, ok := msg.(*packet.Data); ok {
 		ev.Seq = d.Seq
 	}
+	ev.Episode = n.cur.Episode
+	ev.ParentStep = n.cur.Step
+	ev.Step = n.obsv.NewStep()
 	n.obsv.Emit(ev)
+	return ev.Step
+}
+
+// emitEnv is emitMsg for an in-flight envelope: the event's parent is
+// the envelope's own causal step (the send or the previous hop), not
+// the ambient context, and per-hop forwards advance the envelope's
+// step so the next hop chains to this one.
+func (n *Network) emitEnv(kind obs.Kind, cause obs.Cause, nd, peer *Node, env *envelope) {
+	saved := n.cur
+	n.cur = env.cause
+	step := n.emitMsg(kind, cause, nd, peer, env.msg)
+	if kind == obs.KindForward {
+		env.cause.Step = step
+	}
+	n.cur = saved
 }
 
 // NodeName returns the topology label of a node, for diagnostics.
 func (n *Network) NodeName(id topology.NodeID) string { return n.nodes[id].name }
+
+// CausalContext returns the ambient causal context: the episode and
+// step everything emitted right now will be attributed to. Zero
+// outside packet arrivals and explicit installations.
+func (n *Network) CausalContext() obs.Causal { return n.cur }
+
+// SetCausalContext installs c as the ambient causal context. Timer
+// driven emitters that act on behalf of recorded state use it to
+// attribute their emissions to the episode that installed the state
+// (the source's periodic tree refresh attributes each tree to the join
+// that installed or last refreshed its entry); callers must restore
+// the previous context when done.
+func (n *Network) SetCausalContext(c obs.Causal) { n.cur = c }
+
+// RootEpisode allocates a fresh causal episode and installs it as the
+// ambient context when none is active (the spontaneous-action case:
+// receiver join timers, soft-state expiries, fault injection). The
+// previous context is returned for restoration; when an episode is
+// already active, or observation is off, nothing changes.
+func (n *Network) RootEpisode() obs.Causal {
+	prev := n.cur
+	if n.obsv != nil && prev.Episode == 0 {
+		n.cur = obs.Causal{Episode: n.obsv.NewEpisode()}
+	}
+	return prev
+}
 
 // dropData records the loss of a data packet for delivery-ratio
 // accounting; call alongside the specific drop counter.
@@ -422,11 +476,14 @@ func (nd *Node) Observing() bool { return nd.net.obsv != nil }
 // network's observability pipeline (a cheap no-op when observation is
 // off). The engines use it for join interception, tree adoption,
 // fusion, and table mutations; peer is the other endpoint when there
-// is one, seq the data sequence number for replication events.
-func (nd *Node) EmitProto(kind obs.Kind, ch addr.Channel, peer addr.Addr, seq uint32, detail string) {
+// is one, seq the data sequence number for replication events. The
+// event is stamped with the ambient causal context and its (episode,
+// step) pair is returned so engines can record table-entry provenance;
+// the zero Causal is returned when observation is off.
+func (nd *Node) EmitProto(kind obs.Kind, ch addr.Channel, peer addr.Addr, seq uint32, detail string) obs.Causal {
 	o := nd.net.obsv
 	if o == nil {
-		return
+		return obs.Causal{}
 	}
 	ev := obs.Event{
 		Kind: kind, Node: nd.addr, NodeName: nd.name,
@@ -437,8 +494,44 @@ func (nd *Node) EmitProto(kind obs.Kind, ch addr.Channel, peer addr.Addr, seq ui
 			ev.PeerName = nd.net.nodes[id].name
 		}
 	}
+	ev.Episode = nd.net.cur.Episode
+	ev.ParentStep = nd.net.cur.Step
+	ev.Step = o.NewStep()
 	o.Emit(ev)
+	return obs.Causal{Episode: ev.Episode, Step: ev.Step}
 }
+
+// CausalContext returns the node's network's ambient causal context.
+func (nd *Node) CausalContext() obs.Causal { return nd.net.cur }
+
+// SetCausalContext installs c as the ambient causal context (see
+// Network.SetCausalContext).
+func (nd *Node) SetCausalContext(c obs.Causal) { nd.net.cur = c }
+
+// RootEpisode roots a fresh causal episode when none is active,
+// returning the previous context (see Network.RootEpisode).
+func (nd *Node) RootEpisode() obs.Causal { return nd.net.RootEpisode() }
+
+// StampCausal fills ev's causal fields from the ambient context,
+// allocating a fresh step and advancing the context to it, so whatever
+// the caller emits next becomes this event's causal child. Agents that
+// build events by hand (the receiver's join emission, the fault
+// injector) use it; EmitProto stamps automatically. No-op when
+// observation is off.
+func (n *Network) StampCausal(ev *obs.Event) {
+	o := n.obsv
+	if o == nil {
+		return
+	}
+	ev.Episode = n.cur.Episode
+	ev.ParentStep = n.cur.Step
+	ev.Step = o.NewStep()
+	n.cur.Step = ev.Step
+}
+
+// StampCausal stamps ev from the ambient context (see
+// Network.StampCausal).
+func (nd *Node) StampCausal(ev *obs.Event) { nd.net.StampCausal(ev) }
 
 // SetDeliver installs the local delivery sink.
 func (nd *Node) SetDeliver(d DeliverFunc) { nd.deliver = d }
@@ -456,10 +549,21 @@ type envelope struct {
 	hops int
 	net  *Network
 	to   topology.NodeID // arrival node of the in-flight transmission
+	// cause is the packet's causal pair: the episode it belongs to and
+	// the step of its most recent transport event (send or last hop).
+	// In-band simulator metadata only — the wire format is untouched.
+	cause obs.Causal
 }
 
-// Fire delivers the in-flight transmission at its arrival node.
-func (e *envelope) Fire() { e.net.arrive(e.to, e) }
+// Fire delivers the in-flight transmission at its arrival node, with
+// the packet's causal pair as the ambient context for everything the
+// arrival triggers (handler emissions, regenerated messages).
+func (e *envelope) Fire() {
+	n := e.net
+	n.cur = e.cause
+	n.arrive(e.to, e)
+	n.cur = obs.Causal{}
+}
 
 // newEnvelope takes an envelope from the freelist (or allocates one)
 // and arms it with a full hop budget.
@@ -470,6 +574,7 @@ func (n *Network) newEnvelope(msg packet.Message) *envelope {
 		env.msg = msg
 		env.hops = n.hopLimit
 		env.to = 0
+		env.cause = obs.Causal{}
 		return env
 	}
 	return &envelope{msg: msg, hops: n.hopLimit, net: n}
@@ -490,6 +595,18 @@ func (n *Network) recycle(env *envelope) {
 // processed by handlers at every intermediate node. Sending to oneself
 // delivers locally after handler processing, with no link traversal.
 func (nd *Node) SendUnicast(msg packet.Message) {
+	if nd.net.obsv != nil && nd.net.cur.Episode == 0 {
+		// Spontaneous origination (a timer fired, nothing arrived):
+		// this send roots a fresh causal episode.
+		nd.net.cur = obs.Causal{Episode: nd.net.obsv.NewEpisode()}
+		nd.sendUnicast(msg)
+		nd.net.cur = obs.Causal{}
+		return
+	}
+	nd.sendUnicast(msg)
+}
+
+func (nd *Node) sendUnicast(msg packet.Message) {
 	h := msg.Hdr()
 	if nd.net.nodeDown[nd.id] {
 		// A crashed node originates nothing; its agents' timers may
@@ -509,8 +626,9 @@ func (nd *Node) SendUnicast(msg packet.Message) {
 		nd.net.dropData(msg)
 		return
 	}
+	var sendStep obs.StepID
 	if nd.net.obsv != nil {
-		nd.net.emitMsg(obs.KindSend, obs.CauseNone, nd, nil, msg)
+		sendStep = nd.net.emitMsg(obs.KindSend, obs.CauseNone, nd, nil, msg)
 	}
 	dst, ok := nd.net.topo.ByAddr(h.Dst)
 	if !ok {
@@ -522,6 +640,9 @@ func (nd *Node) SendUnicast(msg packet.Message) {
 		return
 	}
 	env := nd.net.newEnvelope(msg)
+	if sendStep != 0 {
+		env.cause = obs.Causal{Episode: nd.net.cur.Episode, Step: sendStep}
+	}
 	if dst == nd.id {
 		// Local: process immediately in a fresh event for causal order.
 		env.to = nd.id
@@ -536,6 +657,16 @@ func (nd *Node) SendUnicast(msg packet.Message) {
 // to source-route copies over an explicitly constructed tree (PIM's
 // native multicast forwarding).
 func (nd *Node) SendDirect(to topology.NodeID, msg packet.Message) {
+	if nd.net.obsv != nil && nd.net.cur.Episode == 0 {
+		nd.net.cur = obs.Causal{Episode: nd.net.obsv.NewEpisode()}
+		nd.sendDirect(to, msg)
+		nd.net.cur = obs.Causal{}
+		return
+	}
+	nd.sendDirect(to, msg)
+}
+
+func (nd *Node) sendDirect(to topology.NodeID, msg packet.Message) {
 	if !nd.net.topo.HasLink(nd.id, to) {
 		panic(fmt.Sprintf("netsim: SendDirect %s -> %s without a link",
 			nd.name, nd.net.nodes[to].name))
@@ -548,10 +679,15 @@ func (nd *Node) SendDirect(to topology.NodeID, msg packet.Message) {
 		}
 		return
 	}
+	var sendStep obs.StepID
 	if nd.net.obsv != nil {
-		nd.net.emitMsg(obs.KindSendDirect, obs.CauseNone, nd, nd.net.nodes[to], msg)
+		sendStep = nd.net.emitMsg(obs.KindSendDirect, obs.CauseNone, nd, nd.net.nodes[to], msg)
 	}
-	nd.net.transmit(nd.id, to, nd.net.newEnvelope(msg))
+	env := nd.net.newEnvelope(msg)
+	if sendStep != 0 {
+		env.cause = obs.Causal{Episode: nd.net.cur.Episode, Step: sendStep}
+	}
+	nd.net.transmit(nd.id, to, env)
 }
 
 // forward routes env one hop closer to its destination address.
@@ -562,7 +698,7 @@ func (n *Network) forward(from topology.NodeID, env *envelope) {
 		n.stats.NoRouteDrops++
 		n.dropData(env.msg)
 		if n.obsv != nil {
-			n.emitMsg(obs.KindDrop, obs.CauseNoRoute, n.nodes[from], nil, env.msg)
+			n.emitEnv(obs.KindDrop, obs.CauseNoRoute, n.nodes[from], nil, env)
 		}
 		n.recycle(env)
 		return
@@ -578,7 +714,7 @@ func (n *Network) transmit(from, to topology.NodeID, env *envelope) {
 		n.stats.HopLimitDrops++
 		n.dropData(env.msg)
 		if n.obsv != nil {
-			n.emitMsg(obs.KindDrop, obs.CauseHopLimit, n.nodes[from], nil, env.msg)
+			n.emitEnv(obs.KindDrop, obs.CauseHopLimit, n.nodes[from], nil, env)
 		}
 		n.recycle(env)
 		return
@@ -592,7 +728,7 @@ func (n *Network) transmit(from, to topology.NodeID, env *envelope) {
 		n.stats.LinkDownDrops++
 		n.dropData(env.msg)
 		if n.obsv != nil {
-			n.emitMsg(obs.KindDrop, obs.CauseLinkDown, n.nodes[from], n.nodes[to], env.msg)
+			n.emitEnv(obs.KindDrop, obs.CauseLinkDown, n.nodes[from], n.nodes[to], env)
 		}
 		n.recycle(env)
 		return
@@ -607,7 +743,7 @@ func (n *Network) transmit(from, to topology.NodeID, env *envelope) {
 		case !isData && n.loss.Control > 0 && n.loss.RNG.Float64() < n.loss.Control:
 			n.stats.LossDrops++
 			if n.obsv != nil {
-				n.emitMsg(obs.KindDrop, obs.CauseLoss, n.nodes[from], n.nodes[to], env.msg)
+				n.emitEnv(obs.KindDrop, obs.CauseLoss, n.nodes[from], n.nodes[to], env)
 			}
 			n.recycle(env)
 			return
@@ -615,7 +751,7 @@ func (n *Network) transmit(from, to topology.NodeID, env *envelope) {
 			n.stats.DataLossDrops++
 			n.stats.DataDrops++
 			if n.obsv != nil {
-				n.emitMsg(obs.KindDrop, obs.CauseLoss, n.nodes[from], n.nodes[to], env.msg)
+				n.emitEnv(obs.KindDrop, obs.CauseLoss, n.nodes[from], n.nodes[to], env)
 			}
 			n.recycle(env)
 			return
@@ -640,7 +776,7 @@ func (n *Network) transmit(from, to topology.NodeID, env *envelope) {
 		tap(from, to, env.msg)
 	}
 	if n.obsv != nil {
-		n.emitMsg(obs.KindForward, obs.CauseNone, n.nodes[from], n.nodes[to], env.msg)
+		n.emitEnv(obs.KindForward, obs.CauseNone, n.nodes[from], n.nodes[to], env)
 	}
 	env.to = to
 	n.sim.AfterCall(eventsim.Time(cost), env)

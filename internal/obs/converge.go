@@ -1,0 +1,169 @@
+package obs
+
+import (
+	"hbh/internal/addr"
+	"hbh/internal/eventsim"
+	"hbh/internal/packet"
+)
+
+// ConvergeTracker measures convergence per <S,G> channel from the
+// event stream: the time of the last structural table mutation, the
+// number of control messages still in flight, and the cumulative
+// control-plane cost (originations, link crossings, wire bytes). Like
+// the counter registry it sees every event unfiltered, consumes no
+// randomness and schedules nothing, so attaching it cannot perturb a
+// seeded simulation.
+//
+// Quiescence — "the tree stopped changing and nothing that could
+// change it is in flight" — is the measured replacement for the fixed
+// settling budgets the experiments used to sleep through.
+type ConvergeTracker struct {
+	chans map[addr.Channel]*ChannelConvergence
+	order []addr.Channel
+}
+
+// ChannelConvergence is the live convergence state of one channel.
+type ChannelConvergence struct {
+	// Channel is the <S,G> pair tracked.
+	Channel addr.Channel
+	// LastMutation is the virtual time of the last structural table
+	// mutation (table add/remove, branch, collapse, fusion accept);
+	// LastEpisode the causal episode it belonged to. MutationAny is
+	// false until the first mutation.
+	LastMutation eventsim.Time
+	LastEpisode  EpisodeID
+	MutationAny  bool
+	// Mutations counts structural mutations.
+	Mutations int
+	// Outstanding counts control messages originated but not yet
+	// terminated (consumed, delivered or dropped). Origination-time
+	// drops emit no matching send, so the decrement clamps at zero.
+	Outstanding int
+	// LastDrain is the last virtual time Outstanding dropped to zero
+	// (valid once DrainAny). Quiescence asks for a full drain since the
+	// last mutation, not a drain at the exact probe instant: the probe
+	// typically lands on a refresh-tick boundary with the periodic
+	// (non-mutating) chatter it just launched still in flight.
+	LastDrain eventsim.Time
+	DrainAny  bool
+	// CtrlSends counts control-message originations, CtrlHops their
+	// link crossings, CtrlBytes the wire bytes those crossings carried.
+	CtrlSends int
+	CtrlHops  int
+	CtrlBytes int
+}
+
+// NewConvergeTracker builds an empty tracker.
+func NewConvergeTracker() *ConvergeTracker {
+	return &ConvergeTracker{chans: make(map[addr.Channel]*ChannelConvergence)}
+}
+
+// EnableConvergence attaches (and returns) the convergence tracker; it
+// is applied to every event, unfiltered, like the counter registry.
+func (o *Observer) EnableConvergence() *ConvergeTracker {
+	if o.converge == nil {
+		o.converge = NewConvergeTracker()
+	}
+	return o.converge
+}
+
+// Convergence returns the tracker (nil when not enabled).
+func (o *Observer) Convergence() *ConvergeTracker { return o.converge }
+
+// Reset clears all per-channel state. Experiment drivers that reuse
+// one observer across independent runs call it between runs so a
+// previous run's clock (which restarts at zero) cannot masquerade as
+// in-flight traffic or a recent mutation.
+func (t *ConvergeTracker) Reset() {
+	t.chans = make(map[addr.Channel]*ChannelConvergence)
+	t.order = t.order[:0]
+}
+
+func (t *ConvergeTracker) channel(ch addr.Channel) *ChannelConvergence {
+	c := t.chans[ch]
+	if c == nil {
+		c = &ChannelConvergence{Channel: ch}
+		t.chans[ch] = c
+		t.order = append(t.order, ch)
+	}
+	return c
+}
+
+// Apply folds one event into the tracker.
+func (t *ConvergeTracker) Apply(ev Event) {
+	var zero addr.Channel
+	if ev.Channel == zero {
+		return
+	}
+	if episodeMutation(ev.Kind) {
+		c := t.channel(ev.Channel)
+		c.LastMutation = ev.At
+		c.LastEpisode = ev.Episode
+		c.MutationAny = true
+		c.Mutations++
+		return
+	}
+	// Control-message life cycle: only transport events carry Msg.
+	if ev.Msg == nil {
+		return
+	}
+	if _, isData := ev.Msg.(*packet.Data); isData {
+		return
+	}
+	switch ev.Kind {
+	case KindSend, KindSendDirect:
+		c := t.channel(ev.Channel)
+		c.Outstanding++
+		c.CtrlSends++
+	case KindForward:
+		c := t.channel(ev.Channel)
+		c.CtrlHops++
+		c.CtrlBytes += packet.WireBytes(ev.Msg)
+	case KindConsume, KindDeliver, KindDrop:
+		c := t.channel(ev.Channel)
+		if c.Outstanding > 0 {
+			c.Outstanding--
+		}
+		if c.Outstanding == 0 {
+			c.LastDrain = ev.At
+			c.DrainAny = true
+		}
+	}
+}
+
+// Channel returns a snapshot of one channel's convergence state (the
+// zero value if the channel has produced no events).
+func (t *ConvergeTracker) Channel(ch addr.Channel) ChannelConvergence {
+	if c := t.chans[ch]; c != nil {
+		return *c
+	}
+	return ChannelConvergence{Channel: ch}
+}
+
+// Channels lists the tracked channels in first-seen order.
+func (t *ConvergeTracker) Channels() []addr.Channel {
+	out := make([]addr.Channel, len(t.order))
+	copy(out, t.order)
+	return out
+}
+
+// Quiescent reports whether the channel has converged as of now: no
+// structural mutation for at least settle, and the control plane fully
+// drained at least once since the last mutation (so no cascade that
+// could still mutate is left over from it). Messages currently in
+// flight are tolerated if a drain happened after the last mutation —
+// they are the steady-state refresh chatter of the converged tree, and
+// should they mutate anything after all, LastMutation moves and
+// quiescence is withdrawn at the next probe.
+func (t *ConvergeTracker) Quiescent(ch addr.Channel, now, settle eventsim.Time) bool {
+	c := t.chans[ch]
+	if c == nil {
+		return true
+	}
+	drained := c.Outstanding == 0 ||
+		(c.DrainAny && (!c.MutationAny || c.LastDrain >= c.LastMutation))
+	if !drained {
+		return false
+	}
+	return !c.MutationAny || now-c.LastMutation >= settle
+}

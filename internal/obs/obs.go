@@ -238,6 +238,14 @@ type Event struct {
 	// Span and Parent correlate the event to a lifecycle span.
 	Span   SpanID
 	Parent SpanID
+	// Episode, Step and ParentStep place the event in the causal DAG of
+	// its episode (see causal.go): Episode names the cascade the event
+	// belongs to, Step is the event's own node in the DAG, ParentStep
+	// the event that caused it. All zero when causal tracing is off or
+	// the event is unattributed.
+	Episode    EpisodeID
+	Step       StepID
+	ParentStep StepID
 	// Detail is a free-form annotation: span names, protocol rules,
 	// preformatted fault text.
 	Detail string
@@ -263,7 +271,12 @@ type Observer struct {
 	filter   func(*Event) bool
 	counters *Counters
 	recorder *Recorder
+	converge *ConvergeTracker
 	spanSeq  uint64
+	// episodeSeq and stepSeq allocate causal episode and step ids;
+	// plain counters, so causal stamping costs no allocation.
+	episodeSeq uint64
+	stepSeq    uint64
 	// dumpOnFaultDrop pushes a flight-recorder dump into the sinks when
 	// a fault-attributed drop is observed.
 	dumpOnFaultDrop bool
@@ -300,7 +313,7 @@ func (o *Observer) RemoveSink(s Sink) {
 // Empty reports whether the observer has no sinks, counters or
 // recorder attached (nothing would observe an event).
 func (o *Observer) Empty() bool {
-	return len(o.sinks) == 0 && o.counters == nil && o.recorder == nil
+	return len(o.sinks) == 0 && o.counters == nil && o.recorder == nil && o.converge == nil
 }
 
 // SetFilter installs a sink-side predicate: events failing it are not
@@ -351,6 +364,9 @@ func (o *Observer) Emit(ev Event) {
 	}
 	if o.counters != nil {
 		o.counters.Apply(ev)
+	}
+	if o.converge != nil {
+		o.converge.Apply(ev)
 	}
 	if len(o.sinks) > 0 && (o.filter == nil || o.filter(&ev)) {
 		for _, s := range o.sinks {

@@ -179,6 +179,18 @@ func (j *JSONLSink) Emit(ev Event) {
 		b = append(b, `,"parent":`...)
 		b = strconv.AppendUint(b, uint64(ev.Parent), 10)
 	}
+	if ev.Episode != 0 {
+		b = append(b, `,"ep":`...)
+		b = strconv.AppendUint(b, uint64(ev.Episode), 10)
+	}
+	if ev.Step != 0 {
+		b = append(b, `,"step":`...)
+		b = strconv.AppendUint(b, uint64(ev.Step), 10)
+	}
+	if ev.ParentStep != 0 {
+		b = append(b, `,"pstep":`...)
+		b = strconv.AppendUint(b, uint64(ev.ParentStep), 10)
+	}
 	if ev.Msg != nil {
 		b = append(b, `,"msg":`...)
 		b = strconv.AppendQuote(b, packet.Format(ev.Msg))

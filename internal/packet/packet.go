@@ -178,6 +178,11 @@ const headerSize = 24
 // maxBody bounds body length; generous for any message we emit.
 const maxBody = 64 * 1024
 
+// WireBytes returns the message's marshalled size in bytes (header
+// plus body) without marshalling it. The observability layer charges
+// control-plane byte costs with it.
+func WireBytes(m Message) int { return headerSize + m.wireSize() }
+
 var (
 	// ErrTruncated reports a packet shorter than its encoding claims.
 	ErrTruncated = errors.New("packet: truncated")

@@ -257,7 +257,9 @@ func Build(net *netsim.Network, mode Mode, sourceHost topology.NodeID,
 	}
 
 	// Install forwarding handlers on every interior tree node (and the
-	// RP, which also decapsulates).
+	// RP, which also decapsulates). The central build is one spontaneous
+	// action: every installation attributes to a single causal episode.
+	prev := net.RootEpisode()
 	for node := range s.children {
 		node := node
 		nd := net.Node(node)
@@ -278,6 +280,7 @@ func Build(net *netsim.Network, mode Mode, sourceHost topology.NodeID,
 			}))
 		}
 	}
+	net.SetCausalContext(prev)
 
 	for _, m := range memberHosts {
 		if m == sourceHost {
@@ -357,6 +360,9 @@ func (s *Session) SendData(payload []byte) uint32 {
 	seq := s.nextSeq
 	s.nextSeq++
 	src := s.net.Node(s.source)
+	// One causal episode per originated packet.
+	prev := src.RootEpisode()
+	defer src.SetCausalContext(prev)
 	d := &packet.Data{
 		Header: packet.Header{
 			Proto:   packet.ProtoNone,

@@ -24,6 +24,10 @@ type Receiver struct {
 	ch     addr.Channel
 	ticker *eventsim.Ticker
 	joined bool
+	// firstJoin marks the next sendJoin as the initial join of this
+	// subscription — an observability label only; unlike HBH, the
+	// REUNITE wire format has no first-join flag.
+	firstJoin bool
 
 	// Deliveries lists data arrivals in order; DupCount counts
 	// duplicate sequence numbers.
@@ -74,6 +78,7 @@ func (r *Receiver) Join() {
 		r.lifeSpan = o.BeginSpan("receiver-lifecycle", r.ch, r.node.Addr(), r.node.Name(), 0)
 		r.joinSpan = o.BeginSpan("joining", r.ch, r.node.Addr(), r.node.Name(), r.lifeSpan)
 	}
+	r.firstJoin = true
 	r.sendJoin()
 	r.ticker = r.sim.NewTicker(r.cfg.JoinInterval, r.sendJoin)
 }
@@ -94,13 +99,23 @@ func (r *Receiver) Leave() {
 }
 
 func (r *Receiver) sendJoin() {
+	// Joins are spontaneous: each roots a causal episode covering the
+	// cascade it triggers (see core.Receiver.sendJoin).
+	prev := r.node.RootEpisode()
 	if o := r.node.Network().Observer(); o != nil {
-		o.Emit(obs.Event{
+		detail := "refresh"
+		if r.firstJoin {
+			detail = "first"
+		}
+		ev := obs.Event{
 			Kind: obs.KindJoinSend, Node: r.node.Addr(), NodeName: r.node.Name(),
 			Channel: r.ch, Peer: r.ch.S, Span: r.joinSpan, Parent: r.lifeSpan,
-			Detail: "refresh",
-		})
+			Detail: detail,
+		}
+		r.node.StampCausal(&ev)
+		o.Emit(ev)
 	}
+	r.firstJoin = false
 	j := &packet.Join{
 		Header: packet.Header{
 			Proto:   packet.ProtoREUNITE,
@@ -112,6 +127,7 @@ func (r *Receiver) sendJoin() {
 		R: r.node.Addr(),
 	}
 	r.node.SendUnicast(j)
+	r.node.SetCausalContext(prev)
 }
 
 // Handle implements netsim.Handler: consume channel traffic addressed

@@ -166,11 +166,12 @@ func (r *Router) onJoin(j *packet.Join) netsim.Verdict {
 			// it is what refreshes this subtree's entry at the node
 			// where dst originally joined. Refresh locally en route.
 			dst.Timer.Refresh()
+			dst.Cause = r.node.CausalContext()
 			return netsim.Continue
 		}
 		if e := st.mft.Get(j.R); e != nil {
 			e.Timer.Refresh()
-			r.node.EmitProto(obs.KindJoinIntercept, j.Channel, j.R, 0, "refresh member entry")
+			e.Cause = r.node.EmitProto(obs.KindJoinIntercept, j.Channel, j.R, 0, "refresh member entry")
 			return netsim.Consumed
 		}
 		r.node.EmitProto(obs.KindJoinIntercept, j.Channel, j.R, 0, "admit new member")
@@ -193,13 +194,16 @@ func (r *Router) onJoin(j *packet.Join) netsim.Verdict {
 // recorded receiver, then admits the joining receiver.
 func (r *Router) becomeBranching(st *chanState, ch addr.Channel, joiner addr.Addr) {
 	dst := st.mct.Node
+	dstCause := st.mct.Cause
 	st.mct.Timer.Cancel()
 	st.mct = nil
 	r.observe(ch, ChangeMCTRemove, dst)
 	r.observe(ch, ChangeBecomeBranching, r.node.Addr())
 	r.node.EmitProto(obs.KindBranch, ch, joiner, 0, "second receiver's join crossed live control state")
 	st.mft = NewMFT()
-	st.mft.Add(dst, r.newEntryTimer(ch, dst))
+	// dst keeps the provenance its MCT entry carried, so its refresh
+	// chain stays attributed to its own episode.
+	st.mft.Add(dst, r.newEntryTimer(ch, dst)).Cause = dstCause
 	r.observe(ch, ChangeMFTAdd, dst)
 	st.mft.Liveness = r.sim.NewSoftTimer(r.cfg.T1, r.cfg.T2, func() {
 		// No tree for dst within t1: this node has fallen off the
@@ -212,12 +216,17 @@ func (r *Router) becomeBranching(st *chanState, ch addr.Channel, joiner addr.Add
 		// settling. Going stale lets joins escalate toward the source
 		// (Figure 2(c)) for the t2 tail, exactly like a stale MCT.
 		if st.mft != nil && !st.mft.TableStale {
+			// Timer-driven: roots its own causal episode.
+			prev := r.node.RootEpisode()
 			st.mft.TableStale = true
 			r.observe(ch, ChangeTableStale, r.node.Addr())
 			r.node.EmitProto(obs.KindCollapse, ch, addr.Unspecified, 0, "table stale: off the refresh path")
+			r.node.SetCausalContext(prev)
 		}
 	}, func() {
+		prev := r.node.RootEpisode()
 		r.destroyMFT(ch)
+		r.node.SetCausalContext(prev)
 	})
 	r.addMFTEntry(st, ch, joiner)
 }
@@ -262,17 +271,22 @@ func (r *Router) onTree(t *packet.Tree) netsim.Verdict {
 			} else {
 				st.mft.TableStale = false
 				dst.Timer.Refresh()
+				dst.Cause = r.node.CausalContext()
 			}
 			// Regenerate one tree per additional receiver; a stale
 			// entry's tree is marked, dissolving its downstream state.
-			// Rate-limited to the refresh period.
+			// Rate-limited to the refresh period. Each regenerated tree
+			// attributes to its entry's own episode (see Entry.Cause).
 			now := r.sim.Now()
 			if !st.hasRegen || now-st.lastRegen >= r.cfg.TreeInterval*9/10 {
 				st.hasRegen = true
 				st.lastRegen = now
+				prev := r.node.CausalContext()
 				for _, e := range st.mft.Entries()[1:] {
+					r.node.SetCausalContext(e.Cause)
 					r.sendTree(ch, e.Node, e.Stale())
 				}
+				r.node.SetCausalContext(prev)
 			}
 			return netsim.Continue // original continues toward dst
 		}
@@ -299,6 +313,7 @@ func (r *Router) onTree(t *packet.Tree) netsim.Verdict {
 		r.createMCT(st, ch, t.R)
 	case st.mct.Node == t.R:
 		st.mct.Timer.Refresh()
+		st.mct.Cause = r.node.CausalContext()
 	case st.mct.Stale():
 		// The recorded receiver is going away; adopt the new one.
 		r.removeMCT(ch, st)
@@ -314,11 +329,14 @@ func (r *Router) onTree(t *packet.Tree) netsim.Verdict {
 func (r *Router) createMCT(st *chanState, ch addr.Channel, node addr.Addr) {
 	st.mct = &MCT{Node: node, Timer: r.sim.NewSoftTimer(r.cfg.T1, r.cfg.T2, nil, func() {
 		if st.mct != nil && st.mct.Node == node {
+			// Timer-driven expiry roots its own episode.
+			prev := r.node.RootEpisode()
 			r.removeMCT(ch, st)
+			r.node.SetCausalContext(prev)
 		}
 	})}
 	r.observe(ch, ChangeMCTCreate, node)
-	r.node.EmitProto(obs.KindTableAdd, ch, node, 0, "mct")
+	st.mct.Cause = r.node.EmitProto(obs.KindTableAdd, ch, node, 0, "mct")
 }
 
 func (r *Router) removeMCT(ch addr.Channel, st *chanState) {
@@ -389,9 +407,9 @@ func (r *Router) sendTree(ch addr.Channel, target addr.Addr, marked bool) {
 	var flags uint8
 	if marked {
 		flags = packet.FlagMarked
-		r.node.EmitProto(obs.KindTreeSend, ch, target, 0, "regeneration [marked]")
+		r.node.SetCausalContext(r.node.EmitProto(obs.KindTreeSend, ch, target, 0, "regeneration [marked]"))
 	} else {
-		r.node.EmitProto(obs.KindTreeSend, ch, target, 0, "regeneration")
+		r.node.SetCausalContext(r.node.EmitProto(obs.KindTreeSend, ch, target, 0, "regeneration"))
 	}
 	t := &packet.Tree{
 		Header: packet.Header{
@@ -413,19 +431,22 @@ func (r *Router) newEntryTimer(ch addr.Channel, node addr.Addr) *eventsim.SoftTi
 		if st == nil || st.mft == nil {
 			return
 		}
+		// Timer-driven expiry roots its own causal episode.
+		prev := r.node.RootEpisode()
 		st.mft.Remove(node)
 		r.observe(ch, ChangeMFTRemove, node)
 		r.node.EmitProto(obs.KindTableRemove, ch, node, 0, "mft")
 		if st.mft.Len() == 0 {
 			r.destroyMFT(ch)
 		}
+		r.node.SetCausalContext(prev)
 	})
 }
 
 func (r *Router) addMFTEntry(st *chanState, ch addr.Channel, node addr.Addr) {
-	st.mft.Add(node, r.newEntryTimer(ch, node))
+	e := st.mft.Add(node, r.newEntryTimer(ch, node))
 	r.observe(ch, ChangeMFTAdd, node)
-	r.node.EmitProto(obs.KindTableAdd, ch, node, 0, "mft")
+	e.Cause = r.node.EmitProto(obs.KindTableAdd, ch, node, 0, "mft")
 }
 
 func (r *Router) destroyMFT(ch addr.Channel) {

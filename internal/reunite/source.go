@@ -70,19 +70,24 @@ func (s *Source) Handle(n *netsim.Node, msg packet.Message) netsim.Verdict {
 	}
 	if e := s.mft.Get(j.R); e != nil {
 		e.Timer.Refresh()
-		s.node.EmitProto(obs.KindJoinAdmit, s.ch, j.R, 0, "refresh")
+		e.Cause = s.node.EmitProto(obs.KindJoinAdmit, s.ch, j.R, 0, "refresh")
 		return netsim.Consumed
 	}
 	node := j.R
-	s.mft.Add(node, s.sim.NewSoftTimer(s.cfg.T1, s.cfg.T2, nil, func() {
-		if s.mft.Remove(node) {
+	e := s.mft.Add(node, s.sim.NewSoftTimer(s.cfg.T1, s.cfg.T2, nil, func() {
+		if s.mft.Get(node) != nil {
+			// Expiry is spontaneous (the member went silent): it roots
+			// its own causal episode.
+			prev := s.node.RootEpisode()
+			s.mft.Remove(node)
 			s.observe(ChangeMFTRemove, node)
 			s.node.EmitProto(obs.KindTableRemove, s.ch, node, 0, "mft")
+			s.node.SetCausalContext(prev)
 		}
 	}))
 	s.observe(ChangeMFTAdd, node)
 	s.node.EmitProto(obs.KindJoinAdmit, s.ch, node, 0, "install")
-	s.node.EmitProto(obs.KindTableAdd, s.ch, node, 0, "mft")
+	e.Cause = s.node.EmitProto(obs.KindTableAdd, s.ch, node, 0, "mft")
 	return netsim.Consumed
 }
 
@@ -96,12 +101,15 @@ func (s *Source) emitTrees() {
 		if marked {
 			flags = packet.FlagMarked
 		}
+		// Attribute the refresh to the join episode that installed or
+		// last refreshed this entry (see Entry.Cause).
+		s.node.SetCausalContext(e.Cause)
 		if s.node.Observing() {
 			detail := "source refresh"
 			if marked {
 				detail = "source refresh [marked]"
 			}
-			s.node.EmitProto(obs.KindTreeSend, s.ch, e.Node, 0, detail)
+			s.node.SetCausalContext(s.node.EmitProto(obs.KindTreeSend, s.ch, e.Node, 0, detail))
 		}
 		t := &packet.Tree{
 			Header: packet.Header{
@@ -116,6 +124,7 @@ func (s *Source) emitTrees() {
 		}
 		s.node.SendUnicast(t)
 	}
+	s.node.SetCausalContext(obs.Causal{})
 }
 
 // SendData originates one multicast payload: the packet addressed to
@@ -124,6 +133,8 @@ func (s *Source) emitTrees() {
 func (s *Source) SendData(payload []byte) uint32 {
 	seq := s.nextSeq
 	s.nextSeq++
+	// One causal episode per originated packet (see core.Source).
+	prev := s.node.RootEpisode()
 	for _, e := range s.mft.Entries() {
 		s.node.EmitProto(obs.KindReplicate, s.ch, e.Node, seq, "source copy")
 		d := &packet.Data{
@@ -139,5 +150,6 @@ func (s *Source) SendData(payload []byte) uint32 {
 		}
 		s.node.SendUnicast(d)
 	}
+	s.node.SetCausalContext(prev)
 	return seq
 }

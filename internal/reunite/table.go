@@ -6,6 +6,7 @@ import (
 
 	"hbh/internal/addr"
 	"hbh/internal/eventsim"
+	"hbh/internal/obs"
 )
 
 // Config carries REUNITE's timing constants; the semantics mirror
@@ -46,6 +47,11 @@ type Entry struct {
 	Node addr.Addr
 	// Timer is the (t1, t2) soft-state pair.
 	Timer *eventsim.SoftTimer
+	// Cause is the causal provenance of this entry: the episode and
+	// step of the join that installed or last refreshed it. Timer-driven
+	// work on the entry (the periodic tree refresh) re-enters this
+	// context so downstream events attribute to the member's episode.
+	Cause obs.Causal
 }
 
 // Stale reports whether the t1 phase has expired.
@@ -166,6 +172,8 @@ type MCT struct {
 	// Timer is the (t1, t2) pair refreshed by that receiver's tree
 	// messages.
 	Timer *eventsim.SoftTimer
+	// Cause is the causal provenance of the entry (see Entry.Cause).
+	Cause obs.Causal
 }
 
 // Stale reports whether the t1 phase has expired.
