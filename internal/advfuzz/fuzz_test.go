@@ -1,0 +1,30 @@
+package advfuzz
+
+import (
+	"testing"
+)
+
+// FuzzScenario is the native go-fuzz entry point: any byte string
+// decodes to a valid scenario genome, the adversarial engine runs it
+// with the invariant checker attached, and any collected violation
+// fails the input. The CI smoke runs this for a bounded time
+// (-fuzz=FuzzScenario -fuzztime=30s); longer campaigns use the same
+// harness or the coverage-guided loop in hbhsim -fuzz.
+func FuzzScenario(f *testing.F) {
+	for _, g := range DefaultSeeds() {
+		f.Add(g.EncodeBytes())
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g := DecodeBytes(data)
+		// Bound the per-input cost: the engine's run time scales with
+		// the window, and go-fuzz explores inputs by the thousand.
+		if g.Window > 16 {
+			g.Window = 8 + g.Window%9
+		}
+		out := Execute(g)
+		if n := len(out.Result.Violations); n > 0 {
+			t.Fatalf("%d invariant violation(s); replayable genome:\n%s\nfirst violation:\n%s",
+				n, g.Encode(), out.Result.Violations[0])
+		}
+	})
+}

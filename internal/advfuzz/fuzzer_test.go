@@ -1,0 +1,220 @@
+package advfuzz
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"hbh/internal/experiment"
+	"hbh/internal/invariant"
+)
+
+// TestExecuteDeterministic asserts the whole execute pipeline —
+// engine, oracle and coverage signature — is bit-reproducible per
+// genome, the property minimization and replay depend on.
+func TestExecuteDeterministic(t *testing.T) {
+	g := DefaultSeeds()[7] // HBH kitchen sink
+	a, b := Execute(g), Execute(g)
+	if !reflect.DeepEqual(a.Signature, b.Signature) {
+		t.Fatalf("signatures diverged:\n  %v\n  %v", a.Signature, b.Signature)
+	}
+	if a.Result.Disruption != b.Result.Disruption || a.Result.RecoveryTime != b.Result.RecoveryTime {
+		t.Fatalf("results diverged:\n  %+v\n  %+v", a.Result, b.Result)
+	}
+	if len(a.Signature) == 0 {
+		t.Fatal("kitchen-sink genome produced an empty coverage signature")
+	}
+	// A loaded HBH run must at least cover the protocol basics and the
+	// adversary's drop cause.
+	for _, want := range []string{"HBH|kind:join-send", "HBH|kind:forward", "HBH|drop:adv-loss"} {
+		found := false
+		for _, atom := range a.Signature {
+			if atom == want {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("signature missing %q:\n%v", want, a.Signature)
+		}
+	}
+}
+
+// fakeExec builds a synthetic oracle for loop/minimizer tests: the
+// signature tracks which knobs are on, and a violation fires exactly
+// when the predicate holds.
+func fakeExec(violates func(Genome) bool) func(Genome) Outcome {
+	return func(g Genome) Outcome {
+		g = g.Normalize()
+		out := Outcome{Signature: []string{"base"}}
+		if g.LossPct > 0 {
+			out.Signature = append(out.Signature, "loss")
+		}
+		if g.ChurnRate > 0 {
+			out.Signature = append(out.Signature, "churn")
+		}
+		if g.Groups > 0 {
+			out.Signature = append(out.Signature, "groups")
+		}
+		if violates != nil && violates(g) {
+			out.Result.Violations = []invariant.Violation{{Invariant: "synthetic", Detail: g.String()}}
+			out.Signature = append(out.Signature, "viol")
+		}
+		return out
+	}
+}
+
+// TestFuzzerCoverageGrowth asserts the loop keeps exactly the mutants
+// that grow coverage and reports them in the stats.
+func TestFuzzerCoverageGrowth(t *testing.T) {
+	f := NewFuzzer(1)
+	f.exec = fakeExec(nil)
+	f.AddSeed(Genome{Receivers: 4, Seed: 1}) // covers only "base"
+	st := f.Run(200)
+	if st.Iterations != 200 {
+		t.Fatalf("ran %d iterations, want 200", st.Iterations)
+	}
+	if st.Interesting == 0 || st.CorpusSize <= 1 {
+		t.Fatalf("200 mutations over a 4-atom space grew nothing: %+v", st)
+	}
+	if st.Atoms < 3 {
+		t.Fatalf("coverage stuck at %d atoms after 200 iterations", st.Atoms)
+	}
+	if st.CorpusSize-1 != st.Interesting {
+		t.Fatalf("corpus grew by %d but %d runs were interesting", st.CorpusSize-1, st.Interesting)
+	}
+}
+
+// TestFuzzerDeterministic asserts two fuzzers with the same seed walk
+// the same trajectory.
+func TestFuzzerDeterministic(t *testing.T) {
+	run := func() ([]string, Stats) {
+		f := NewFuzzer(7)
+		f.exec = fakeExec(nil)
+		f.AddSeed(Genome{Receivers: 4, Seed: 1})
+		st := f.Run(100)
+		return f.Coverage(), st
+	}
+	c1, s1 := run()
+	c2, s2 := run()
+	if !reflect.DeepEqual(c1, c2) || s1 != s2 {
+		t.Fatalf("same-seed campaigns diverged: %+v vs %+v", s1, s2)
+	}
+}
+
+// TestMinimize asserts the minimizer strips irrelevant knobs and
+// bisects the relevant one down to its reproduction threshold.
+func TestMinimize(t *testing.T) {
+	execs := 0
+	// Violation iff loss >= 17; everything else is noise.
+	oracle := func(g Genome) bool { return g.Normalize().LossPct >= 17 }
+	f := NewFuzzer(1)
+	f.exec = fakeExec(oracle)
+	g := Genome{
+		Receivers: 6, ChurnRate: 5, ChurnAmp: 4, LossPct: 33, BurstPct: 5,
+		BurstLen: 6, Jitter: 12, DupPct: 9, Groups: 3, GroupSize: 3, Leaves: 2,
+		Window: 28, Seed: 5,
+	}
+	min := f.Minimize(g, func(c Genome) bool { execs++; return oracle(c) })
+	if min.LossPct != 17 {
+		t.Errorf("loss minimized to %d, want the 17 threshold", min.LossPct)
+	}
+	for name, got := range map[string]uint8{
+		"churn-rate": min.ChurnRate, "jitter": min.Jitter, "dup-pct": min.DupPct,
+		"groups": min.Groups, "leaves": min.Leaves, "burst-pct": min.BurstPct,
+	} {
+		if got != 0 {
+			t.Errorf("irrelevant knob %s survived minimization at %d", name, got)
+		}
+	}
+	if min.Receivers != g.Receivers || min.Seed != g.Seed {
+		t.Errorf("minimizer touched the scenario identity: %+v", min)
+	}
+	if execs > 200 {
+		t.Errorf("minimization took %d executions; bisection should need far fewer", execs)
+	}
+}
+
+// TestFuzzerRecordsAndWritesFindings asserts a violating run is
+// minimized, recorded, and written as a replayable repro file.
+func TestFuzzerRecordsAndWritesFindings(t *testing.T) {
+	dir := t.TempDir()
+	f := NewFuzzer(3)
+	f.exec = fakeExec(func(g Genome) bool { return g.Groups >= 2 })
+	f.OutDir = dir
+	var log strings.Builder
+	f.Log = &log
+	f.AddSeed(Genome{Receivers: 4, Groups: 3, Seed: 1})
+	finds := f.Findings()
+	if len(finds) != 1 {
+		t.Fatalf("expected 1 finding, got %d", len(finds))
+	}
+	fd := finds[0]
+	if fd.Minimized.Groups != 2 {
+		t.Errorf("groups minimized to %d, want the 2 threshold", fd.Minimized.Groups)
+	}
+	if len(fd.Violations) == 0 {
+		t.Error("finding lost its violations")
+	}
+	if fd.ReproPath == "" {
+		t.Fatal("no repro file written")
+	}
+	data, err := os.ReadFile(fd.ReproPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseGenome(string(data))
+	if err != nil {
+		t.Fatalf("repro file does not parse: %v\n%s", err, data)
+	}
+	if back != fd.Minimized {
+		t.Errorf("repro file replays %+v, finding says %+v", back, fd.Minimized)
+	}
+	if !strings.Contains(log.String(), "FINDING") {
+		t.Errorf("finding not logged:\n%s", log.String())
+	}
+	if filepath.Ext(fd.ReproPath) != ".genome" {
+		t.Errorf("repro file %q missing .genome extension", fd.ReproPath)
+	}
+}
+
+// TestFuzzerRealSmoke runs a tiny real campaign end to end: seeds plus
+// a handful of mutations through the actual engine, expecting corpus
+// growth and zero findings (the protocols currently hold their
+// invariants under the oracle — regressions land here first).
+func TestFuzzerRealSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real fuzz campaign is slow; skipped in -short")
+	}
+	f := NewFuzzer(11)
+	for _, g := range DefaultSeeds()[:4] {
+		f.AddSeed(g)
+	}
+	st := f.Run(6)
+	if st.Atoms == 0 {
+		t.Fatal("real campaign accumulated no coverage")
+	}
+	for _, fd := range f.Findings() {
+		t.Errorf("invariant violation found; minimized repro:\n%s\nfirst violation: %s",
+			fd.Minimized.Encode(), fd.Violations[0])
+	}
+}
+
+// TestSpecRoundTripThroughEngine asserts every seed genome maps to a
+// spec the engine accepts and runs deterministically (guards the
+// genome -> AdvSpec translation against parameter-validation panics).
+func TestSpecRoundTripThroughEngine(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every seed through the engine; skipped in -short")
+	}
+	for i, g := range DefaultSeeds() {
+		spec := g.Spec()
+		if spec.Receivers < 1 || spec.WindowIntervals < 8 {
+			t.Fatalf("seed %d maps to invalid spec: %+v", i, spec)
+		}
+		r := experiment.AdversarialRun(spec)
+		_ = r
+	}
+}

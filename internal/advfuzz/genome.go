@@ -1,0 +1,343 @@
+// Package advfuzz is the coverage-guided adversarial scenario fuzzer:
+// it mutates a compact scenario genome (topology, protocol, churn,
+// control-plane adversary, correlated failures, membership churn),
+// executes each candidate through the experiment package's adversarial
+// engine with the runtime invariant checker attached as the oracle,
+// and keeps the candidates that exercise protocol behavior not seen
+// before. Coverage is behavioral, not line-based: the signature of a
+// run is the set of observed event kinds, drop causes and causal
+// episode shapes, per protocol — a genome earns its place in the
+// corpus by making the protocol do something new, not by flipping
+// branches.
+//
+// Violating genomes are minimized by per-field reduction toward the
+// benign genome and written out as replayable text repro files.
+package advfuzz
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"hbh/internal/eventsim"
+	"hbh/internal/experiment"
+)
+
+// fuzzTopos are the substrates the fuzzer explores. The 50-node random
+// topology is deliberately absent: iteration speed matters more than
+// scale, and the invariants are size-independent.
+var fuzzTopos = []experiment.Topo{experiment.TopoISP, experiment.TopoNSFNET, experiment.TopoAbilene}
+
+// fuzzProtocols are the protocols under fuzz: the two soft-state
+// cascades. The centrally installed PIM baselines have no protocol
+// machinery for an adversary to confuse.
+var fuzzProtocols = []experiment.Protocol{experiment.HBH, experiment.REUNITE}
+
+// Genome is the compact scenario description the fuzzer mutates. All
+// knobs are single bytes so any byte string decodes to a valid genome
+// (see DecodeBytes); Normalize folds every field into its legal range.
+type Genome struct {
+	// Topo indexes fuzzTopos; Protocol indexes fuzzProtocols.
+	Topo     uint8
+	Protocol uint8
+	// Receivers is the group size, 1..8.
+	Receivers uint8
+	// ChurnRate is link-cost churn intensity in ticks per two refresh
+	// intervals (0 = off, max 8 = a tick every quarter interval);
+	// ChurnAmp the random-walk step bound, 1..5.
+	ChurnRate uint8
+	ChurnAmp  uint8
+	// LossPct is the adversary's uniform control-loss percentage
+	// (0..40); BurstPct the burst-start percentage (0..10) with bursts
+	// of BurstLen (1..8) packets; Jitter the per-hop delay jitter bound
+	// in time units (0..20, enough to reorder control packets across a
+	// refresh boundary); DupPct the duplication percentage (0..20).
+	LossPct  uint8
+	BurstPct uint8
+	BurstLen uint8
+	Jitter   uint8
+	DupPct   uint8
+	// Groups is the number of correlated (SRLG) multi-link cuts inside
+	// the window (0..4) of GroupSize links each (1..4).
+	Groups    uint8
+	GroupSize uint8
+	// Leaves is how many members leave and later rejoin mid-window
+	// (0..3).
+	Leaves uint8
+	// Window is the adversity window length in refresh intervals
+	// (8..30).
+	Window uint8
+	// Seed drives every random draw of the run.
+	Seed int64
+}
+
+// fold maps v into [lo, hi]: in-range values pass through unchanged
+// (normalization is idempotent), anything else wraps mod the range
+// size so every byte pattern names a valid scenario.
+func fold(v, lo, hi uint8) uint8 {
+	if v >= lo && v <= hi {
+		return v
+	}
+	return lo + v%(hi-lo+1)
+}
+
+// Normalize folds every field into its legal range and returns the
+// result. Idempotent: normalizing a normalized genome is the identity.
+func (g Genome) Normalize() Genome {
+	g.Topo = fold(g.Topo, 0, uint8(len(fuzzTopos)-1))
+	g.Protocol = fold(g.Protocol, 0, uint8(len(fuzzProtocols)-1))
+	g.Receivers = fold(g.Receivers, 1, 8)
+	g.ChurnRate = fold(g.ChurnRate, 0, 8)
+	g.ChurnAmp = fold(g.ChurnAmp, 1, 5)
+	g.LossPct = fold(g.LossPct, 0, 40)
+	g.BurstPct = fold(g.BurstPct, 0, 10)
+	g.BurstLen = fold(g.BurstLen, 1, 8)
+	g.Jitter = fold(g.Jitter, 0, 20)
+	g.DupPct = fold(g.DupPct, 0, 20)
+	g.Groups = fold(g.Groups, 0, 4)
+	g.GroupSize = fold(g.GroupSize, 1, 4)
+	g.Leaves = fold(g.Leaves, 0, 3)
+	g.Window = fold(g.Window, 8, 30)
+	return g
+}
+
+// refreshInterval is the dynamic protocols' TreeInterval, the time
+// base the genome's churn-rate and window fields are expressed in.
+const refreshInterval = eventsim.Time(100)
+
+// Spec maps the (normalized) genome onto the adversarial engine's
+// parameter space.
+func (g Genome) Spec() experiment.AdvSpec {
+	g = g.Normalize()
+	spec := experiment.AdvSpec{
+		Topo:      fuzzTopos[g.Topo],
+		Protocol:  fuzzProtocols[g.Protocol],
+		Receivers: int(g.Receivers),
+		Seed:      g.Seed,
+
+		Loss:       float64(g.LossPct) / 100,
+		BurstStart: float64(g.BurstPct) / 100,
+		BurstLen:   int(g.BurstLen),
+		Jitter:     eventsim.Time(g.Jitter),
+		Duplicate:  float64(g.DupPct) / 100,
+
+		Groups:    int(g.Groups),
+		GroupSize: int(g.GroupSize),
+		Leaves:    int(g.Leaves),
+
+		WindowIntervals: int(g.Window),
+	}
+	if g.ChurnRate > 0 {
+		spec.ChurnPeriod = 2 * refreshInterval / eventsim.Time(g.ChurnRate)
+		spec.ChurnAmplitude = int(g.ChurnAmp)
+	}
+	return spec
+}
+
+// Benign is the genome with every adversity knob off — the reduction
+// target of the minimizer.
+func Benign(g Genome) Genome {
+	return Genome{
+		Topo: g.Topo, Protocol: g.Protocol, Receivers: g.Receivers,
+		ChurnAmp: 1, BurstLen: 1, GroupSize: 1, Window: 20, Seed: g.Seed,
+	}.Normalize()
+}
+
+// Encode renders the genome as the replayable text form the repro
+// files use: one key=value per line, names where the field indexes a
+// table.
+func (g Genome) Encode() string {
+	g = g.Normalize()
+	var b strings.Builder
+	fmt.Fprintf(&b, "topo=%s\n", fuzzTopos[g.Topo])
+	fmt.Fprintf(&b, "protocol=%s\n", fuzzProtocols[g.Protocol])
+	fmt.Fprintf(&b, "receivers=%d\n", g.Receivers)
+	fmt.Fprintf(&b, "churn-rate=%d\n", g.ChurnRate)
+	fmt.Fprintf(&b, "churn-amp=%d\n", g.ChurnAmp)
+	fmt.Fprintf(&b, "loss-pct=%d\n", g.LossPct)
+	fmt.Fprintf(&b, "burst-pct=%d\n", g.BurstPct)
+	fmt.Fprintf(&b, "burst-len=%d\n", g.BurstLen)
+	fmt.Fprintf(&b, "jitter=%d\n", g.Jitter)
+	fmt.Fprintf(&b, "dup-pct=%d\n", g.DupPct)
+	fmt.Fprintf(&b, "groups=%d\n", g.Groups)
+	fmt.Fprintf(&b, "group-size=%d\n", g.GroupSize)
+	fmt.Fprintf(&b, "leaves=%d\n", g.Leaves)
+	fmt.Fprintf(&b, "window=%d\n", g.Window)
+	fmt.Fprintf(&b, "seed=%d\n", g.Seed)
+	return b.String()
+}
+
+// ParseGenome parses the Encode text form. Unknown keys and malformed
+// values are errors (a repro file that silently half-parses would
+// replay a different scenario than it names).
+func ParseGenome(text string) (Genome, error) {
+	var g Genome
+	for ln, line := range strings.Split(text, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		key, val, ok := strings.Cut(line, "=")
+		if !ok {
+			return g, fmt.Errorf("advfuzz: line %d: %q is not key=value", ln+1, line)
+		}
+		key, val = strings.TrimSpace(key), strings.TrimSpace(val)
+		switch key {
+		case "topo":
+			idx := -1
+			for i, t := range fuzzTopos {
+				if string(t) == val {
+					idx = i
+				}
+			}
+			if idx < 0 {
+				return g, fmt.Errorf("advfuzz: line %d: unknown topo %q", ln+1, val)
+			}
+			g.Topo = uint8(idx)
+		case "protocol":
+			idx := -1
+			for i, p := range fuzzProtocols {
+				if string(p) == val {
+					idx = i
+				}
+			}
+			if idx < 0 {
+				return g, fmt.Errorf("advfuzz: line %d: unknown protocol %q", ln+1, val)
+			}
+			g.Protocol = uint8(idx)
+		case "seed":
+			n, err := strconv.ParseInt(val, 10, 64)
+			if err != nil {
+				return g, fmt.Errorf("advfuzz: line %d: bad seed: %v", ln+1, err)
+			}
+			g.Seed = n
+		default:
+			n, err := strconv.ParseUint(val, 10, 8)
+			if err != nil {
+				return g, fmt.Errorf("advfuzz: line %d: bad value for %s: %v", ln+1, key, err)
+			}
+			fieldp, ok := byteField(&g, key)
+			if !ok {
+				return g, fmt.Errorf("advfuzz: line %d: unknown key %q", ln+1, key)
+			}
+			*fieldp = uint8(n)
+		}
+	}
+	return g.Normalize(), nil
+}
+
+// byteFieldNames lists the mutable byte fields in a fixed order shared
+// by the text codec, the byte codec and the mutator.
+var byteFieldNames = []string{
+	"receivers", "churn-rate", "churn-amp", "loss-pct", "burst-pct",
+	"burst-len", "jitter", "dup-pct", "groups", "group-size", "leaves", "window",
+}
+
+// byteField resolves a codec key to the genome field it names.
+func byteField(g *Genome, key string) (*uint8, bool) {
+	switch key {
+	case "receivers":
+		return &g.Receivers, true
+	case "churn-rate":
+		return &g.ChurnRate, true
+	case "churn-amp":
+		return &g.ChurnAmp, true
+	case "loss-pct":
+		return &g.LossPct, true
+	case "burst-pct":
+		return &g.BurstPct, true
+	case "burst-len":
+		return &g.BurstLen, true
+	case "jitter":
+		return &g.Jitter, true
+	case "dup-pct":
+		return &g.DupPct, true
+	case "groups":
+		return &g.Groups, true
+	case "group-size":
+		return &g.GroupSize, true
+	case "leaves":
+		return &g.Leaves, true
+	case "window":
+		return &g.Window, true
+	}
+	return nil, false
+}
+
+// DecodeBytes maps an arbitrary byte string onto a genome — the total
+// decoding the go-fuzz harness needs (every input the engine mutates
+// must be a runnable scenario). Layout: topo, protocol, the twelve
+// byte fields in byteFieldNames order, then up to eight seed bytes,
+// little-endian; missing bytes read as zero.
+func DecodeBytes(data []byte) Genome {
+	at := func(i int) uint8 {
+		if i < len(data) {
+			return data[i]
+		}
+		return 0
+	}
+	var g Genome
+	g.Topo, g.Protocol = at(0), at(1)
+	for i, name := range byteFieldNames {
+		p, _ := byteField(&g, name)
+		*p = at(2 + i)
+	}
+	for i := 0; i < 8; i++ {
+		g.Seed |= int64(at(14+i)) << (8 * i)
+	}
+	return g.Normalize()
+}
+
+// EncodeBytes is the inverse of DecodeBytes for normalized genomes,
+// used to hand the seed corpus to the go-fuzz engine.
+func (g Genome) EncodeBytes() []byte {
+	g = g.Normalize()
+	out := make([]byte, 22)
+	out[0], out[1] = g.Topo, g.Protocol
+	for i, name := range byteFieldNames {
+		p, _ := byteField(&g, name)
+		out[2+i] = *p
+	}
+	for i := 0; i < 8; i++ {
+		out[14+i] = byte(g.Seed >> (8 * i))
+	}
+	return out
+}
+
+// ID is a short stable identifier for the genome, used in repro file
+// names and fuzzer logs.
+func (g Genome) ID() string {
+	g = g.Normalize()
+	h := uint64(14695981039346656037) // FNV-1a
+	for _, b := range g.EncodeBytes() {
+		h ^= uint64(b)
+		h *= 1099511628211
+	}
+	return fmt.Sprintf("%016x", h)
+}
+
+// String renders the genome on one line for logs.
+func (g Genome) String() string {
+	g = g.Normalize()
+	parts := []string{
+		fmt.Sprintf("topo=%s", fuzzTopos[g.Topo]),
+		fmt.Sprintf("proto=%s", fuzzProtocols[g.Protocol]),
+		fmt.Sprintf("rcv=%d", g.Receivers),
+	}
+	add := func(name string, v uint8) {
+		if v > 0 {
+			parts = append(parts, fmt.Sprintf("%s=%d", name, v))
+		}
+	}
+	add("churn", g.ChurnRate)
+	add("loss", g.LossPct)
+	add("burst", g.BurstPct)
+	add("jitter", g.Jitter)
+	add("dup", g.DupPct)
+	add("groups", g.Groups)
+	add("leaves", g.Leaves)
+	parts = append(parts, fmt.Sprintf("win=%d", g.Window), fmt.Sprintf("seed=%d", g.Seed))
+	sort.Strings(parts[3 : len(parts)-2])
+	return strings.Join(parts, " ")
+}

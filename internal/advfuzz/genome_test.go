@@ -1,0 +1,101 @@
+package advfuzz
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestNormalizeIdempotent asserts the fold is stable: normalizing a
+// normalized genome must be the identity, or the text codec (which
+// normalizes on both encode and parse) would silently rewrite repro
+// files on every round-trip.
+func TestNormalizeIdempotent(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 1000; i++ {
+		raw := make([]byte, 22)
+		rng.Read(raw)
+		g := DecodeBytes(raw)
+		if again := g.Normalize(); again != g {
+			t.Fatalf("Normalize not idempotent:\n  %+v\n  %+v", g, again)
+		}
+	}
+}
+
+// TestEncodeParseRoundTrip asserts the text codec is lossless over
+// normalized genomes.
+func TestEncodeParseRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 200; i++ {
+		raw := make([]byte, 22)
+		rng.Read(raw)
+		g := DecodeBytes(raw)
+		back, err := ParseGenome(g.Encode())
+		if err != nil {
+			t.Fatalf("round-trip parse failed: %v\n%s", err, g.Encode())
+		}
+		if back != g {
+			t.Fatalf("round-trip changed the genome:\n  %+v\n  %+v", g, back)
+		}
+	}
+}
+
+// TestEncodeBytesRoundTrip asserts the byte codec is lossless over
+// normalized genomes (the go-fuzz corpus path).
+func TestEncodeBytesRoundTrip(t *testing.T) {
+	for _, g := range DefaultSeeds() {
+		g = g.Normalize()
+		if back := DecodeBytes(g.EncodeBytes()); back != g {
+			t.Fatalf("byte round-trip changed the genome:\n  %+v\n  %+v", g, back)
+		}
+	}
+}
+
+// TestParseGenomeRejectsGarbage asserts half-valid repro files fail
+// loudly instead of replaying a different scenario.
+func TestParseGenomeRejectsGarbage(t *testing.T) {
+	for _, bad := range []string{
+		"topo=mars\n",
+		"protocol=OSPF\n",
+		"nonsense=1\n",
+		"loss-pct=banana\n",
+		"just some text\n",
+		"seed=not-a-number\n",
+	} {
+		if _, err := ParseGenome(bad); err == nil {
+			t.Errorf("ParseGenome(%q) accepted garbage", bad)
+		}
+	}
+	// Comments and blank lines are fine.
+	if _, err := ParseGenome("# comment\n\nloss-pct=5\n"); err != nil {
+		t.Errorf("comments/blank lines rejected: %v", err)
+	}
+}
+
+// TestSeedCorpusMatchesDefaults asserts the checked-in testdata files
+// stay in lockstep with the built-in fallback corpus.
+func TestSeedCorpusMatchesDefaults(t *testing.T) {
+	fromDisk, err := LoadSeeds("testdata")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := DefaultSeeds()
+	if len(fromDisk) != len(want) {
+		t.Fatalf("testdata has %d genomes, DefaultSeeds %d (run HBH_UPDATE_SEEDS=1 go test -run TestRegenSeedCorpus)",
+			len(fromDisk), len(want))
+	}
+	for i := range want {
+		if fromDisk[i] != want[i].Normalize() {
+			t.Errorf("seed %d diverged from testdata:\n  disk: %+v\n  code: %+v", i, fromDisk[i], want[i].Normalize())
+		}
+	}
+}
+
+// TestBenignSpecIsQuiet asserts the minimizer's reduction target maps
+// to an all-knobs-zero spec.
+func TestBenignSpecIsQuiet(t *testing.T) {
+	spec := Benign(Genome{Receivers: 5, LossPct: 30, Groups: 3, Seed: 9}).Spec()
+	if spec.ChurnPeriod != 0 || spec.Loss != 0 || spec.BurstStart != 0 ||
+		spec.Jitter != 0 || spec.Duplicate != 0 || spec.Groups != 0 || spec.Leaves != 0 {
+		t.Fatalf("benign genome maps to a non-quiet spec: %+v", spec)
+	}
+}

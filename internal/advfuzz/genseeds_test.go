@@ -1,0 +1,23 @@
+package advfuzz
+
+import (
+	"fmt"
+	"os"
+	"testing"
+)
+
+// TestRegenSeedCorpus rewrites testdata/ from DefaultSeeds when
+// HBH_UPDATE_SEEDS=1 — the same regen-on-demand convention the golden
+// tests use, keeping the checked-in corpus and the built-in fallback
+// in lockstep (TestSeedCorpusMatchesDefaults enforces it).
+func TestRegenSeedCorpus(t *testing.T) {
+	if os.Getenv("HBH_UPDATE_SEEDS") != "1" {
+		t.Skip("set HBH_UPDATE_SEEDS=1 to regenerate testdata/")
+	}
+	for i, g := range DefaultSeeds() {
+		path := fmt.Sprintf("testdata/%02d-%s.genome", i+1, seedNames[i])
+		if err := os.WriteFile(path, []byte(g.Encode()), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,69 @@
+package advfuzz
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// LoadSeeds reads every *.genome file in dir (sorted by name, so the
+// corpus order is stable) and parses each into a genome. Used by both
+// the go-fuzz harness and the hbhsim -fuzz CLI.
+func LoadSeeds(dir string) ([]Genome, error) {
+	paths, err := filepath.Glob(filepath.Join(dir, "*.genome"))
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(paths)
+	var out []Genome
+	for _, p := range paths {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			return nil, err
+		}
+		g, err := ParseGenome(string(data))
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", p, err)
+		}
+		out = append(out, g)
+	}
+	return out, nil
+}
+
+// DefaultSeeds is the built-in corpus the CLI falls back to when no
+// seed directory is available: one genome per adversity dimension per
+// protocol, plus kitchen-sink combinations — the same scenarios
+// checked into testdata/.
+func DefaultSeeds() []Genome {
+	return []Genome{
+		// Single-dimension probes, HBH.
+		{Protocol: 0, Receivers: 6, ChurnRate: 2, ChurnAmp: 2, Window: 16, Seed: 1},
+		{Protocol: 0, Receivers: 6, LossPct: 15, Window: 16, Seed: 2},
+		{Protocol: 0, Receivers: 5, BurstPct: 4, BurstLen: 5, DupPct: 10, Window: 16, Seed: 3},
+		{Protocol: 0, Receivers: 6, Groups: 2, GroupSize: 3, Window: 20, Seed: 4},
+		// Single-dimension probes, REUNITE.
+		{Protocol: 1, Receivers: 6, ChurnRate: 2, ChurnAmp: 2, Window: 16, Seed: 5},
+		{Protocol: 1, Receivers: 6, LossPct: 15, Jitter: 8, Window: 16, Seed: 6},
+		{Protocol: 1, Receivers: 5, Groups: 2, GroupSize: 2, Leaves: 2, Window: 20, Seed: 7},
+		// Kitchen sinks: everything on at once.
+		{Protocol: 0, Receivers: 8, ChurnRate: 4, ChurnAmp: 3, LossPct: 20,
+			BurstPct: 3, BurstLen: 4, Jitter: 10, DupPct: 8, Groups: 2, GroupSize: 2,
+			Leaves: 2, Window: 24, Seed: 8},
+		{Protocol: 1, Receivers: 8, ChurnRate: 4, ChurnAmp: 3, LossPct: 20,
+			BurstPct: 3, BurstLen: 4, Jitter: 10, DupPct: 8, Groups: 2, GroupSize: 2,
+			Leaves: 2, Window: 24, Seed: 9},
+		// Alternate substrates.
+		{Topo: 1, Protocol: 0, Receivers: 5, ChurnRate: 3, LossPct: 10, Window: 16, Seed: 10},
+		{Topo: 2, Protocol: 1, Receivers: 4, ChurnRate: 3, LossPct: 10, Window: 16, Seed: 11},
+	}
+}
+
+// seedNames label the checked-in corpus files, index-aligned with
+// DefaultSeeds.
+var seedNames = []string{
+	"hbh-churn", "hbh-loss", "hbh-burst-dup", "hbh-srlg",
+	"reunite-churn", "reunite-loss-jitter", "reunite-srlg-leaves",
+	"hbh-kitchen-sink", "reunite-kitchen-sink",
+	"nsfnet-hbh", "abilene-reunite",
+}

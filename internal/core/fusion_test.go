@@ -173,7 +173,7 @@ func TestFusionRelistUnmarksDropped(t *testing.T) {
 			e := mft.Add(node, sim.NewSoftTimer(100, 100, nil, nil))
 			e.Timer.ForceStale()
 			return e
-		}, nil)
+		}, nil, nil)
 
 	if eA.Marked {
 		t.Error("dropped receiver still marked")
@@ -184,5 +184,36 @@ func TestFusionRelistUnmarksDropped(t *testing.T) {
 	relay := mft.Get(9)
 	if relay == nil || !relay.Stale() {
 		t.Error("relay not installed stale")
+	}
+}
+
+// TestFusionRetractsWithoutMatches: a fusion whose listed targets are
+// all already served (nothing new to hand over) must still lift marks
+// for members the relay dropped from its list. Before this repair ran
+// unconditionally, such fusions were discarded before the retraction
+// loop, and a member whose delivery path churned away from the relay
+// starved behind its stale mark forever (scenario-fuzzer catch).
+func TestFusionRetractsWithoutMatches(t *testing.T) {
+	sim := eventsim.New()
+	mft := NewMFT()
+	eA := mft.Add(1, sim.NewSoftTimer(100, 100, nil, nil))
+	eA.Marked, eA.ServedBy = true, 9
+	eB := mft.Add(2, sim.NewSoftTimer(100, 100, nil, nil))
+	eB.Marked, eB.ServedBy = true, 9
+	mft.Add(9, sim.NewSoftTimer(100, 100, nil, nil))
+
+	// Relay 9 re-announces only entry 2 (already served): matched would
+	// be empty at the onFusion call sites, so only retraction runs.
+	var lifted []addr.Addr
+	n := retractFusion(mft, 9, []addr.Addr{2}, func(node addr.Addr) { lifted = append(lifted, node) })
+
+	if n != 1 || len(lifted) != 1 || lifted[0] != 1 {
+		t.Fatalf("retraction lifted %d marks (%v), want entry 1 only", n, lifted)
+	}
+	if eA.Marked || eA.ServedBy != addr.Unspecified {
+		t.Error("dropped member still marked after retraction")
+	}
+	if !eB.Marked || eB.ServedBy != 9 {
+		t.Error("still-listed member lost its mark")
 	}
 }

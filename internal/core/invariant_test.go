@@ -182,7 +182,7 @@ func TestApplyFusionSkipsExpiredEntry(t *testing.T) {
 			e := table.Add(node, h.sim.NewSoftTimer(cfg.T1, cfg.T2, nil, nil))
 			e.Timer.ForceStale()
 			return e
-		}, nil)
+		}, nil, nil)
 
 	if ea.Marked || ea.ServedBy != addr.Unspecified {
 		t.Errorf("expired entry was mutated: marked=%v servedBy=%v", ea.Marked, ea.ServedBy)

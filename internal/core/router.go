@@ -221,9 +221,29 @@ func (r *Router) onJoin(j *packet.Join) netsim.Verdict {
 	// regular child once its joins arrive) and B joins the channel
 	// itself at the next upstream branching router.
 	e.Timer.Refresh()
+	r.revalidateMark(j.Channel, e)
 	e.Cause = r.node.EmitProto(obs.KindJoinIntercept, j.Channel, j.R, 0, "rule 3: refresh entry, self-join upstream")
 	r.sendJoinSelf(j.Channel)
 	return netsim.Consumed
+}
+
+// revalidateMark re-checks a marked entry's relay placement on every
+// soft-state refresh of the entry: the mark was installed with a
+// routing-verified acceptance (the relay sat on this node's forward
+// path to the member), but a later cost change can move the forward
+// path off the relay. When that happens the relay stops seeing the
+// member's joins, its own entry for the member expires, and — since
+// its fusions only flow while trees transit it — nothing upstream ever
+// hears the retraction. The refresh traffic that keeps the marked
+// entry alive is therefore also the only reliable trigger for lifting
+// a mark the routing layer has invalidated.
+func (r *Router) revalidateMark(ch addr.Channel, e *Entry) {
+	if !e.Marked || onForwardPath(r.node.Network(), r.node.ID(), e.ServedBy, e.Node) {
+		return
+	}
+	e.Marked = false
+	e.ServedBy = addr.Unspecified
+	r.node.EmitProto(obs.KindMarkLift, ch, e.Node, 0, "relay off the forward path")
 }
 
 func (r *Router) sendJoinSelf(ch addr.Channel) {
@@ -293,6 +313,7 @@ func (r *Router) onTree(t *packet.Tree) netsim.Verdict {
 			// nodes further down must fuse to us, the nearest branching
 			// point, not to the original emitter.
 			e.Timer.Refresh()
+			r.revalidateMark(ch, e)
 			e.Cause = r.node.CausalContext()
 			r.sendFusion(ch, t.Src)
 			t.Src = r.node.Addr()
@@ -393,6 +414,12 @@ func (r *Router) onFusion(f *packet.Fusion) netsim.Verdict {
 		matched = append(matched, e)
 	}
 	if len(matched) == 0 {
+		// Nothing handed over, but the fusion can still retract: marks
+		// pointing at Bp for members Bp no longer lists must lift here
+		// even though no new targets matched (see retractFusion).
+		retractFusion(st.mft, f.Bp, f.Rs, func(node addr.Addr) {
+			r.node.EmitProto(obs.KindMarkLift, f.Channel, node, 0, "fusion no longer lists member")
+		})
 		return netsim.Consumed
 	}
 	r.applyFusion(st, f.Channel, f, matched)
@@ -443,17 +470,9 @@ func onForwardPath(net *netsim.Network, from topology.NodeID, via, dst addr.Addr
 // it, so data must flow directly again).
 func applyFusion(t *MFT, bp addr.Addr, listed []addr.Addr, matched []*Entry,
 	addEntry func(node addr.Addr) *Entry,
-	markObs func(node addr.Addr)) {
-	inList := make(map[addr.Addr]bool, len(listed))
-	for _, n := range listed {
-		inList[n] = true
-	}
-	for _, e := range t.Entries() {
-		if e.Marked && e.ServedBy == bp && !inList[e.Node] {
-			e.Marked = false
-			e.ServedBy = addr.Unspecified
-		}
-	}
+	markObs func(node addr.Addr),
+	liftObs func(node addr.Addr)) {
+	retractFusion(t, bp, listed, liftObs)
 	for _, e := range matched {
 		if t.Get(e.Node) != e {
 			// The caller collected matched before handing control here;
@@ -514,6 +533,34 @@ func fusionChanges(t *MFT, bp addr.Addr, listed []addr.Addr, matched []*Entry) b
 	return false
 }
 
+// retractFusion applies the retraction half of the fusion repair rule:
+// every entry marked as served by bp that bp's latest fusion no longer
+// lists is unmarked, so data flows to it directly again. This must run
+// even when the fusion hands over nothing new — after routing churn
+// strands a member, bp's own entry for it has expired, every target bp
+// still lists is already served, and the member's stale mark is the
+// only thing left standing between it and the data path. (The scenario
+// fuzzer found exactly that steady state: a member starved forever
+// behind a mark while its joins kept the marked entry alive.)
+func retractFusion(t *MFT, bp addr.Addr, listed []addr.Addr, liftObs func(node addr.Addr)) int {
+	inList := make(map[addr.Addr]bool, len(listed))
+	for _, n := range listed {
+		inList[n] = true
+	}
+	lifted := 0
+	for _, e := range t.Entries() {
+		if e.Marked && e.ServedBy == bp && !inList[e.Node] {
+			e.Marked = false
+			e.ServedBy = addr.Unspecified
+			lifted++
+			if liftObs != nil {
+				liftObs(e.Node)
+			}
+		}
+	}
+	return lifted
+}
+
 // unmarkServedBy lifts the marks of entries served by a relay that is
 // going away.
 func unmarkServedBy(t *MFT, relay addr.Addr) {
@@ -539,7 +586,10 @@ func (r *Router) applyFusion(st *chanState, ch addr.Channel, f *packet.Fusion, m
 			e.Timer.ForceStale()
 			return e
 		},
-		func(node addr.Addr) { r.observe(ch, ChangeMFTMark, node) })
+		func(node addr.Addr) { r.observe(ch, ChangeMFTMark, node) },
+		func(node addr.Addr) {
+			r.node.EmitProto(obs.KindMarkLift, ch, node, 0, "fusion no longer lists member")
+		})
 }
 
 // onData forwards data packets addressed to this branching node: one

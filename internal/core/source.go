@@ -92,6 +92,14 @@ func (s *Source) Handle(n *netsim.Node, msg packet.Message) netsim.Verdict {
 func (s *Source) onJoin(j *packet.Join) {
 	if e := s.mft.Get(j.R); e != nil {
 		e.Timer.Refresh()
+		// Same refresh-time mark re-validation as branching routers
+		// (Router.revalidateMark): a cost change can strand the member
+		// behind a relay that no longer sits on the forward path.
+		if e.Marked && !onForwardPath(s.node.Network(), s.node.ID(), e.ServedBy, j.R) {
+			e.Marked = false
+			e.ServedBy = addr.Unspecified
+			s.node.EmitProto(obs.KindMarkLift, s.ch, j.R, 0, "relay off the forward path")
+		}
 		e.Cause = s.node.EmitProto(obs.KindJoinAdmit, s.ch, j.R, 0, "refresh")
 		return
 	}
@@ -119,7 +127,11 @@ func (s *Source) onFusion(f *packet.Fusion) {
 	}
 	if len(matched) == 0 {
 		// The fusion reached the root without naming any member we can
-		// verifiably hand over: nothing to splice.
+		// verifiably hand over — but it can still retract members the
+		// relay stopped listing (see retractFusion).
+		retractFusion(s.mft, f.Bp, f.Rs, func(node addr.Addr) {
+			s.node.EmitProto(obs.KindMarkLift, s.ch, node, 0, "fusion no longer lists member")
+		})
 		return
 	}
 	if s.node.Observing() && fusionChanges(s.mft, f.Bp, f.Rs, matched) {
@@ -128,7 +140,10 @@ func (s *Source) onFusion(f *packet.Fusion) {
 	}
 	applyFusion(s.mft, f.Bp, f.Rs, matched,
 		func(node addr.Addr) *Entry { return s.addEntry(node, true) },
-		func(node addr.Addr) { s.observe(ChangeMFTMark, node) })
+		func(node addr.Addr) { s.observe(ChangeMFTMark, node) },
+		func(node addr.Addr) {
+			s.node.EmitProto(obs.KindMarkLift, s.ch, node, 0, "fusion no longer lists member")
+		})
 }
 
 func (s *Source) addEntry(node addr.Addr, forceStale bool) *Entry {

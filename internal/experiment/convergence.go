@@ -131,7 +131,7 @@ func convergenceRun(cfg ConvergenceConfig, cell *convergenceCell, seed int64) {
 		// join phase reports the install time (zero) at zero control
 		// cost — the baseline the soft-state cascades are compared to.
 		interval := core.DefaultConfig().TreeInterval
-		joinAt, used := convergeMeasured(sim, tr, ch, interval, defaultConvergeIntervals)
+		joinAt, used, _ := convergeMeasured(sim, tr, ch, interval, defaultConvergeIntervals)
 		cc := tr.Channel(ch)
 		cell.JoinTime.Add(float64(joinAt))
 		cell.CtrlMsgs.Add(float64(cc.CtrlSends))
@@ -148,7 +148,7 @@ func convergenceRun(cfg ConvergenceConfig, cell *convergenceCell, seed int64) {
 		Receivers: cfg.Receivers, Seed: seed, Obs: o,
 	}
 	s := setupDyn(rcfg, g, routing, sourceHost, memberHosts, rng)
-	joinAt, used := convergeMeasured(s.sim, tr, ch, s.interval, defaultConvergeIntervals)
+	joinAt, used, _ := convergeMeasured(s.sim, tr, ch, s.interval, defaultConvergeIntervals)
 	cc := tr.Channel(ch)
 	cell.JoinTime.Add(float64(joinAt))
 	cell.CtrlMsgs.Add(float64(cc.CtrlSends))
@@ -166,9 +166,7 @@ func convergenceRun(cfg ConvergenceConfig, cell *convergenceCell, seed int64) {
 	tCut := s.sim.Now() + 10
 	plan := faults.NewPlan().LinkDown(tCut, cut[0], cut[1])
 	faults.NewInjector(s.net, plan).Schedule()
-	reconvAt, rUsed := convergeMeasured(s.sim, tr, ch, s.interval, defaultConvergeIntervals)
-	settle := eventsim.Time(convergeSettleIntervals) * s.interval
-	healed := rUsed < defaultConvergeIntervals || tr.Quiescent(ch, s.sim.Now(), settle)
+	reconvAt, _, healed := convergeMeasured(s.sim, tr, ch, s.interval, defaultConvergeIntervals)
 	cell.Healed.Add(b2f(healed))
 	if healed {
 		// A cut that missed every live branch (the soft state already

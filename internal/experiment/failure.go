@@ -178,9 +178,8 @@ func failureRun(cfg FailureConfig, seed int64, res *FailureResult) {
 	// count as the hard cap; a run that exhausts even the cap without
 	// settling — the case the fixed budget silently mismeasured — is
 	// logged through the observer.
-	convAt, used := convergeMeasured(sim, tr, src.Channel(), pcfg.TreeInterval, defaultConvergeIntervals)
-	if used >= defaultConvergeIntervals &&
-		!tr.Quiescent(src.Channel(), sim.Now(), eventsim.Time(convergeSettleIntervals)*pcfg.TreeInterval) {
+	convAt, _, settled := convergeMeasured(sim, tr, src.Channel(), pcfg.TreeInterval, defaultConvergeIntervals)
+	if !settled {
 		o.Notef("convergence exceeded the fixed %d-interval settling budget (last table mutation at %.1f, control traffic still in flight)",
 			defaultConvergeIntervals, float64(convAt))
 	}

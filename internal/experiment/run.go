@@ -340,6 +340,7 @@ type dynSession struct {
 	members   []mtree.Member
 	hosts     []topology.NodeID
 	leave     func(i int)
+	rejoin    func(i int)
 	send      func() uint32
 	interval  eventsim.Time
 	settleOut eventsim.Time // time for soft state to dissolve after a leave
@@ -466,6 +467,7 @@ func setupHBH(cfg RunConfig, g *topology.Graph, routing *unicast.Routing,
 		rcvs = append(rcvs, rcv)
 	}
 	s.leave = func(i int) { rcvs[i].Leave() }
+	s.rejoin = func(i int) { rcvs[i].Join() }
 	return s
 }
 
@@ -533,6 +535,7 @@ func setupREUNITE(cfg RunConfig, g *topology.Graph, routing *unicast.Routing,
 		rcvs = append(rcvs, rcv)
 	}
 	s.leave = func(i int) { rcvs[i].Leave() }
+	s.rejoin = func(i int) { rcvs[i].Join() }
 	return s
 }
 
@@ -637,23 +640,30 @@ const convergeSettleIntervals = 3
 // Unlike the fixed-interval converge, it cannot under-wait a run whose
 // cascade outlives the fixed budget, and it does not over-wait one that
 // settles early.
+//
+// converged is the explicit non-converged marker: false means the hard
+// cap ran out with the channel still churning, and the returned time is
+// merely the last mutation seen, not a convergence time. Callers must
+// branch on it rather than re-deriving the condition from used — a
+// capped run whose final interval happened to look quiescent is still
+// reported converged, exactly as the old call sites computed by hand.
 func convergeMeasured(sim *eventsim.Sim, tr *obs.ConvergeTracker, ch addr.Channel,
-	interval eventsim.Time, maxIntervals int) (eventsim.Time, int) {
+	interval eventsim.Time, maxIntervals int) (at eventsim.Time, used int, converged bool) {
 	if maxIntervals <= 0 {
 		maxIntervals = defaultConvergeIntervals
 	}
 	settle := eventsim.Time(convergeSettleIntervals) * interval
-	used := 0
 	for used < maxIntervals {
 		if err := sim.Run(sim.Now() + interval); err != nil {
 			panic(fmt.Sprintf("experiment: convergeMeasured: %v", err))
 		}
 		used++
 		if used >= convergeSettleIntervals && tr.Quiescent(ch, sim.Now(), settle) {
+			converged = true
 			break
 		}
 	}
-	return tr.Channel(ch).LastMutation, used
+	return tr.Channel(ch).LastMutation, used, converged
 }
 
 func toRunResult(res *mtree.Result) RunResult {

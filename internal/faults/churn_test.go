@@ -1,0 +1,180 @@
+package faults
+
+import (
+	"math/rand"
+	"testing"
+
+	"hbh/internal/eventsim"
+	"hbh/internal/topology"
+)
+
+func churnTestGraph(seed int64) *topology.Graph {
+	return topology.Random(topology.RandomConfig{Routers: 12, AvgDegree: 4, Hosts: true},
+		rand.New(rand.NewSource(seed)))
+}
+
+// TestChurnerDeterministic asserts two identically seeded churners
+// over identical substrates walk the costs (and the routing) to
+// bit-identical states.
+func TestChurnerDeterministic(t *testing.T) {
+	run := func() (*topology.Graph, int, int) {
+		g := churnTestGraph(4)
+		net, sim := build(g)
+		c := NewChurner(net, ChurnConfig{
+			Period: 10, Amplitude: 2, RNG: rand.New(rand.NewSource(77)),
+		})
+		c.Start()
+		if err := sim.Run(200); err != nil {
+			t.Fatal(err)
+		}
+		return g, c.Ticks(), c.Perturbed()
+	}
+	g1, t1, p1 := run()
+	g2, t2, p2 := run()
+	if t1 != t2 || p1 != p2 {
+		t.Fatalf("tick/perturb counts diverged: %d/%d vs %d/%d", t1, p1, t2, p2)
+	}
+	if t1 != 20 {
+		t.Errorf("200 time units at period 10 fired %d ticks, want 20", t1)
+	}
+	for _, e := range g1.Edges() {
+		if g1.Cost(e.A, e.B) != g2.Cost(e.A, e.B) || g1.Cost(e.B, e.A) != g2.Cost(e.B, e.A) {
+			t.Fatalf("same-seed churn left different costs on %d-%d", e.A, e.B)
+		}
+	}
+}
+
+// TestChurnerRoutingMatchesScratch asserts the incremental recompute
+// the churner batches per tick keeps the tables exactly equal to a
+// from-scratch Dijkstra over the walked costs — the cost-increase
+// soundness fix in unicast.RecomputeCostChanges, exercised end to end.
+func TestChurnerRoutingMatchesScratch(t *testing.T) {
+	g := churnTestGraph(6)
+	net, sim := build(g)
+	c := NewChurner(net, ChurnConfig{
+		Period: 10, Amplitude: 3, RNG: rand.New(rand.NewSource(5)),
+	})
+	c.Start()
+	for _, at := range []eventsim.Time{55, 155, 255} {
+		sim.At(at, func() { routingMatchesScratch(t, g, net.Routing(), "mid-churn") })
+	}
+	if err := sim.Run(300); err != nil {
+		t.Fatal(err)
+	}
+	routingMatchesScratch(t, g, net.Routing(), "after churn")
+	if c.Perturbed() == 0 {
+		t.Fatal("churner perturbed nothing; the test exercised no recompute")
+	}
+}
+
+// TestChurnerClampsCosts asserts every walked cost stays inside the
+// configured clamp.
+func TestChurnerClampsCosts(t *testing.T) {
+	g := churnTestGraph(7)
+	net, sim := build(g)
+	c := NewChurner(net, ChurnConfig{
+		Period: 5, Amplitude: 5, Lo: 2, Hi: 7, RNG: rand.New(rand.NewSource(13)),
+	})
+	c.Start()
+	if err := sim.Run(500); err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range coreLinks(g) {
+		for _, cost := range []int{g.Cost(l[0], l[1]), g.Cost(l[1], l[0])} {
+			if cost < 2 || cost > 7 {
+				t.Fatalf("link %v cost %d escaped clamp [2, 7]", l, cost)
+			}
+		}
+	}
+	if c.Perturbed() == 0 {
+		t.Fatal("churner perturbed nothing")
+	}
+}
+
+// TestChurnerStopFreezesCosts asserts Stop ends the walk without
+// snapping costs back: the landscape stays where churn left it.
+func TestChurnerStopFreezesCosts(t *testing.T) {
+	g := churnTestGraph(8)
+	net, sim := build(g)
+	c := NewChurner(net, ChurnConfig{
+		Period: 10, Amplitude: 2, RNG: rand.New(rand.NewSource(3)),
+	})
+	c.Start()
+	if err := sim.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	c.Stop()
+	ticks := c.Ticks()
+	frozen := map[[2]topology.NodeID][2]int{}
+	for _, l := range coreLinks(g) {
+		frozen[l] = [2]int{g.Cost(l[0], l[1]), g.Cost(l[1], l[0])}
+	}
+	if err := sim.Run(300); err != nil {
+		t.Fatal(err)
+	}
+	if c.Ticks() != ticks {
+		t.Errorf("churner ticked %d more times after Stop", c.Ticks()-ticks)
+	}
+	for l, want := range frozen {
+		if got := [2]int{g.Cost(l[0], l[1]), g.Cost(l[1], l[0])}; got != want {
+			t.Errorf("cost of %v changed after Stop: %v -> %v", l, want, got)
+		}
+	}
+	// Stop is idempotent, and a stopped churner can not be restarted
+	// into a double ticker.
+	c.Stop()
+}
+
+// TestChurnerFraction asserts the per-tick link selection honors the
+// configured fraction (statistically: well under every-link-every-tick).
+func TestChurnerFraction(t *testing.T) {
+	g := churnTestGraph(9)
+	net, sim := build(g)
+	c := NewChurner(net, ChurnConfig{
+		Period: 10, Amplitude: 3, Fraction: 0.3, RNG: rand.New(rand.NewSource(21)),
+	})
+	c.Start()
+	if err := sim.Run(1000); err != nil {
+		t.Fatal(err)
+	}
+	full := c.Ticks() * len(coreLinks(g))
+	if c.Perturbed() == 0 {
+		t.Fatal("fraction 0.3 perturbed nothing over 100 ticks")
+	}
+	// At fraction 0.3 with an amplitude-3 walk, even counting the
+	// no-op-step skips, perturbations must stay well below half the
+	// full-fraction volume.
+	if c.Perturbed() > full/2 {
+		t.Errorf("fraction 0.3 perturbed %d of %d link-ticks", c.Perturbed(), full)
+	}
+}
+
+// TestChurnerValidation pins the constructor's panics.
+func TestChurnerValidation(t *testing.T) {
+	g := churnTestGraph(10)
+	net, _ := build(g)
+	for name, cfg := range map[string]ChurnConfig{
+		"zero period":    {Amplitude: 1, RNG: rand.New(rand.NewSource(1))},
+		"zero amplitude": {Period: 10, RNG: rand.New(rand.NewSource(1))},
+		"nil rng":        {Period: 10, Amplitude: 1},
+		"bad clamp":      {Period: 10, Amplitude: 1, Lo: 5, Hi: 2, RNG: rand.New(rand.NewSource(1))},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: NewChurner did not panic", name)
+				}
+			}()
+			NewChurner(net, cfg)
+		}()
+	}
+	// Double Start panics too.
+	c := NewChurner(net, ChurnConfig{Period: 10, Amplitude: 1, RNG: rand.New(rand.NewSource(1))})
+	c.Start()
+	defer func() {
+		if recover() == nil {
+			t.Error("double Start did not panic")
+		}
+	}()
+	c.Start()
+}

@@ -45,6 +45,12 @@ const (
 	// NodeUp restores a crashed node and the incident links that went
 	// down with it (links failed independently stay down).
 	NodeUp
+	// GroupDown disables every link of a shared-risk group atomically
+	// (one event, one routing reconvergence).
+	GroupDown
+	// GroupUp re-enables the group's links that GroupDown actually took
+	// down (links failed independently stay down).
+	GroupUp
 )
 
 func (k Kind) String() string {
@@ -57,24 +63,34 @@ func (k Kind) String() string {
 		return "NODE-DOWN"
 	case NodeUp:
 		return "NODE-UP"
+	case GroupDown:
+		return "GROUP-DOWN"
+	case GroupUp:
+		return "GROUP-UP"
 	default:
 		return fmt.Sprintf("fault(%d)", uint8(k))
 	}
 }
 
 // Event is one scheduled fault. For link events A and B are the link's
-// endpoints; for node events A is the node and B is topology.None.
+// endpoints; for node events A is the node and B is topology.None; for
+// group events A and B are None and Group names the shared-risk group
+// whose links fail or heal together.
 type Event struct {
-	At   eventsim.Time
-	Kind Kind
-	A, B topology.NodeID
+	At    eventsim.Time
+	Kind  Kind
+	A, B  topology.NodeID
+	Group Group
 }
 
 // String renders the event with raw node IDs; the injector's trace
 // output uses topology names instead.
 func (e Event) String() string {
-	if e.Kind == NodeDown || e.Kind == NodeUp {
+	switch e.Kind {
+	case NodeDown, NodeUp:
 		return fmt.Sprintf("%v %s node %d", e.At, e.Kind, e.A)
+	case GroupDown, GroupUp:
+		return fmt.Sprintf("%v %s %s (%d links)", e.At, e.Kind, e.Group.Name, len(e.Group.Links))
 	}
 	return fmt.Sprintf("%v %s link %d-%d", e.At, e.Kind, e.A, e.B)
 }
@@ -109,6 +125,21 @@ func (p *Plan) NodeDown(at eventsim.Time, n topology.NodeID) *Plan {
 // NodeUp schedules a node restart at time at.
 func (p *Plan) NodeUp(at eventsim.Time, n topology.NodeID) *Plan {
 	p.events = append(p.events, Event{At: at, Kind: NodeUp, A: n, B: topology.None})
+	return p
+}
+
+// GroupDown schedules a correlated failure: every link of the group
+// goes down atomically at time at.
+func (p *Plan) GroupDown(at eventsim.Time, g Group) *Plan {
+	p.events = append(p.events, Event{At: at, Kind: GroupDown, A: topology.None, B: topology.None, Group: g})
+	return p
+}
+
+// GroupUp schedules the group's repair at time at. Down/up cycles of
+// one group must not overlap (the injector tracks one outstanding
+// outage per group name).
+func (p *Plan) GroupUp(at eventsim.Time, g Group) *Plan {
+	p.events = append(p.events, Event{At: at, Kind: GroupUp, A: topology.None, B: topology.None, Group: g})
 	return p
 }
 
@@ -185,12 +216,19 @@ type Injector struct {
 	// injector disabled for it, so NodeUp restores exactly those and
 	// leaves independently failed links down.
 	tookDown map[topology.NodeID][][2]topology.NodeID
-	applied  int
+	// groupTook is the same bookkeeping per shared-risk group name.
+	groupTook map[string][][2]topology.NodeID
+	applied   int
 }
 
 // NewInjector binds a plan to a network.
 func NewInjector(net *netsim.Network, plan *Plan) *Injector {
-	return &Injector{net: net, plan: plan, tookDown: make(map[topology.NodeID][][2]topology.NodeID)}
+	return &Injector{
+		net:       net,
+		plan:      plan,
+		tookDown:  make(map[topology.NodeID][][2]topology.NodeID),
+		groupTook: make(map[string][][2]topology.NodeID),
+	}
 }
 
 // SetRoutingDelay makes unicast reconvergence lag each fault by d time
@@ -288,6 +326,25 @@ func (in *Injector) apply(ev Event) {
 		for _, f := range in.onNodeUp {
 			f(ev.A)
 		}
+	case GroupDown:
+		in.faultf("FAULT %s %s (%d links)", ev.Kind, ev.Group.Name, len(ev.Group.Links))
+		var took [][2]topology.NodeID
+		for _, l := range ev.Group.Links {
+			if g.LinkEnabled(l[0], l[1]) {
+				g.SetLinkEnabled(l[0], l[1], false)
+				took = append(took, l)
+			}
+		}
+		in.groupTook[ev.Group.Name] = took
+		in.reconverge(took...)
+	case GroupUp:
+		in.faultf("FAULT %s %s (%d links)", ev.Kind, ev.Group.Name, len(ev.Group.Links))
+		took := in.groupTook[ev.Group.Name]
+		delete(in.groupTook, ev.Group.Name)
+		for _, l := range took {
+			g.SetLinkEnabled(l[0], l[1], true)
+		}
+		in.reconverge(took...)
 	default:
 		panic(fmt.Sprintf("faults: unknown event kind %d", ev.Kind))
 	}

@@ -71,7 +71,7 @@ func TestRandomPlanDeterministicAndCoreOnly(t *testing.T) {
 		t.Fatalf("plan has %d events, want 12", len(a))
 	}
 	for i := range a {
-		if a[i] != b[i] {
+		if a[i].String() != b[i].String() {
 			t.Fatalf("same seed diverged at event %d: %v vs %v", i, a[i], b[i])
 		}
 		if g.Node(a[i].A).Kind != topology.Router || g.Node(a[i].B).Kind != topology.Router {

@@ -91,6 +91,8 @@ type Stats struct {
 	DataLossDrops int // data packets dropped by the loss model
 	LinkDownDrops int // packets dropped at a disabled (failed) link
 	NodeDownDrops int // packets dropped at or by a down node
+	AdvLossDrops  int // control packets dropped by the adversary (burst or uniform)
+	AdvDups       int // control packet copies injected by the adversary
 	DataDrops     int // data packets dropped for any reason (subset of the drop counters)
 }
 
@@ -126,6 +128,8 @@ func (s Stats) Delta(prev Stats) Stats {
 		DataLossDrops: s.DataLossDrops - prev.DataLossDrops,
 		LinkDownDrops: s.LinkDownDrops - prev.LinkDownDrops,
 		NodeDownDrops: s.NodeDownDrops - prev.NodeDownDrops,
+		AdvLossDrops:  s.AdvLossDrops - prev.AdvLossDrops,
+		AdvDups:       s.AdvDups - prev.AdvDups,
 		DataDrops:     s.DataDrops - prev.DataDrops,
 	}
 }
@@ -152,6 +156,10 @@ type Network struct {
 	hopLimit   int
 	wireCheck  bool
 	loss       LossModel
+	// adv is the installed control-plane adversary; nil (the default)
+	// keeps the forwarding path byte-for-byte identical to a network
+	// without one.
+	adv *advState
 	// nodeDown marks crashed nodes: they neither handle, forward nor
 	// originate packets until brought back up (see SetNodeUp).
 	nodeDown []bool
@@ -757,6 +765,25 @@ func (n *Network) transmit(from, to topology.NodeID, env *envelope) {
 			return
 		}
 	}
+	// The control-plane adversary sits after the loss model and before
+	// the wire: it decides each control traversal's fate (drop, jitter,
+	// duplicate) with seeded draws. Data packets pass untouched.
+	var advJitter, advDupJitter eventsim.Time
+	advDup := false
+	if n.adv != nil {
+		if _, isData := env.msg.(*packet.Data); !isData {
+			drop, jit, dupJit, dup := n.adv.roll()
+			if drop {
+				n.stats.AdvLossDrops++
+				if n.obsv != nil {
+					n.emitEnv(obs.KindDrop, obs.CauseAdvLoss, n.nodes[from], n.nodes[to], env)
+				}
+				n.recycle(env)
+				return
+			}
+			advJitter, advDupJitter, advDup = jit, dupJit, dup
+		}
+	}
 	if n.wireCheck {
 		buf, err := packet.Marshal(env.msg)
 		if err != nil {
@@ -779,7 +806,10 @@ func (n *Network) transmit(from, to topology.NodeID, env *envelope) {
 		n.emitEnv(obs.KindForward, obs.CauseNone, n.nodes[from], n.nodes[to], env)
 	}
 	env.to = to
-	n.sim.AfterCall(eventsim.Time(cost), env)
+	if advDup {
+		n.duplicate(from, to, env, eventsim.Time(cost)+advDupJitter)
+	}
+	n.sim.AfterCall(eventsim.Time(cost)+advJitter, env)
 }
 
 // arrive processes env at node v: handlers first, then local delivery

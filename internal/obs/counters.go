@@ -134,6 +134,8 @@ func (c *Counters) Apply(ev Event) {
 		c.Add("hbh_fusions_sent_total", 1, "node", ev.NodeName, "channel", ch)
 	case KindFusionAccept:
 		c.Add("hbh_fusions_accepted_total", 1, "node", ev.NodeName, "channel", ch)
+	case KindMarkLift:
+		c.Add("hbh_marks_lifted_total", 1, "node", ev.NodeName, "channel", ch)
 	case KindBranch:
 		c.Add("hbh_branch_events_total", 1, "node", ev.NodeName, "channel", ch)
 	case KindCollapse:

@@ -96,6 +96,10 @@ const (
 	// KindRecorderDump is a flight-recorder dump pushed into the trace
 	// stream (fault-attributed drop with DumpOnFaultDrop enabled).
 	KindRecorderDump
+	// KindMarkLift is the retraction of a fusion mark: the relay that
+	// served the entry no longer lists it (or no longer sits on the
+	// forward path), so data flows to the member directly again.
+	KindMarkLift
 )
 
 // String returns the stable kebab-case name used by the JSONL sink and
@@ -148,6 +152,8 @@ func (k Kind) String() string {
 		return "note"
 	case KindRecorderDump:
 		return "recorder-dump"
+	case KindMarkLift:
+		return "mark-lift"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}
@@ -175,6 +181,9 @@ const (
 	// CauseUnclaimedMulticast is a multicast-addressed packet no
 	// handler claimed.
 	CauseUnclaimedMulticast
+	// CauseAdvLoss is a control packet dropped by the control-plane
+	// adversary (burst or uniform loss).
+	CauseAdvLoss
 )
 
 // String returns the stable name used in counter labels.
@@ -196,6 +205,8 @@ func (c Cause) String() string {
 		return "non-unicast"
 	case CauseUnclaimedMulticast:
 		return "unclaimed-multicast"
+	case CauseAdvLoss:
+		return "adv-loss"
 	default:
 		return fmt.Sprintf("cause(%d)", uint8(c))
 	}

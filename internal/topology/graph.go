@@ -145,6 +145,36 @@ func (g *Graph) AddLink(a, b NodeID, costAB, costBA int) {
 
 func (g *Graph) valid(v NodeID) bool { return v >= 0 && int(v) < len(g.nodes) }
 
+// SetLinkCost rewrites both directed costs of the existing (undirected)
+// link between a and b. This is the dynamic-cost mutation used by the
+// link-cost churn adversary: unlike RandomizeCosts it targets a single
+// link on a live graph, so callers are expected to follow up with an
+// incremental routing reconvergence (Routing.RecomputeCostChanges).
+// Costs must stay >= 1 and the link must exist — churn plans touching
+// nonexistent links are construction bugs, exactly as in AddLink.
+func (g *Graph) SetLinkCost(a, b NodeID, costAB, costBA int) {
+	if !g.HasLink(a, b) {
+		panic(fmt.Sprintf("topology: SetLinkCost on missing link %d-%d", a, b))
+	}
+	if costAB < 1 || costBA < 1 {
+		panic(fmt.Sprintf("topology: non-positive link cost %d/%d", costAB, costBA))
+	}
+	for i := range g.edges {
+		e := &g.edges[i]
+		switch {
+		case e.A == a && e.B == b:
+			e.CostAB, e.CostBA = costAB, costBA
+		case e.A == b && e.B == a:
+			e.CostAB, e.CostBA = costBA, costAB
+		default:
+			continue
+		}
+		break
+	}
+	g.setCost(a, b, costAB)
+	g.setCost(b, a, costBA)
+}
+
 // HasLink reports whether an (undirected) link between a and b exists.
 func (g *Graph) HasLink(a, b NodeID) bool {
 	if !g.valid(a) || !g.valid(b) {

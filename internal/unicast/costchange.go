@@ -1,0 +1,64 @@
+package unicast
+
+import "hbh/internal/topology"
+
+// CostChange records one undirected link whose directed costs were
+// rewritten (topology.SetLinkCost), carrying the pre-change costs. The
+// old costs matter: the dirty-source test below must consider the
+// cheaper of the old and new cost per direction to stay sound for cost
+// *increases*, which RecomputeLinks' plain test (new cost only) is not.
+type CostChange struct {
+	A, B topology.NodeID
+	// OldAB is the pre-change cost of A -> B, OldBA of B -> A.
+	OldAB, OldBA int
+}
+
+// RecomputeCostChanges reconverges the tables after the given links'
+// costs were rewritten in the graph. Like RecomputeLinks it recomputes
+// only dirty sources, but the dirty test for a changed direction
+// u -> v uses min(oldCost, newCost):
+//
+//   - if the cost increased, the link can only matter when it was on a
+//     (or tied for a) shortest path before, i.e. dist(s,u) + old <=
+//     dist(s,v) — testing with the larger new cost would wrongly skip
+//     sources whose best path just got worse;
+//   - if the cost decreased, the link can only matter when it now wins
+//     or ties a relaxation, i.e. dist(s,u) + new <= dist(s,v);
+//
+// and min(old, new) covers whichever case applies, so a source failing
+// the test recomputes to bit-identical tables. Dirty sources get a
+// full Dijkstra, making the result always equal a full Recompute.
+// Call after the graph's costs have been updated.
+func (r *Routing) RecomputeCostChanges(changes ...CostChange) {
+	if r.scratch == nil {
+		r.scratch = newSPTScratch(len(r.next))
+	}
+	for s := range r.next {
+		src := topology.NodeID(s)
+		for _, ch := range changes {
+			if r.costChangeMayAffect(src, ch.A, ch.B, ch.OldAB) ||
+				r.costChangeMayAffect(src, ch.B, ch.A, ch.OldBA) {
+				dijkstraInto(r.g, src, r.next[s], r.dist[s], r.scratch)
+				break
+			}
+		}
+	}
+}
+
+// costChangeMayAffect is linkMayAffect with the direction's cost taken
+// as min(old, current): sound for both cost increases and decreases
+// (see RecomputeCostChanges).
+func (r *Routing) costChangeMayAffect(s, u, v topology.NodeID, old int) bool {
+	du := r.dist[s][u]
+	if du == Infinity {
+		return false
+	}
+	c := r.g.Cost(u, v)
+	if c == 0 || (old > 0 && old < c) {
+		c = old
+	}
+	if c == 0 {
+		return false
+	}
+	return AddDist(du, c) <= r.dist[s][v]
+}

@@ -1,0 +1,132 @@
+package unicast
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"hbh/internal/addr"
+	"hbh/internal/topology"
+)
+
+func TestRecomputeCostChangeIncrease(t *testing.T) {
+	// The case the plain RecomputeLinks dirty test (new cost only) would
+	// miss: a link on the current shortest path gets *more* expensive.
+	// Square 0-1-2 (cost 1+1) vs 0-3-2 (cost 5+5); raising 0->1 to 20
+	// must reroute 0->2 via R3, and the incremental recompute must see
+	// source 0 as dirty even though dist(0,1)+newCost > dist(0,2).
+	g := topology.New()
+	for i := 0; i < 4; i++ {
+		g.AddNode(topology.Router, addr.RouterAddr(i), fmt.Sprintf("R%d", i))
+	}
+	g.AddLink(0, 1, 1, 1)
+	g.AddLink(1, 2, 1, 1)
+	g.AddLink(0, 3, 5, 5)
+	g.AddLink(3, 2, 5, 5)
+
+	r := Compute(g)
+	if d := r.Dist(0, 2); d != 2 {
+		t.Fatalf("pre-churn dist 0->2 = %d, want 2", d)
+	}
+
+	g.SetLinkCost(0, 1, 20, 20)
+	r.RecomputeCostChanges(CostChange{A: 0, B: 1, OldAB: 1, OldBA: 1})
+	if d := r.Dist(0, 2); d != 10 {
+		t.Errorf("post-increase dist 0->2 = %d, want 10 (via R3)", d)
+	}
+	if nh := r.NextHop(0, 2); nh != 3 {
+		t.Errorf("post-increase next hop 0->2 = %v, want 3", nh)
+	}
+	tablesEqual(t, r, Compute(g), "after cost increase")
+
+	// And back down: a decrease is the case the plain test does cover,
+	// but it must round-trip to the original tables.
+	g.SetLinkCost(0, 1, 1, 1)
+	r.RecomputeCostChanges(CostChange{A: 0, B: 1, OldAB: 20, OldBA: 20})
+	if d := r.Dist(0, 2); d != 2 {
+		t.Errorf("post-restore dist 0->2 = %d, want 2", d)
+	}
+	tablesEqual(t, r, Compute(g), "after cost restore")
+}
+
+func TestRecomputeCostChangesMatchesFullRecompute(t *testing.T) {
+	// Randomized equivalence under churn: random-walk cost perturbations
+	// (increases and decreases, sometimes several links per step, as the
+	// churner applies them) must leave tables bit-identical to a
+	// from-scratch Compute, including Dijkstra tie-breaks.
+	rng := rand.New(rand.NewSource(7))
+	g := topology.Random(topology.RandomConfig{Routers: 20, AvgDegree: 4, Hosts: true}, rng)
+	g.RandomizeCosts(rng, 1, 10)
+	r := Compute(g)
+
+	edges := g.Edges()
+	clamp := func(c int) int {
+		if c < 1 {
+			return 1
+		}
+		if c > 10 {
+			return 10
+		}
+		return c
+	}
+	for step := 0; step < 40; step++ {
+		n := 1 + rng.Intn(3)
+		changes := make([]CostChange, 0, n)
+		for i := 0; i < n; i++ {
+			e := edges[rng.Intn(len(edges))]
+			oldAB, oldBA := g.Cost(e.A, e.B), g.Cost(e.B, e.A)
+			newAB := clamp(oldAB + rng.Intn(7) - 3)
+			newBA := clamp(oldBA + rng.Intn(7) - 3)
+			g.SetLinkCost(e.A, e.B, newAB, newBA)
+			changes = append(changes, CostChange{A: e.A, B: e.B, OldAB: oldAB, OldBA: oldBA})
+		}
+		r.RecomputeCostChanges(changes...)
+		tablesEqual(t, r, Compute(g), "churn step")
+	}
+}
+
+func TestRecomputeCostChangesOnDisabledLink(t *testing.T) {
+	// Churn keeps perturbing costs while faults have some links down;
+	// the changed-link dirty test must not resurrect a disabled link,
+	// and tables must still match a from-scratch rebuild.
+	g := topology.Line(4, true)
+	r := Compute(g)
+	g.SetLinkEnabled(1, 2, false)
+	r.RecomputeLinks([2]topology.NodeID{1, 2})
+
+	old := g.Cost(1, 2)
+	g.SetLinkCost(1, 2, 1, 1)
+	r.RecomputeCostChanges(CostChange{A: 1, B: 2, OldAB: old, OldBA: old})
+	if r.Reachable(0, 3) {
+		t.Fatal("cost change on a down link made it carry traffic")
+	}
+	tablesEqual(t, r, Compute(g), "churned while down")
+}
+
+func TestSetLinkCostUpdatesEdges(t *testing.T) {
+	// SetLinkCost must keep the Edges() view and both adjacency
+	// directions coherent, regardless of edge orientation.
+	g := topology.New()
+	for i := 0; i < 2; i++ {
+		g.AddNode(topology.Router, addr.RouterAddr(i), fmt.Sprintf("R%d", i))
+	}
+	g.AddLink(0, 1, 2, 3)
+	g.SetLinkCost(1, 0, 7, 8) // reversed orientation: 1->0 is 7, 0->1 is 8
+	if c := g.Cost(1, 0); c != 7 {
+		t.Errorf("Cost(1,0) = %d, want 7", c)
+	}
+	if c := g.Cost(0, 1); c != 8 {
+		t.Errorf("Cost(0,1) = %d, want 8", c)
+	}
+	e := g.Edges()[0]
+	if e.CostAB != 8 || e.CostBA != 7 {
+		t.Errorf("edge costs = %d/%d, want 8/7", e.CostAB, e.CostBA)
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Error("SetLinkCost with cost 0 did not panic")
+		}
+	}()
+	g.SetLinkCost(0, 1, 0, 1)
+}
