@@ -270,6 +270,60 @@ func BenchmarkDijkstraRecompute(b *testing.B) {
 	}
 }
 
+// lazyBenchGraph builds the 5000-router Barabási–Albert graph the lazy
+// substrate benchmarks share — big enough that the eager fast path
+// would never be selected, heavy-tailed like the A13 sweep.
+func lazyBenchGraph() *topology.Graph {
+	rng := rand.New(rand.NewSource(1))
+	g := topology.BarabasiAlbert(topology.BAConfig{Routers: 5000, M: 2}, rng)
+	g.RandomizeCosts(rand.New(rand.NewSource(2)), 1, 10)
+	return g
+}
+
+// BenchmarkLazyNextHop measures the on-demand substrate's query path
+// over a rotating set of sources sized to the LRU, so steady state is
+// all cache hits — the per-query price of the lazy indirection, to be
+// read against the first iteration's miss cost (amortized away here).
+func BenchmarkLazyNextHop(b *testing.B) {
+	b.ReportAllocs()
+	g := lazyBenchGraph()
+	l := unicast.NewLazy(g, unicast.LazyOptions{MaxSources: 64})
+	routers := g.Routers()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := routers[i%64]
+		d := routers[(i*7919)%len(routers)]
+		_ = l.NextHop(s, d)
+	}
+}
+
+// BenchmarkLazyRecomputeChurn measures the per-source invalidation
+// path under steady cost churn: each iteration bumps one link cost
+// through the graph and pushes the change through
+// RecomputeCostChanges, which drops only the cached sources the change
+// can affect; the next queries fault those rows back in. This is the
+// workload the adversarial engine's churner generates.
+func BenchmarkLazyRecomputeChurn(b *testing.B) {
+	b.ReportAllocs()
+	g := lazyBenchGraph()
+	l := unicast.NewLazy(g, unicast.LazyOptions{MaxSources: 64})
+	routers := g.Routers()
+	// Warm the LRU to capacity.
+	for i := 0; i < 64; i++ {
+		_ = l.NextHop(routers[i], routers[(i+1)%len(routers)])
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		u := routers[i%64]
+		nbs := g.Neighbors(u)
+		nb := nbs[i%len(nbs)]
+		oldAB, oldBA := nb.Cost, g.Cost(nb.To, u)
+		g.SetLinkCost(u, nb.To, 1+(oldAB+1)%10, oldBA)
+		l.RecomputeCostChanges(unicast.CostChange{A: u, B: nb.To, OldAB: oldAB, OldBA: oldBA})
+		_ = l.NextHop(u, nb.To)
+	}
+}
+
 // forwardOneHopSetup builds the one-link forwarding fixture shared by
 // the hot-path benchmarks: one data packet crossing one link
 // (schedule, transmit, arrive, deliver) with no protocol handlers

@@ -36,6 +36,7 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strconv"
 	"strings"
 	"time"
 
@@ -46,7 +47,7 @@ import (
 
 func main() {
 	var (
-		figure  = flag.String("figure", "paper", "which figure to regenerate: 7a, 7b, 8a, 8b, paper, stability, ablation-fusion, unicast-clouds, asymmetry-sweep, forwarding-state, control-overhead, loss-robustness, qos, cross-topo, delay-tail, failure-recovery, convergence, robustness, all")
+		figure  = flag.String("figure", "paper", "which figure to regenerate: 7a, 7b, 8a, 8b, paper, stability, ablation-fusion, unicast-clouds, asymmetry-sweep, forwarding-state, control-overhead, loss-robustness, qos, cross-topo, delay-tail, failure-recovery, convergence, robustness, scale, all")
 		runs    = flag.Int("runs", 500, "simulation runs per data point (the paper uses 500)")
 		seed    = flag.Int64("seed", 1, "base RNG seed")
 		csv     = flag.Bool("csv", false, "emit CSV instead of text tables")
@@ -70,6 +71,9 @@ func main() {
 		fuzzSeeds  = flag.String("fuzz-seeds", "", "directory of *.genome seed files for -fuzz (default: the built-in corpus)")
 		fuzzOut    = flag.String("fuzz-out", "", "directory where -fuzz writes minimized violation repros (<id>.genome)")
 		fuzzReplay = flag.String("fuzz-replay", "", "replay one scenario genome file under the invariant oracle and exit (non-zero on violation)")
+
+		scaleSizes   = flag.String("scale-sizes", "", "comma-separated router counts for -figure scale (default 50,500,5000,50000)")
+		scaleSources = flag.Int("scale-sources", 1000, "sampled sources routed per size for -figure scale")
 	)
 	flag.Parse()
 	experiment.DefaultWorkers = *workers
@@ -172,6 +176,8 @@ func main() {
 		extra = append(extra, convergence(*runs, *seed))
 	case "robustness":
 		extra = append(extra, robustness(*runs, *seed))
+	case "scale":
+		extra = append(extra, scale(*scaleSizes, *scaleSources, *seed))
 	case "all":
 		emitPaper(experiment.TopoISP)
 		emitPaper(experiment.TopoRandom50)
@@ -332,6 +338,22 @@ func robustness(runs int, seed int64) string {
 		Receivers: 8, Runs: runs, Seed: seed,
 	})
 	return res.FormatTable()
+}
+
+// scale runs the A13 scale sweep. sizes is the -scale-sizes CSV
+// ("50,5000"); empty keeps the default 50..50000 ladder.
+func scale(sizes string, sources int, seed int64) string {
+	cfg := experiment.ScaleConfig{Sources: sources, Seed: seed}
+	if sizes != "" {
+		for _, f := range strings.Split(sizes, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(f))
+			if err != nil || n < 3 {
+				fail("bad -scale-sizes entry %q", f)
+			}
+			cfg.Sizes = append(cfg.Sizes, n)
+		}
+	}
+	return experiment.ScaleExperiment(cfg).FormatTable()
 }
 
 // runFuzz drives the coverage-guided scenario fuzzer: the seed corpus

@@ -80,21 +80,22 @@ func Group(i int) Addr { return addr.GroupAddr(i) }
 type Network struct {
 	sim     *eventsim.Sim
 	graph   *topology.Graph
-	routing *unicast.Routing
+	routing unicast.Router
 	net     *netsim.Network
 }
 
-// NewNetwork computes delay-shortest routing tables for g and builds
-// the simulator. The graph's costs must be final: mutate costs before
-// this call.
+// NewNetwork builds the delay-shortest routing substrate for g and the
+// simulator over it. Small graphs get the eager all-pairs fast path,
+// large ones the lazy per-source router (see unicast.New). The graph's
+// costs must be final: mutate costs before this call.
 func NewNetwork(g *Graph) *Network {
-	return NewNetworkWithRouting(g, unicast.Compute(g))
+	return NewNetworkWithRouting(g, unicast.New(g))
 }
 
-// NewNetworkWithRouting builds the simulator over pre-computed routing
-// tables — e.g. unicast.ComputeWidest for the QoS substrate. The
-// tables must have been computed for g.
-func NewNetworkWithRouting(g *Graph, routing *unicast.Routing) *Network {
+// NewNetworkWithRouting builds the simulator over a pre-computed
+// routing substrate — e.g. unicast.ComputeWidest for the QoS
+// substrate. The substrate must have been computed for g.
+func NewNetworkWithRouting(g *Graph, routing unicast.Router) *Network {
 	sim := eventsim.New()
 	return &Network{
 		sim:     sim,
@@ -107,9 +108,9 @@ func NewNetworkWithRouting(g *Graph, routing *unicast.Routing) *Network {
 // Graph returns the topology.
 func (nw *Network) Graph() *Graph { return nw.graph }
 
-// Routing exposes the unicast routing tables (shortest-path distances,
-// next hops, full paths).
-func (nw *Network) Routing() *unicast.Routing { return nw.routing }
+// Routing exposes the unicast routing substrate (shortest-path
+// distances, next hops, full paths).
+func (nw *Network) Routing() unicast.Router { return nw.routing }
 
 // Inner returns the underlying netsim network for advanced use (taps,
 // traces, custom handlers).

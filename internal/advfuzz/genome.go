@@ -24,10 +24,24 @@ import (
 	"hbh/internal/experiment"
 )
 
-// fuzzTopos are the substrates the fuzzer explores. The 50-node random
-// topology is deliberately absent: iteration speed matters more than
-// scale, and the invariants are size-independent.
-var fuzzTopos = []experiment.Topo{experiment.TopoISP, experiment.TopoNSFNET, experiment.TopoAbilene}
+// fuzzTopos are the substrates the fuzzer explores: the three catalog
+// backbones, then the power-law families at bounded n (Waxman,
+// Barabási–Albert, transit-stub — 40-48 routers, so iteration stays
+// fast). The 50-node random topology is deliberately absent: the
+// power-law entries already cover "bigger than a backbone", and the
+// invariants are size-independent. Genomes on a power-law family run
+// with the lazy routing substrate forced on (see Spec), so the bounded
+// CI campaign probes the per-source eviction/invalidation path that
+// only large graphs would otherwise select.
+var fuzzTopos = []experiment.Topo{
+	experiment.TopoISP, experiment.TopoNSFNET, experiment.TopoAbilene,
+	experiment.TopoWaxman40, experiment.TopoBA48, experiment.TopoTransitStub44,
+}
+
+// fuzzCatalogTopos counts the leading catalog entries of fuzzTopos;
+// indices at or past it are the power-law families that force lazy
+// routing.
+const fuzzCatalogTopos = 3
 
 // fuzzProtocols are the protocols under fuzz: the two soft-state
 // cascades. The centrally installed PIM baselines have no protocol
@@ -127,6 +141,8 @@ func (g Genome) Spec() experiment.AdvSpec {
 		Leaves:    int(g.Leaves),
 
 		WindowIntervals: int(g.Window),
+
+		LazyRouting: g.Topo >= fuzzCatalogTopos,
 	}
 	if g.ChurnRate > 0 {
 		spec.ChurnPeriod = 2 * refreshInterval / eventsim.Time(g.ChurnRate)

@@ -56,6 +56,13 @@ func DefaultSeeds() []Genome {
 		// Alternate substrates.
 		{Topo: 1, Protocol: 0, Receivers: 5, ChurnRate: 3, LossPct: 10, Window: 16, Seed: 10},
 		{Topo: 2, Protocol: 1, Receivers: 4, ChurnRate: 3, LossPct: 10, Window: 16, Seed: 11},
+		// Power-law families at bounded n — these force the lazy routing
+		// substrate with a tiny LRU, so churn and SRLG cuts constantly
+		// evict and recompute per-source rows mid-protocol.
+		{Topo: 3, Protocol: 0, Receivers: 6, ChurnRate: 3, ChurnAmp: 2, Window: 16, Seed: 12},
+		{Topo: 4, Protocol: 0, Receivers: 6, Groups: 2, GroupSize: 2, LossPct: 10, Window: 20, Seed: 13},
+		{Topo: 5, Protocol: 1, Receivers: 6, ChurnRate: 2, Groups: 1, GroupSize: 2, Leaves: 1,
+			Window: 20, Seed: 14},
 	}
 }
 
@@ -66,4 +73,5 @@ var seedNames = []string{
 	"reunite-churn", "reunite-loss-jitter", "reunite-srlg-leaves",
 	"hbh-kitchen-sink", "reunite-kitchen-sink",
 	"nsfnet-hbh", "abilene-reunite",
+	"waxman40-lazy-churn", "ba48-lazy-srlg", "transitstub44-lazy-mixed",
 }

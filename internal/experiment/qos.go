@@ -81,7 +81,7 @@ func QoSRouting(runs int, seed int64) *Figure {
 
 // hbhBottleneck converges HBH over the given substrate and returns the
 // mean bottleneck bandwidth of the delivered paths.
-func hbhBottleneck(g *topology.Graph, routing *unicast.Routing,
+func hbhBottleneck(g *topology.Graph, routing unicast.Router,
 	sourceHost topology.NodeID, members []topology.NodeID, seed int64) float64 {
 	prng := rand.New(rand.NewSource(seed))
 	sess := setupHBH(RunConfig{Protocol: HBH, Receivers: len(members), Seed: seed},
@@ -93,7 +93,7 @@ func hbhBottleneck(g *topology.Graph, routing *unicast.Routing,
 
 // pimSSBottleneck installs a PIM-SS tree over the substrate and
 // measures the same quantity.
-func pimSSBottleneck(g *topology.Graph, routing *unicast.Routing,
+func pimSSBottleneck(g *topology.Graph, routing unicast.Router,
 	sourceHost topology.NodeID, members []topology.NodeID) float64 {
 	sim := eventsim.New()
 	net := netsim.New(sim, g, routing)

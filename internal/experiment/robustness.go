@@ -69,6 +69,12 @@ type AdvSpec struct {
 	// intervals (default 20).
 	WindowIntervals int
 
+	// LazyRouting forces the on-demand per-source substrate regardless
+	// of graph size, with a deliberately tiny LRU (8 sources) so the
+	// run's churn and faults constantly evict and recompute rows — the
+	// fuzzer's probe into the lazy-invalidation path at bounded n.
+	LazyRouting bool
+
 	// Check attaches the invariant checker as an oracle: structural
 	// invariants continuously, the full converged profile on the final
 	// probe when the run recovered. Violations are collected in the
@@ -145,7 +151,10 @@ func AdversarialRun(spec AdvSpec) AdvResult {
 	rng := rand.New(rand.NewSource(spec.Seed))
 	g := BaseGraph(spec.Topo).Clone()
 	g.RandomizeCosts(rng, 1, 10)
-	routing := unicast.Compute(g)
+	var routing unicast.Router = unicast.Compute(g)
+	if spec.LazyRouting {
+		routing = unicast.NewLazy(g, unicast.LazyOptions{MaxSources: 8})
+	}
 	sourceHost := sourceHostOf(g)
 	memberHosts := sampleReceivers(g, rng, sourceHost, spec.Receivers)
 	ch := addr.Channel{S: g.Node(sourceHost).Addr, G: addr.GroupAddr(0)}
@@ -307,7 +316,7 @@ func AdversarialRun(spec AdvSpec) AdvResult {
 
 // buildAdvSession assembles the protocol session for an adversarial
 // run, reusing the figure pipeline's setup helpers.
-func buildAdvSession(spec AdvSpec, g *topology.Graph, routing *unicast.Routing,
+func buildAdvSession(spec AdvSpec, g *topology.Graph, routing unicast.Router,
 	sourceHost topology.NodeID, memberHosts []topology.NodeID,
 	rng *rand.Rand, o *obs.Observer) *advSession {
 	rcfg := RunConfig{

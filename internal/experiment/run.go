@@ -61,6 +61,18 @@ const (
 	TopoNSFNET Topo = "nsfnet"
 	// TopoAbilene is the 11-router Abilene/Internet2 backbone.
 	TopoAbilene Topo = "abilene"
+	// TopoWaxman40 is a 40-router Waxman random graph (distance-weighted
+	// edge probability), fixed structure like random50 with costs redrawn
+	// per run. Bounded-n stand-in for the Internet-scale substrates the
+	// A13 sweep generates on the fly.
+	TopoWaxman40 Topo = "waxman40"
+	// TopoBA48 is a 48-router Barabási–Albert preferential-attachment
+	// graph (power-law degrees, m=2): hub-and-spoke structure at a size
+	// every protocol and the fuzzer can still run exhaustively.
+	TopoBA48 Topo = "ba48"
+	// TopoTransitStub44 is a two-tier transit-stub hierarchy: a 4-router
+	// transit core with 8 stub domains of 5 routers each (44 routers).
+	TopoTransitStub44 Topo = "transitstub44"
 )
 
 // randomTopoSeed fixes the 50-node topology's structure: the paper
@@ -91,6 +103,17 @@ func BaseGraph(t Topo) *topology.Graph {
 		g = topology.NSFNET()
 	case TopoAbilene:
 		g = topology.Abilene()
+	case TopoWaxman40:
+		g = topology.Waxman(topology.WaxmanConfig{Routers: 40, Alpha: 0.2, Beta: 0.25, Hosts: true},
+			rand.New(rand.NewSource(randomTopoSeed)))
+	case TopoBA48:
+		g = topology.BarabasiAlbert(topology.BAConfig{Routers: 48, M: 2, Hosts: true},
+			rand.New(rand.NewSource(randomTopoSeed)))
+	case TopoTransitStub44:
+		g = topology.TransitStub(topology.TransitStubConfig{
+			Transits: 4, TransitDegree: 3, Stubs: 8, StubRouters: 5,
+			StubDegree: 2.5, ExtraStubLinks: 3, Hosts: true,
+		}, rand.New(rand.NewSource(randomTopoSeed)))
 	default:
 		panic(fmt.Sprintf("experiment: unknown topology %q", t))
 	}
@@ -157,7 +180,7 @@ type RunConfig struct {
 // both as read-only.
 type Scenario struct {
 	Graph   *topology.Graph
-	Routing *unicast.Routing
+	Routing unicast.Router
 }
 
 // PrepareScenario builds the scenario a RunConfig describes: clone the
@@ -175,7 +198,7 @@ func PrepareScenario(cfg RunConfig) *Scenario {
 	} else {
 		g.RandomizeCosts(rng, lo, hi)
 	}
-	return &Scenario{Graph: g, Routing: unicast.Compute(g)}
+	return &Scenario{Graph: g, Routing: unicast.New(g)}
 }
 
 // SameScenario reports whether two run configs describe the same
@@ -216,7 +239,7 @@ func Run(cfg RunConfig) RunResult {
 	rng := rand.New(rand.NewSource(cfg.Seed))
 
 	var g *topology.Graph
-	var routing *unicast.Routing
+	var routing unicast.Router
 	if cfg.Scenario != nil {
 		g, routing = cfg.Scenario.Graph, cfg.Scenario.Routing
 		// The scenario already carries the costs this seed draws;
@@ -234,7 +257,7 @@ func Run(cfg RunConfig) RunResult {
 		} else {
 			g.RandomizeCosts(rng, lo, hi)
 		}
-		routing = unicast.Compute(g)
+		routing = unicast.New(g)
 	}
 
 	sourceHost := sourceHostOf(g)
@@ -297,7 +320,7 @@ func capableSet(g *topology.Graph, rng *rand.Rand, fraction float64) map[topolog
 	return capable
 }
 
-func runPIM(cfg RunConfig, g *topology.Graph, routing *unicast.Routing,
+func runPIM(cfg RunConfig, g *topology.Graph, routing unicast.Router,
 	sourceHost topology.NodeID, members []topology.NodeID) RunResult {
 	sim := eventsim.New()
 	net := netsim.New(sim, g, routing)
@@ -354,6 +377,11 @@ type dynSession struct {
 	// checker, when non-nil, validates the protocol's invariant profile
 	// continuously and at converged checkpoints (see check.go).
 	checker *invariant.Checker
+	// audit exposes the protocol's table snapshots so callers can build
+	// their own checkpoint checkers (the A13 scale run checks converged
+	// state only — continuous checking at 50k routers would re-snapshot
+	// every table per dirty event).
+	audit invariant.StateProvider
 }
 
 // stateFootprint is a snapshot of a protocol's table usage.
@@ -400,7 +428,7 @@ func (s *dynSession) MembersWithout(i int) []mtree.Member {
 	return out
 }
 
-func setupHBH(cfg RunConfig, g *topology.Graph, routing *unicast.Routing,
+func setupHBH(cfg RunConfig, g *topology.Graph, routing unicast.Router,
 	sourceHost topology.NodeID, members []topology.NodeID, rng *rand.Rand) *dynSession {
 	sim := eventsim.New()
 	net := netsim.New(sim, g, routing)
@@ -439,9 +467,10 @@ func setupHBH(cfg RunConfig, g *topology.Graph, routing *unicast.Routing,
 		},
 	}
 	s.changes = new(int)
+	s.audit = core.NewAudit(src, routers)
 	if checkingEnabled(cfg) {
 		s.checker = invariant.New(net, src.Channel(), profileFor(cfg.Protocol),
-			core.NewAudit(src, routers))
+			s.audit)
 		s.checker.SetMembers(memberAddrs(g, members))
 		invariant.InstallContinuous(sim, s.checker)
 		wireRecent(s.checker, cfg.Obs)
@@ -471,7 +500,7 @@ func setupHBH(cfg RunConfig, g *topology.Graph, routing *unicast.Routing,
 	return s
 }
 
-func setupREUNITE(cfg RunConfig, g *topology.Graph, routing *unicast.Routing,
+func setupREUNITE(cfg RunConfig, g *topology.Graph, routing unicast.Router,
 	sourceHost topology.NodeID, members []topology.NodeID, rng *rand.Rand) *dynSession {
 	sim := eventsim.New()
 	net := netsim.New(sim, g, routing)
@@ -507,9 +536,10 @@ func setupREUNITE(cfg RunConfig, g *topology.Graph, routing *unicast.Routing,
 		},
 	}
 	s.changes = new(int)
+	s.audit = reunite.NewAudit(src, routers)
 	if checkingEnabled(cfg) {
 		s.checker = invariant.New(net, src.Channel(), profileFor(cfg.Protocol),
-			reunite.NewAudit(src, routers))
+			s.audit)
 		s.checker.SetMembers(memberAddrs(g, members))
 		invariant.InstallContinuous(sim, s.checker)
 		wireRecent(s.checker, cfg.Obs)
@@ -588,7 +618,7 @@ func installFootprintSampler(cfg RunConfig, s *dynSession, protocol string) {
 }
 
 // setupDyn builds the session for a dynamic protocol.
-func setupDyn(cfg RunConfig, g *topology.Graph, routing *unicast.Routing,
+func setupDyn(cfg RunConfig, g *topology.Graph, routing unicast.Router,
 	sourceHost topology.NodeID, members []topology.NodeID, rng *rand.Rand) *dynSession {
 	switch cfg.Protocol {
 	case HBH, HBHNoFusion:
@@ -600,7 +630,7 @@ func setupDyn(cfg RunConfig, g *topology.Graph, routing *unicast.Routing,
 	}
 }
 
-func runHBH(cfg RunConfig, g *topology.Graph, routing *unicast.Routing,
+func runHBH(cfg RunConfig, g *topology.Graph, routing unicast.Router,
 	sourceHost topology.NodeID, members []topology.NodeID, rng *rand.Rand) RunResult {
 	s := setupHBH(cfg, g, routing, sourceHost, members, rng)
 	converge(s.sim, s.interval, cfg.ConvergeIntervals)
@@ -609,7 +639,7 @@ func runHBH(cfg RunConfig, g *topology.Graph, routing *unicast.Routing,
 	return toRunResult(res)
 }
 
-func runREUNITE(cfg RunConfig, g *topology.Graph, routing *unicast.Routing,
+func runREUNITE(cfg RunConfig, g *topology.Graph, routing unicast.Router,
 	sourceHost topology.NodeID, members []topology.NodeID, rng *rand.Rand) RunResult {
 	s := setupREUNITE(cfg, g, routing, sourceHost, members, rng)
 	converge(s.sim, s.interval, cfg.ConvergeIntervals)

@@ -13,7 +13,7 @@ import (
 // routingMatchesScratch asserts the network's incrementally maintained
 // routing agrees with a from-scratch recompute over the current graph
 // state, for every ordered node pair.
-func routingMatchesScratch(t *testing.T, g *topology.Graph, r *unicast.Routing, ctx string) {
+func routingMatchesScratch(t *testing.T, g *topology.Graph, r unicast.Router, ctx string) {
 	t.Helper()
 	scratch := unicast.Compute(g)
 	ids := append(append([]topology.NodeID(nil), g.Routers()...), g.Hosts()...)

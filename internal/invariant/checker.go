@@ -2,6 +2,7 @@ package invariant
 
 import (
 	"fmt"
+	"math/rand"
 	"strings"
 
 	"hbh/internal/addr"
@@ -33,6 +34,15 @@ type Checker struct {
 
 	members   []addr.Addr
 	memberSet map[addr.Addr]bool
+
+	// sampleMax, when > 0, bounds how many members the converged-tree
+	// and delivery checks walk (seeded random subset per checkpoint).
+	// Large-n runs above the unicast fast-path threshold use it: the
+	// exhaustive member walk reconstructs a path per member, which at
+	// scale faults thousands of per-source rows into the lazy router.
+	sampleMax  int
+	sampleSeed int64
+	sampleRNG  *rand.Rand
 
 	dirty      bool
 	violations []Violation
@@ -87,6 +97,36 @@ func (c *Checker) SetMembers(members []addr.Addr) {
 	for _, m := range members {
 		c.memberSet[m] = true
 	}
+}
+
+// SetSample switches the member-population checks (spanning,
+// unique-service, shortest-path, delivery) to sampled mode: each
+// checkpoint validates a seeded random subset of at most max members
+// instead of all of them. max <= 0 restores exhaustive checking.
+// Checks already violated by any member stay sound — sampling only
+// trades detection probability for bounded work at large n.
+func (c *Checker) SetSample(seed int64, max int) {
+	c.sampleMax = max
+	c.sampleSeed = seed
+	c.sampleRNG = nil
+	if max > 0 {
+		c.sampleRNG = rand.New(rand.NewSource(seed))
+	}
+}
+
+// checkMembers returns the member subset the current checkpoint
+// validates: everyone in exhaustive mode, a fresh seeded sample
+// otherwise.
+func (c *Checker) checkMembers() []addr.Addr {
+	if c.sampleMax <= 0 || len(c.members) <= c.sampleMax {
+		return c.members
+	}
+	idx := c.sampleRNG.Perm(len(c.members))[:c.sampleMax]
+	out := make([]addr.Addr, 0, c.sampleMax)
+	for _, i := range idx {
+		out = append(out, c.members[i])
+	}
+	return out
 }
 
 // SetRecent wires a flight-recorder lookup (typically
@@ -173,7 +213,7 @@ func (c *Checker) CheckConverged(seq uint32) {
 	}
 	if c.cfg.Delivery {
 		got := c.arrivals[seq]
-		for _, m := range c.members {
+		for _, m := range c.checkMembers() {
 			switch n := got[m]; {
 			case n == 0:
 				c.violate(m, "delivery-missing",
@@ -212,7 +252,7 @@ func (c *Checker) checkTree() *Tree {
 				fmt.Sprintf("delivery chain revisits %v", at), dump)
 		}
 	}
-	for _, m := range c.members {
+	for _, m := range c.checkMembers() {
 		chains := tree.Chains[m]
 		if c.cfg.Spanning && len(chains) == 0 {
 			c.violate(m, "spanning", "member unreachable through the reconstructed tree", dump)

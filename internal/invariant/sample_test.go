@@ -1,0 +1,74 @@
+package invariant
+
+import (
+	"testing"
+
+	"hbh/internal/addr"
+	"hbh/internal/topology"
+)
+
+func TestSampledMembersBounded(t *testing.T) {
+	g := topology.Line(12, true)
+	net, _ := buildNet(t, g)
+	src := g.Hosts()[0]
+	ch, err := addr.NewChannel(g.Node(src).Addr, addr.GroupAddr(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := New(net, ch, ProfileHBH(), nil)
+	var members []addr.Addr
+	for _, h := range g.Hosts()[1:] {
+		members = append(members, g.Node(h).Addr)
+	}
+	c.SetMembers(members)
+
+	c.SetSample(1, 4)
+	got := c.checkMembers()
+	if len(got) != 4 {
+		t.Fatalf("sampled %d members, want 4", len(got))
+	}
+	seen := map[addr.Addr]bool{}
+	for _, m := range got {
+		if !c.memberSet[m] {
+			t.Fatalf("sampled non-member %v", m)
+		}
+		if seen[m] {
+			t.Fatalf("duplicate sampled member %v", m)
+		}
+		seen[m] = true
+	}
+	// Successive checkpoints draw fresh subsets from the seeded stream;
+	// over a few draws the union must exceed one subset (i.e. it is not
+	// the same 4 members forever).
+	union := map[addr.Addr]bool{}
+	for i := 0; i < 8; i++ {
+		for _, m := range c.checkMembers() {
+			union[m] = true
+		}
+	}
+	if len(union) <= 4 {
+		t.Fatalf("8 checkpoints covered only %d members", len(union))
+	}
+
+	c.SetSample(0, 0)
+	if got := c.checkMembers(); len(got) != len(members) {
+		t.Fatalf("exhaustive mode returned %d members, want %d", len(got), len(members))
+	}
+}
+
+func TestSampledModeNoopBelowMax(t *testing.T) {
+	g := topology.Line(4, true)
+	net, _ := buildNet(t, g)
+	src := g.Hosts()[0]
+	ch, err := addr.NewChannel(g.Node(src).Addr, addr.GroupAddr(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := New(net, ch, ProfileHBH(), nil)
+	members := []addr.Addr{g.Node(g.Hosts()[1]).Addr, g.Node(g.Hosts()[2]).Addr}
+	c.SetMembers(members)
+	c.SetSample(9, 16)
+	if got := c.checkMembers(); len(got) != len(members) {
+		t.Fatalf("sample max above population returned %d members, want all %d", len(got), len(members))
+	}
+}

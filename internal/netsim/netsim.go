@@ -139,7 +139,7 @@ func (s Stats) Delta(prev Stats) Stats {
 type Network struct {
 	sim     *eventsim.Sim
 	topo    *topology.Graph
-	routing *unicast.Routing
+	routing unicast.Router
 	nodes   []*Node
 
 	taps    []Tap
@@ -188,9 +188,10 @@ type Node struct {
 	deliver  DeliverFunc
 }
 
-// New builds a network over g with routing tables r (computed from g)
-// and clock sim.
-func New(sim *eventsim.Sim, g *topology.Graph, r *unicast.Routing) *Network {
+// New builds a network over g with routing substrate r (computed from
+// g — eager tables or the lazy per-source router, see unicast.New) and
+// clock sim.
+func New(sim *eventsim.Sim, g *topology.Graph, r unicast.Router) *Network {
 	if r.Graph() != g {
 		panic("netsim: routing tables computed for a different graph")
 	}
@@ -209,15 +210,15 @@ func (n *Network) Sim() *eventsim.Sim { return n.sim }
 // Topology returns the underlying graph.
 func (n *Network) Topology() *topology.Graph { return n.topo }
 
-// Routing returns the unicast tables.
-func (n *Network) Routing() *unicast.Routing { return n.routing }
+// Routing returns the unicast routing substrate.
+func (n *Network) Routing() unicast.Router { return n.routing }
 
 // SetRouting swaps in freshly computed routing tables mid-run, e.g.
 // after a topology change recomputed them from scratch. The tables
 // must belong to this network's graph. (Tables mutated in place via
 // Routing().Recompute* need no swap — the network always consults the
 // live object.)
-func (n *Network) SetRouting(r *unicast.Routing) {
+func (n *Network) SetRouting(r unicast.Router) {
 	if r.Graph() != n.topo {
 		panic("netsim: SetRouting with tables computed for a different graph")
 	}

@@ -109,7 +109,7 @@ func (m *Member) Handle(n *netsim.Node, msg packet.Message) netsim.Verdict {
 
 // CentroidRP returns the router minimising the total forward distance
 // to all router nodes — a source-agnostic deterministic RP choice.
-func CentroidRP(r *unicast.Routing) topology.NodeID {
+func CentroidRP(r unicast.Router) topology.NodeID {
 	g := r.Graph()
 	best, bestSum := topology.None, -1
 	for _, cand := range g.Routers() {
@@ -138,7 +138,7 @@ func CentroidRP(r *unicast.Routing) topology.NodeID {
 // revDelay returns the data-plane delay a receiver at r would see from
 // x over the reverse shortest-path branch: the forward cost of the
 // links of the unicast path r -> x, traversed backwards.
-func revDelay(rt *unicast.Routing, x, r topology.NodeID) int {
+func revDelay(rt unicast.Router, x, r topology.NodeID) int {
 	g := rt.Graph()
 	p := rt.Path(r, x)
 	if p == nil {
@@ -157,7 +157,7 @@ func revDelay(rt *unicast.Routing, x, r topology.NodeID) int {
 // delay RP -> host. This models a rendezvous point configured well for
 // the session, which is what the paper's PIM-SM-beats-PIM-SS delay
 // observation on the ISP topology presumes.
-func DelayOptimalRP(rt *unicast.Routing, sourceHost topology.NodeID) topology.NodeID {
+func DelayOptimalRP(rt unicast.Router, sourceHost topology.NodeID) topology.NodeID {
 	g := rt.Graph()
 	best, bestSum := topology.None, -1
 	for _, cand := range g.Routers() {

@@ -82,6 +82,11 @@ type Graph struct {
 	// later re-enable restores the exact pre-failure substrate. The
 	// routing and simulation layers consult LinkEnabled on every use.
 	down map[linkKey]bool
+	// maxCost is a monotone upper bound on every directed link cost
+	// ever set (it is not lowered when costs decrease). The routing
+	// layer consults it to pick a bucket-queue shortest-path scan when
+	// costs are small integers.
+	maxCost int
 }
 
 // linkKey identifies an undirected link by its normalized endpoints.
@@ -141,7 +146,22 @@ func (g *Graph) AddLink(a, b NodeID, costAB, costBA int) {
 	g.adj[a] = append(g.adj[a], Neighbor{To: b, Cost: costAB})
 	g.adj[b] = append(g.adj[b], Neighbor{To: a, Cost: costBA})
 	g.edges = append(g.edges, Edge{A: a, B: b, CostAB: costAB, CostBA: costBA})
+	g.noteCost(costAB)
+	g.noteCost(costBA)
 }
+
+// noteCost folds c into the monotone cost upper bound.
+func (g *Graph) noteCost(c int) {
+	if c > g.maxCost {
+		g.maxCost = c
+	}
+}
+
+// MaxLinkCost returns an upper bound on every directed link cost: the
+// largest cost ever set on this graph. It is not tightened when costs
+// are later lowered, so it may overestimate — callers use it only to
+// size cost-indexed structures.
+func (g *Graph) MaxLinkCost() int { return g.maxCost }
 
 func (g *Graph) valid(v NodeID) bool { return v >= 0 && int(v) < len(g.nodes) }
 
@@ -216,6 +236,20 @@ func (g *Graph) LinkEnabled(a, b NodeID) bool {
 		return false
 	}
 	return g.HasLink(a, b)
+}
+
+// HasDownLinks reports whether any link is administratively disabled.
+// Hot loops hoist this to skip per-edge LinkUp checks on a fault-free
+// graph.
+func (g *Graph) HasDownLinks() bool { return len(g.down) > 0 }
+
+// LinkUp reports whether a link known to exist is not disabled. Unlike
+// LinkEnabled it skips the adjacency existence scan, so it is safe in
+// hot loops that already iterate Neighbors — with no faults injected it
+// is a single length check. Calling it for a link that does not exist
+// returns true; use LinkEnabled when existence is in question.
+func (g *Graph) LinkUp(a, b NodeID) bool {
+	return len(g.down) == 0 || !g.down[mkLinkKey(a, b)]
 }
 
 // DownLinks returns the currently disabled links as normalized
@@ -469,6 +503,7 @@ func (g *Graph) perturbCosts(rng *rand.Rand, lo, hi, spread int, apply bool) {
 }
 
 func (g *Graph) setCost(from, to NodeID, c int) {
+	g.noteCost(c)
 	for i := range g.adj[from] {
 		if g.adj[from][i].To == to {
 			g.adj[from][i].Cost = c
@@ -482,10 +517,11 @@ func (g *Graph) setCost(from, to NodeID, c int) {
 // base topology before randomizing costs so runs stay independent.
 func (g *Graph) Clone() *Graph {
 	c := &Graph{
-		nodes:  append([]Node(nil), g.nodes...),
-		adj:    make([][]Neighbor, len(g.adj)),
-		edges:  append([]Edge(nil), g.edges...),
-		byAddr: make(map[addr.Addr]NodeID, len(g.byAddr)),
+		nodes:   append([]Node(nil), g.nodes...),
+		adj:     make([][]Neighbor, len(g.adj)),
+		edges:   append([]Edge(nil), g.edges...),
+		byAddr:  make(map[addr.Addr]NodeID, len(g.byAddr)),
+		maxCost: g.maxCost,
 	}
 	for i, ns := range g.adj {
 		c.adj[i] = append([]Neighbor(nil), ns...)

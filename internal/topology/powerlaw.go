@@ -1,0 +1,325 @@
+package topology
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"hbh/internal/addr"
+)
+
+// This file holds the Internet-scale topology generators: Waxman's
+// distance-weighted random graphs, Barabási–Albert preferential
+// attachment (power-law degree distribution, the AS-level shape), and a
+// two-tier transit-stub model. All three follow the conventions of
+// Random: routers first with dense IDs 0..Routers-1, unit costs
+// (experiments redraw them), optional one host per router, and a
+// connectivity panic. Waxman and TransitStub are O(n²) and meant for
+// bounded n (catalog/fuzz substrates); BarabasiAlbert is O(n·m) and is
+// the generator the A13 scale sweep pushes to 50k routers.
+
+// WaxmanConfig parameterises the Waxman random graph generator.
+type WaxmanConfig struct {
+	// Routers is the number of router nodes.
+	Routers int
+	// Alpha scales overall edge density; Beta controls how sharply
+	// probability decays with distance (larger = longer links likelier).
+	// The classic parameterisation: P(u,v) = Alpha * exp(-d(u,v)/(Beta*L))
+	// with L the maximum inter-node distance. Zero values default to the
+	// common (0.15, 0.2).
+	Alpha, Beta float64
+	// Hosts attaches one potential-receiver host per router when true.
+	Hosts bool
+}
+
+// Waxman generates a connected Waxman random graph: routers placed
+// uniformly in the unit square, each pair linked with probability
+// Alpha·exp(−d/(Beta·L)). Components left over after the probabilistic
+// pass are stitched together through their geometrically closest
+// cross-component pairs, so short "repair" links that Waxman's model
+// itself favours. O(n²) — use at bounded n.
+func Waxman(cfg WaxmanConfig, rng *rand.Rand) *Graph {
+	if cfg.Routers < 2 {
+		panic("topology: Waxman needs at least 2 routers")
+	}
+	alpha, beta := cfg.Alpha, cfg.Beta
+	if alpha == 0 {
+		alpha = 0.15
+	}
+	if beta == 0 {
+		beta = 0.2
+	}
+	n := cfg.Routers
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	for i := range xs {
+		xs[i] = rng.Float64()
+		ys[i] = rng.Float64()
+	}
+	dist := func(i, j int) float64 {
+		return math.Hypot(xs[i]-xs[j], ys[i]-ys[j])
+	}
+	// L is the realised maximum inter-node distance, per Waxman's model.
+	var maxD float64
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if d := dist(i, j); d > maxD {
+				maxD = d
+			}
+		}
+	}
+	if maxD == 0 {
+		maxD = 1 // degenerate coincident placement; any L works
+	}
+
+	g := New()
+	for i := 0; i < n; i++ {
+		g.AddNode(Router, addr.RouterAddr(i), fmt.Sprintf("R%d", i))
+	}
+	uf := newUnionFind(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if rng.Float64() < alpha*math.Exp(-dist(i, j)/(beta*maxD)) {
+				g.AddLink(NodeID(i), NodeID(j), 1, 1)
+				uf.union(i, j)
+			}
+		}
+	}
+	// Stitch residual components along their closest cross-component
+	// pair until one remains.
+	for {
+		bi, bj := -1, -1
+		best := math.Inf(1)
+		root0 := uf.find(0)
+		for i := 0; i < n; i++ {
+			if uf.find(i) != root0 {
+				continue
+			}
+			for j := 0; j < n; j++ {
+				if uf.find(j) == root0 {
+					continue
+				}
+				if d := dist(i, j); d < best {
+					best, bi, bj = d, i, j
+				}
+			}
+		}
+		if bi < 0 {
+			break
+		}
+		g.AddLink(NodeID(bi), NodeID(bj), 1, 1)
+		uf.union(bi, bj)
+	}
+
+	attachHosts(g, cfg.Hosts, n)
+	if !g.Connected() {
+		panic("topology: Waxman graph not connected")
+	}
+	return g
+}
+
+// BAConfig parameterises the Barabási–Albert generator.
+type BAConfig struct {
+	// Routers is the number of router nodes.
+	Routers int
+	// M is the number of links each arriving router attaches with
+	// (preferential attachment); the realised average degree tends to
+	// 2M. Zero defaults to 2, the classic sparse-Internet setting.
+	M int
+	// Hosts attaches one potential-receiver host per router when true.
+	// Leave false at large n and attach hosts only where needed — every
+	// node enlarges all per-source routing rows.
+	Hosts bool
+}
+
+// BarabasiAlbert generates a connected preferential-attachment graph:
+// an (M+1)-clique seed, then each new router links to M distinct
+// earlier routers chosen with probability proportional to their current
+// degree (implemented with the classic repeated-endpoints list, so one
+// draw is O(1)). Produces the heavy-tailed degree distribution of
+// AS-level maps in O(n·M) time — the substrate generator for the A13
+// scale sweep.
+func BarabasiAlbert(cfg BAConfig, rng *rand.Rand) *Graph {
+	m := cfg.M
+	if m == 0 {
+		m = 2
+	}
+	if m < 1 {
+		panic("topology: BarabasiAlbert needs M >= 1")
+	}
+	if cfg.Routers < m+1 {
+		panic(fmt.Sprintf("topology: BarabasiAlbert needs at least M+1=%d routers", m+1))
+	}
+	n := cfg.Routers
+	g := New()
+	for i := 0; i < n; i++ {
+		g.AddNode(Router, addr.RouterAddr(i), fmt.Sprintf("R%d", i))
+	}
+	// endpoints lists every link endpoint once per incidence; drawing a
+	// uniform element is exactly degree-proportional sampling.
+	endpoints := make([]NodeID, 0, 2*(m*(m+1)/2+(n-m-1)*m))
+	for i := 0; i <= m; i++ {
+		for j := i + 1; j <= m; j++ {
+			g.AddLink(NodeID(i), NodeID(j), 1, 1)
+			endpoints = append(endpoints, NodeID(i), NodeID(j))
+		}
+	}
+	targets := make([]NodeID, 0, m)
+	for v := m + 1; v < n; v++ {
+		targets = targets[:0]
+		for len(targets) < m {
+			t := endpoints[rng.Intn(len(endpoints))]
+			dup := false
+			for _, u := range targets {
+				if u == t {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				targets = append(targets, t)
+			}
+		}
+		for _, t := range targets {
+			g.AddLink(NodeID(v), t, 1, 1)
+			endpoints = append(endpoints, NodeID(v), t)
+		}
+	}
+
+	attachHosts(g, cfg.Hosts, n)
+	if !g.Connected() {
+		panic("topology: Barabási–Albert graph not connected")
+	}
+	return g
+}
+
+// TransitStubConfig parameterises the two-tier transit-stub generator.
+type TransitStubConfig struct {
+	// Transits is the number of transit (core) routers.
+	Transits int
+	// TransitDegree is the target average degree of the transit mesh.
+	TransitDegree float64
+	// Stubs is the number of stub domains; StubRouters the routers per
+	// domain; StubDegree the target average degree inside a domain.
+	Stubs, StubRouters int
+	StubDegree         float64
+	// ExtraStubLinks adds this many additional random stub-to-transit
+	// links (multi-homed stubs) beyond the one per domain.
+	ExtraStubLinks int
+	// Hosts attaches one potential-receiver host per router when true.
+	Hosts bool
+}
+
+// TransitStub generates a two-tier hierarchy in the GT-ITM mould: a
+// connected random transit core, plus stub domains — each a small
+// connected random graph — single-homed to a uniformly chosen transit
+// router, with optional extra stub-transit links for multi-homing.
+// Router IDs stay dense: transit routers first, then each domain's.
+func TransitStub(cfg TransitStubConfig, rng *rand.Rand) *Graph {
+	if cfg.Transits < 2 {
+		panic("topology: TransitStub needs at least 2 transit routers")
+	}
+	if cfg.Stubs < 1 || cfg.StubRouters < 1 {
+		panic("topology: TransitStub needs at least one stub domain with one router")
+	}
+	n := cfg.Transits + cfg.Stubs*cfg.StubRouters
+	g := New()
+	for i := 0; i < n; i++ {
+		g.AddNode(Router, addr.RouterAddr(i), fmt.Sprintf("R%d", i))
+	}
+
+	// Transit core: spanning tree + random fill to the degree target.
+	wireRandomMesh(g, rng, 0, cfg.Transits, cfg.TransitDegree)
+
+	// Stub domains, each internally connected and homed to the core.
+	for s := 0; s < cfg.Stubs; s++ {
+		base := cfg.Transits + s*cfg.StubRouters
+		wireRandomMesh(g, rng, base, cfg.StubRouters, cfg.StubDegree)
+		home := NodeID(rng.Intn(cfg.Transits))
+		g.AddLink(NodeID(base+rng.Intn(cfg.StubRouters)), home, 1, 1)
+	}
+	// Multi-homing: extra stub->transit links.
+	for k := 0; k < cfg.ExtraStubLinks; {
+		a := NodeID(cfg.Transits + rng.Intn(cfg.Stubs*cfg.StubRouters))
+		b := NodeID(rng.Intn(cfg.Transits))
+		if g.HasLink(a, b) {
+			continue
+		}
+		g.AddLink(a, b, 1, 1)
+		k++
+	}
+
+	attachHosts(g, cfg.Hosts, n)
+	if !g.Connected() {
+		panic("topology: transit-stub graph not connected")
+	}
+	return g
+}
+
+// wireRandomMesh connects the count routers starting at base into a
+// connected random mesh: random-attachment spanning tree, then uniform
+// extra links up to round(count*avgDegree/2) edges. The same shape
+// Random builds, scoped to an ID range.
+func wireRandomMesh(g *Graph, rng *rand.Rand, base, count int, avgDegree float64) {
+	if count == 1 {
+		return
+	}
+	perm := rng.Perm(count)
+	for i := 1; i < count; i++ {
+		parent := perm[rng.Intn(i)]
+		g.AddLink(NodeID(base+perm[i]), NodeID(base+parent), 1, 1)
+	}
+	target := int(float64(count)*avgDegree/2 + 0.5)
+	maxEdges := count * (count - 1) / 2
+	if target > maxEdges {
+		target = maxEdges
+	}
+	for added := count - 1; added < target; {
+		a := NodeID(base + rng.Intn(count))
+		b := NodeID(base + rng.Intn(count))
+		if a == b || g.HasLink(a, b) {
+			continue
+		}
+		g.AddLink(a, b, 1, 1)
+		added++
+	}
+}
+
+// attachHosts appends one potential-receiver host per router, matching
+// the naming and addressing of the other generators.
+func attachHosts(g *Graph, hosts bool, routers int) {
+	if !hosts {
+		return
+	}
+	for i := 0; i < routers; i++ {
+		h := g.AddNode(Host, addr.ReceiverAddr(i), fmt.Sprintf("h%d", routers+i))
+		g.AddLink(h, NodeID(i), 1, 1)
+	}
+}
+
+// unionFind is a tiny path-compressing disjoint-set, used by Waxman's
+// connectivity stitching.
+type unionFind struct{ parent []int }
+
+func newUnionFind(n int) *unionFind {
+	uf := &unionFind{parent: make([]int, n)}
+	for i := range uf.parent {
+		uf.parent[i] = i
+	}
+	return uf
+}
+
+func (uf *unionFind) find(x int) int {
+	for uf.parent[x] != x {
+		uf.parent[x] = uf.parent[uf.parent[x]]
+		x = uf.parent[x]
+	}
+	return x
+}
+
+func (uf *unionFind) union(a, b int) {
+	ra, rb := uf.find(a), uf.find(b)
+	if ra != rb {
+		uf.parent[ra] = rb
+	}
+}

@@ -1,0 +1,286 @@
+package unicast
+
+import "hbh/internal/topology"
+
+// This file implements the on-demand per-source routing substrate used
+// above FastPathThreshold nodes. Instead of materialising all n sources
+// eagerly (O(n²) memory — ~20 GB of distFlat alone at 50k routers), a
+// Lazy router computes a source's row with the same 0-alloc indexed-heap
+// Dijkstra on first query and keeps the most recently used rows in a
+// bounded LRU. Invalidation after cost churn and link up/down events is
+// per-source: each *cached* row is tested with the identical
+// may-affect predicates the eager tables use, and only affected rows
+// are dropped (to be recomputed on next touch). Sources not in the
+// cache need nothing — their next query runs Dijkstra over the already
+// updated graph. Because dijkstraInto breaks ties deterministically, a
+// row is bit-identical however it came to exist: computed fresh, kept
+// across an invalidation it survived, or recomputed after an eviction.
+
+// DefaultLazyBudgetBytes is the approximate memory budget the default
+// LRU capacity is derived from: capacity = budget / (16 bytes × n),
+// clamped to [64, 4096] rows. At n = 100k a row is 1.6 MB, giving ~671
+// cached sources — comfortably more than any single experiment routes
+// concurrently, and ~1 GiB resident worst case.
+const DefaultLazyBudgetBytes = 1 << 30
+
+// lazyRowBytes is the per-node size of one cached row: an 8-byte next
+// hop plus an 8-byte distance.
+const lazyRowBytes = 16
+
+// LazyOptions configures NewLazy.
+type LazyOptions struct {
+	// MaxSources caps the number of cached per-source rows. 0 derives
+	// the cap from DefaultLazyBudgetBytes and the graph size.
+	MaxSources int
+}
+
+// LazyStats counts cache traffic on a Lazy router, for benchmarks and
+// the A13 scale report.
+type LazyStats struct {
+	Hits          uint64 // queries answered from a cached row
+	Misses        uint64 // queries that ran a fresh Dijkstra
+	Evictions     uint64 // rows dropped for capacity
+	Invalidations uint64 // rows dropped by recompute hooks
+	Cached        int    // rows currently resident
+}
+
+// Lazy is the on-demand Router implementation: per-source rows computed
+// with dijkstraInto on first query, cached in an LRU, invalidated
+// per-source by the recompute hooks. Not safe for concurrent use, like
+// *Routing.
+type Lazy struct {
+	g          *topology.Graph
+	maxSources int
+	rows       map[topology.NodeID]*lazyRow
+	// free recycles evicted/invalidated row storage so steady-state
+	// cache churn allocates nothing.
+	free    []*lazyRow
+	scratch *sptScratch
+	clock   uint64
+	stats   LazyStats
+}
+
+// lazyRow is one source's routing row: the same next/dist vectors an
+// eager table holds for that source, plus the LRU timestamp.
+type lazyRow struct {
+	next []topology.NodeID
+	dist []int
+	used uint64
+}
+
+// NewLazy builds an on-demand router over g. No routes are computed
+// until queried.
+func NewLazy(g *topology.Graph, opts LazyOptions) *Lazy {
+	n := g.NumNodes()
+	max := opts.MaxSources
+	if max <= 0 {
+		max = DefaultLazyBudgetBytes / (lazyRowBytes * n)
+		if max < 64 {
+			max = 64
+		}
+		if max > 4096 {
+			max = 4096
+		}
+	}
+	return &Lazy{
+		g:          g,
+		maxSources: max,
+		rows:       make(map[topology.NodeID]*lazyRow, max),
+		scratch:    newSPTScratch(n),
+	}
+}
+
+// row returns s's routing row, computing it (and evicting the least
+// recently used row if at capacity) on a miss.
+func (l *Lazy) row(s topology.NodeID) *lazyRow {
+	if rw, ok := l.rows[s]; ok {
+		l.clock++
+		rw.used = l.clock
+		l.stats.Hits++
+		return rw
+	}
+	l.stats.Misses++
+	if len(l.rows) >= l.maxSources {
+		l.evictOldest()
+	}
+	rw := l.takeRow()
+	dijkstraInto(l.g, s, rw.next, rw.dist, l.scratch)
+	l.clock++
+	rw.used = l.clock
+	l.rows[s] = rw
+	return rw
+}
+
+// takeRow returns row storage from the free list, or allocates it.
+func (l *Lazy) takeRow() *lazyRow {
+	if n := len(l.free); n > 0 {
+		rw := l.free[n-1]
+		l.free = l.free[:n-1]
+		return rw
+	}
+	n := l.g.NumNodes()
+	return &lazyRow{next: make([]topology.NodeID, n), dist: make([]int, n)}
+}
+
+// evictOldest drops the least recently used row. A linear scan is fine:
+// the cap is at most a few thousand, and an eviction is always paired
+// with a fresh Dijkstra that dwarfs the scan.
+func (l *Lazy) evictOldest() {
+	var victim topology.NodeID = topology.None
+	var oldest uint64
+	for s, rw := range l.rows {
+		if victim == topology.None || rw.used < oldest {
+			victim, oldest = s, rw.used
+		}
+	}
+	if victim == topology.None {
+		return
+	}
+	l.free = append(l.free, l.rows[victim])
+	delete(l.rows, victim)
+	l.stats.Evictions++
+}
+
+// drop removes s's cached row (if resident), recycling its storage.
+func (l *Lazy) drop(s topology.NodeID) {
+	rw, ok := l.rows[s]
+	if !ok {
+		return
+	}
+	l.free = append(l.free, rw)
+	delete(l.rows, s)
+	l.stats.Invalidations++
+}
+
+// NextHop returns the first hop on the shortest path from -> to.
+func (l *Lazy) NextHop(from, to topology.NodeID) topology.NodeID {
+	return l.row(from).next[to]
+}
+
+// Dist returns the cost of the shortest directed path from -> to.
+func (l *Lazy) Dist(from, to topology.NodeID) int {
+	return l.row(from).dist[to]
+}
+
+// Reachable reports whether to can be reached from from.
+func (l *Lazy) Reachable(from, to topology.NodeID) bool {
+	return l.row(from).dist[to] != Infinity
+}
+
+// Path returns the node sequence of the shortest directed path
+// from -> to. Each intermediate node's row is materialised (and
+// cached) along the way — the same rows per-hop forwarding of a packet
+// on that path would touch.
+func (l *Lazy) Path(from, to topology.NodeID) []topology.NodeID {
+	return walkPath(l, from, to)
+}
+
+// PathLinks returns the path's directed links as (a, b) hops.
+func (l *Lazy) PathLinks(from, to topology.NodeID) [][2]topology.NodeID {
+	return walkPathLinks(l, from, to)
+}
+
+// Recompute drops every cached row; each recomputes over the current
+// graph on its next query. Equivalent to the eager full reconvergence.
+func (l *Lazy) Recompute() {
+	for s := range l.rows {
+		l.drop(s)
+	}
+}
+
+// RecomputeLinks invalidates cached rows after the given undirected
+// links changed up/down state. A cached row holds pre-change tables, so
+// the eager path's dirty-source predicate applies verbatim: source s is
+// affected iff some changed direction u -> v satisfies
+// dist(s,u) + c(u,v) <= dist(s,v) in s's cached row (see
+// Routing.RecomputeLinks for the soundness argument in both the
+// link-down and link-up cases). Affected rows are dropped rather than
+// recomputed — the next query pays the Dijkstra. Uncached sources need
+// nothing: they have no stale state to fix.
+func (l *Lazy) RecomputeLinks(changed ...[2]topology.NodeID) {
+	for s, rw := range l.rows {
+		for _, ch := range changed {
+			if l.linkMayAffect(rw, ch[0], ch[1]) || l.linkMayAffect(rw, ch[1], ch[0]) {
+				l.drop(s)
+				break
+			}
+		}
+	}
+}
+
+// RecomputeCostChanges invalidates cached rows after the given links'
+// costs were rewritten, using the eager path's min(old, new) predicate
+// per direction (see Routing.RecomputeCostChanges).
+func (l *Lazy) RecomputeCostChanges(changes ...CostChange) {
+	for s, rw := range l.rows {
+		for _, ch := range changes {
+			if l.costChangeMayAffect(rw, ch.A, ch.B, ch.OldAB) ||
+				l.costChangeMayAffect(rw, ch.B, ch.A, ch.OldBA) {
+				l.drop(s)
+				break
+			}
+		}
+	}
+}
+
+// linkMayAffect is Routing.linkMayAffect against a cached row's
+// pre-change distances.
+func (l *Lazy) linkMayAffect(rw *lazyRow, u, v topology.NodeID) bool {
+	du := rw.dist[u]
+	if du == Infinity {
+		return false
+	}
+	c := l.g.Cost(u, v)
+	if c == 0 {
+		return false
+	}
+	return AddDist(du, c) <= rw.dist[v]
+}
+
+// costChangeMayAffect is Routing.costChangeMayAffect against a cached
+// row's pre-change distances.
+func (l *Lazy) costChangeMayAffect(rw *lazyRow, u, v topology.NodeID, old int) bool {
+	du := rw.dist[u]
+	if du == Infinity {
+		return false
+	}
+	c := l.g.Cost(u, v)
+	if c == 0 || (old > 0 && old < c) {
+		c = old
+	}
+	if c == 0 {
+		return false
+	}
+	return AddDist(du, c) <= rw.dist[v]
+}
+
+// Graph returns the graph routes are computed over.
+func (l *Lazy) Graph() *topology.Graph { return l.g }
+
+// MaxSources returns the LRU capacity in rows.
+func (l *Lazy) MaxSources() int { return l.maxSources }
+
+// Cached reports whether s's row is currently resident (test hook).
+func (l *Lazy) Cached(s topology.NodeID) bool {
+	_, ok := l.rows[s]
+	return ok
+}
+
+// Stats returns a snapshot of the cache counters.
+func (l *Lazy) Stats() LazyStats {
+	st := l.stats
+	st.Cached = len(l.rows)
+	return st
+}
+
+// MemoryBytes estimates the row storage resident on this router —
+// cached rows plus the recycle list — for the A13 table-memory column.
+func (l *Lazy) MemoryBytes() int64 {
+	return int64(len(l.rows)+len(l.free)) * int64(l.g.NumNodes()) * lazyRowBytes
+}
+
+// EagerMemoryBytes estimates what eager Compute's flat tables would
+// occupy for an n-node graph, for the same A13 column.
+func EagerMemoryBytes(n int) int64 {
+	return int64(n) * int64(n) * lazyRowBytes
+}

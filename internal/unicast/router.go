@@ -1,0 +1,120 @@
+package unicast
+
+import (
+	"fmt"
+
+	"hbh/internal/topology"
+)
+
+// Router is the unicast routing substrate every layer above routes
+// through: next hops and distances for the simulator's per-hop
+// forwarding, full paths for tree reconstruction, and the three
+// reconvergence hooks the faults layer drives after substrate changes.
+//
+// Two implementations exist. *Routing is the eager all-pairs table of
+// the paper reproduction — O(n²) memory, bit-identical committed
+// results, the small-graph fast path. *Lazy computes per-source rows on
+// demand and caches them in an LRU, so cost scales with the sources
+// actually routed instead of with n² — the only option at the
+// 10k-100k router scale of the A13 experiment. New selects between
+// them automatically by node count.
+type Router interface {
+	// Graph returns the graph the tables are computed over.
+	Graph() *topology.Graph
+	// NextHop returns the first hop on the shortest path from -> to
+	// (topology.None when from == to or to is unreachable).
+	NextHop(from, to topology.NodeID) topology.NodeID
+	// Dist returns the cost of the shortest directed path from -> to
+	// (0 when from == to, Infinity when unreachable).
+	Dist(from, to topology.NodeID) int
+	// Reachable reports whether to can be reached from from.
+	Reachable(from, to topology.NodeID) bool
+	// Path returns the node sequence of the shortest directed path,
+	// inclusive; nil when unreachable, [from] when from == to.
+	Path(from, to topology.NodeID) []topology.NodeID
+	// PathLinks returns the path's directed links as (a, b) hops; nil
+	// when unreachable or from == to.
+	PathLinks(from, to topology.NodeID) [][2]topology.NodeID
+
+	// Recompute reconverges every table after arbitrary graph changes.
+	Recompute()
+	// RecomputeLinks reconverges after the given undirected links
+	// changed up/down state (the graph must already reflect it).
+	RecomputeLinks(changed ...[2]topology.NodeID)
+	// RecomputeCostChanges reconverges after the given links' costs
+	// were rewritten (the graph must already reflect it).
+	RecomputeCostChanges(changes ...CostChange)
+}
+
+// FastPathThreshold is the node count at or above which New switches
+// from the eager all-pairs tables to the lazy per-source substrate.
+// Every committed evaluation topology (ISP, random-50, NSFNET,
+// Abilene, the bounded fuzz substrates) sits far below it, so all
+// committed tables and goldens keep the eager path and stay
+// bit-identical. Exported as a variable so scale tests can force
+// either mode; production code treats it as a constant.
+var FastPathThreshold = 1024
+
+// New builds the routing substrate for g, selecting the eager
+// all-pairs fast path below FastPathThreshold nodes and the lazy
+// per-source substrate at or above it.
+func New(g *topology.Graph) Router {
+	if g.NumNodes() < FastPathThreshold {
+		return Compute(g)
+	}
+	return NewLazy(g, LazyOptions{})
+}
+
+// walkPath reconstructs the node sequence from -> to by following next
+// hops — the shared implementation behind both Router implementations'
+// Path methods.
+func walkPath(r Router, from, to topology.NodeID) []topology.NodeID {
+	if from == to {
+		return []topology.NodeID{from}
+	}
+	if !r.Reachable(from, to) {
+		return nil
+	}
+	path := []topology.NodeID{from}
+	cur := from
+	for cur != to {
+		nxt := r.NextHop(cur, to)
+		if nxt == topology.None {
+			panic(fmt.Sprintf("unicast: broken table %d->%d at %d", from, to, cur))
+		}
+		path = append(path, nxt)
+		cur = nxt
+	}
+	return path
+}
+
+// walkPathLinks renders walkPath as directed (a, b) hops.
+func walkPathLinks(r Router, from, to topology.NodeID) [][2]topology.NodeID {
+	p := r.Path(from, to)
+	if len(p) < 2 {
+		return nil
+	}
+	links := make([][2]topology.NodeID, 0, len(p)-1)
+	for i := 0; i+1 < len(p); i++ {
+		links = append(links, [2]topology.NodeID{p[i], p[i+1]})
+	}
+	return links
+}
+
+// Asymmetric reports whether the shortest path a -> b differs from the
+// reverse of the shortest path b -> a, node-by-node, over any Router
+// implementation (the paper's notion of a routing asymmetry between
+// two sites).
+func Asymmetric(r Router, a, b topology.NodeID) bool {
+	fwd := r.Path(a, b)
+	rev := r.Path(b, a)
+	if len(fwd) != len(rev) {
+		return true
+	}
+	for i := range fwd {
+		if fwd[i] != rev[len(rev)-1-i] {
+			return true
+		}
+	}
+	return false
+}

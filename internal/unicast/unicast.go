@@ -14,6 +14,7 @@ package unicast
 import (
 	"fmt"
 	"math"
+	"slices"
 
 	"hbh/internal/topology"
 )
@@ -81,82 +82,125 @@ func Compute(g *topology.Graph) *Routing {
 	return r
 }
 
-// sptScratch is the reusable Dijkstra working state: an indexed binary
+// sptScratch is the reusable Dijkstra working state: an indexed 4-ary
 // min-heap of frontier nodes with decrease-key support. One instance
 // serves every source of a Routing in turn (a Routing is never
 // recomputed concurrently), so per-source runs allocate nothing.
+//
+// The shape is chosen for the memory system, not for elegance — at
+// five-figure node counts the frontier is tens of thousands of entries
+// and the heap is the whole cost of the substrate:
+//
+//   - Entries carry their own (distance, node) key rather than
+//     indexing into the caller's dist array, whose random reads (two
+//     per comparison, megabytes apart) otherwise dominate.
+//   - 4-ary halves the sift depth of a binary heap, and the four
+//     children of a node share one 64-byte cache line.
+//   - Sifting moves a hole instead of swapping, so each level costs
+//     one entry copy and one pos write rather than two of each.
+//
+// None of this changes results: pop returns the minimum of the current
+// frontier under the strict total order (distance, node ID), which is
+// independent of heap arity and sift strategy, so the pop sequence —
+// and hence every routing table — is bit-identical to the original
+// binary-heap implementation.
+type sptItem struct {
+	d int
+	v topology.NodeID
+}
+
 type sptScratch struct {
-	heap []topology.NodeID
+	heap []sptItem
 	// pos[v] is v's index in heap, -1 when not queued. int32 keeps the
-	// array compact; topologies are far below 2^31 nodes.
+	// array compact; topologies are far below 2^31 nodes. A completed
+	// Dijkstra run pops every entry it pushed, restoring all -1s, so
+	// runs never need to re-clear it.
 	pos []int32
+	// buckets and live are the Dial bucket-queue working state (see
+	// dial). Each run drains every bucket it fills, so they need no
+	// per-run clearing either.
+	buckets [][]topology.NodeID
+	live    []topology.NodeID
 }
 
 func newSPTScratch(n int) *sptScratch {
-	return &sptScratch{heap: make([]topology.NodeID, 0, n), pos: make([]int32, n)}
-}
-
-// less orders frontier nodes by (tentative distance, node ID) — the
-// same deterministic tie-break the container/heap implementation used.
-func (sc *sptScratch) less(a, b topology.NodeID, dist []int) bool {
-	if dist[a] != dist[b] {
-		return dist[a] < dist[b]
+	sc := &sptScratch{heap: make([]sptItem, 0, n), pos: make([]int32, n)}
+	for i := range sc.pos {
+		sc.pos[i] = -1
 	}
-	return a < b
+	return sc
 }
 
-func (sc *sptScratch) swap(i, j int) {
-	h := sc.heap
-	h[i], h[j] = h[j], h[i]
-	sc.pos[h[i]] = int32(i)
-	sc.pos[h[j]] = int32(j)
+// less orders frontier entries by (tentative distance, node ID) — the
+// same deterministic tie-break the container/heap implementation used.
+func less(a, b sptItem) bool {
+	if a.d != b.d {
+		return a.d < b.d
+	}
+	return a.v < b.v
 }
 
-// fix inserts v or restores its heap position after a decrease-key
-// (Dijkstra relaxations only ever lower a tentative distance, so a
-// sift-up suffices).
-func (sc *sptScratch) fix(v topology.NodeID, dist []int) {
+// fix inserts v with distance d, or applies a decrease-key and
+// restores its heap position (Dijkstra relaxations only ever lower a
+// tentative distance, so a sift-up suffices).
+func (sc *sptScratch) fix(v topology.NodeID, d int) {
 	i := int(sc.pos[v])
 	if i < 0 {
-		sc.heap = append(sc.heap, v)
+		sc.heap = append(sc.heap, sptItem{})
 		i = len(sc.heap) - 1
-		sc.pos[v] = int32(i)
 	}
+	it := sptItem{d: d, v: v}
+	h := sc.heap
 	for i > 0 {
-		parent := (i - 1) / 2
-		if !sc.less(sc.heap[i], sc.heap[parent], dist) {
+		parent := (i - 1) / 4
+		if !less(it, h[parent]) {
 			break
 		}
-		sc.swap(i, parent)
+		h[i] = h[parent]
+		sc.pos[h[i].v] = int32(i)
 		i = parent
 	}
+	h[i] = it
+	sc.pos[v] = int32(i)
 }
 
 // pop removes and returns the minimum frontier node.
-func (sc *sptScratch) pop(dist []int) topology.NodeID {
+func (sc *sptScratch) pop() topology.NodeID {
 	h := sc.heap
-	v := h[0]
-	n := len(h) - 1
-	sc.swap(0, n)
+	v := h[0].v
 	sc.pos[v] = -1
+	n := len(h) - 1
+	it := h[n]
 	sc.heap = h[:n]
-	// sift down from the root.
+	if n == 0 {
+		return v
+	}
+	// Sift the displaced last entry down from the root.
 	i := 0
 	for {
-		l := 2*i + 1
-		if l >= n {
+		c := 4*i + 1
+		if c >= n {
 			break
 		}
-		least := l
-		if r := l + 1; r < n && sc.less(sc.heap[r], sc.heap[l], dist) {
-			least = r
+		end := c + 4
+		if end > n {
+			end = n
 		}
-		if !sc.less(sc.heap[least], sc.heap[i], dist) {
+		least := c
+		for j := c + 1; j < end; j++ {
+			if less(h[j], h[least]) {
+				least = j
+			}
+		}
+		if !less(h[least], it) {
 			break
 		}
-		sc.swap(i, least)
+		h[i] = h[least]
+		sc.pos[h[i].v] = int32(i)
 		i = least
 	}
+	h[i] = it
+	sc.pos[it.v] = int32(i)
 	return v
 }
 
@@ -170,17 +214,33 @@ func dijkstraInto(g *topology.Graph, s topology.NodeID, first []topology.NodeID,
 	for i := range dist {
 		dist[i] = Infinity
 		first[i] = topology.None
-		sc.pos[i] = -1
 	}
 	dist[s] = 0
-	sc.heap = sc.heap[:0]
-	sc.fix(s, dist)
 
+	// Every graph enforces costs >= 1 (AddLink/SetLinkCost panic
+	// otherwise), so the bucket-queue scan is always correct; it only
+	// needs the cost bound to be small enough to size its circular
+	// bucket array. That covers every topology in the repo — the heap
+	// is the fallback for synthetic graphs with huge costs.
+	if mc := g.MaxLinkCost(); mc > 0 && mc <= dialMaxCost {
+		sc.dial(g, s, first, dist, mc)
+		return
+	}
+
+	sc.heap = sc.heap[:0]
+	sc.fix(s, 0)
+
+	// Existence is structural (neighbors come from the adjacency), so
+	// only the fault state needs checking — LinkEnabled's existence
+	// scan would cost O(deg) per relaxed edge, quadratic in degree on
+	// power-law hubs. And when no link is down (the overwhelmingly
+	// common case) the per-edge check is hoisted out entirely.
+	faulty := g.HasDownLinks()
 	for len(sc.heap) > 0 {
-		v := sc.pop(dist)
+		v := sc.pop()
 		dv := dist[v]
 		for _, nb := range g.Neighbors(v) {
-			if !g.LinkEnabled(v, nb.To) {
+			if faulty && !g.LinkUp(v, nb.To) {
 				continue
 			}
 			nd := AddDist(dv, nb.Cost)
@@ -191,9 +251,74 @@ func dijkstraInto(g *topology.Graph, s topology.NodeID, first []topology.NodeID,
 				} else {
 					first[nb.To] = first[v]
 				}
-				sc.fix(nb.To, dist)
+				sc.fix(nb.To, nd)
 			}
 		}
+	}
+}
+
+// dialMaxCost is the largest per-link cost for which dijkstraInto uses
+// the Dial bucket queue; its circular array holds maxCost+1 buckets.
+const dialMaxCost = 1 << 12
+
+// dial is the bucket-queue (Dial's algorithm) shortest-path scan used
+// when link costs are small positive integers — every real topology
+// here draws costs in [1,10]. Frontier nodes live in a circular array
+// of maxCost+1 distance-indexed buckets; processing distances in
+// increasing order replaces every comparison-heap operation (and its
+// cache-missing sift walks) with an append and a filter pass.
+//
+// Pop order is identical to the heap's: because all costs are >= 1, a
+// relaxation from a distance-d node can only push entries at d+1 or
+// beyond, so bucket d is complete before its first entry is processed
+// — sorting it by node ID then yields exactly the strict (distance,
+// node ID) total order. Decrease-key is lazy: the old entry stays in
+// its bucket and is dropped by the dist[v] == d liveness check when
+// its distance comes up. Stale entries from earlier wraps of the
+// circular array fail the same check.
+func (sc *sptScratch) dial(g *topology.Graph, s topology.NodeID, first []topology.NodeID, dist []int, maxCost int) {
+	size := maxCost + 1
+	if len(sc.buckets) < size {
+		sc.buckets = make([][]topology.NodeID, size)
+	}
+	buckets := sc.buckets
+	faulty := g.HasDownLinks()
+	buckets[0] = append(buckets[0], s)
+	remaining := 1
+	for d := 0; remaining > 0; d++ {
+		slot := d % size
+		b := buckets[slot]
+		if len(b) == 0 {
+			continue
+		}
+		live := sc.live[:0]
+		for _, v := range b {
+			if dist[v] == d {
+				live = append(live, v)
+			}
+		}
+		remaining -= len(b)
+		buckets[slot] = b[:0]
+		slices.Sort(live)
+		for _, v := range live {
+			for _, nb := range g.Neighbors(v) {
+				if faulty && !g.LinkUp(v, nb.To) {
+					continue
+				}
+				nd := d + nb.Cost
+				if nd < dist[nb.To] {
+					dist[nb.To] = nd
+					if v == s {
+						first[nb.To] = nb.To
+					} else {
+						first[nb.To] = first[v]
+					}
+					buckets[nd%size] = append(buckets[nd%size], nb.To)
+					remaining++
+				}
+			}
+		}
+		sc.live = live[:0]
 	}
 }
 
