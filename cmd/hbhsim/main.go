@@ -12,8 +12,10 @@
 // Figures: 7a 7b 8a 8b (paper), stability (Fig. 4 departure study),
 // ablation-fusion (A1), unicast-clouds (A2), asymmetry-sweep (A3),
 // failure-recovery (A10, fault script selected with -faults),
-// robustness (A12 churn x control-loss envelope),
-// paper (7a+7b+8a+8b sharing runs), all (everything).
+// robustness (A12 churn x control-loss envelope), scale (A13 routing
+// substrate ladder), manychannel (A14 heavy-traffic sweep: aggregate
+// state and control cost vs concurrent channel count, sharded across
+// -workers), paper (7a+7b+8a+8b sharing runs), all (everything).
 //
 // Adversarial fuzzing mode (replaces the figure sweep):
 //
@@ -47,7 +49,7 @@ import (
 
 func main() {
 	var (
-		figure  = flag.String("figure", "paper", "which figure to regenerate: 7a, 7b, 8a, 8b, paper, stability, ablation-fusion, unicast-clouds, asymmetry-sweep, forwarding-state, control-overhead, loss-robustness, qos, cross-topo, delay-tail, failure-recovery, convergence, robustness, scale, all")
+		figure  = flag.String("figure", "paper", "which figure to regenerate: 7a, 7b, 8a, 8b, paper, stability, ablation-fusion, unicast-clouds, asymmetry-sweep, forwarding-state, control-overhead, loss-robustness, qos, cross-topo, delay-tail, failure-recovery, convergence, robustness, scale, manychannel, all")
 		runs    = flag.Int("runs", 500, "simulation runs per data point (the paper uses 500)")
 		seed    = flag.Int64("seed", 1, "base RNG seed")
 		csv     = flag.Bool("csv", false, "emit CSV instead of text tables")
@@ -74,6 +76,9 @@ func main() {
 
 		scaleSizes   = flag.String("scale-sizes", "", "comma-separated router counts for -figure scale (default 50,500,5000,50000)")
 		scaleSources = flag.Int("scale-sources", 1000, "sampled sources routed per size for -figure scale")
+
+		mcChannels = flag.String("mc-channels", "", "comma-separated channel-count tiers for -figure manychannel (default 100,1000,10000)")
+		mcRouters  = flag.Int("mc-routers", 0, "substrate router count for -figure manychannel (default 96)")
 	)
 	flag.Parse()
 	experiment.DefaultWorkers = *workers
@@ -178,6 +183,8 @@ func main() {
 		extra = append(extra, robustness(*runs, *seed))
 	case "scale":
 		extra = append(extra, scale(*scaleSizes, *scaleSources, *seed))
+	case "manychannel":
+		extra = append(extra, manychannel(*mcChannels, *mcRouters, *seed))
 	case "all":
 		emitPaper(experiment.TopoISP)
 		emitPaper(experiment.TopoRandom50)
@@ -338,6 +345,24 @@ func robustness(runs int, seed int64) string {
 		Receivers: 8, Runs: runs, Seed: seed,
 	})
 	return res.FormatTable()
+}
+
+// manychannel runs the A14 heavy-traffic sweep. tiers is the
+// -mc-channels CSV ("100,1000"); empty keeps the default
+// 100/1000/10000 ladder. The worker count comes from -workers via
+// experiment.DefaultWorkers; the table is byte-identical regardless.
+func manychannel(tiers string, routers int, seed int64) string {
+	cfg := experiment.ManyChannelConfig{Routers: routers, Seed: seed}
+	if tiers != "" {
+		for _, f := range strings.Split(tiers, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(f))
+			if err != nil || n < 1 {
+				fail("bad -mc-channels entry %q", f)
+			}
+			cfg.Tiers = append(cfg.Tiers, n)
+		}
+	}
+	return experiment.ManyChannelExperiment(cfg).FormatTable()
 }
 
 // scale runs the A13 scale sweep. sizes is the -scale-sizes CSV

@@ -144,6 +144,28 @@ func TestGoldenRobustnessQuick(t *testing.T) {
 	goldenCompare(t, "robustness_runs3.txt", stdout)
 }
 
+// TestGoldenManyChannelQuick pins the A14 sweep at toy tiers. The
+// table must be byte-identical at any -workers value (the sharded
+// executor's determinism contract), so the golden also guards the
+// worker-count independence the A14 methodology claims.
+func TestGoldenManyChannelQuick(t *testing.T) {
+	stdout, _, code := runMain(t, "-figure", "manychannel",
+		"-mc-channels", "12,36", "-mc-routers", "40")
+	if code != 0 {
+		t.Fatalf("exit code %d, want 0", code)
+	}
+	goldenCompare(t, "manychannel_quick.txt", stdout)
+
+	serial, _, code := runMain(t, "-figure", "manychannel",
+		"-mc-channels", "12,36", "-mc-routers", "40", "-workers", "1")
+	if code != 0 {
+		t.Fatalf("serial exit code %d, want 0", code)
+	}
+	if serial != stdout {
+		t.Errorf("-workers 1 output differs from default worker count")
+	}
+}
+
 // TestFuzzCLICampaign runs a tiny real campaign through the CLI: the
 // built-in seed corpus plus a couple of mutations, expecting a clean
 // exit (no invariant findings) and the campaign summary plus the

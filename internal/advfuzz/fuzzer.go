@@ -250,7 +250,7 @@ func (f *Fuzzer) Run(iters int) Stats {
 
 // random draws a fresh genome uniformly from the byte space.
 func (f *Fuzzer) random() Genome {
-	raw := make([]byte, 22)
+	raw := make([]byte, 23)
 	f.rng.Read(raw)
 	g := DecodeBytes(raw)
 	// Fresh seeds dominate fresh knob bytes for reaching new behavior;

@@ -82,6 +82,13 @@ type Genome struct {
 	// Window is the adversity window length in refresh intervals
 	// (8..30).
 	Window uint8
+	// Channels is how many extra background channels share the
+	// substrate (0..3): same protocol, own sources and members, never
+	// probed — their control and data traffic rides the same adversary
+	// and contends for the same routers and (on the power-law
+	// families) the same tiny lazy-routing LRU as the measured
+	// channel. The many-channel dimension of the scenario space.
+	Channels uint8
 	// Seed drives every random draw of the run.
 	Seed int64
 }
@@ -113,6 +120,7 @@ func (g Genome) Normalize() Genome {
 	g.GroupSize = fold(g.GroupSize, 1, 4)
 	g.Leaves = fold(g.Leaves, 0, 3)
 	g.Window = fold(g.Window, 8, 30)
+	g.Channels = fold(g.Channels, 0, 3)
 	return g
 }
 
@@ -141,6 +149,7 @@ func (g Genome) Spec() experiment.AdvSpec {
 		Leaves:    int(g.Leaves),
 
 		WindowIntervals: int(g.Window),
+		ExtraChannels:   int(g.Channels),
 
 		LazyRouting: g.Topo >= fuzzCatalogTopos,
 	}
@@ -180,6 +189,7 @@ func (g Genome) Encode() string {
 	fmt.Fprintf(&b, "group-size=%d\n", g.GroupSize)
 	fmt.Fprintf(&b, "leaves=%d\n", g.Leaves)
 	fmt.Fprintf(&b, "window=%d\n", g.Window)
+	fmt.Fprintf(&b, "channels=%d\n", g.Channels)
 	fmt.Fprintf(&b, "seed=%d\n", g.Seed)
 	return b.String()
 }
@@ -248,6 +258,7 @@ func ParseGenome(text string) (Genome, error) {
 var byteFieldNames = []string{
 	"receivers", "churn-rate", "churn-amp", "loss-pct", "burst-pct",
 	"burst-len", "jitter", "dup-pct", "groups", "group-size", "leaves", "window",
+	"channels",
 }
 
 // byteField resolves a codec key to the genome field it names.
@@ -277,13 +288,15 @@ func byteField(g *Genome, key string) (*uint8, bool) {
 		return &g.Leaves, true
 	case "window":
 		return &g.Window, true
+	case "channels":
+		return &g.Channels, true
 	}
 	return nil, false
 }
 
 // DecodeBytes maps an arbitrary byte string onto a genome — the total
 // decoding the go-fuzz harness needs (every input the engine mutates
-// must be a runnable scenario). Layout: topo, protocol, the twelve
+// must be a runnable scenario). Layout: topo, protocol, the thirteen
 // byte fields in byteFieldNames order, then up to eight seed bytes,
 // little-endian; missing bytes read as zero.
 func DecodeBytes(data []byte) Genome {
@@ -300,7 +313,7 @@ func DecodeBytes(data []byte) Genome {
 		*p = at(2 + i)
 	}
 	for i := 0; i < 8; i++ {
-		g.Seed |= int64(at(14+i)) << (8 * i)
+		g.Seed |= int64(at(15+i)) << (8 * i)
 	}
 	return g.Normalize()
 }
@@ -309,14 +322,14 @@ func DecodeBytes(data []byte) Genome {
 // used to hand the seed corpus to the go-fuzz engine.
 func (g Genome) EncodeBytes() []byte {
 	g = g.Normalize()
-	out := make([]byte, 22)
+	out := make([]byte, 23)
 	out[0], out[1] = g.Topo, g.Protocol
 	for i, name := range byteFieldNames {
 		p, _ := byteField(&g, name)
 		out[2+i] = *p
 	}
 	for i := 0; i < 8; i++ {
-		out[14+i] = byte(g.Seed >> (8 * i))
+		out[15+i] = byte(g.Seed >> (8 * i))
 	}
 	return out
 }
@@ -353,6 +366,7 @@ func (g Genome) String() string {
 	add("dup", g.DupPct)
 	add("groups", g.Groups)
 	add("leaves", g.Leaves)
+	add("chans", g.Channels)
 	parts = append(parts, fmt.Sprintf("win=%d", g.Window), fmt.Sprintf("seed=%d", g.Seed))
 	sort.Strings(parts[3 : len(parts)-2])
 	return strings.Join(parts, " ")

@@ -12,7 +12,7 @@ import (
 func TestNormalizeIdempotent(t *testing.T) {
 	rng := rand.New(rand.NewSource(1))
 	for i := 0; i < 1000; i++ {
-		raw := make([]byte, 22)
+		raw := make([]byte, 23)
 		rng.Read(raw)
 		g := DecodeBytes(raw)
 		if again := g.Normalize(); again != g {
@@ -26,7 +26,7 @@ func TestNormalizeIdempotent(t *testing.T) {
 func TestEncodeParseRoundTrip(t *testing.T) {
 	rng := rand.New(rand.NewSource(2))
 	for i := 0; i < 200; i++ {
-		raw := make([]byte, 22)
+		raw := make([]byte, 23)
 		rng.Read(raw)
 		g := DecodeBytes(raw)
 		back, err := ParseGenome(g.Encode())

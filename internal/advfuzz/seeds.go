@@ -63,6 +63,14 @@ func DefaultSeeds() []Genome {
 		{Topo: 4, Protocol: 0, Receivers: 6, Groups: 2, GroupSize: 2, LossPct: 10, Window: 20, Seed: 13},
 		{Topo: 5, Protocol: 1, Receivers: 6, ChurnRate: 2, Groups: 1, GroupSize: 2, Leaves: 1,
 			Window: 20, Seed: 14},
+		// Many-channel contention: background channels of the same
+		// protocol share the routers and the adversary with the measured
+		// one. The BA entry also forces lazy routing, so four sources'
+		// worth of rows fight over the 8-slot per-source LRU under churn.
+		{Protocol: 0, Receivers: 6, ChurnRate: 2, ChurnAmp: 2, LossPct: 10, Channels: 3,
+			Window: 20, Seed: 15},
+		{Topo: 4, Protocol: 1, Receivers: 5, Channels: 3, Groups: 1, GroupSize: 2, ChurnRate: 2,
+			Window: 20, Seed: 16},
 	}
 }
 
@@ -74,4 +82,5 @@ var seedNames = []string{
 	"hbh-kitchen-sink", "reunite-kitchen-sink",
 	"nsfnet-hbh", "abilene-reunite",
 	"waxman40-lazy-churn", "ba48-lazy-srlg", "transitstub44-lazy-mixed",
+	"hbh-multichannel-churn", "ba48-reunite-multichannel",
 }

@@ -168,7 +168,7 @@ func TestFusionRelistUnmarksDropped(t *testing.T) {
 	eB := mft.Add(2, sim.NewSoftTimer(100, 100, nil, nil))
 
 	// Relay 9 now lists only entry 2.
-	applyFusion(mft, 9, []addr.Addr{2}, []*Entry{eB},
+	applyFusion(mft, 9, []addr.Addr{2}, []*Entry{eB}, sim.Now(),
 		func(node addr.Addr) *Entry {
 			e := mft.Add(node, sim.NewSoftTimer(100, 100, nil, nil))
 			e.Timer.ForceStale()

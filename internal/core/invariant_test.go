@@ -177,7 +177,7 @@ func TestApplyFusionSkipsExpiredEntry(t *testing.T) {
 	matched := []*Entry{ea, eb}
 	table.Remove(a) // "expiry" between collection and application
 
-	applyFusion(table, bp, []addr.Addr{a, b}, matched,
+	applyFusion(table, bp, []addr.Addr{a, b}, matched, h.sim.Now(),
 		func(node addr.Addr) *Entry {
 			e := table.Add(node, h.sim.NewSoftTimer(cfg.T1, cfg.T2, nil, nil))
 			e.Timer.ForceStale()

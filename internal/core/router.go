@@ -227,23 +227,49 @@ func (r *Router) onJoin(j *packet.Join) netsim.Verdict {
 	return netsim.Consumed
 }
 
-// revalidateMark re-checks a marked entry's relay placement on every
-// soft-state refresh of the entry: the mark was installed with a
-// routing-verified acceptance (the relay sat on this node's forward
-// path to the member), but a later cost change can move the forward
-// path off the relay. When that happens the relay stops seeing the
-// member's joins, its own entry for the member expires, and — since
-// its fusions only flow while trees transit it — nothing upstream ever
-// hears the retraction. The refresh traffic that keeps the marked
-// entry alive is therefore also the only reliable trigger for lifting
-// a mark the routing layer has invalidated.
+// revalidateMark re-checks a marked entry on every soft-state refresh
+// of the entry, lifting the mark when the relay association has gone
+// bad in either of the two ways routing and collapse can break it:
+//
+//   - The relay stopped confirming the handover: its periodic fusions
+//     no longer re-list the member (it un-branched, crashed, or dropped
+//     the member) and the mark's MarkConfirmed timestamp has aged past
+//     T1. Waiting for the relay's own table entry to expire instead is
+//     not enough — a border router with local IGMP members keeps its
+//     entry upstream alive with leaf joins forever, even after it
+//     collapsed to non-branching and stopped relaying.
+//   - The relay no longer sits on this node's forward path to the
+//     member after a routing cost change, so its fusions (which only
+//     flow while trees transit it) can never retract the mark.
+//
+// The refresh traffic that keeps the marked entry alive is the only
+// reliable trigger for both repairs.
 func (r *Router) revalidateMark(ch addr.Channel, e *Entry) {
-	if !e.Marked || onForwardPath(r.node.Network(), r.node.ID(), e.ServedBy, e.Node) {
+	if !e.Marked {
+		return
+	}
+	if markLapsed(e, r.sim.Now(), r.cfg.T1) {
+		e.Marked = false
+		e.ServedBy = addr.Unspecified
+		r.node.EmitProto(obs.KindMarkLift, ch, e.Node, 0, "relay stopped confirming the handover")
+		return
+	}
+	if onForwardPath(r.node.Network(), r.node.ID(), e.ServedBy, e.Node) {
 		return
 	}
 	e.Marked = false
 	e.ServedBy = addr.Unspecified
 	r.node.EmitProto(obs.KindMarkLift, ch, e.Node, 0, "relay off the forward path")
+}
+
+// markLapsed reports whether a mark has outlived its confirmation
+// window: no fusion from the serving relay has re-listed the member
+// for longer than t1, the same staleness horizon table entries use.
+// Healthy relays re-fuse once per tree interval, so a lapse means the
+// relay is gone from the control plane even if its table entry is
+// still being refreshed by unrelated traffic.
+func markLapsed(e *Entry, now, t1 eventsim.Time) bool {
+	return e.Marked && now-e.MarkConfirmed > t1
 }
 
 func (r *Router) sendJoinSelf(ch addr.Channel) {
@@ -467,8 +493,11 @@ func onForwardPath(net *netsim.Network, from topology.NodeID, via, dst addr.Addr
 // Two repair rules keep the mark/relay association consistent: a
 // matched entry records Bp as its server, and any entry previously
 // served by Bp that the fusion no longer lists is unmarked (Bp dropped
-// it, so data must flow directly again).
+// it, so data must flow directly again). Every matched entry also has
+// its MarkConfirmed stamped with now — the fusion is the mark's
+// soft-state refresh (see markLapsed).
 func applyFusion(t *MFT, bp addr.Addr, listed []addr.Addr, matched []*Entry,
+	now eventsim.Time,
 	addEntry func(node addr.Addr) *Entry,
 	markObs func(node addr.Addr),
 	liftObs func(node addr.Addr)) {
@@ -487,6 +516,7 @@ func applyFusion(t *MFT, bp addr.Addr, listed []addr.Addr, matched []*Entry,
 			}
 		}
 		e.ServedBy = bp
+		e.MarkConfirmed = now
 	}
 	if e := t.Get(bp); e != nil {
 		if e.Stale() {
@@ -580,7 +610,7 @@ func (r *Router) applyFusion(st *chanState, ch addr.Channel, f *packet.Fusion, m
 		r.node.EmitProto(obs.KindFusionAccept, ch, f.Bp, 0,
 			fmt.Sprintf("%d of %d targets handed to relay", len(matched), len(f.Rs)))
 	}
-	applyFusion(st.mft, f.Bp, f.Rs, matched,
+	applyFusion(st.mft, f.Bp, f.Rs, matched, r.sim.Now(),
 		func(node addr.Addr) *Entry {
 			e := r.addMFT(st, ch, node)
 			e.Timer.ForceStale()

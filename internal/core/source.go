@@ -93,9 +93,14 @@ func (s *Source) onJoin(j *packet.Join) {
 	if e := s.mft.Get(j.R); e != nil {
 		e.Timer.Refresh()
 		// Same refresh-time mark re-validation as branching routers
-		// (Router.revalidateMark): a cost change can strand the member
-		// behind a relay that no longer sits on the forward path.
-		if e.Marked && !onForwardPath(s.node.Network(), s.node.ID(), e.ServedBy, j.R) {
+		// (Router.revalidateMark): a relay can stop confirming the
+		// handover (it un-branched or crashed), or a cost change can
+		// strand the member behind a relay off the forward path.
+		if markLapsed(e, s.sim.Now(), s.cfg.T1) {
+			e.Marked = false
+			e.ServedBy = addr.Unspecified
+			s.node.EmitProto(obs.KindMarkLift, s.ch, j.R, 0, "relay stopped confirming the handover")
+		} else if e.Marked && !onForwardPath(s.node.Network(), s.node.ID(), e.ServedBy, j.R) {
 			e.Marked = false
 			e.ServedBy = addr.Unspecified
 			s.node.EmitProto(obs.KindMarkLift, s.ch, j.R, 0, "relay off the forward path")
@@ -138,7 +143,7 @@ func (s *Source) onFusion(f *packet.Fusion) {
 		s.node.EmitProto(obs.KindFusionAccept, s.ch, f.Bp, 0,
 			fmt.Sprintf("%d of %d targets handed to relay", len(matched), len(f.Rs)))
 	}
-	applyFusion(s.mft, f.Bp, f.Rs, matched,
+	applyFusion(s.mft, f.Bp, f.Rs, matched, s.sim.Now(),
 		func(node addr.Addr) *Entry { return s.addEntry(node, true) },
 		func(node addr.Addr) { s.observe(ChangeMFTMark, node) },
 		func(node addr.Addr) {

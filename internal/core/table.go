@@ -24,6 +24,17 @@ type Entry struct {
 	// listing this node, the mark is lifted so data flows directly
 	// again instead of silently starving the receiver.
 	ServedBy addr.Addr
+	// MarkConfirmed is the last time a fusion from ServedBy re-listed
+	// this node: the mark's own soft-state refresh. A healthy relay
+	// re-fuses every tree interval; a mark not re-confirmed within T1
+	// has lost its relay (it collapsed to non-branching, crashed, or
+	// silently dropped the member) and lapses at the member's next join
+	// refresh (see markLapsed). Without this, a mark is the one piece
+	// of hard state in the protocol — and a relay whose table entry is
+	// kept alive by other traffic (a border router with local IGMP
+	// members join-refreshes its own address forever) can starve its
+	// former children permanently.
+	MarkConfirmed eventsim.Time
 	// Timer is the (t1, t2) soft-state pair. Stale entries forward
 	// data but emit no downstream tree message.
 	Timer *eventsim.SoftTimer

@@ -255,6 +255,29 @@ func TestBaseGraphCached(t *testing.T) {
 	}
 }
 
+func TestBaseGraphFrozen(t *testing.T) {
+	topos := []Topo{TopoISP, TopoRandom50, TopoNSFNET, TopoAbilene,
+		TopoWaxman40, TopoBA48, TopoTransitStub44}
+	for _, topo := range topos {
+		g := BaseGraph(topo)
+		if !g.Frozen() {
+			t.Errorf("BaseGraph(%s) not frozen", topo)
+		}
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("mutating cached %s base did not panic", topo)
+				}
+			}()
+			e := g.Edges()[0]
+			g.SetLinkCost(e.A, e.B, 1, 1)
+		}()
+		if g.Clone().Frozen() {
+			t.Errorf("Clone of %s base still frozen", topo)
+		}
+	}
+}
+
 func TestRunConfigValidation(t *testing.T) {
 	expectPanic := func(name string, fn func()) {
 		t.Helper()

@@ -16,6 +16,7 @@ import (
 	"hbh/internal/netsim"
 	"hbh/internal/obs"
 	"hbh/internal/pim"
+	"hbh/internal/reunite"
 	"hbh/internal/topology"
 	"hbh/internal/unicast"
 )
@@ -68,6 +69,18 @@ type AdvSpec struct {
 	// WindowIntervals is the adversity window length in refresh
 	// intervals (default 20).
 	WindowIntervals int
+
+	// ExtraChannels attaches that many background channels of the same
+	// protocol to the run's network before the clean phase: each gets
+	// its own source host, group address and a handful of members, and
+	// originates data once per refresh interval. Background channels
+	// are never probed or measured — they exist so the measured
+	// channel's cascade shares routers, the control-plane adversary
+	// and (under LazyRouting) the tiny per-source LRU with concurrent
+	// protocol state, the many-channel contention dimension of the
+	// scenario space. Ignored for the centrally installed PIM
+	// baselines, whose trees carry no protocol machinery to contend.
+	ExtraChannels int
 
 	// LazyRouting forces the on-demand per-source substrate regardless
 	// of graph size, with a deliberately tiny LRU (8 sources) so the
@@ -167,6 +180,7 @@ func AdversarialRun(spec AdvSpec) AdvResult {
 	tr.Reset()
 
 	s := buildAdvSession(spec, g, routing, sourceHost, memberHosts, rng, o)
+	attachBackgroundChannels(spec, s, g)
 	var res AdvResult
 
 	// Phase 1: clean join, measured.
@@ -360,6 +374,57 @@ func buildAdvSession(spec AdvSpec, g *topology.Graph, routing unicast.Router,
 			leave: s.leave, rejoin: s.rejoin,
 			checker: s.checker,
 			probe:   func() *mtree.Result { return s.ProbeSettled() },
+		}
+	}
+}
+
+// attachBackgroundChannels starts spec.ExtraChannels additional
+// channels of the same protocol on the session's network: per channel
+// one source (own host, own group address), 2-4 members joining at
+// randomized offsets like the measured channel's, and a once-per-
+// interval data origination. The routers buildAdvSession attached
+// dispatch per channel, so the background cascades run through the
+// same tables, the same adversary and the same routing substrate as
+// the measured one. All randomness comes from a dedicated stream
+// derived from the spec seed, so turning the knob on never perturbs
+// the draws of the measured channel or of any other knob.
+func attachBackgroundChannels(spec AdvSpec, s *advSession, g *topology.Graph) {
+	if spec.ExtraChannels <= 0 {
+		return
+	}
+	bg := rand.New(rand.NewSource(spec.Seed ^ 0x626763686e)) // "bgchn"
+	hosts := g.Hosts()
+	for i := 0; i < spec.ExtraChannels; i++ {
+		perm := bg.Perm(len(hosts))
+		srcHost := hosts[perm[0]]
+		members := make([]topology.NodeID, 0, 4)
+		for _, j := range perm[1:] {
+			members = append(members, hosts[j])
+			if len(members) == 2+i%3 {
+				break
+			}
+		}
+		group := addr.GroupAddr(1 + i)
+		switch spec.Protocol {
+		case HBH, HBHNoFusion:
+			pcfg := core.DefaultConfig()
+			if spec.Protocol == HBHNoFusion {
+				pcfg.EnableFusion = false
+			}
+			src := core.AttachSource(s.net.Node(srcHost), group, pcfg)
+			for _, m := range members {
+				rcv := core.AttachReceiver(s.net.Node(m), src.Channel(), pcfg)
+				s.sim.At(eventsim.Time(bg.Float64())*pcfg.JoinInterval, rcv.Join)
+			}
+			s.sim.NewTicker(s.interval, func() { src.SendData(nil) })
+		case REUNITE:
+			pcfg := reunite.DefaultConfig()
+			src := reunite.AttachSource(s.net.Node(srcHost), group, pcfg)
+			for _, m := range members {
+				rcv := reunite.AttachReceiver(s.net.Node(m), src.Channel(), pcfg)
+				s.sim.At(eventsim.Time(bg.Float64())*pcfg.JoinInterval, rcv.Join)
+			}
+			s.sim.NewTicker(s.interval, func() { src.SendData(nil) })
 		}
 	}
 }

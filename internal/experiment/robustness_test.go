@@ -98,6 +98,42 @@ func TestAdversarialRunAdversaryBites(t *testing.T) {
 	}
 }
 
+// TestAdversarialRunExtraChannels asserts the background-channel knob:
+// the measured channel must still converge, deliver to every member
+// and hold its invariants while three concurrent channels of the same
+// protocol run their cascades through the same routers and adversary —
+// and the background traffic must actually exist (more transmissions
+// than the identical run without it). Zero extra channels must be
+// bit-identical to a spec without the field (the knob is a dedicated
+// rng stream).
+func TestAdversarialRunExtraChannels(t *testing.T) {
+	for _, p := range []Protocol{HBH, REUNITE} {
+		spec := AdvSpec{
+			Topo: TopoISP, Protocol: p, Receivers: 6, Seed: 5,
+			Loss: 0.10, WindowIntervals: 10, Check: true,
+		}
+		base := AdversarialRun(spec)
+		spec.ExtraChannels = 3
+		loaded := AdversarialRun(spec)
+		if !loaded.Recovered || loaded.Missing != 0 {
+			t.Errorf("%s with 3 background channels: recovered=%v missing=%d",
+				p, loaded.Recovered, loaded.Missing)
+		}
+		for _, v := range loaded.Violations {
+			t.Errorf("%s with background channels violated an invariant: %s", p, v)
+		}
+		if loaded.WindowStats.Transmissions <= base.WindowStats.Transmissions {
+			t.Errorf("%s: background channels added no traffic (%d vs %d transmissions)",
+				p, loaded.WindowStats.Transmissions, base.WindowStats.Transmissions)
+		}
+		spec.ExtraChannels = 0
+		if again := AdversarialRun(spec); again.CleanTime != base.CleanTime ||
+			again.Disruption != base.Disruption || again.WindowStats != base.WindowStats {
+			t.Errorf("%s: ExtraChannels=0 perturbed the measured run", p)
+		}
+	}
+}
+
 // TestRobustnessExperimentDeterministic asserts the A12 table is
 // bit-identical across repeated runs and across worker counts (the
 // cells parallelize; the aggregation must not).

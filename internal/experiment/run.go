@@ -85,8 +85,10 @@ var (
 	baseGraphs = map[Topo]*topology.Graph{}
 )
 
-// BaseGraph returns the shared, cost-uninitialised base topology.
-// Callers must Clone before mutating costs.
+// BaseGraph returns the shared, cost-uninitialised base topology. The
+// returned graph is frozen: callers must Clone before mutating costs,
+// and a missed Clone panics instead of silently corrupting every later
+// run sharing the base.
 func BaseGraph(t Topo) *topology.Graph {
 	baseMu.Lock()
 	defer baseMu.Unlock()
@@ -117,6 +119,7 @@ func BaseGraph(t Topo) *topology.Graph {
 	default:
 		panic(fmt.Sprintf("experiment: unknown topology %q", t))
 	}
+	g.Freeze()
 	baseGraphs[t] = g
 	return g
 }

@@ -1,0 +1,81 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// approxEq compares with a relative tolerance: Merge is algebraically
+// equal to sequential Add but not bit-equal (different float
+// association).
+func approxEq(got, want, rel float64) bool {
+	if got == want {
+		return true
+	}
+	scale := math.Max(math.Abs(got), math.Abs(want))
+	return math.Abs(got-want) <= rel*scale
+}
+
+// TestMergeEqualsSequential: merging K shards equals one accumulator
+// fed the concatenation, for every statistic the harness reports.
+func TestMergeEqualsSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 200; trial++ {
+		shards := 1 + rng.Intn(8)
+		var seq Accumulator
+		accs := make([]Accumulator, shards)
+		for s := range accs {
+			// Uneven shard sizes, including empty shards.
+			for i := rng.Intn(40); i > 0; i-- {
+				// Mixed scales stress the combine formula.
+				x := (rng.Float64() - 0.3) * math.Pow(10, float64(rng.Intn(4)))
+				seq.Add(x)
+				accs[s].Add(x)
+			}
+		}
+		var merged Accumulator
+		for s := range accs {
+			merged.Merge(&accs[s])
+		}
+		if merged.N() != seq.N() {
+			t.Fatalf("trial %d: N %d != %d", trial, merged.N(), seq.N())
+		}
+		if seq.N() == 0 {
+			continue
+		}
+		if merged.Min() != seq.Min() || merged.Max() != seq.Max() {
+			t.Fatalf("trial %d: min/max %v/%v != %v/%v",
+				trial, merged.Min(), merged.Max(), seq.Min(), seq.Max())
+		}
+		const rel = 1e-9
+		if !approxEq(merged.Mean(), seq.Mean(), rel) {
+			t.Fatalf("trial %d: mean %v != %v", trial, merged.Mean(), seq.Mean())
+		}
+		if !approxEq(merged.Variance(), seq.Variance(), rel) {
+			t.Fatalf("trial %d: variance %v != %v", trial, merged.Variance(), seq.Variance())
+		}
+		if !approxEq(merged.CI95(), seq.CI95(), rel) {
+			t.Fatalf("trial %d: ci95 %v != %v", trial, merged.CI95(), seq.CI95())
+		}
+	}
+}
+
+func TestMergeEmptyCases(t *testing.T) {
+	var a, b Accumulator
+	a.Merge(&b)
+	if a.N() != 0 || a.Mean() != 0 || a.Variance() != 0 {
+		t.Fatal("empty-into-empty merge not a no-op")
+	}
+	b.Add(3)
+	b.Add(5)
+	a.Merge(&b)
+	if a.N() != 2 || a.Mean() != 4 || a.Min() != 3 || a.Max() != 5 {
+		t.Fatalf("empty-target merge wrong: %+v", a)
+	}
+	var c Accumulator
+	a.Merge(&c)
+	if a.N() != 2 || a.Mean() != 4 {
+		t.Fatal("empty-source merge changed target")
+	}
+}

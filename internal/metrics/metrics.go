@@ -37,6 +37,35 @@ func (a *Accumulator) Add(x float64) {
 	a.m2 += d * (x - a.mean)
 }
 
+// Merge folds another accumulator into a, as if every sample b saw had
+// been Added to a (pairwise combine of Chan et al., "Updating Formulae
+// and a Pairwise Algorithm for Computing Sample Variances"). Count,
+// min and max merge exactly; mean and m2 are algebraically equal to
+// the sequential result but may differ in the last float64 bits, so
+// bit-reproducible outputs must not mix worker counts — the sharded
+// runtime merges shards in a fixed order to keep any given worker
+// count reproducible.
+func (a *Accumulator) Merge(b *Accumulator) {
+	if b.n == 0 {
+		return
+	}
+	if a.n == 0 {
+		*a = *b
+		return
+	}
+	if b.min < a.min {
+		a.min = b.min
+	}
+	if b.max > a.max {
+		a.max = b.max
+	}
+	n := a.n + b.n
+	d := b.mean - a.mean
+	a.m2 += b.m2 + d*d*float64(a.n)*float64(b.n)/float64(n)
+	a.mean += d * float64(b.n) / float64(n)
+	a.n = n
+}
+
 // N returns the sample count.
 func (a *Accumulator) N() int { return a.n }
 

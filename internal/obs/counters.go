@@ -47,6 +47,12 @@ type counterKey struct {
 // renders everything in the Prometheus text exposition format; series
 // samples carry their virtual time as the (normally wall-clock)
 // timestamp column.
+//
+// A Counters instance is single-goroutine: concurrent workers each own
+// one and fold them together with Merge at their barrier. Because every
+// Apply increment is ±1 (exact in float64) and Export sorts globally,
+// the merged export is byte-identical to a single registry that saw
+// the same events.
 type Counters struct {
 	vals   map[counterKey]float64
 	series []*Series
@@ -149,6 +155,30 @@ func (c *Counters) Apply(ev Event) {
 	case KindFault:
 		c.Add("hbh_faults_total", 1)
 	}
+}
+
+// Merge folds another registry into c: samples add (in a stable key
+// order, though float addition of exact unit-increment sums makes the
+// order immaterial) and other's series are appended in registration
+// order. The sharded runtime calls this at the worker barrier, worker
+// by worker in index order, so a K-worker run exports byte-identically
+// to a 1-worker run over the same event partition. other must not be
+// used concurrently with the merge; c owns other's series afterwards.
+func (c *Counters) Merge(other *Counters) {
+	keys := make([]counterKey, 0, len(other.vals))
+	for k := range other.vals {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].name != keys[j].name {
+			return keys[i].name < keys[j].name
+		}
+		return keys[i].labels < keys[j].labels
+	})
+	for _, k := range keys {
+		c.vals[k] += other.vals[k]
+	}
+	c.series = append(c.series, other.series...)
 }
 
 // maxSeriesSamples bounds every time series so samplers can never grow

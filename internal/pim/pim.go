@@ -390,6 +390,21 @@ func (s *Session) SendData(payload []byte) uint32 {
 	return seq
 }
 
+// StateRouters counts the routers holding installed tree state — the
+// per-group footprint classical IP multicast pays on every on-tree
+// router, which the recursive-unicast protocols' MFT/MCT split is
+// compared against in the state experiments.
+func (s *Session) StateRouters() int {
+	g := s.net.Topology()
+	n := 0
+	for node := range s.children {
+		if g.Node(node).Kind == topology.Router {
+			n++
+		}
+	}
+	return n
+}
+
 // TreeLinks returns the number of links in the installed tree
 // (excluding the SM unicast leg), for audits and tests.
 func (s *Session) TreeLinks() int {

@@ -27,6 +27,7 @@ func (g *Graph) ensureBW() {
 // SetBandwidth assigns the directed bandwidth from -> to. The link
 // must exist; bandwidth must be positive.
 func (g *Graph) SetBandwidth(from, to NodeID, bw int) {
+	g.mutable("SetBandwidth")
 	if g.Cost(from, to) == 0 {
 		panic(fmt.Sprintf("topology: SetBandwidth on missing link %d->%d", from, to))
 	}
@@ -55,6 +56,7 @@ func (g *Graph) Bandwidth(from, to NodeID) int {
 // [lo, hi], independently per direction (asymmetric capacities, like
 // asymmetric costs).
 func (g *Graph) RandomizeBandwidths(rng *rand.Rand, lo, hi int) {
+	g.mutable("RandomizeBandwidths")
 	if lo < 1 || hi < lo {
 		panic(fmt.Sprintf("topology: bad bandwidth range [%d,%d]", lo, hi))
 	}

@@ -65,8 +65,9 @@ type Edge struct {
 
 // Graph is a connected network of routers and hosts. Construct with
 // New, then AddNode/AddLink. Graphs are immutable once handed to the
-// routing and simulation layers by convention (nothing enforces it, but
-// routing tables are computed eagerly and would go stale).
+// routing and simulation layers by convention; a graph shared across
+// runs or workers can additionally be sealed with Freeze, after which
+// every mutator panics. Clone always returns a mutable copy.
 type Graph struct {
 	nodes []Node
 	// adj[v] lists the directed out-neighbors of v with the cost of the
@@ -87,6 +88,26 @@ type Graph struct {
 	// layer consults it to pick a bucket-queue shortest-path scan when
 	// costs are small integers.
 	maxCost int
+	// frozen seals the graph against mutation (see Freeze).
+	frozen bool
+}
+
+// Freeze seals the graph: every subsequent mutation (AddNode, AddLink,
+// SetLinkCost, SetLinkEnabled, the cost randomizers, SetLinkBandwidth)
+// panics. The experiment catalog freezes its cached base graphs so a
+// caller that forgets to Clone before mutating fails loudly instead of
+// silently corrupting every later run sharing the base. Freezing is
+// one-way; Clone returns an unfrozen copy.
+func (g *Graph) Freeze() { g.frozen = true }
+
+// Frozen reports whether the graph has been sealed with Freeze.
+func (g *Graph) Frozen() bool { return g.frozen }
+
+// mutable panics if the graph is frozen; every mutator calls it first.
+func (g *Graph) mutable(op string) {
+	if g.frozen {
+		panic(fmt.Sprintf("topology: %s on frozen graph (Clone before mutating a shared base graph)", op))
+	}
 }
 
 // linkKey identifies an undirected link by its normalized endpoints.
@@ -114,6 +135,7 @@ func New() *Graph {
 // AddNode appends a node and returns its ID. The address must be
 // unicast and unused.
 func (g *Graph) AddNode(kind Kind, a addr.Addr, name string) NodeID {
+	g.mutable("AddNode")
 	if !a.IsUnicast() {
 		panic(fmt.Sprintf("topology: node address %v is not unicast", a))
 	}
@@ -131,6 +153,7 @@ func (g *Graph) AddNode(kind Kind, a addr.Addr, name string) NodeID {
 // (b->a). Self-loops, duplicate links and non-positive costs panic —
 // these are always construction bugs.
 func (g *Graph) AddLink(a, b NodeID, costAB, costBA int) {
+	g.mutable("AddLink")
 	if a == b {
 		panic("topology: self-loop")
 	}
@@ -173,6 +196,7 @@ func (g *Graph) valid(v NodeID) bool { return v >= 0 && int(v) < len(g.nodes) }
 // Costs must stay >= 1 and the link must exist — churn plans touching
 // nonexistent links are construction bugs, exactly as in AddLink.
 func (g *Graph) SetLinkCost(a, b NodeID, costAB, costBA int) {
+	g.mutable("SetLinkCost")
 	if !g.HasLink(a, b) {
 		panic(fmt.Sprintf("topology: SetLinkCost on missing link %d-%d", a, b))
 	}
@@ -216,6 +240,7 @@ func (g *Graph) HasLink(a, b NodeID) bool {
 // link panics — fault plans referencing nonexistent links are
 // construction bugs.
 func (g *Graph) SetLinkEnabled(a, b NodeID, enabled bool) {
+	g.mutable("SetLinkEnabled")
 	if !g.HasLink(a, b) {
 		panic(fmt.Sprintf("topology: SetLinkEnabled on missing link %d-%d", a, b))
 	}
@@ -435,6 +460,9 @@ func (g *Graph) randomizeCosts(rng *rand.Rand, lo, hi int, apply bool) {
 	if lo < 1 || hi < lo {
 		panic(fmt.Sprintf("topology: bad cost range [%d,%d]", lo, hi))
 	}
+	if apply {
+		g.mutable("RandomizeCosts")
+	}
 	draw := func() int { return lo + rng.Intn(hi-lo+1) }
 	for i := range g.edges {
 		ab, ba := draw(), draw()
@@ -453,6 +481,7 @@ func (g *Graph) randomizeCosts(rng *rand.Rand, lo, hi int, apply bool) {
 // copying the A->B cost. Used by tests and the asymmetry-sweep
 // experiment's zero-asymmetry end point.
 func (g *Graph) SymmetrizeCosts() {
+	g.mutable("SymmetrizeCosts")
 	for i := range g.edges {
 		e := &g.edges[i]
 		e.CostBA = e.CostAB
@@ -477,6 +506,9 @@ func (g *Graph) SkipPerturbCosts(rng *rand.Rand, lo, hi, spread int) {
 func (g *Graph) perturbCosts(rng *rand.Rand, lo, hi, spread int, apply bool) {
 	if lo < 1 || hi < lo || spread < 0 {
 		panic(fmt.Sprintf("topology: bad perturb params [%d,%d] spread %d", lo, hi, spread))
+	}
+	if apply {
+		g.mutable("PerturbCosts")
 	}
 	for i := range g.edges {
 		base := lo + rng.Intn(hi-lo+1)
@@ -516,6 +548,8 @@ func (g *Graph) setCost(from, to NodeID, c int) {
 // Clone returns a deep copy of the graph. Experiments clone the shared
 // base topology before randomizing costs so runs stay independent.
 func (g *Graph) Clone() *Graph {
+	// The copy is deliberately unfrozen: cloning is how callers obtain a
+	// mutable graph from a frozen base.
 	c := &Graph{
 		nodes:   append([]Node(nil), g.nodes...),
 		adj:     make([][]Neighbor, len(g.adj)),

@@ -1,6 +1,11 @@
 package unicast
 
-import "hbh/internal/topology"
+import (
+	"sync"
+	"sync/atomic"
+
+	"hbh/internal/topology"
+)
 
 // This file implements the on-demand per-source routing substrate used
 // above FastPathThreshold nodes. Instead of materialising all n sources
@@ -35,7 +40,10 @@ type LazyOptions struct {
 }
 
 // LazyStats counts cache traffic on a Lazy router, for benchmarks and
-// the A13 scale report.
+// the A13 scale report. Under concurrent readers the counters are a
+// consistent snapshot of monotone atomics, but hit/miss attribution of
+// racing queries for the same uncached source is scheduling-dependent;
+// the routing answers themselves never are.
 type LazyStats struct {
 	Hits          uint64 // queries answered from a cached row
 	Misses        uint64 // queries that ran a fresh Dijkstra
@@ -46,26 +54,45 @@ type LazyStats struct {
 
 // Lazy is the on-demand Router implementation: per-source rows computed
 // with dijkstraInto on first query, cached in an LRU, invalidated
-// per-source by the recompute hooks. Not safe for concurrent use, like
-// *Routing.
+// per-source by the recompute hooks.
+//
+// Unlike *Routing, Lazy is safe for concurrent queries: the sharded
+// many-channel runtime hands one Lazy to every worker. Queries take a
+// read lock on the fast path (cached row) and only escalate to the
+// write lock to run a Dijkstra; the recompute hooks take the write
+// lock, so invalidation may be called concurrently with queries.
+// Mutating the underlying graph still requires quiescence: no query or
+// hook may be in flight while costs or link states change (the shard
+// barrier in the runtime provides exactly that window).
 type Lazy struct {
 	g          *topology.Graph
 	maxSources int
-	rows       map[topology.NodeID]*lazyRow
+
+	// mu guards rows, free and scratch. A row's next/dist slices are
+	// only dereferenced while holding mu (either mode): dropped rows
+	// are recycled through free, and recycling happens under the write
+	// lock, so a reader inside the lock can never observe a row being
+	// recomputed in place.
+	mu      sync.RWMutex
+	rows    map[topology.NodeID]*lazyRow
 	// free recycles evicted/invalidated row storage so steady-state
 	// cache churn allocates nothing.
 	free    []*lazyRow
 	scratch *sptScratch
-	clock   uint64
-	stats   LazyStats
+
+	// clock stamps LRU touches. Atomic so the read-locked fast path
+	// can bump it without escalating to the write lock.
+	clock                                  atomic.Uint64
+	hits, misses, evictions, invalidations atomic.Uint64
 }
 
 // lazyRow is one source's routing row: the same next/dist vectors an
-// eager table holds for that source, plus the LRU timestamp.
+// eager table holds for that source, plus the LRU timestamp (atomic,
+// written by read-locked queries).
 type lazyRow struct {
 	next []topology.NodeID
 	dist []int
-	used uint64
+	used atomic.Uint64
 }
 
 // NewLazy builds an on-demand router over g. No routes are computed
@@ -90,28 +117,50 @@ func NewLazy(g *topology.Graph, opts LazyOptions) *Lazy {
 	}
 }
 
-// row returns s's routing row, computing it (and evicting the least
-// recently used row if at capacity) on a miss.
-func (l *Lazy) row(s topology.NodeID) *lazyRow {
+// query answers one element read from s's row: the fast path touches
+// the cached row under the read lock; a miss escalates to the write
+// lock, re-checks (another goroutine may have filled the row in the
+// window between the locks), and computes. The element is read inside
+// whichever lock is held, so the row cannot be recycled under it.
+func (l *Lazy) query(s topology.NodeID, read func(*lazyRow) int) int {
+	l.mu.RLock()
 	if rw, ok := l.rows[s]; ok {
-		l.clock++
-		rw.used = l.clock
-		l.stats.Hits++
+		rw.used.Store(l.clock.Add(1))
+		v := read(rw)
+		l.mu.RUnlock()
+		l.hits.Add(1)
+		return v
+	}
+	l.mu.RUnlock()
+
+	l.mu.Lock()
+	v := read(l.rowLocked(s))
+	l.mu.Unlock()
+	return v
+}
+
+// rowLocked returns s's routing row, computing it (and evicting the
+// least recently used row if at capacity) on a miss. Caller must hold
+// the write lock.
+func (l *Lazy) rowLocked(s topology.NodeID) *lazyRow {
+	if rw, ok := l.rows[s]; ok {
+		rw.used.Store(l.clock.Add(1))
+		l.hits.Add(1)
 		return rw
 	}
-	l.stats.Misses++
+	l.misses.Add(1)
 	if len(l.rows) >= l.maxSources {
 		l.evictOldest()
 	}
 	rw := l.takeRow()
 	dijkstraInto(l.g, s, rw.next, rw.dist, l.scratch)
-	l.clock++
-	rw.used = l.clock
+	rw.used.Store(l.clock.Add(1))
 	l.rows[s] = rw
 	return rw
 }
 
 // takeRow returns row storage from the free list, or allocates it.
+// Caller must hold the write lock.
 func (l *Lazy) takeRow() *lazyRow {
 	if n := len(l.free); n > 0 {
 		rw := l.free[n-1]
@@ -124,13 +173,14 @@ func (l *Lazy) takeRow() *lazyRow {
 
 // evictOldest drops the least recently used row. A linear scan is fine:
 // the cap is at most a few thousand, and an eviction is always paired
-// with a fresh Dijkstra that dwarfs the scan.
+// with a fresh Dijkstra that dwarfs the scan. Caller must hold the
+// write lock.
 func (l *Lazy) evictOldest() {
 	var victim topology.NodeID = topology.None
 	var oldest uint64
 	for s, rw := range l.rows {
-		if victim == topology.None || rw.used < oldest {
-			victim, oldest = s, rw.used
+		if u := rw.used.Load(); victim == topology.None || u < oldest {
+			victim, oldest = s, u
 		}
 	}
 	if victim == topology.None {
@@ -138,33 +188,34 @@ func (l *Lazy) evictOldest() {
 	}
 	l.free = append(l.free, l.rows[victim])
 	delete(l.rows, victim)
-	l.stats.Evictions++
+	l.evictions.Add(1)
 }
 
-// drop removes s's cached row (if resident), recycling its storage.
-func (l *Lazy) drop(s topology.NodeID) {
+// dropLocked removes s's cached row (if resident), recycling its
+// storage. Caller must hold the write lock.
+func (l *Lazy) dropLocked(s topology.NodeID) {
 	rw, ok := l.rows[s]
 	if !ok {
 		return
 	}
 	l.free = append(l.free, rw)
 	delete(l.rows, s)
-	l.stats.Invalidations++
+	l.invalidations.Add(1)
 }
 
 // NextHop returns the first hop on the shortest path from -> to.
 func (l *Lazy) NextHop(from, to topology.NodeID) topology.NodeID {
-	return l.row(from).next[to]
+	return topology.NodeID(l.query(from, func(rw *lazyRow) int { return int(rw.next[to]) }))
 }
 
 // Dist returns the cost of the shortest directed path from -> to.
 func (l *Lazy) Dist(from, to topology.NodeID) int {
-	return l.row(from).dist[to]
+	return l.query(from, func(rw *lazyRow) int { return rw.dist[to] })
 }
 
 // Reachable reports whether to can be reached from from.
 func (l *Lazy) Reachable(from, to topology.NodeID) bool {
-	return l.row(from).dist[to] != Infinity
+	return l.Dist(from, to) != Infinity
 }
 
 // Path returns the node sequence of the shortest directed path
@@ -183,8 +234,10 @@ func (l *Lazy) PathLinks(from, to topology.NodeID) [][2]topology.NodeID {
 // Recompute drops every cached row; each recomputes over the current
 // graph on its next query. Equivalent to the eager full reconvergence.
 func (l *Lazy) Recompute() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	for s := range l.rows {
-		l.drop(s)
+		l.dropLocked(s)
 	}
 }
 
@@ -198,10 +251,12 @@ func (l *Lazy) Recompute() {
 // recomputed — the next query pays the Dijkstra. Uncached sources need
 // nothing: they have no stale state to fix.
 func (l *Lazy) RecomputeLinks(changed ...[2]topology.NodeID) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	for s, rw := range l.rows {
 		for _, ch := range changed {
 			if l.linkMayAffect(rw, ch[0], ch[1]) || l.linkMayAffect(rw, ch[1], ch[0]) {
-				l.drop(s)
+				l.dropLocked(s)
 				break
 			}
 		}
@@ -212,11 +267,13 @@ func (l *Lazy) RecomputeLinks(changed ...[2]topology.NodeID) {
 // costs were rewritten, using the eager path's min(old, new) predicate
 // per direction (see Routing.RecomputeCostChanges).
 func (l *Lazy) RecomputeCostChanges(changes ...CostChange) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	for s, rw := range l.rows {
 		for _, ch := range changes {
 			if l.costChangeMayAffect(rw, ch.A, ch.B, ch.OldAB) ||
 				l.costChangeMayAffect(rw, ch.B, ch.A, ch.OldBA) {
-				l.drop(s)
+				l.dropLocked(s)
 				break
 			}
 		}
@@ -262,20 +319,31 @@ func (l *Lazy) MaxSources() int { return l.maxSources }
 
 // Cached reports whether s's row is currently resident (test hook).
 func (l *Lazy) Cached(s topology.NodeID) bool {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
 	_, ok := l.rows[s]
 	return ok
 }
 
 // Stats returns a snapshot of the cache counters.
 func (l *Lazy) Stats() LazyStats {
-	st := l.stats
-	st.Cached = len(l.rows)
-	return st
+	l.mu.RLock()
+	cached := len(l.rows)
+	l.mu.RUnlock()
+	return LazyStats{
+		Hits:          l.hits.Load(),
+		Misses:        l.misses.Load(),
+		Evictions:     l.evictions.Load(),
+		Invalidations: l.invalidations.Load(),
+		Cached:        cached,
+	}
 }
 
 // MemoryBytes estimates the row storage resident on this router —
 // cached rows plus the recycle list — for the A13 table-memory column.
 func (l *Lazy) MemoryBytes() int64 {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
 	return int64(len(l.rows)+len(l.free)) * int64(l.g.NumNodes()) * lazyRowBytes
 }
 
