@@ -333,7 +333,7 @@ func forwardOneHopSetup() (*eventsim.Sim, *netsim.Network, *packet.Data, *int) {
 	sim := eventsim.New()
 	net := netsim.New(sim, g, unicast.Compute(g))
 	delivered := new(int)
-	net.Node(1).SetDeliver(func(*netsim.Node, packet.Message) { *delivered++ })
+	net.Node(1).SetDeliver(func(netsim.ProtoNode, packet.Message) { *delivered++ })
 	msg := &packet.Data{
 		Header: packet.Header{
 			Type:    packet.TypeData,

@@ -1,0 +1,307 @@
+// End-to-end daemon tests: the test binary re-executes itself with
+// HBH_RUN_MAIN=1 so main() runs exactly as an installed hbhd would —
+// real flag parsing, real UDP sockets on loopback, real control
+// connections — both as the daemon and as the control client. The
+// multi-process test runs one daemon per Figure-3 node, which is the
+// docker-compose deployment in miniature.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestMain(m *testing.M) {
+	if os.Getenv("HBH_RUN_MAIN") == "1" {
+		main()
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+// freePorts reserves n distinct free ports by binding and closing
+// listeners. The tiny reuse window before the daemons bind is the
+// standard e2e compromise.
+func freePorts(t *testing.T, n int, network string) []int {
+	t.Helper()
+	ports := make([]int, 0, n)
+	var closers []func()
+	for len(ports) < n {
+		switch network {
+		case "udp":
+			c, err := net.ListenPacket("udp", "127.0.0.1:0")
+			if err != nil {
+				t.Fatal(err)
+			}
+			closers = append(closers, func() { c.Close() })
+			ports = append(ports, c.LocalAddr().(*net.UDPAddr).Port)
+		case "tcp":
+			l, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				t.Fatal(err)
+			}
+			closers = append(closers, func() { l.Close() })
+			ports = append(ports, l.Addr().(*net.TCPAddr).Port)
+		}
+	}
+	for _, c := range closers {
+		c()
+	}
+	return ports
+}
+
+// daemonProc is one re-executed hbhd daemon under test.
+type daemonProc struct {
+	cmd *exec.Cmd
+	out bytes.Buffer
+	ctl string
+}
+
+func startDaemon(t *testing.T, ctl string, args ...string) *daemonProc {
+	t.Helper()
+	d := &daemonProc{ctl: ctl}
+	d.cmd = exec.Command(os.Args[0], append(args, "-ctl", ctl)...)
+	d.cmd.Env = append(os.Environ(), "HBH_RUN_MAIN=1")
+	d.cmd.Stdout, d.cmd.Stderr = &d.out, &d.out
+	if err := d.cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if d.cmd.ProcessState == nil {
+			d.cmd.Process.Kill()
+			d.cmd.Wait()
+		}
+	})
+	// Ready when the control port accepts.
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if c, err := net.Dial("tcp", ctl); err == nil {
+			c.Close()
+			return d
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("daemon at %s never came up:\n%s", ctl, d.out.String())
+	return nil
+}
+
+// ctl runs the control client (also via re-exec) against endpoint ep.
+func ctl(t *testing.T, ep string, words ...string) (string, int) {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], append([]string{"-connect", ep}, words...)...)
+	cmd.Env = append(os.Environ(), "HBH_RUN_MAIN=1")
+	var out bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &out, &out
+	err := cmd.Run()
+	code := 0
+	if ee, ok := err.(*exec.ExitError); ok {
+		code = ee.ExitCode()
+	} else if err != nil {
+		t.Fatalf("ctl %v: %v", words, err)
+	}
+	return out.String(), code
+}
+
+// ctlFast speaks the control protocol directly over TCP — the hot
+// path for polling loops, where re-exec'ing the client binary per
+// probe is needlessly slow under the race detector. The re-exec
+// client still covers the same protocol in the join/quit steps.
+func ctlFast(t *testing.T, ep, line string) string {
+	t.Helper()
+	conn, err := net.DialTimeout("tcp", ep, 5*time.Second)
+	if err != nil {
+		t.Fatalf("ctl %s: %v", line, err)
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(10 * time.Second))
+	fmt.Fprintln(conn, line)
+	var out bytes.Buffer
+	out.ReadFrom(conn)
+	return out.String()
+}
+
+var deliveriesRe = regexp.MustCompile(`receiver (\S+) joined=(\S+) deliveries=(\d+) dups=(\d+)`)
+
+type rcvState struct{ deliveries, dups int }
+
+// receiverStates parses a status reply into per-receiver counters.
+func receiverStates(status string) map[string]rcvState {
+	out := map[string]rcvState{}
+	for _, m := range deliveriesRe.FindAllStringSubmatch(status, -1) {
+		n, _ := strconv.Atoi(m[3])
+		d, _ := strconv.Atoi(m[4])
+		out[m[1]] = rcvState{deliveries: n, dups: d}
+	}
+	return out
+}
+
+// pump sends data through srcEp until every receiver in statusEps has
+// at least min deliveries according to its status endpoint, and
+// returns the final per-receiver counters.
+func pump(t *testing.T, srcEp string, statusEps map[string]string, min int) map[string]rcvState {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		if out := ctlFast(t, srcEp, "send e2e-payload"); !strings.HasPrefix(out, "ok") {
+			t.Fatalf("send failed: %s", out)
+		}
+		states := map[string]rcvState{}
+		done := true
+		for rcv, ep := range statusEps {
+			st := ctlFast(t, ep, "status")
+			states[rcv] = receiverStates(st)[rcv]
+			if states[rcv].deliveries < min {
+				done = false
+			}
+		}
+		if done {
+			return states
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("receivers starved")
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// steadyStateDupFree lets the tree settle a few refresh cycles, then
+// pumps more data and requires zero NEW duplicates. Duplicates during
+// join propagation are legitimate HBH transients (the paper's
+// delivery property is a convergence property); duplicates in steady
+// state are a bug.
+func steadyStateDupFree(t *testing.T, srcEp string, statusEps map[string]string) {
+	t.Helper()
+	time.Sleep(600 * time.Millisecond) // >= 5 refresh cycles at -unit 1ms
+	before := pump(t, srcEp, statusEps, 1)
+	max := 0
+	for _, s := range before {
+		if s.deliveries > max {
+			max = s.deliveries
+		}
+	}
+	after := pump(t, srcEp, statusEps, max+3)
+	for rcv, s := range after {
+		if s.dups != before[rcv].dups {
+			t.Errorf("receiver %s duplicated in steady state: %d -> %d dups",
+				rcv, before[rcv].dups, s.dups)
+		}
+	}
+}
+
+// quitClean asks the daemon to stop and requires a zero exit.
+func quitClean(t *testing.T, d *daemonProc) {
+	t.Helper()
+	if out, code := ctl(t, d.ctl, "quit"); code != 0 {
+		t.Fatalf("quit failed: %s", out)
+	}
+	done := make(chan error, 1)
+	go func() { done <- d.cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("daemon exited dirty: %v\n%s", err, d.out.String())
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatalf("daemon did not stop after quit:\n%s", d.out.String())
+	}
+}
+
+// TestE2ESingleProcess runs the whole Figure-3 topology in one daemon
+// over loopback UDP with the online invariant monitor, joins both
+// receivers through the control client, and requires 100% delivery
+// with zero violations and a clean shutdown.
+func TestE2ESingleProcess(t *testing.T) {
+	ports := freePorts(t, 1, "tcp")
+	udp := freePorts(t, 1, "udp")
+	ctlEp := fmt.Sprintf("127.0.0.1:%d", ports[0])
+	d := startDaemon(t, ctlEp,
+		"-topo", "fig3", "-node", "all", "-source", "S",
+		"-unit", "1ms", "-base-port", strconv.Itoa(udp[0]))
+	// base-port claims 8 consecutive ports; collisions just fail the
+	// daemon visibly and rerunning picks a new base.
+
+	for _, r := range []string{"r1", "r2"} {
+		if out, code := ctl(t, ctlEp, "join", r); code != 0 {
+			t.Fatalf("join %s: %s", r, out)
+		}
+	}
+	eps := map[string]string{"r1": ctlEp, "r2": ctlEp}
+	pump(t, ctlEp, eps, 3)
+	steadyStateDupFree(t, ctlEp, eps)
+
+	st, _ := ctl(t, ctlEp, "status")
+	if !regexp.MustCompile(`monitor violations=0`).MatchString(st) {
+		t.Fatalf("monitor reported violations:\n%s\n%s", st, d.out.String())
+	}
+	quitClean(t, d)
+}
+
+// TestE2EMultiProcess runs one daemon per Figure-3 node — eight
+// processes exchanging UDP datagrams over a shared address book file —
+// and drives joins and data through the per-node control endpoints.
+func TestE2EMultiProcess(t *testing.T) {
+	nodes := []string{"A", "B", "C", "D", "E", "S", "r1", "r2"}
+	udp := freePorts(t, len(nodes), "udp")
+	tcp := freePorts(t, len(nodes), "tcp")
+
+	book := ""
+	for i, n := range nodes {
+		book += fmt.Sprintf("%s 127.0.0.1:%d\n", n, udp[i])
+	}
+	bookPath := filepath.Join(t.TempDir(), "book.txt")
+	if err := os.WriteFile(bookPath, []byte(book), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	ctlOf := map[string]string{}
+	var procs []*daemonProc
+	for i, n := range nodes {
+		ep := fmt.Sprintf("127.0.0.1:%d", tcp[i])
+		ctlOf[n] = ep
+		procs = append(procs, startDaemon(t, ep,
+			"-topo", "fig3", "-node", n, "-source", "S",
+			"-unit", "1ms", "-book", bookPath))
+	}
+
+	for _, r := range []string{"r1", "r2"} {
+		if out, code := ctl(t, ctlOf[r], "join", r); code != 0 {
+			t.Fatalf("join %s: %s", r, out)
+		}
+	}
+	eps := map[string]string{"r1": ctlOf["r1"], "r2": ctlOf["r2"]}
+	pump(t, ctlOf["S"], eps, 3)
+	steadyStateDupFree(t, ctlOf["S"], eps)
+
+	for _, p := range procs {
+		quitClean(t, p)
+	}
+}
+
+func TestBadTopologyExits2(t *testing.T) {
+	cmd := exec.Command(os.Args[0], "-topo", "moebius")
+	cmd.Env = append(os.Environ(), "HBH_RUN_MAIN=1")
+	var out bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &out, &out
+	err := cmd.Run()
+	if ee, ok := err.(*exec.ExitError); !ok || ee.ExitCode() != 2 {
+		t.Fatalf("err = %v, want exit 2; output %s", err, out.String())
+	}
+}
+
+func TestClientRejectsEmptyCommand(t *testing.T) {
+	cmd := exec.Command(os.Args[0], "-connect", "127.0.0.1:1")
+	cmd.Env = append(os.Environ(), "HBH_RUN_MAIN=1")
+	err := cmd.Run()
+	if ee, ok := err.(*exec.ExitError); !ok || ee.ExitCode() != 2 {
+		t.Fatalf("err = %v, want exit 2", err)
+	}
+}

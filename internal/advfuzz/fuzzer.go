@@ -250,7 +250,7 @@ func (f *Fuzzer) Run(iters int) Stats {
 
 // random draws a fresh genome uniformly from the byte space.
 func (f *Fuzzer) random() Genome {
-	raw := make([]byte, 23)
+	raw := make([]byte, 24)
 	f.rng.Read(raw)
 	g := DecodeBytes(raw)
 	// Fresh seeds dominate fresh knob bytes for reaching new behavior;
@@ -264,15 +264,15 @@ func (f *Fuzzer) random() Genome {
 func (f *Fuzzer) Mutate(g Genome) Genome {
 	g = g.Normalize()
 	for n := 1 + f.rng.Intn(2); n > 0; n-- {
-		switch k := f.rng.Intn(len(byteFieldNames) + 3); {
-		case k == len(byteFieldNames): // reseed
+		switch k := f.rng.Intn(len(mutableFieldNames) + 3); {
+		case k == len(mutableFieldNames): // reseed
 			g.Seed = int64(f.rng.Intn(1 << 20))
-		case k == len(byteFieldNames)+1: // switch topology
+		case k == len(mutableFieldNames)+1: // switch topology
 			g.Topo = uint8(f.rng.Intn(len(fuzzTopos)))
-		case k == len(byteFieldNames)+2: // switch protocol
+		case k == len(mutableFieldNames)+2: // switch protocol
 			g.Protocol = uint8(f.rng.Intn(len(fuzzProtocols)))
 		default:
-			p, _ := byteField(&g, byteFieldNames[k])
+			p, _ := byteField(&g, mutableFieldNames[k])
 			if f.rng.Intn(2) == 0 {
 				*p += uint8(1 + f.rng.Intn(3)) // small step (wraps, Normalize folds)
 			} else {
@@ -297,7 +297,7 @@ func (f *Fuzzer) Minimize(g Genome, reproduces func(Genome) bool) Genome {
 	benign := Benign(g)
 	for shrunk := true; shrunk; {
 		shrunk = false
-		for _, name := range byteFieldNames {
+		for _, name := range mutableFieldNames {
 			if name == "receivers" {
 				continue
 			}

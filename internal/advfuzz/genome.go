@@ -89,6 +89,13 @@ type Genome struct {
 	// families) the same tiny lazy-routing LRU as the measured
 	// channel. The many-channel dimension of the scenario space.
 	Channels uint8
+	// Skew is the timer-skew percentage (0..30): receivers' refresh
+	// clocks run apart by up to this fraction, the live-runtime
+	// dimension (unsynchronized wall clocks) folded back into the
+	// deterministic scenario space. Encoded after the seed (byte
+	// offset 23) so every pre-skew genome ID and corpus file decodes
+	// unchanged.
+	Skew uint8
 	// Seed drives every random draw of the run.
 	Seed int64
 }
@@ -121,6 +128,7 @@ func (g Genome) Normalize() Genome {
 	g.Leaves = fold(g.Leaves, 0, 3)
 	g.Window = fold(g.Window, 8, 30)
 	g.Channels = fold(g.Channels, 0, 3)
+	g.Skew = fold(g.Skew, 0, 30)
 	return g
 }
 
@@ -152,6 +160,7 @@ func (g Genome) Spec() experiment.AdvSpec {
 		ExtraChannels:   int(g.Channels),
 
 		LazyRouting: g.Topo >= fuzzCatalogTopos,
+		TimerSkew:   float64(g.Skew) / 100,
 	}
 	if g.ChurnRate > 0 {
 		spec.ChurnPeriod = 2 * refreshInterval / eventsim.Time(g.ChurnRate)
@@ -190,6 +199,11 @@ func (g Genome) Encode() string {
 	fmt.Fprintf(&b, "leaves=%d\n", g.Leaves)
 	fmt.Fprintf(&b, "window=%d\n", g.Window)
 	fmt.Fprintf(&b, "channels=%d\n", g.Channels)
+	if g.Skew > 0 {
+		// Conditional so every pre-skew repro file round-trips to its
+		// original text (and keeps its name).
+		fmt.Fprintf(&b, "skew=%d\n", g.Skew)
+	}
 	fmt.Fprintf(&b, "seed=%d\n", g.Seed)
 	return b.String()
 }
@@ -290,15 +304,24 @@ func byteField(g *Genome, key string) (*uint8, bool) {
 		return &g.Window, true
 	case "channels":
 		return &g.Channels, true
+	case "skew":
+		return &g.Skew, true
 	}
 	return nil, false
 }
 
+// mutableFieldNames is every byte knob the mutator and minimizer may
+// touch: byteFieldNames plus the fields encoded after the seed. Only
+// the pre-seed byteFieldNames order is frozen by the byte layout;
+// post-seed additions extend this list freely.
+var mutableFieldNames = append(append([]string{}, byteFieldNames...), "skew")
+
 // DecodeBytes maps an arbitrary byte string onto a genome — the total
 // decoding the go-fuzz harness needs (every input the engine mutates
 // must be a runnable scenario). Layout: topo, protocol, the thirteen
-// byte fields in byteFieldNames order, then up to eight seed bytes,
-// little-endian; missing bytes read as zero.
+// byte fields in byteFieldNames order, eight seed bytes little-endian,
+// then the timer-skew byte; missing bytes read as zero, so every
+// pre-skew 23-byte input decodes to the same scenario it always named.
 func DecodeBytes(data []byte) Genome {
 	at := func(i int) uint8 {
 		if i < len(data) {
@@ -315,14 +338,22 @@ func DecodeBytes(data []byte) Genome {
 	for i := 0; i < 8; i++ {
 		g.Seed |= int64(at(15+i)) << (8 * i)
 	}
+	g.Skew = at(23)
 	return g.Normalize()
 }
 
 // EncodeBytes is the inverse of DecodeBytes for normalized genomes,
-// used to hand the seed corpus to the go-fuzz engine.
+// used to hand the seed corpus to the go-fuzz engine. The skew byte is
+// emitted only when set: a skew-free genome keeps the historical
+// 23-byte form, so every existing corpus entry and genome ID is
+// bit-stable.
 func (g Genome) EncodeBytes() []byte {
 	g = g.Normalize()
-	out := make([]byte, 23)
+	n := 23
+	if g.Skew > 0 {
+		n = 24
+	}
+	out := make([]byte, n)
 	out[0], out[1] = g.Topo, g.Protocol
 	for i, name := range byteFieldNames {
 		p, _ := byteField(&g, name)
@@ -330,6 +361,9 @@ func (g Genome) EncodeBytes() []byte {
 	}
 	for i := 0; i < 8; i++ {
 		out[15+i] = byte(g.Seed >> (8 * i))
+	}
+	if g.Skew > 0 {
+		out[23] = g.Skew
 	}
 	return out
 }
@@ -367,6 +401,7 @@ func (g Genome) String() string {
 	add("groups", g.Groups)
 	add("leaves", g.Leaves)
 	add("chans", g.Channels)
+	add("skew", g.Skew)
 	parts = append(parts, fmt.Sprintf("win=%d", g.Window), fmt.Sprintf("seed=%d", g.Seed))
 	sort.Strings(parts[3 : len(parts)-2])
 	return strings.Join(parts, " ")

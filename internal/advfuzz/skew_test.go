@@ -1,0 +1,125 @@
+package advfuzz
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// TestSkewOldInputsUnchanged pins the backward-compatibility contract
+// of the skew byte: it lives at offset 23, after everything the
+// pre-skew codec encoded, so every old input — 23-byte fuzz strings,
+// checked-in corpus files, repro files in the wild — decodes to the
+// exact genome it always did (Skew=0) and re-encodes byte- and
+// text-identically, keeping its ID stable.
+func TestSkewOldInputsUnchanged(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for i := 0; i < 500; i++ {
+		raw := make([]byte, 23)
+		rng.Read(raw)
+		g := DecodeBytes(raw)
+		if g.Skew != 0 {
+			t.Fatalf("23-byte input decoded with Skew=%d: % x", g.Skew, raw)
+		}
+		// A trailing zero skew byte must be indistinguishable from no
+		// skew byte at all.
+		padded := DecodeBytes(append(append([]byte{}, raw...), 0))
+		if padded != g {
+			t.Fatalf("zero-padded input decoded differently:\n  %+v\n  %+v", g, padded)
+		}
+		if enc := g.EncodeBytes(); len(enc) != 23 {
+			t.Fatalf("skew-free genome encoded to %d bytes, want 23", len(enc))
+		}
+		if text := g.Encode(); strings.Contains(text, "skew=") {
+			t.Fatalf("skew-free genome emitted a skew line:\n%s", text)
+		}
+	}
+}
+
+// TestSkewCorpusStable asserts the checked-in seed corpus predates the
+// skew byte and is untouched by it: every file parses with Skew=0 and
+// still produces the 23-byte encoding its genome ID is derived from.
+func TestSkewCorpusStable(t *testing.T) {
+	seeds, err := LoadSeeds("testdata")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seeds) == 0 {
+		t.Fatal("no corpus files found")
+	}
+	for _, g := range seeds {
+		if g.Skew != 0 {
+			t.Errorf("corpus genome %s parsed with Skew=%d", g.ID(), g.Skew)
+		}
+		if enc := g.EncodeBytes(); len(enc) != 23 {
+			t.Errorf("corpus genome %s encodes to %d bytes, want 23", g.ID(), len(enc))
+		}
+	}
+}
+
+// TestSkewRoundTrip asserts genomes with a live skew byte survive both
+// codecs losslessly: 24-byte encoding back to the same genome, and the
+// text form (which now carries a skew= line) back through ParseGenome.
+func TestSkewRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(24))
+	for i := 0; i < 500; i++ {
+		raw := make([]byte, 24)
+		rng.Read(raw)
+		g := DecodeBytes(raw)
+		// Normalize folds the raw byte into 0..30, so a nonzero raw[23]
+		// may still land on zero; force a live skew for the round-trip.
+		g.Skew = uint8(1 + rng.Intn(30))
+		enc := g.EncodeBytes()
+		if len(enc) != 24 {
+			t.Fatalf("skewed genome encoded to %d bytes, want 24", len(enc))
+		}
+		if back := DecodeBytes(enc); back != g {
+			t.Fatalf("byte round-trip diverged:\n  %+v\n  %+v", g, back)
+		}
+		parsed, err := ParseGenome(g.Encode())
+		if err != nil {
+			t.Fatalf("text round-trip failed to parse: %v\n%s", err, g.Encode())
+		}
+		if parsed != g {
+			t.Fatalf("text round-trip diverged:\n  %+v\n  %+v", g, parsed)
+		}
+	}
+}
+
+// TestSkewNormalizeAndSpec pins the knob's semantic range: Normalize
+// folds the raw byte into 0..30 (percent), and Spec maps it to the
+// TimerSkew fraction the experiment layer consumes.
+func TestSkewNormalizeAndSpec(t *testing.T) {
+	for v := 0; v < 256; v++ {
+		g := Genome{Receivers: 4, Skew: uint8(v), Seed: 1}.Normalize()
+		if g.Skew > 30 {
+			t.Fatalf("Normalize left Skew=%d out of 0..30 (raw %d)", g.Skew, v)
+		}
+		want := float64(g.Skew) / 100
+		if got := g.Spec().TimerSkew; got != want {
+			t.Fatalf("Skew=%d mapped to TimerSkew=%v, want %v", g.Skew, got, want)
+		}
+	}
+}
+
+// TestSkewMutableAndMinimizable asserts the fuzzer actually owns the
+// new dimension: mutation can reach a nonzero skew from a skew-free
+// parent, and the minimizer shrinks an irrelevant skew back to the
+// benign zero.
+func TestSkewMutableAndMinimizable(t *testing.T) {
+	f := NewFuzzer(5)
+	parent := Genome{Receivers: 4, Seed: 1}.Normalize()
+	hit := false
+	for i := 0; i < 500 && !hit; i++ {
+		hit = f.Mutate(parent).Skew != 0
+	}
+	if !hit {
+		t.Error("500 mutations of a skew-free genome never set Skew")
+	}
+
+	g := Genome{Receivers: 4, ChurnRate: 3, Skew: 25, Seed: 1}.Normalize()
+	min := f.Minimize(g, func(Genome) bool { return true })
+	if min.Skew != 0 {
+		t.Errorf("minimizer left Skew=%d on an always-reproducing oracle", min.Skew)
+	}
+}

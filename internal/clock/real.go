@@ -1,0 +1,110 @@
+package clock
+
+import (
+	"sync"
+	"time"
+)
+
+// Real is a wall-clock Clock. A virtual time unit maps to a fixed
+// wall duration (Unit), and Now counts units elapsed since the
+// clock's start epoch, so protocol timer constants keep their paper
+// semantics at any real-time scale.
+//
+// Callbacks are not run on the runtime timer goroutine: they are
+// handed to the exec dispatcher the clock was built with, which in
+// the live runtime enqueues them onto the owning router's mailbox.
+// That serialises timer callbacks with message handling, so engine
+// code stays single-threaded per router exactly as under eventsim.
+//
+// The fired/cancelled decision is taken inside the dispatched
+// closure, not when the OS timer pops: a Cancel that the owner
+// goroutine executes before the dispatched callback drains wins, even
+// if the underlying time.Timer has already fired. This is what makes
+// Refresh (cancel + re-arm) race-free against a concurrent expiry.
+type Real struct {
+	start time.Time
+	unit  time.Duration
+	exec  func(fn func())
+}
+
+// NewReal builds a wall clock whose epoch (virtual t=0) is now. unit
+// is the wall duration of one virtual time unit and must be positive.
+// exec dispatches timer callbacks; nil runs them inline on the timer
+// goroutine (only safe for single-goroutine use, e.g. tests).
+func NewReal(unit time.Duration, exec func(fn func())) *Real {
+	return NewRealAt(time.Now(), unit, exec)
+}
+
+// NewRealAt is NewReal with an explicit epoch, so several per-node
+// clocks (one exec dispatcher each) can share one time base.
+func NewRealAt(start time.Time, unit time.Duration, exec func(fn func())) *Real {
+	if unit <= 0 {
+		panic("clock: non-positive real time unit")
+	}
+	if exec == nil {
+		exec = func(fn func()) { fn() }
+	}
+	return &Real{start: start, unit: unit, exec: exec}
+}
+
+// Unit returns the wall duration of one virtual time unit.
+func (r *Real) Unit() time.Duration { return r.unit }
+
+// Start returns the wall time of virtual t=0.
+func (r *Real) Start() time.Time { return r.start }
+
+// Now returns the virtual units elapsed since the epoch.
+func (r *Real) Now() Time {
+	return Time(float64(time.Since(r.start)) / float64(r.unit))
+}
+
+// After schedules fn to run delay units from now via the dispatcher.
+func (r *Real) After(delay Time, fn func()) Handle {
+	if delay < 0 {
+		delay = 0
+	}
+	h := &realHandle{}
+	d := time.Duration(float64(delay) * float64(r.unit))
+	h.timer = time.AfterFunc(d, func() {
+		r.exec(func() {
+			h.mu.Lock()
+			if h.cancelled {
+				h.mu.Unlock()
+				return
+			}
+			h.fired = true
+			h.mu.Unlock()
+			fn()
+		})
+	})
+	return h
+}
+
+// realHandle tracks one scheduled wall-clock callback.
+type realHandle struct {
+	mu        sync.Mutex
+	timer     *time.Timer
+	fired     bool
+	cancelled bool
+}
+
+// Cancel prevents the callback from firing. Reports whether it was
+// still pending (from the caller's serialised point of view: a timer
+// whose dispatch has not yet run counts as pending and is suppressed).
+func (h *realHandle) Cancel() bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.fired || h.cancelled {
+		return false
+	}
+	h.cancelled = true
+	h.timer.Stop()
+	return true
+}
+
+// Pending reports whether the callback may still fire.
+func (h *realHandle) Pending() bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return !h.fired && !h.cancelled
+}

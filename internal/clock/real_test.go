@@ -1,0 +1,243 @@
+package clock
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"hbh/internal/eventsim"
+)
+
+// gateExec is a dispatcher that queues callbacks instead of running
+// them, standing in for a router mailbox whose goroutine is busy. It
+// lets tests force the timer-fired-but-not-yet-dispatched window.
+type gateExec struct {
+	mu sync.Mutex
+	q  []func()
+}
+
+func (g *gateExec) exec(fn func()) {
+	g.mu.Lock()
+	g.q = append(g.q, fn)
+	g.mu.Unlock()
+}
+
+func (g *gateExec) pending() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return len(g.q)
+}
+
+func (g *gateExec) drain() {
+	for {
+		g.mu.Lock()
+		if len(g.q) == 0 {
+			g.mu.Unlock()
+			return
+		}
+		fn := g.q[0]
+		g.q = g.q[1:]
+		g.mu.Unlock()
+		fn()
+	}
+}
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestRealCancelBeatsDispatchedFire pins the reset-vs-fire race the
+// live runtime depends on: if the OS timer pops but the owner
+// goroutine cancels the handle before the dispatched callback drains,
+// the callback must not run. This is what makes SoftTimer.Refresh
+// (cancel + re-arm) sound when a refresh message and the expiry race.
+func TestRealCancelBeatsDispatchedFire(t *testing.T) {
+	g := &gateExec{}
+	r := NewReal(time.Millisecond, g.exec)
+	fired := false
+	h := r.After(1, func() { fired = true })
+	// Wait for the OS timer to pop and enqueue the dispatch.
+	waitFor(t, "timer dispatch", func() bool { return g.pending() > 0 })
+	// The owner goroutine cancels before draining its mailbox: from
+	// its serialised point of view the timer is still pending.
+	if !h.Cancel() {
+		t.Error("Cancel reported not-pending before the dispatch drained")
+	}
+	g.drain()
+	if fired {
+		t.Fatal("callback ran despite cancel before dispatch")
+	}
+	if h.Pending() {
+		t.Error("handle still pending after cancel")
+	}
+}
+
+// TestRealCancelAfterFire: once the dispatched callback has run,
+// Cancel is a no-op and reports false.
+func TestRealCancelAfterFire(t *testing.T) {
+	g := &gateExec{}
+	r := NewReal(time.Millisecond, g.exec)
+	fired := false
+	h := r.After(1, func() { fired = true })
+	if !h.Pending() {
+		t.Error("handle not pending right after After")
+	}
+	waitFor(t, "timer dispatch", func() bool { return g.pending() > 0 })
+	g.drain()
+	if !fired {
+		t.Fatal("callback did not run")
+	}
+	if h.Cancel() {
+		t.Error("Cancel reported pending after fire")
+	}
+	if h.Pending() {
+		t.Error("handle pending after fire")
+	}
+}
+
+// TestRealSoftTimerRefreshRace drives a SoftTimer on the real clock
+// through the race window: t1 pops, its dispatch is queued, and the
+// owner refreshes before draining. The stale callback must not fire —
+// the refresh happened first in the owner's serialised order.
+func TestRealSoftTimerRefreshRace(t *testing.T) {
+	g := &gateExec{}
+	r := NewReal(time.Millisecond, g.exec)
+	staled := false
+	tm := NewSoftTimer(r, 1, 1000, func() { staled = true }, nil)
+	waitFor(t, "t1 dispatch", func() bool { return g.pending() > 0 })
+	if !tm.Refresh() {
+		t.Fatal("Refresh failed on live timer")
+	}
+	g.drain() // the superseded t1 dispatch must be a no-op
+	if staled {
+		t.Fatal("stale fired despite refresh before dispatch drained")
+	}
+	if tm.Stale() {
+		t.Error("timer stale after refresh")
+	}
+	tm.Cancel()
+	g.drain()
+}
+
+// TestRealTickerTeardown runs a Ticker against the wall clock with a
+// serial dispatcher (a stand-in router goroutine) and checks Stop
+// halts it cleanly: no late tick runs after Stop is processed.
+func TestRealTickerTeardown(t *testing.T) {
+	mbox := make(chan func(), 64)
+	done := make(chan struct{})
+	go func() {
+		for fn := range mbox {
+			fn()
+		}
+		close(done)
+	}()
+	r := NewReal(time.Millisecond, func(fn func()) { mbox <- fn })
+
+	var mu sync.Mutex
+	ticks := 0
+	var tk *Ticker
+	mbox <- func() { tk = NewTicker(r, 2, func() { mu.Lock(); ticks++; mu.Unlock() }) }
+	waitFor(t, "three ticks", func() bool { mu.Lock(); defer mu.Unlock(); return ticks >= 3 })
+	stopped := make(chan struct{})
+	mbox <- func() { tk.Stop(); close(stopped) }
+	<-stopped
+	mu.Lock()
+	after := ticks
+	mu.Unlock()
+	time.Sleep(20 * time.Millisecond)
+	close(mbox)
+	<-done
+	mu.Lock()
+	final := ticks
+	mu.Unlock()
+	// One tick may have been in flight in the mailbox when Stop ran;
+	// the ticker's own stopped check suppresses it, so the count must
+	// not advance at all once Stop has been processed.
+	if final != after {
+		t.Errorf("ticks advanced after Stop: %d -> %d", after, final)
+	}
+	if !tk.Stopped() {
+		t.Error("ticker not stopped")
+	}
+}
+
+// TestRealSimDrift fires the same schedule on the simulated and real
+// clocks and checks they agree: same firing order, and the real clock
+// never fires early (observed virtual time >= scheduled delay) while
+// staying within a generous lateness bound.
+func TestRealSimDrift(t *testing.T) {
+	delays := []Time{1, 4, 9, 16}
+
+	s := eventsim.New()
+	sc := Sim(s)
+	var simOrder []int
+	for i, d := range delays {
+		i := i
+		sc.After(d, func() { simOrder = append(simOrder, i) })
+	}
+	if err := s.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+
+	const unit = 5 * time.Millisecond
+	r := NewReal(unit, nil) // inline exec: callbacks on timer goroutines
+	var mu sync.Mutex
+	var realOrder []int
+	observed := make([]Time, len(delays))
+	var wg sync.WaitGroup
+	wg.Add(len(delays))
+	for i, d := range delays {
+		i, d := i, d
+		r.After(d, func() {
+			mu.Lock()
+			realOrder = append(realOrder, i)
+			observed[i] = r.Now()
+			mu.Unlock()
+			wg.Done()
+		})
+	}
+	wg.Wait()
+
+	if len(realOrder) != len(simOrder) {
+		t.Fatalf("real fired %d callbacks, sim %d", len(realOrder), len(simOrder))
+	}
+	for k := range simOrder {
+		if realOrder[k] != simOrder[k] {
+			t.Fatalf("firing order diverged: sim %v, real %v", simOrder, realOrder)
+		}
+	}
+	// Lateness bound: 200ms of wall slack expressed in units.
+	slack := Time(float64(200*time.Millisecond) / float64(unit))
+	for i, d := range delays {
+		if observed[i] < d {
+			t.Errorf("callback %d fired early: at %v units, scheduled %v", i, observed[i], d)
+		}
+		if observed[i] > d+slack {
+			t.Errorf("callback %d drifted: at %v units, scheduled %v (slack %v)", i, observed[i], d, slack)
+		}
+	}
+}
+
+// TestRealNowMonotone: Now never runs backwards and tracks the unit.
+func TestRealNowMonotone(t *testing.T) {
+	r := NewReal(time.Millisecond, nil)
+	prev := r.Now()
+	for i := 0; i < 100; i++ {
+		now := r.Now()
+		if now < prev {
+			t.Fatalf("Now ran backwards: %v -> %v", prev, now)
+		}
+		prev = now
+	}
+	time.Sleep(10 * time.Millisecond)
+	if r.Now() < 10 {
+		t.Errorf("Now = %v units after 10ms at 1ms/unit", r.Now())
+	}
+}

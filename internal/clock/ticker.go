@@ -1,30 +1,30 @@
-package eventsim
+package clock
 
 // Ticker invokes a callback periodically until stopped. Protocol
 // entities use tickers for soft-state refresh: receivers re-emit join
 // messages every JoinInterval and the source re-multicasts tree
 // messages every TreeInterval.
 type Ticker struct {
-	sim     *Sim
+	clk     Clock
 	period  Time
 	fn      func()
 	handle  Handle
 	stopped bool
 }
 
-// NewTicker schedules fn every period time units, with the first firing
-// a full period from now. Period must be positive.
-func (s *Sim) NewTicker(period Time, fn func()) *Ticker {
+// NewTicker schedules fn every period time units on clk, with the
+// first firing a full period from now. Period must be positive.
+func NewTicker(clk Clock, period Time, fn func()) *Ticker {
 	if period <= 0 {
-		panic("eventsim: non-positive ticker period")
+		panic("clock: non-positive ticker period")
 	}
-	t := &Ticker{sim: s, period: period, fn: fn}
+	t := &Ticker{clk: clk, period: period, fn: fn}
 	t.arm()
 	return t
 }
 
 func (t *Ticker) arm() {
-	t.handle = t.sim.After(t.period, func() {
+	t.handle = t.clk.After(t.period, func() {
 		if t.stopped {
 			return
 		}
@@ -41,7 +41,7 @@ func (t *Ticker) Stop() {
 		return
 	}
 	t.stopped = true
-	t.handle.Cancel()
+	cancel(t.handle)
 }
 
 // Stopped reports whether Stop has been called.
@@ -52,7 +52,7 @@ func (t *Ticker) Stopped() bool { return t.stopped }
 // entry becomes stale, and when t2 expires the entry is destroyed.
 // Refreshing re-arms both phases.
 type SoftTimer struct {
-	sim      *Sim
+	clk      Clock
 	t1, t2   Time
 	h1, h2   Handle
 	onStale  func()
@@ -61,23 +61,23 @@ type SoftTimer struct {
 	dead     bool
 }
 
-// NewSoftTimer creates and arms a (t1, t2) timer pair. onStale fires
-// when the entry has not been refreshed for t1 units, onExpire when it
-// has not been refreshed for t1+t2 units. Either callback may be nil.
-// t2 is counted from the moment the entry goes stale, matching the
-// paper ("a second timer, t2, is created and will eventually destroy
-// the entry").
-func (s *Sim) NewSoftTimer(t1, t2 Time, onStale, onExpire func()) *SoftTimer {
+// NewSoftTimer creates and arms a (t1, t2) timer pair on clk. onStale
+// fires when the entry has not been refreshed for t1 units, onExpire
+// when it has not been refreshed for t1+t2 units. Either callback may
+// be nil. t2 is counted from the moment the entry goes stale,
+// matching the paper ("a second timer, t2, is created and will
+// eventually destroy the entry").
+func NewSoftTimer(clk Clock, t1, t2 Time, onStale, onExpire func()) *SoftTimer {
 	if t1 <= 0 || t2 <= 0 {
-		panic("eventsim: non-positive soft timer phase")
+		panic("clock: non-positive soft timer phase")
 	}
-	t := &SoftTimer{sim: s, t1: t1, t2: t2, onStale: onStale, onExpire: onExpire}
+	t := &SoftTimer{clk: clk, t1: t1, t2: t2, onStale: onStale, onExpire: onExpire}
 	t.arm()
 	return t
 }
 
 func (t *SoftTimer) arm() {
-	t.h1 = t.sim.After(t.t1, func() {
+	t.h1 = t.clk.After(t.t1, func() {
 		if t.dead {
 			return
 		}
@@ -88,7 +88,7 @@ func (t *SoftTimer) arm() {
 		if t.dead { // onStale may have cancelled us
 			return
 		}
-		t.h2 = t.sim.After(t.t2, func() {
+		t.h2 = t.clk.After(t.t2, func() {
 			if t.dead {
 				return
 			}
@@ -106,8 +106,8 @@ func (t *SoftTimer) Refresh() bool {
 	if t.dead {
 		return false
 	}
-	t.h1.Cancel()
-	t.h2.Cancel()
+	cancel(t.h1)
+	cancel(t.h2)
 	t.stale = false
 	t.arm()
 	return true
@@ -121,7 +121,7 @@ func (t *SoftTimer) ForceStale() {
 	if t.dead || t.stale {
 		return
 	}
-	t.h1.Cancel()
+	cancel(t.h1)
 	t.stale = true
 	if t.onStale != nil {
 		t.onStale()
@@ -129,7 +129,7 @@ func (t *SoftTimer) ForceStale() {
 	if t.dead {
 		return
 	}
-	t.h2 = t.sim.After(t.t2, func() {
+	t.h2 = t.clk.After(t.t2, func() {
 		if t.dead {
 			return
 		}
@@ -148,8 +148,8 @@ func (t *SoftTimer) RefreshDestroyOnly() bool {
 	if t.dead || !t.stale {
 		return false
 	}
-	t.h2.Cancel()
-	t.h2 = t.sim.After(t.t2, func() {
+	cancel(t.h2)
+	t.h2 = t.clk.After(t.t2, func() {
 		if t.dead {
 			return
 		}
@@ -171,6 +171,6 @@ func (t *SoftTimer) Dead() bool { return t.dead }
 // Cancel kills the timer without firing onExpire.
 func (t *SoftTimer) Cancel() {
 	t.dead = true
-	t.h1.Cancel()
-	t.h2.Cancel()
+	cancel(t.h1)
+	cancel(t.h2)
 }

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"hbh/internal/addr"
+	"hbh/internal/clock"
 	"hbh/internal/eventsim"
 	"hbh/internal/mtree"
 	"hbh/internal/netsim"
@@ -142,10 +143,10 @@ func TestFusionOffPathRejected(t *testing.T) {
 func TestRelayDeathUnmarks(t *testing.T) {
 	sim := eventsim.New()
 	mft := NewMFT()
-	eA := mft.Add(1, sim.NewSoftTimer(100, 100, nil, nil))
+	eA := mft.Add(1, clock.NewSoftTimer(clock.Sim(sim), 100, 100, nil, nil))
 	eA.Marked = true
 	eA.ServedBy = 9
-	eB := mft.Add(2, sim.NewSoftTimer(100, 100, nil, nil))
+	eB := mft.Add(2, clock.NewSoftTimer(clock.Sim(sim), 100, 100, nil, nil))
 	eB.Marked = true
 	eB.ServedBy = 8
 	unmarkServedBy(mft, 9)
@@ -163,14 +164,14 @@ func TestRelayDeathUnmarks(t *testing.T) {
 func TestFusionRelistUnmarksDropped(t *testing.T) {
 	sim := eventsim.New()
 	mft := NewMFT()
-	eA := mft.Add(1, sim.NewSoftTimer(100, 100, nil, nil))
+	eA := mft.Add(1, clock.NewSoftTimer(clock.Sim(sim), 100, 100, nil, nil))
 	eA.Marked, eA.ServedBy = true, 9
-	eB := mft.Add(2, sim.NewSoftTimer(100, 100, nil, nil))
+	eB := mft.Add(2, clock.NewSoftTimer(clock.Sim(sim), 100, 100, nil, nil))
 
 	// Relay 9 now lists only entry 2.
 	applyFusion(mft, 9, []addr.Addr{2}, []*Entry{eB}, sim.Now(),
 		func(node addr.Addr) *Entry {
-			e := mft.Add(node, sim.NewSoftTimer(100, 100, nil, nil))
+			e := mft.Add(node, clock.NewSoftTimer(clock.Sim(sim), 100, 100, nil, nil))
 			e.Timer.ForceStale()
 			return e
 		}, nil, nil)
@@ -196,11 +197,11 @@ func TestFusionRelistUnmarksDropped(t *testing.T) {
 func TestFusionRetractsWithoutMatches(t *testing.T) {
 	sim := eventsim.New()
 	mft := NewMFT()
-	eA := mft.Add(1, sim.NewSoftTimer(100, 100, nil, nil))
+	eA := mft.Add(1, clock.NewSoftTimer(clock.Sim(sim), 100, 100, nil, nil))
 	eA.Marked, eA.ServedBy = true, 9
-	eB := mft.Add(2, sim.NewSoftTimer(100, 100, nil, nil))
+	eB := mft.Add(2, clock.NewSoftTimer(clock.Sim(sim), 100, 100, nil, nil))
 	eB.Marked, eB.ServedBy = true, 9
-	mft.Add(9, sim.NewSoftTimer(100, 100, nil, nil))
+	mft.Add(9, clock.NewSoftTimer(clock.Sim(sim), 100, 100, nil, nil))
 
 	// Relay 9 re-announces only entry 2 (already served): matched would
 	// be empty at the onFusion call sites, so only retraction runs.

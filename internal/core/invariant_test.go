@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"hbh/internal/addr"
+	"hbh/internal/clock"
 	"hbh/internal/mtree"
 	"hbh/internal/packet"
 	"hbh/internal/topology"
@@ -171,15 +172,15 @@ func TestApplyFusionSkipsExpiredEntry(t *testing.T) {
 	a := addr.RouterAddr(10)
 	b := addr.RouterAddr(11)
 	bp := addr.RouterAddr(12)
-	ea := table.Add(a, h.sim.NewSoftTimer(cfg.T1, cfg.T2, nil, nil))
-	eb := table.Add(b, h.sim.NewSoftTimer(cfg.T1, cfg.T2, nil, nil))
+	ea := table.Add(a, clock.NewSoftTimer(clock.Sim(h.sim), cfg.T1, cfg.T2, nil, nil))
+	eb := table.Add(b, clock.NewSoftTimer(clock.Sim(h.sim), cfg.T1, cfg.T2, nil, nil))
 
 	matched := []*Entry{ea, eb}
 	table.Remove(a) // "expiry" between collection and application
 
 	applyFusion(table, bp, []addr.Addr{a, b}, matched, h.sim.Now(),
 		func(node addr.Addr) *Entry {
-			e := table.Add(node, h.sim.NewSoftTimer(cfg.T1, cfg.T2, nil, nil))
+			e := table.Add(node, clock.NewSoftTimer(clock.Sim(h.sim), cfg.T1, cfg.T2, nil, nil))
 			e.Timer.ForceStale()
 			return e
 		}, nil, nil)
@@ -205,7 +206,7 @@ func TestMFTVersion(t *testing.T) {
 	if v := table.Version(); v != 0 {
 		t.Fatalf("fresh table version = %d, want 0", v)
 	}
-	e := table.Add(addr.RouterAddr(1), h.sim.NewSoftTimer(h.cfg.T1, h.cfg.T2, nil, nil))
+	e := table.Add(addr.RouterAddr(1), clock.NewSoftTimer(clock.Sim(h.sim), h.cfg.T1, h.cfg.T2, nil, nil))
 	v1 := table.Version()
 	if v1 == 0 {
 		t.Errorf("Add did not advance version")
@@ -220,7 +221,7 @@ func TestMFTVersion(t *testing.T) {
 	if v2 == v1 {
 		t.Errorf("Remove did not advance version")
 	}
-	table.Add(addr.RouterAddr(2), h.sim.NewSoftTimer(h.cfg.T1, h.cfg.T2, nil, nil))
+	table.Add(addr.RouterAddr(2), clock.NewSoftTimer(clock.Sim(h.sim), h.cfg.T1, h.cfg.T2, nil, nil))
 	table.Destroy()
 	if table.Version() <= v2 {
 		t.Errorf("Destroy did not advance version")

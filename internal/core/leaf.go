@@ -2,7 +2,7 @@ package core
 
 import (
 	"hbh/internal/addr"
-	"hbh/internal/eventsim"
+	"hbh/internal/clock"
 	"hbh/internal/igmp"
 	"hbh/internal/netsim"
 	"hbh/internal/packet"
@@ -22,29 +22,29 @@ import (
 // through IGMP does not influence the cost of the tree".
 type LeafAgent struct {
 	cfg     Config
-	node    *netsim.Node
-	sim     *eventsim.Sim
+	node    netsim.ProtoNode
+	clk     clock.Clock
 	querier *igmp.Querier
 	router  *Router // nil when the router is not HBH-capable
 	subs    map[addr.Channel]*leafSub
 }
 
 type leafSub struct {
-	ticker *eventsim.Ticker
+	ticker *clock.Ticker
 }
 
 // AttachLeafAgent wires a LeafAgent to router node n. The querier must
 // already be attached to the same node. Pass the node's HBH Router so
 // data replication composes with downstream forwarding (nil if the
 // node runs no HBH Router; the agent then claims channel data itself).
-func AttachLeafAgent(n *netsim.Node, q *igmp.Querier, r *Router, cfg Config) *LeafAgent {
+func AttachLeafAgent(n netsim.ProtoNode, q *igmp.Querier, r *Router, cfg Config) *LeafAgent {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
 	l := &LeafAgent{
 		cfg:     cfg,
 		node:    n,
-		sim:     n.Network().Sim(),
+		clk:     n.Clock(),
 		querier: q,
 		router:  r,
 		subs:    make(map[addr.Channel]*leafSub),
@@ -71,7 +71,7 @@ func (l *LeafAgent) FirstLocalMember(ch addr.Channel) {
 	sub := &leafSub{}
 	l.subs[ch] = sub
 	l.sendJoin(ch, true)
-	sub.ticker = l.sim.NewTicker(l.cfg.JoinInterval, func() { l.sendJoin(ch, false) })
+	sub.ticker = clock.NewTicker(l.clk, l.cfg.JoinInterval, func() { l.sendJoin(ch, false) })
 }
 
 // LastLocalMemberGone implements igmp.MembershipListener: let the
@@ -114,7 +114,7 @@ func (l *LeafAgent) deliverLocal(d *packet.Data) bool {
 	if len(members) == 0 {
 		return false
 	}
-	g := l.node.Network().Topology()
+	g := l.node.Topology()
 	for _, host := range members {
 		c := packet.Clone(d).(*packet.Data)
 		c.Src = l.node.Addr()
@@ -126,7 +126,7 @@ func (l *LeafAgent) deliverLocal(d *packet.Data) bool {
 
 // Handle implements netsim.Handler for leaf agents on routers without
 // an HBH engine: claim channel data addressed to this router.
-func (l *LeafAgent) Handle(n *netsim.Node, msg packet.Message) netsim.Verdict {
+func (l *LeafAgent) Handle(n netsim.ProtoNode, msg packet.Message) netsim.Verdict {
 	d, ok := msg.(*packet.Data)
 	if !ok || d.Dst != l.node.Addr() {
 		return netsim.Continue

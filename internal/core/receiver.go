@@ -2,6 +2,7 @@ package core
 
 import (
 	"hbh/internal/addr"
+	"hbh/internal/clock"
 	"hbh/internal/eventsim"
 	"hbh/internal/netsim"
 	"hbh/internal/obs"
@@ -22,10 +23,10 @@ type Delivery struct {
 // data deliveries.
 type Receiver struct {
 	cfg    Config
-	node   *netsim.Node
-	sim    *eventsim.Sim
+	node   netsim.ProtoNode
+	clk    clock.Clock
 	ch     addr.Channel
-	ticker *eventsim.Ticker
+	ticker *clock.Ticker
 	joined bool
 
 	// Deliveries lists data arrivals in order. DupCount counts
@@ -48,7 +49,7 @@ type Receiver struct {
 
 // AttachReceiver creates a (not yet joined) receiver agent on host n
 // for channel ch.
-func AttachReceiver(n *netsim.Node, ch addr.Channel, cfg Config) *Receiver {
+func AttachReceiver(n netsim.ProtoNode, ch addr.Channel, cfg Config) *Receiver {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
@@ -58,7 +59,7 @@ func AttachReceiver(n *netsim.Node, ch addr.Channel, cfg Config) *Receiver {
 	r := &Receiver{
 		cfg:  cfg,
 		node: n,
-		sim:  n.Network().Sim(),
+		clk:  n.Clock(),
 		ch:   ch,
 		seen: make(map[uint32]bool),
 	}
@@ -79,12 +80,12 @@ func (r *Receiver) Join() {
 		return
 	}
 	r.joined = true
-	if o := r.node.Network().Observer(); o != nil {
+	if o := r.node.Observer(); o != nil {
 		r.lifeSpan = o.BeginSpan("receiver-lifecycle", r.ch, r.node.Addr(), r.node.Name(), 0)
 		r.joinSpan = o.BeginSpan("joining", r.ch, r.node.Addr(), r.node.Name(), r.lifeSpan)
 	}
 	r.sendJoin(true)
-	r.ticker = r.sim.NewTicker(r.cfg.JoinInterval, func() { r.sendJoin(false) })
+	r.ticker = clock.NewTicker(r.clk, r.cfg.JoinInterval, func() { r.sendJoin(false) })
 }
 
 // Leave unsubscribes by silence: the receiver simply stops sending
@@ -97,7 +98,7 @@ func (r *Receiver) Leave() {
 	r.joined = false
 	r.ticker.Stop()
 	r.ticker = nil
-	if o := r.node.Network().Observer(); o != nil {
+	if o := r.node.Observer(); o != nil {
 		o.EndSpan(r.joinSpan, "joining", r.ch, r.node.Addr(), r.node.Name())
 		o.EndSpan(r.lifeSpan, "receiver-lifecycle", r.ch, r.node.Addr(), r.node.Name())
 	}
@@ -114,7 +115,7 @@ func (r *Receiver) sendJoin(first bool) {
 	// later tree refreshes of the installed entry, fusion rewrites)
 	// chains back to this event.
 	prev := r.node.RootEpisode()
-	if o := r.node.Network().Observer(); o != nil {
+	if o := r.node.Observer(); o != nil {
 		detail := "refresh"
 		if first {
 			detail = "first"
@@ -144,7 +145,7 @@ func (r *Receiver) sendJoin(first bool) {
 
 // Handle implements netsim.Handler: consume channel traffic addressed
 // to this host.
-func (r *Receiver) Handle(n *netsim.Node, msg packet.Message) netsim.Verdict {
+func (r *Receiver) Handle(n netsim.ProtoNode, msg packet.Message) netsim.Verdict {
 	h := msg.Hdr()
 	if h.Dst != r.node.Addr() || h.Channel != r.ch {
 		return netsim.Continue
@@ -157,7 +158,7 @@ func (r *Receiver) Handle(n *netsim.Node, msg packet.Message) netsim.Verdict {
 		r.TreeMsgs++
 		return netsim.Consumed
 	case *packet.Data:
-		d := Delivery{Seq: m.Seq, At: r.sim.Now()}
+		d := Delivery{Seq: m.Seq, At: r.clk.Now()}
 		if r.seen[m.Seq] {
 			r.DupCount++
 		}
@@ -166,7 +167,7 @@ func (r *Receiver) Handle(n *netsim.Node, msg packet.Message) netsim.Verdict {
 		if r.joinSpan != 0 {
 			// First data delivery: the joining phase of the lifecycle
 			// span ends here — this receiver's tree is carrying data.
-			if o := r.node.Network().Observer(); o != nil {
+			if o := r.node.Observer(); o != nil {
 				o.EndSpan(r.joinSpan, "joining", r.ch, r.node.Addr(), r.node.Name())
 			}
 			r.joinSpan = 0

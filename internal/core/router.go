@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"hbh/internal/addr"
+	"hbh/internal/clock"
 	"hbh/internal/eventsim"
 	"hbh/internal/netsim"
 	"hbh/internal/obs"
@@ -80,8 +81,8 @@ type chanState struct {
 // every channel crossing the node.
 type Router struct {
 	cfg      Config
-	node     *netsim.Node
-	sim      *eventsim.Sim
+	node     netsim.ProtoNode
+	clk      clock.Clock
 	chans    map[addr.Channel]*chanState
 	seen     map[addr.Channel]map[uint32]bool
 	observer ChangeObserver
@@ -95,14 +96,14 @@ func (r *Router) setLeaf(l *LeafAgent) { r.leaf = l }
 
 // AttachRouter creates an HBH Router on n and registers it as a packet
 // handler.
-func AttachRouter(n *netsim.Node, cfg Config) *Router {
+func AttachRouter(n netsim.ProtoNode, cfg Config) *Router {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
 	r := &Router{
 		cfg:   cfg,
 		node:  n,
-		sim:   n.Network().Sim(),
+		clk:   n.Clock(),
 		chans: make(map[addr.Channel]*chanState),
 	}
 	n.AddHandler(r)
@@ -159,7 +160,7 @@ func (r *Router) MCTFor(ch addr.Channel) *MCT {
 
 // Handle implements netsim.Handler: hop-by-hop processing of every
 // packet that crosses this router.
-func (r *Router) Handle(n *netsim.Node, msg packet.Message) netsim.Verdict {
+func (r *Router) Handle(n netsim.ProtoNode, msg packet.Message) netsim.Verdict {
 	switch m := msg.(type) {
 	case *packet.Join:
 		if m.Proto != packet.ProtoHBH {
@@ -206,8 +207,8 @@ func (r *Router) onJoin(j *packet.Join) netsim.Verdict {
 	if e == nil { // rule 2: R not ours
 		return netsim.Continue
 	}
-	if sID, ok := r.node.Network().Topology().ByAddr(j.Channel.S); !ok ||
-		!onForwardPath(r.node.Network(), sID, r.node.Addr(), j.R) {
+	if sID, ok := r.node.Topology().ByAddr(j.Channel.S); !ok ||
+		!onForwardPath(r.node, sID, r.node.Addr(), j.R) {
 		// We hold R but do not sit on the forward source->R delivery
 		// path (the join crossed us only because the reverse path
 		// diverges). Intercepting here would keep a parallel, redundant
@@ -248,13 +249,13 @@ func (r *Router) revalidateMark(ch addr.Channel, e *Entry) {
 	if !e.Marked {
 		return
 	}
-	if markLapsed(e, r.sim.Now(), r.cfg.T1) {
+	if markLapsed(e, r.clk.Now(), r.cfg.T1) {
 		e.Marked = false
 		e.ServedBy = addr.Unspecified
 		r.node.EmitProto(obs.KindMarkLift, ch, e.Node, 0, "relay stopped confirming the handover")
 		return
 	}
-	if onForwardPath(r.node.Network(), r.node.ID(), e.ServedBy, e.Node) {
+	if onForwardPath(r.node, r.node.ID(), e.ServedBy, e.Node) {
 		return
 	}
 	e.Marked = false
@@ -303,7 +304,7 @@ func (r *Router) onTree(t *packet.Tree) netsim.Verdict {
 		if st == nil || st.mft == nil {
 			return netsim.Consumed
 		}
-		now := r.sim.Now()
+		now := r.clk.Now()
 		if st.hasRegen && now-st.lastRegen < r.cfg.TreeInterval*9/10 {
 			return netsim.Consumed
 		}
@@ -434,7 +435,7 @@ func (r *Router) onFusion(f *packet.Fusion) netsim.Verdict {
 		if e == nil || e.Node == f.Bp {
 			continue
 		}
-		if !onForwardPath(r.node.Network(), r.node.ID(), f.Bp, target) {
+		if !onForwardPath(r.node, r.node.ID(), f.Bp, target) {
 			continue
 		}
 		matched = append(matched, e)
@@ -459,8 +460,8 @@ func (r *Router) onFusion(f *packet.Fusion) netsim.Verdict {
 // ties several nodes satisfy d(from,via)+d(via,dst) == d(from,dst)
 // without being on the path packets really take, and accepting those
 // would splice parallel delivery chains that duplicate traffic.
-func onForwardPath(net *netsim.Network, from topology.NodeID, via, dst addr.Addr) bool {
-	g := net.Topology()
+func onForwardPath(n netsim.ProtoNode, from topology.NodeID, via, dst addr.Addr) bool {
+	g := n.Topology()
 	vID, ok := g.ByAddr(via)
 	if !ok || vID == from {
 		return false
@@ -469,7 +470,7 @@ func onForwardPath(net *netsim.Network, from topology.NodeID, via, dst addr.Addr
 	if !ok {
 		return false
 	}
-	rt := net.Routing()
+	rt := n.Routing()
 	if !rt.Reachable(from, dID) {
 		return false
 	}
@@ -610,7 +611,7 @@ func (r *Router) applyFusion(st *chanState, ch addr.Channel, f *packet.Fusion, m
 		r.node.EmitProto(obs.KindFusionAccept, ch, f.Bp, 0,
 			fmt.Sprintf("%d of %d targets handed to relay", len(matched), len(f.Rs)))
 	}
-	applyFusion(st.mft, f.Bp, f.Rs, matched, r.sim.Now(),
+	applyFusion(st.mft, f.Bp, f.Rs, matched, r.clk.Now(),
 		func(node addr.Addr) *Entry {
 			e := r.addMFT(st, ch, node)
 			e.Timer.ForceStale()
@@ -731,7 +732,7 @@ func (r *Router) sendFusion(ch addr.Channel, upstream addr.Addr) {
 	if upstream == r.node.Addr() || !upstream.IsUnicast() {
 		return
 	}
-	now := r.sim.Now()
+	now := r.clk.Now()
 	if st.hasFusion && now-st.lastFusion < r.cfg.TreeInterval*9/10 {
 		return
 	}
@@ -757,7 +758,7 @@ func (r *Router) sendFusion(ch addr.Channel, upstream addr.Addr) {
 // addMFT inserts node into the channel's MFT with fresh timers wired
 // to expiry cleanup.
 func (r *Router) addMFT(st *chanState, ch addr.Channel, node addr.Addr) *Entry {
-	timer := r.sim.NewSoftTimer(r.cfg.T1, r.cfg.T2, nil, func() {
+	timer := clock.NewSoftTimer(r.clk, r.cfg.T1, r.cfg.T2, nil, func() {
 		r.expireMFT(st, ch, node)
 	})
 	e := st.mft.Add(node, timer)
@@ -808,7 +809,7 @@ func (r *Router) expireMFT(st *chanState, ch addr.Channel, node addr.Addr) {
 }
 
 func (r *Router) createMCT(st *chanState, ch addr.Channel, node addr.Addr) {
-	timer := r.sim.NewSoftTimer(r.cfg.T1, r.cfg.T2, nil, func() {
+	timer := clock.NewSoftTimer(r.clk, r.cfg.T1, r.cfg.T2, nil, func() {
 		if st.mct != nil && st.mct.Node == node {
 			// Timer-driven expiry roots its own episode (see expireMFT).
 			prev := r.node.RootEpisode()

@@ -4,6 +4,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"hbh/internal/clock"
 	"hbh/internal/eventsim"
 	"hbh/internal/mtree"
 	"hbh/internal/topology"
@@ -34,7 +35,7 @@ func TestSoakBoundedState(t *testing.T) {
 
 	// Churn: every 500 units one random receiver toggles membership.
 	toggles := 0
-	churn := h.sim.NewTicker(500, func() {
+	churn := clock.NewTicker(clock.Sim(h.sim), 500, func() {
 		r := rcvs[rng.Intn(len(rcvs))]
 		if r.Joined() {
 			r.Leave()

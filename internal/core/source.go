@@ -4,7 +4,7 @@ import (
 	"fmt"
 
 	"hbh/internal/addr"
-	"hbh/internal/eventsim"
+	"hbh/internal/clock"
 	"hbh/internal/netsim"
 	"hbh/internal/obs"
 	"hbh/internal/packet"
@@ -16,18 +16,18 @@ import (
 // rewritten copy per unmarked table entry.
 type Source struct {
 	cfg      Config
-	node     *netsim.Node
-	sim      *eventsim.Sim
+	node     netsim.ProtoNode
+	clk      clock.Clock
 	ch       addr.Channel
 	mft      *MFT
-	ticker   *eventsim.Ticker
+	ticker   *clock.Ticker
 	observer ChangeObserver
 	nextSeq  uint32
 }
 
 // AttachSource creates the channel <n.Addr(), group> rooted at host n
 // and starts the tree-emission ticker.
-func AttachSource(n *netsim.Node, group addr.Addr, cfg Config) *Source {
+func AttachSource(n netsim.ProtoNode, group addr.Addr, cfg Config) *Source {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
@@ -38,11 +38,11 @@ func AttachSource(n *netsim.Node, group addr.Addr, cfg Config) *Source {
 	s := &Source{
 		cfg:  cfg,
 		node: n,
-		sim:  n.Network().Sim(),
+		clk:  n.Clock(),
 		ch:   ch,
 		mft:  NewMFT(),
 	}
-	s.ticker = s.sim.NewTicker(cfg.TreeInterval, s.emitTrees)
+	s.ticker = clock.NewTicker(s.clk, cfg.TreeInterval, s.emitTrees)
 	n.AddHandler(s)
 	return s
 }
@@ -67,7 +67,7 @@ func (s *Source) Stop() { s.ticker.Stop() }
 
 // Handle implements netsim.Handler for packets arriving at the source
 // host: joins and fusions addressed to S.
-func (s *Source) Handle(n *netsim.Node, msg packet.Message) netsim.Verdict {
+func (s *Source) Handle(n netsim.ProtoNode, msg packet.Message) netsim.Verdict {
 	switch m := msg.(type) {
 	case *packet.Join:
 		if m.Proto != packet.ProtoHBH || m.Channel != s.ch {
@@ -96,11 +96,11 @@ func (s *Source) onJoin(j *packet.Join) {
 		// (Router.revalidateMark): a relay can stop confirming the
 		// handover (it un-branched or crashed), or a cost change can
 		// strand the member behind a relay off the forward path.
-		if markLapsed(e, s.sim.Now(), s.cfg.T1) {
+		if markLapsed(e, s.clk.Now(), s.cfg.T1) {
 			e.Marked = false
 			e.ServedBy = addr.Unspecified
 			s.node.EmitProto(obs.KindMarkLift, s.ch, j.R, 0, "relay stopped confirming the handover")
-		} else if e.Marked && !onForwardPath(s.node.Network(), s.node.ID(), e.ServedBy, j.R) {
+		} else if e.Marked && !onForwardPath(s.node, s.node.ID(), e.ServedBy, j.R) {
 			e.Marked = false
 			e.ServedBy = addr.Unspecified
 			s.node.EmitProto(obs.KindMarkLift, s.ch, j.R, 0, "relay off the forward path")
@@ -125,7 +125,7 @@ func (s *Source) onFusion(f *packet.Fusion) {
 		// Same routing-verified acceptance as branching routers: the
 		// candidate must actually sit on our forward path to the
 		// member it offers to serve.
-		if !onForwardPath(s.node.Network(), s.node.ID(), f.Bp, target) {
+		if !onForwardPath(s.node, s.node.ID(), f.Bp, target) {
 			continue
 		}
 		matched = append(matched, e)
@@ -143,7 +143,7 @@ func (s *Source) onFusion(f *packet.Fusion) {
 		s.node.EmitProto(obs.KindFusionAccept, s.ch, f.Bp, 0,
 			fmt.Sprintf("%d of %d targets handed to relay", len(matched), len(f.Rs)))
 	}
-	applyFusion(s.mft, f.Bp, f.Rs, matched, s.sim.Now(),
+	applyFusion(s.mft, f.Bp, f.Rs, matched, s.clk.Now(),
 		func(node addr.Addr) *Entry { return s.addEntry(node, true) },
 		func(node addr.Addr) { s.observe(ChangeMFTMark, node) },
 		func(node addr.Addr) {
@@ -152,7 +152,7 @@ func (s *Source) onFusion(f *packet.Fusion) {
 }
 
 func (s *Source) addEntry(node addr.Addr, forceStale bool) *Entry {
-	timer := s.sim.NewSoftTimer(s.cfg.T1, s.cfg.T2, nil, func() {
+	timer := clock.NewSoftTimer(s.clk, s.cfg.T1, s.cfg.T2, nil, func() {
 		if s.mft.Get(node) != nil {
 			// Expiry is a spontaneous action (the member went silent):
 			// it roots its own causal episode.

@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"hbh/internal/addr"
+	"hbh/internal/clock"
 	"hbh/internal/eventsim"
 	"hbh/internal/obs"
 )
@@ -37,7 +38,7 @@ type Entry struct {
 	MarkConfirmed eventsim.Time
 	// Timer is the (t1, t2) soft-state pair. Stale entries forward
 	// data but emit no downstream tree message.
-	Timer *eventsim.SoftTimer
+	Timer *clock.SoftTimer
 	// Cause is the causal provenance of this entry: the episode and
 	// step of the join (or fusion) that installed or last refreshed it.
 	// Timer-driven work on the entry — the periodic tree refresh above
@@ -76,7 +77,7 @@ func (t *MFT) Get(node addr.Addr) *Entry { return t.index[node] }
 
 // Add inserts a new entry with the given timer. Panics on duplicates:
 // callers must Get first.
-func (t *MFT) Add(node addr.Addr, timer *eventsim.SoftTimer) *Entry {
+func (t *MFT) Add(node addr.Addr, timer *clock.SoftTimer) *Entry {
 	if t.index[node] != nil {
 		panic(fmt.Sprintf("core: duplicate MFT entry %v", node))
 	}
@@ -164,7 +165,7 @@ type MCT struct {
 	// Node is the tree target recorded here.
 	Node addr.Addr
 	// Timer is the (t1, t2) pair refreshed by passing tree messages.
-	Timer *eventsim.SoftTimer
+	Timer *clock.SoftTimer
 	// Cause is the causal provenance of the entry (see Entry.Cause).
 	Cause obs.Causal
 }

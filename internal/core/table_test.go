@@ -5,11 +5,12 @@ import (
 	"testing"
 
 	"hbh/internal/addr"
+	"hbh/internal/clock"
 	"hbh/internal/eventsim"
 )
 
-func newTimer(sim *eventsim.Sim) *eventsim.SoftTimer {
-	return sim.NewSoftTimer(100, 100, nil, nil)
+func newTimer(sim *eventsim.Sim) *clock.SoftTimer {
+	return clock.NewSoftTimer(clock.Sim(sim), 100, 100, nil, nil)
 }
 
 func TestMFTOrderAndIndex(t *testing.T) {
@@ -77,7 +78,7 @@ func TestMFTDestroyCancelsTimers(t *testing.T) {
 	sim := eventsim.New()
 	mft := NewMFT()
 	fired := false
-	timer := sim.NewSoftTimer(10, 10, nil, func() { fired = true })
+	timer := clock.NewSoftTimer(clock.Sim(sim), 10, 10, nil, func() { fired = true })
 	mft.Add(1, timer)
 	mft.Destroy()
 	if mft.Len() != 0 {

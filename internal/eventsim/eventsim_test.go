@@ -181,160 +181,3 @@ func TestDeterministicUnderLoad(t *testing.T) {
 		t.Error("events fired out of timestamp order")
 	}
 }
-
-func TestTicker(t *testing.T) {
-	s := New()
-	n := 0
-	tk := s.NewTicker(10, func() { n++ })
-	if err := s.Run(55); err != nil {
-		t.Fatal(err)
-	}
-	if n != 5 {
-		t.Errorf("ticks = %d, want 5", n)
-	}
-	tk.Stop()
-	if !tk.Stopped() {
-		t.Error("Stopped false after Stop")
-	}
-	tk.Stop() // idempotent
-	if err := s.Run(200); err != nil {
-		t.Fatal(err)
-	}
-	if n != 5 {
-		t.Errorf("ticks after stop = %d, want 5", n)
-	}
-}
-
-func TestTickerStopFromCallback(t *testing.T) {
-	s := New()
-	n := 0
-	var tk *Ticker
-	tk = s.NewTicker(10, func() {
-		n++
-		if n == 3 {
-			tk.Stop()
-		}
-	})
-	if err := s.Run(1000); err != nil {
-		t.Fatal(err)
-	}
-	if n != 3 {
-		t.Errorf("ticks = %d, want 3", n)
-	}
-}
-
-func TestSoftTimerPhases(t *testing.T) {
-	s := New()
-	var staleAt, deadAt Time
-	tm := s.NewSoftTimer(10, 5,
-		func() { staleAt = s.Now() },
-		func() { deadAt = s.Now() })
-	if err := s.RunAll(); err != nil {
-		t.Fatal(err)
-	}
-	if staleAt != 10 {
-		t.Errorf("stale at %v, want 10", staleAt)
-	}
-	if deadAt != 15 {
-		t.Errorf("dead at %v, want 15", deadAt)
-	}
-	if !tm.Stale() || !tm.Dead() {
-		t.Error("final state not stale+dead")
-	}
-}
-
-func TestSoftTimerRefresh(t *testing.T) {
-	s := New()
-	dead := false
-	tm := s.NewSoftTimer(10, 5, nil, func() { dead = true })
-	// Refresh every 8 units: never goes stale.
-	for i := 1; i <= 5; i++ {
-		s.At(Time(8*i), func() {
-			if tm.Stale() {
-				t.Error("timer went stale despite refreshes")
-			}
-			tm.Refresh()
-		})
-	}
-	if err := s.Run(40); err != nil {
-		t.Fatal(err)
-	}
-	if dead {
-		t.Fatal("timer died despite refreshes")
-	}
-	// Now stop refreshing: dies at 40+15.
-	if err := s.RunAll(); err != nil {
-		t.Fatal(err)
-	}
-	if !dead {
-		t.Error("timer did not die after refreshes stopped")
-	}
-	if s.Now() != 55 {
-		t.Errorf("death at %v, want 55", s.Now())
-	}
-	if tm.Refresh() {
-		t.Error("Refresh on dead timer reported success")
-	}
-}
-
-func TestSoftTimerForceStale(t *testing.T) {
-	s := New()
-	dead := false
-	tm := s.NewSoftTimer(100, 5, nil, func() { dead = true })
-	s.At(1, tm.ForceStale)
-	if err := s.RunAll(); err != nil {
-		t.Fatal(err)
-	}
-	if !dead || s.Now() != 6 {
-		t.Errorf("forced-stale timer died at %v (dead=%v), want 6", s.Now(), dead)
-	}
-}
-
-func TestSoftTimerRefreshDestroyOnly(t *testing.T) {
-	s := New()
-	dead := false
-	tm := s.NewSoftTimer(10, 20, nil, func() { dead = true })
-	// Stale at 10, would die at 30; refresh destroy phase at 25.
-	s.At(25, func() {
-		if !tm.Stale() {
-			t.Error("not stale at 25")
-		}
-		if !tm.RefreshDestroyOnly() {
-			t.Error("RefreshDestroyOnly failed on stale timer")
-		}
-	})
-	if err := s.Run(40); err != nil {
-		t.Fatal(err)
-	}
-	if dead {
-		t.Fatal("died before extended deadline")
-	}
-	if err := s.RunAll(); err != nil {
-		t.Fatal(err)
-	}
-	if !dead || s.Now() != 45 {
-		t.Errorf("died at %v (dead=%v), want 45", s.Now(), dead)
-	}
-	// RefreshDestroyOnly on a fresh timer is a no-op.
-	tm2 := s.NewSoftTimer(10, 5, nil, nil)
-	if tm2.RefreshDestroyOnly() {
-		t.Error("RefreshDestroyOnly succeeded on fresh timer")
-	}
-	tm2.Cancel()
-}
-
-func TestSoftTimerCancel(t *testing.T) {
-	s := New()
-	tm := s.NewSoftTimer(10, 5, func() {
-		t.Error("stale fired after cancel")
-	}, func() {
-		t.Error("expire fired after cancel")
-	})
-	s.At(5, tm.Cancel)
-	if err := s.RunAll(); err != nil {
-		t.Fatal(err)
-	}
-	if !tm.Dead() {
-		t.Error("cancelled timer not dead")
-	}
-}

@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"hbh/internal/addr"
+	"hbh/internal/clock"
 	"hbh/internal/core"
 	"hbh/internal/eventsim"
 	"hbh/internal/faults"
@@ -228,7 +229,7 @@ func failureRun(cfg FailureConfig, seed int64, res *FailureResult) {
 	dm := metrics.NewDeliveryMatrix(len(members))
 	seqToProbe := make(map[uint32]int)
 	probeEvery := pcfg.TreeInterval / 2
-	ticker := sim.NewTicker(probeEvery, func() {
+	ticker := clock.NewTicker(clock.Sim(sim), probeEvery, func() {
 		seqToProbe[src.SendData(nil)] = dm.Sent(float64(sim.Now()))
 	})
 	sim.At(tEnd, ticker.Stop)

@@ -8,6 +8,7 @@ import (
 	"sync"
 
 	"hbh/internal/addr"
+	"hbh/internal/clock"
 	"hbh/internal/core"
 	"hbh/internal/eventsim"
 	"hbh/internal/igmp"
@@ -420,7 +421,7 @@ func (x *mcSubstrate) installChannelSampler(cfg ManyChannelConfig, s *mcSession,
 	mftR := c.NewSeries("hbh_state_mft_routers", "protocol", protocol, "channel", label)
 	mftE := c.NewSeries("hbh_state_mft_entries", "protocol", protocol, "channel", label)
 	mctR := c.NewSeries("hbh_state_mct_routers", "protocol", protocol, "channel", label)
-	s.sim.NewTicker(s.interval, func() {
+	clock.NewTicker(clock.Sim(s.sim), s.interval, func() {
 		fp := s.footprint()
 		now := s.sim.Now()
 		mftR.Sample(now, float64(fp.MFTRouters))

@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"hbh/internal/addr"
+	"hbh/internal/clock"
 	"hbh/internal/core"
 	"hbh/internal/eventsim"
 	"hbh/internal/faults"
@@ -87,6 +88,16 @@ type AdvSpec struct {
 	// run's churn and faults constantly evict and recompute rows — the
 	// fuzzer's probe into the lazy-invalidation path at bounded n.
 	LazyRouting bool
+
+	// TimerSkew, when > 0, desynchronizes the receivers' soft-state
+	// clocks: receiver i refreshes on a JoinInterval scaled by a
+	// deterministic per-receiver factor in [1-TimerSkew, 1+TimerSkew].
+	// This is the live-runtime dimension of the scenario space — under
+	// wall clocks (hbhd) no two refresh timers tick in lockstep, and
+	// skewed refreshes interleave with T1/T2 expiry in orders the
+	// synchronized simulation never produces. Ignored for PIM (no
+	// refresh cycle). See RunConfig.TimerSkew.
+	TimerSkew float64
 
 	// Check attaches the invariant checker as an oracle: structural
 	// invariants continuously, the full converged profile on the final
@@ -247,7 +258,7 @@ func AdversarialRun(spec AdvSpec) AdvResult {
 	// the window.
 	dm := metrics.NewDeliveryMatrix(len(memberHosts))
 	seqToProbe := make(map[uint32]int)
-	ticker := s.sim.NewTicker(s.interval/2, func() {
+	ticker := clock.NewTicker(clock.Sim(s.sim), s.interval/2, func() {
 		seqToProbe[s.send()] = dm.Sent(float64(s.sim.Now()))
 	})
 	s.sim.At(wEnd, ticker.Stop)
@@ -337,6 +348,7 @@ func buildAdvSession(spec AdvSpec, g *topology.Graph, routing unicast.Router,
 		Topo: spec.Topo, Protocol: spec.Protocol,
 		Receivers: spec.Receivers, Seed: spec.Seed,
 		Check: spec.Check, Obs: o,
+		TimerSkew: spec.TimerSkew,
 	}
 	switch spec.Protocol {
 	case PIMSM, PIMSS:
@@ -416,7 +428,7 @@ func attachBackgroundChannels(spec AdvSpec, s *advSession, g *topology.Graph) {
 				rcv := core.AttachReceiver(s.net.Node(m), src.Channel(), pcfg)
 				s.sim.At(eventsim.Time(bg.Float64())*pcfg.JoinInterval, rcv.Join)
 			}
-			s.sim.NewTicker(s.interval, func() { src.SendData(nil) })
+			clock.NewTicker(clock.Sim(s.sim), s.interval, func() { src.SendData(nil) })
 		case REUNITE:
 			pcfg := reunite.DefaultConfig()
 			src := reunite.AttachSource(s.net.Node(srcHost), group, pcfg)
@@ -424,7 +436,7 @@ func attachBackgroundChannels(spec AdvSpec, s *advSession, g *topology.Graph) {
 				rcv := reunite.AttachReceiver(s.net.Node(m), src.Channel(), pcfg)
 				s.sim.At(eventsim.Time(bg.Float64())*pcfg.JoinInterval, rcv.Join)
 			}
-			s.sim.NewTicker(s.interval, func() { src.SendData(nil) })
+			clock.NewTicker(clock.Sim(s.sim), s.interval, func() { src.SendData(nil) })
 		}
 	}
 }

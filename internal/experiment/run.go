@@ -17,6 +17,7 @@ import (
 	"sync"
 
 	"hbh/internal/addr"
+	"hbh/internal/clock"
 	"hbh/internal/core"
 	"hbh/internal/eventsim"
 	"hbh/internal/invariant"
@@ -157,6 +158,14 @@ type RunConfig struct {
 	// Check enables the runtime invariant checker for this run (see
 	// CheckInvariants for the sweep-wide switch).
 	Check bool
+	// TimerSkew, when > 0, scales each receiver's JoinInterval by a
+	// deterministic per-receiver factor in [1-TimerSkew, 1+TimerSkew]
+	// (see skewFactor), modelling the unsynchronized refresh clocks of
+	// a live deployment. No RNG draws are consumed whether on or off,
+	// so enabling the knob never perturbs the other seeded draws. The
+	// scaled interval must stay below T1 for the config to validate;
+	// the genome bounds the skew at 30%, far under that ceiling.
+	TimerSkew float64
 	// Obs, when non-nil, attaches the observability pipeline to the
 	// run's network: trace sinks, counters and the flight recorder all
 	// hang off it. When it carries a recorder and the run is checked,
@@ -491,8 +500,10 @@ func setupHBH(cfg RunConfig, g *topology.Graph, routing unicast.Router,
 	}
 	src.SetObserver(chg)
 	var rcvs []*core.Receiver
-	for _, m := range members {
-		rcv := core.AttachReceiver(net.Node(m), src.Channel(), pcfg)
+	for i, m := range members {
+		rcfg := pcfg
+		rcfg.JoinInterval = skewedInterval(pcfg.JoinInterval, cfg.TimerSkew, i)
+		rcv := core.AttachReceiver(net.Node(m), src.Channel(), rcfg)
 		at := eventsim.Time(rng.Float64()) * pcfg.JoinInterval
 		sim.At(at, rcv.Join)
 		s.members = append(s.members, rcv)
@@ -501,6 +512,18 @@ func setupHBH(cfg RunConfig, g *topology.Graph, routing unicast.Router,
 	s.leave = func(i int) { rcvs[i].Leave() }
 	s.rejoin = func(i int) { rcvs[i].Join() }
 	return s
+}
+
+// skewedInterval scales a refresh interval by receiver index i's
+// deterministic skew factor: the factors cycle through -1, -1/2, 0,
+// +1/2, +1, so any group of five receivers spans the whole
+// [1-skew, 1+skew] band and no random draws are consumed.
+func skewedInterval(base eventsim.Time, skew float64, i int) eventsim.Time {
+	if skew <= 0 {
+		return base
+	}
+	factor := float64((i%5)-2) / 2
+	return base * eventsim.Time(1+skew*factor)
 }
 
 func setupREUNITE(cfg RunConfig, g *topology.Graph, routing unicast.Router,
@@ -560,8 +583,10 @@ func setupREUNITE(cfg RunConfig, g *topology.Graph, routing unicast.Router,
 	}
 	src.SetObserver(chg)
 	var rcvs []*reunite.Receiver
-	for _, m := range members {
-		rcv := reunite.AttachReceiver(net.Node(m), src.Channel(), pcfg)
+	for i, m := range members {
+		rcfg := pcfg
+		rcfg.JoinInterval = skewedInterval(pcfg.JoinInterval, cfg.TimerSkew, i)
+		rcv := reunite.AttachReceiver(net.Node(m), src.Channel(), rcfg)
 		at := eventsim.Time(rng.Float64()) * pcfg.JoinInterval
 		sim.At(at, rcv.Join)
 		s.members = append(s.members, rcv)
@@ -611,7 +636,7 @@ func installFootprintSampler(cfg RunConfig, s *dynSession, protocol string) {
 	mftRouters := c.NewSeries("hbh_state_mft_routers", "protocol", protocol)
 	mftEntries := c.NewSeries("hbh_state_mft_entries", "protocol", protocol)
 	mctRouters := c.NewSeries("hbh_state_mct_routers", "protocol", protocol)
-	s.sim.NewTicker(s.interval, func() {
+	clock.NewTicker(clock.Sim(s.sim), s.interval, func() {
 		fp := s.state()
 		now := s.sim.Now()
 		mftRouters.Sample(now, float64(fp.MFTRouters))

@@ -1,0 +1,66 @@
+package experiment
+
+import (
+	"math"
+	"testing"
+
+	"hbh/internal/eventsim"
+)
+
+// TestSkewedInterval pins the deterministic per-receiver skew factors:
+// the cycle -1, -1/2, 0, +1/2, +1 over receiver index, so five
+// receivers span the whole [1-skew, 1+skew] band, and skew zero is the
+// exact identity (a skew-free config is bit-identical to a config that
+// predates the knob).
+func TestSkewedInterval(t *testing.T) {
+	want := []eventsim.Time{70, 85, 100, 115, 130, 70, 85}
+	for i, w := range want {
+		got := skewedInterval(100, 0.3, i)
+		if math.Abs(float64(got-w)) > 1e-9 {
+			t.Errorf("skewedInterval(100, 0.3, %d) = %v, want %v", i, got, w)
+		}
+	}
+	for i := 0; i < 7; i++ {
+		if got := skewedInterval(100, 0, i); got != 100 {
+			t.Errorf("skew 0 scaled receiver %d to %v", i, got)
+		}
+	}
+}
+
+// TestAdversarialRunTimerSkew asserts the TimerSkew knob is alive and
+// safe for the soft-state protocols: a skewed run is deterministic,
+// actually differs from the lockstep run (desynchronized refresh
+// timers change the control-traffic timeline), and still converges
+// cleanly with zero invariant violations — refresh skew is the normal
+// operating condition of the live runtime, not an adversity the
+// protocol may buckle under.
+func TestAdversarialRunTimerSkew(t *testing.T) {
+	for _, p := range []Protocol{HBH, REUNITE} {
+		spec := AdvSpec{
+			Topo: TopoISP, Protocol: p, Receivers: 6, Seed: 7,
+			WindowIntervals: 12, Check: true, TimerSkew: 0.3,
+		}
+		a := AdversarialRun(spec)
+		b := AdversarialRun(spec)
+		if a.CleanTime != b.CleanTime || a.WindowStats != b.WindowStats ||
+			len(a.Violations) != len(b.Violations) {
+			t.Errorf("%s: identical skewed specs diverged:\n  %+v\n  %+v", p, a, b)
+		}
+		if !a.CleanConverged || !a.Recovered {
+			t.Errorf("%s: skewed run did not converge: %+v", p, a)
+		}
+		if len(a.Violations) != 0 {
+			t.Errorf("%s: refresh skew violated invariants: %v", p, a.Violations)
+		}
+		if a.Missing != 0 {
+			t.Errorf("%s: refresh skew lost delivery: missing=%d", p, a.Missing)
+		}
+
+		flat := spec
+		flat.TimerSkew = 0
+		c := AdversarialRun(flat)
+		if a.CleanTime == c.CleanTime && a.WindowStats == c.WindowStats {
+			t.Errorf("%s: TimerSkew=0.3 produced a run identical to lockstep — dead knob", p)
+		}
+	}
+}

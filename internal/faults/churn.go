@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"hbh/internal/clock"
 	"hbh/internal/eventsim"
 	"hbh/internal/netsim"
 	"hbh/internal/obs"
@@ -43,7 +44,7 @@ type Churner struct {
 	net       *netsim.Network
 	cfg       ChurnConfig
 	links     [][2]topology.NodeID
-	ticker    *eventsim.Ticker
+	ticker    *clock.Ticker
 	ticks     int
 	perturbed int
 }
@@ -82,7 +83,7 @@ func (c *Churner) Start() {
 	if c.ticker != nil {
 		panic("faults: churner already started")
 	}
-	c.ticker = c.net.Sim().NewTicker(c.cfg.Period, c.tick)
+	c.ticker = clock.NewTicker(c.net.Clock(), c.cfg.Period, c.tick)
 }
 
 // Stop ends the churn; the walked costs stay where they are (the

@@ -17,6 +17,7 @@ import (
 	"fmt"
 
 	"hbh/internal/addr"
+	"hbh/internal/clock"
 	"hbh/internal/eventsim"
 	"hbh/internal/netsim"
 	"hbh/internal/packet"
@@ -67,7 +68,7 @@ type MembershipListener interface {
 // member tracks one (channel, host) membership at the querier.
 type member struct {
 	host  topology.NodeID
-	timer *eventsim.SoftTimer
+	timer *clock.SoftTimer
 }
 
 // Querier is the router-side IGMP engine: it queries the attached
@@ -75,10 +76,10 @@ type member struct {
 // membership edges.
 type Querier struct {
 	cfg      Config
-	node     *netsim.Node
-	sim      *eventsim.Sim
+	node     netsim.ProtoNode
+	clk      clock.Clock
 	hosts    []topology.NodeID
-	ticker   *eventsim.Ticker
+	ticker   *clock.Ticker
 	listener MembershipListener
 	// members[ch] maps host -> membership record, with a parallel
 	// ordered slice for deterministic iteration.
@@ -88,18 +89,18 @@ type Querier struct {
 
 // AttachQuerier installs an IGMP querier on router n, serving all
 // hosts directly attached to it.
-func AttachQuerier(n *netsim.Node, cfg Config) *Querier {
+func AttachQuerier(n netsim.ProtoNode, cfg Config) *Querier {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
-	g := n.Network().Topology()
+	g := n.Topology()
 	if g.Node(n.ID()).Kind != topology.Router {
 		panic("igmp: querier must run on a router")
 	}
 	q := &Querier{
 		cfg:     cfg,
 		node:    n,
-		sim:     n.Network().Sim(),
+		clk:     n.Clock(),
 		members: make(map[addr.Channel]map[topology.NodeID]*member),
 		order:   make(map[addr.Channel][]topology.NodeID),
 	}
@@ -108,7 +109,7 @@ func AttachQuerier(n *netsim.Node, cfg Config) *Querier {
 			q.hosts = append(q.hosts, nb.To)
 		}
 	}
-	q.ticker = q.sim.NewTicker(cfg.QueryInterval, q.sendQueries)
+	q.ticker = clock.NewTicker(q.clk, cfg.QueryInterval, q.sendQueries)
 	n.AddHandler(q)
 	return q
 }
@@ -134,7 +135,7 @@ func (q *Querier) sendQueries() {
 				Proto: packet.ProtoNone,
 				Type:  packet.TypeQuery,
 				Src:   q.node.Addr(),
-				Dst:   q.node.Network().Topology().Node(h).Addr,
+				Dst:   q.node.Topology().Node(h).Addr,
 			},
 			General: true,
 		}
@@ -144,12 +145,12 @@ func (q *Querier) sendQueries() {
 
 // Handle implements netsim.Handler: process membership reports from
 // directly attached hosts.
-func (q *Querier) Handle(n *netsim.Node, msg packet.Message) netsim.Verdict {
+func (q *Querier) Handle(n netsim.ProtoNode, msg packet.Message) netsim.Verdict {
 	r, ok := msg.(*packet.Report)
 	if !ok || r.Dst != q.node.Addr() {
 		return netsim.Continue
 	}
-	host, ok := n.Network().Topology().ByAddr(r.Src)
+	host, ok := n.Topology().ByAddr(r.Src)
 	if !ok || !q.servesHost(host) {
 		return netsim.Consumed // report from a non-local host: ignore
 	}
@@ -183,7 +184,7 @@ func (q *Querier) refresh(ch addr.Channel, host topology.NodeID) {
 	first := len(m) == 0
 	rec := &member{host: host}
 	// Single-phase timeout: model (t1=timeout, t2=instant-ish).
-	rec.timer = q.sim.NewSoftTimer(q.cfg.MembershipTimeout, 1, nil, func() {
+	rec.timer = clock.NewSoftTimer(q.clk, q.cfg.MembershipTimeout, 1, nil, func() {
 		q.remove(ch, host)
 	})
 	m[host] = rec
@@ -222,8 +223,8 @@ func (q *Querier) remove(ch addr.Channel, host topology.NodeID) {
 // records data deliveries (implementing mtree.Member).
 type Host struct {
 	cfg    Config
-	node   *netsim.Node
-	sim    *eventsim.Sim
+	node   netsim.ProtoNode
+	clk    clock.Clock
 	router topology.NodeID
 	joined map[addr.Channel]bool
 	// Deliveries maps sequence numbers to arrival times.
@@ -231,15 +232,15 @@ type Host struct {
 }
 
 // AttachHost installs the IGMP host agent on host n.
-func AttachHost(n *netsim.Node, cfg Config) *Host {
+func AttachHost(n netsim.ProtoNode, cfg Config) *Host {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
-	g := n.Network().Topology()
+	g := n.Topology()
 	h := &Host{
 		cfg:        cfg,
 		node:       n,
-		sim:        n.Network().Sim(),
+		clk:        n.Clock(),
 		router:     g.AttachedRouter(n.ID()),
 		joined:     make(map[addr.Channel]bool),
 		deliveries: make(map[uint32][]eventsim.Time),
@@ -259,7 +260,7 @@ func (h *Host) Join(ch addr.Channel) {
 	h.joined[ch] = true
 	for i := 0; i < h.cfg.UnsolicitedReports; i++ {
 		i := i
-		h.sim.After(eventsim.Time(i)*5, func() {
+		h.clk.After(eventsim.Time(i)*5, func() {
 			if h.joined[ch] {
 				h.sendReport(ch, false)
 			}
@@ -286,7 +287,7 @@ func (h *Host) sendReport(ch addr.Channel, leave bool) {
 			Type:    packet.TypeReport,
 			Channel: ch,
 			Src:     h.node.Addr(),
-			Dst:     h.node.Network().Topology().Node(h.router).Addr,
+			Dst:     h.node.Topology().Node(h.router).Addr,
 		},
 		Leave: leave,
 	}
@@ -294,7 +295,7 @@ func (h *Host) sendReport(ch addr.Channel, leave bool) {
 }
 
 // Handle implements netsim.Handler: answer queries and record data.
-func (h *Host) Handle(n *netsim.Node, msg packet.Message) netsim.Verdict {
+func (h *Host) Handle(n netsim.ProtoNode, msg packet.Message) netsim.Verdict {
 	switch m := msg.(type) {
 	case *packet.Query:
 		if m.Dst != h.node.Addr() {
@@ -315,7 +316,7 @@ func (h *Host) Handle(n *netsim.Node, msg packet.Message) netsim.Verdict {
 		if !h.joined[m.Channel] {
 			return netsim.Continue
 		}
-		h.deliveries[m.Seq] = append(h.deliveries[m.Seq], h.sim.Now())
+		h.deliveries[m.Seq] = append(h.deliveries[m.Seq], h.clk.Now())
 		return netsim.Consumed
 	default:
 		return netsim.Continue

@@ -10,6 +10,7 @@ import (
 	"hbh/internal/netsim"
 	"hbh/internal/packet"
 	"hbh/internal/topology"
+	"hbh/internal/unicast"
 )
 
 // maxViolations bounds how many violations a checker records; a broken
@@ -27,7 +28,7 @@ const seqWindow = 1024
 // observer, OnEvent from the event queue's after-event hook,
 // CheckConverged after a settled probe, CheckQuiescent after teardown.
 type Checker struct {
-	net  *netsim.Network
+	net  Network
 	ch   addr.Channel
 	cfg  Config
 	prov StateProvider
@@ -69,7 +70,24 @@ type Checker struct {
 // protocol tables (nil disables the table-derived checks, as in the
 // PIM profile). Delivery taps are installed here, exactly once — a
 // checker must not be recreated per probe.
-func New(net *netsim.Network, ch addr.Channel, cfg Config, prov StateProvider) *Checker {
+// Network is the slice of the running network the checker reads. Both
+// *netsim.Network (virtual time) and the live runtime (internal/live)
+// implement it, so the same checker runs offline after a simulation
+// and online as a monitor inside hbhd.
+type Network interface {
+	Topology() *topology.Graph
+	Routing() unicast.Router
+	NodeName(id topology.NodeID) string
+	Now() eventsim.Time
+	AddTap(t netsim.Tap)
+	AddDeliveryTap(t netsim.DeliveryTap)
+}
+
+// New builds a checker for channel ch over net. prov supplies the
+// protocol tables (nil disables the table-derived checks, as in the
+// PIM profile). Delivery taps are installed here, exactly once — a
+// checker must not be recreated per probe.
+func New(net Network, ch addr.Channel, cfg Config, prov StateProvider) *Checker {
 	c := &Checker{
 		net: net, ch: ch, cfg: cfg, prov: prov,
 		memberSet:  make(map[addr.Addr]bool),
@@ -355,7 +373,7 @@ func (c *Checker) violate(node addr.Addr, invariant, detail, tree string) {
 		episode = c.episode()
 	}
 	c.violations = append(c.violations, Violation{
-		At: c.net.Sim().Now(), Node: node, Channel: c.ch,
+		At: c.net.Now(), Node: node, Channel: c.ch,
 		Invariant: invariant, Detail: detail, Tree: tree, Recent: recent,
 		Episode: episode,
 	})

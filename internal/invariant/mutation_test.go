@@ -11,6 +11,7 @@ import (
 	"testing"
 
 	"hbh/internal/addr"
+	"hbh/internal/clock"
 	"hbh/internal/core"
 	"hbh/internal/eventsim"
 	"hbh/internal/invariant"
@@ -75,7 +76,7 @@ func TestMutationBrokenFusionCaught(t *testing.T) {
 	// handler that marked entries without installing the relay check —
 	// or un-marked one it should not — leaves exactly this parallel
 	// delivery chain.
-	src.MFT().Add(r4.Addr(), s.sim.NewSoftTimer(s.cfg.T1, s.cfg.T2, nil, nil))
+	src.MFT().Add(r4.Addr(), clock.NewSoftTimer(clock.Sim(s.sim), s.cfg.T1, s.cfg.T2, nil, nil))
 
 	chk.CheckConverged(res.Seq)
 	if chk.Clean() {
@@ -130,7 +131,7 @@ func TestMutationViolationCarriesFlightRecorder(t *testing.T) {
 	res := mtree.Probe(s.net, func() uint32 { return src.SendData([]byte("probe")) },
 		[]mtree.Member{r2, r4})
 	chk.SetMembers([]addr.Addr{r2.Addr(), r4.Addr()})
-	src.MFT().Add(r4.Addr(), s.sim.NewSoftTimer(s.cfg.T1, s.cfg.T2, nil, nil))
+	src.MFT().Add(r4.Addr(), clock.NewSoftTimer(clock.Sim(s.sim), s.cfg.T1, s.cfg.T2, nil, nil))
 	chk.CheckConverged(res.Seq)
 	if chk.Clean() {
 		t.Fatal("checker missed the injected parallel delivery chain")

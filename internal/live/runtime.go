@@ -1,0 +1,594 @@
+package live
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"hbh/internal/clock"
+	"hbh/internal/eventsim"
+	"hbh/internal/netsim"
+	"hbh/internal/obs"
+	"hbh/internal/packet"
+	"hbh/internal/topology"
+	"hbh/internal/unicast"
+)
+
+// Mode selects how the runtime executes.
+type Mode int
+
+const (
+	// SimMode runs every node inside one shared discrete-event
+	// simulator: single-threaded, virtual time, deterministic. The
+	// transport still frames and unmarshals every hop, so the wire
+	// path is exercised, but execution is bit-reproducible — this is
+	// the mode the equivalence tests compare against netsim.
+	SimMode Mode = iota
+	// RealMode runs one goroutine per hosted node against the wall
+	// clock: mailbox-serialised engines, concurrent transport
+	// delivery, time.Timer-backed soft state.
+	RealMode
+)
+
+// Config parameterises a runtime.
+type Config struct {
+	Graph   *topology.Graph
+	Routing unicast.Router
+
+	// Sim selects SimMode when non-nil: all nodes share this
+	// simulator as their clock and event loop.
+	Sim *eventsim.Sim
+
+	// Unit is RealMode's wall duration of one virtual time unit
+	// (default 1ms). Protocol constants are in units, so this knob
+	// scales the whole control plane's real-time speed.
+	Unit time.Duration
+
+	// Hosted lists the nodes this runtime instantiates engines and
+	// mailboxes for. nil hosts the whole graph (in-process cluster);
+	// a daemon hosts one router plus its attached hosts.
+	Hosted []topology.NodeID
+
+	// HopLimit is the per-packet hop budget (default
+	// netsim.DefaultHopLimit).
+	HopLimit int
+}
+
+// Stats counts runtime-level packet events, mirroring the netsim
+// counters the experiments read. Snapshot via Runtime.Stats.
+type Stats struct {
+	Transmissions int
+	DataCopies    int
+	Delivered     int
+	DataDelivered int
+	Consumed      int
+	DataConsumed  int
+	HopLimitDrops int
+	NoRouteDrops  int
+	LinkDownDrops int
+	NodeDownDrops int
+	CodecDrops    int
+}
+
+// Runtime hosts live protocol engines over a transport. Construct
+// with New, attach engines to rt.Node(id) (same Attach* calls as
+// netsim), install a transport (or let Start default to in-process),
+// then Start. In RealMode all post-Start engine access must go
+// through Do or Quiesce.
+type Runtime struct {
+	mode     Mode
+	g        *topology.Graph
+	routing  unicast.Router
+	sim      *eventsim.Sim
+	unit     time.Duration
+	start    time.Time
+	wall     *clock.Real // RealMode ambient clock (Now for stamping)
+	hopLimit int
+
+	nodes  []*Node // by NodeID; nil when not hosted
+	trans  Transport
+	hosted []topology.NodeID
+
+	// worldMu is RealMode's stop-the-world barrier: every mailbox
+	// dispatch runs under RLock, Quiesce takes the write lock.
+	worldMu sync.RWMutex
+
+	// emitMu serialises the shared observability surface (observer,
+	// taps, stats) across node goroutines.
+	emitMu  sync.Mutex
+	obsv    *obs.Observer
+	taps    []netsim.Tap
+	delTaps []netsim.DeliveryTap
+	stats   Stats
+
+	// faultMu guards the runtime fault overlay. The shared graph is
+	// frozen and never mutated here — faults are a runtime concept so
+	// concurrent toggles stay race-free.
+	faultMu  sync.RWMutex
+	nodeDown map[topology.NodeID]bool
+	linkDown map[[2]topology.NodeID]bool
+
+	started bool
+	stopped bool
+}
+
+// New builds a runtime over a frozen graph and its routing tables.
+func New(cfg Config) *Runtime {
+	if cfg.Routing.Graph() != cfg.Graph {
+		panic("live: routing tables computed for a different graph")
+	}
+	rt := &Runtime{
+		g:        cfg.Graph,
+		routing:  cfg.Routing,
+		sim:      cfg.Sim,
+		unit:     cfg.Unit,
+		hopLimit: cfg.HopLimit,
+		nodeDown: make(map[topology.NodeID]bool),
+		linkDown: make(map[[2]topology.NodeID]bool),
+	}
+	if rt.hopLimit == 0 {
+		rt.hopLimit = netsim.DefaultHopLimit
+	}
+	if rt.sim != nil {
+		rt.mode = SimMode
+	} else {
+		rt.mode = RealMode
+		if rt.unit <= 0 {
+			rt.unit = time.Millisecond
+		}
+		rt.start = time.Now()
+		rt.wall = clock.NewRealAt(rt.start, rt.unit, nil)
+	}
+	hosted := cfg.Hosted
+	if hosted == nil {
+		for _, nd := range cfg.Graph.Nodes() {
+			hosted = append(hosted, nd.ID)
+		}
+	}
+	rt.hosted = hosted
+	rt.nodes = make([]*Node, cfg.Graph.NumNodes())
+	for _, id := range hosted {
+		nd := cfg.Graph.Node(id)
+		ln := &Node{rt: rt, id: id, addr: nd.Addr, name: nd.Name}
+		if rt.mode == SimMode {
+			ln.clk = clock.Sim(rt.sim)
+		} else {
+			ln.mbox = newMailbox()
+			ln.clk = clock.NewRealAt(rt.start, rt.unit, ln.mbox.enqueue)
+		}
+		rt.nodes[id] = ln
+	}
+	return rt
+}
+
+// Mode reports the execution mode.
+func (rt *Runtime) Mode() Mode { return rt.mode }
+
+// Node returns the hosted node, panicking on a non-hosted ID.
+func (rt *Runtime) Node(id topology.NodeID) *Node {
+	n := rt.nodes[id]
+	if n == nil {
+		panic(fmt.Sprintf("live: node %d not hosted by this runtime", id))
+	}
+	return n
+}
+
+// Hosted returns the hosted node IDs.
+func (rt *Runtime) Hosted() []topology.NodeID { return rt.hosted }
+
+// SetTransport installs the transport. Must happen before Start.
+func (rt *Runtime) SetTransport(t Transport) {
+	if rt.started {
+		panic("live: SetTransport after Start")
+	}
+	rt.trans = t
+}
+
+// Transport returns the installed transport.
+func (rt *Runtime) Transport() Transport { return rt.trans }
+
+// SetObserver attaches the observability pipeline, rebinding its
+// clock to the runtime's. Emission from node goroutines is
+// serialised internally.
+func (rt *Runtime) SetObserver(o *obs.Observer) {
+	rt.obsv = o
+	if o != nil {
+		o.SetNow(rt.Now)
+	}
+}
+
+// Observer returns the attached observer, or nil.
+func (rt *Runtime) Observer() *obs.Observer { return rt.obsv }
+
+// Topology returns the graph (invariant.Network).
+func (rt *Runtime) Topology() *topology.Graph { return rt.g }
+
+// Routing returns the unicast substrate (invariant.Network).
+func (rt *Runtime) Routing() unicast.Router { return rt.routing }
+
+// NodeName resolves a node's label (invariant.Network).
+func (rt *Runtime) NodeName(id topology.NodeID) string { return rt.g.Node(id).Name }
+
+// Now returns the current time in virtual units (invariant.Network).
+func (rt *Runtime) Now() eventsim.Time {
+	if rt.mode == SimMode {
+		return rt.sim.Now()
+	}
+	return rt.wall.Now()
+}
+
+// AddTap registers a link tap (invariant.Network). Taps run under the
+// runtime's emission lock.
+func (rt *Runtime) AddTap(t netsim.Tap) {
+	rt.emitMu.Lock()
+	rt.taps = append(rt.taps, t)
+	rt.emitMu.Unlock()
+}
+
+// AddDeliveryTap registers a delivery tap (invariant.Network).
+func (rt *Runtime) AddDeliveryTap(t netsim.DeliveryTap) {
+	rt.emitMu.Lock()
+	rt.delTaps = append(rt.delTaps, t)
+	rt.emitMu.Unlock()
+}
+
+// Stats snapshots the runtime counters.
+func (rt *Runtime) Stats() Stats {
+	rt.emitMu.Lock()
+	defer rt.emitMu.Unlock()
+	return rt.stats
+}
+
+// SetNodeUp marks a hosted-or-remote node up or down in the runtime
+// fault overlay (safe to call concurrently).
+func (rt *Runtime) SetNodeUp(id topology.NodeID, up bool) {
+	rt.faultMu.Lock()
+	if up {
+		delete(rt.nodeDown, id)
+	} else {
+		rt.nodeDown[id] = true
+	}
+	rt.faultMu.Unlock()
+}
+
+// SetLinkUp enables or disables the directed link pair (both
+// directions) in the runtime fault overlay.
+func (rt *Runtime) SetLinkUp(a, b topology.NodeID, up bool) {
+	rt.faultMu.Lock()
+	if up {
+		delete(rt.linkDown, [2]topology.NodeID{a, b})
+		delete(rt.linkDown, [2]topology.NodeID{b, a})
+	} else {
+		rt.linkDown[[2]topology.NodeID{a, b}] = true
+		rt.linkDown[[2]topology.NodeID{b, a}] = true
+	}
+	rt.faultMu.Unlock()
+}
+
+func (rt *Runtime) isNodeDown(id topology.NodeID) bool {
+	rt.faultMu.RLock()
+	down := rt.nodeDown[id]
+	rt.faultMu.RUnlock()
+	return down
+}
+
+func (rt *Runtime) isLinkUp(a, b topology.NodeID) bool {
+	if !rt.g.LinkEnabled(a, b) {
+		return false
+	}
+	rt.faultMu.RLock()
+	down := rt.linkDown[[2]topology.NodeID{a, b}]
+	rt.faultMu.RUnlock()
+	return !down
+}
+
+// Start launches the runtime: defaults the transport to in-process
+// delivery and, in RealMode, spawns the node goroutines.
+func (rt *Runtime) Start() {
+	if rt.started {
+		panic("live: Start twice")
+	}
+	rt.started = true
+	if rt.trans == nil {
+		buffer := 0
+		if rt.mode == RealMode {
+			buffer = 1024
+		}
+		rt.trans = NewChanTransport(rt.HandleFrame, buffer)
+	}
+	if rt.mode == RealMode {
+		for _, id := range rt.hosted {
+			rt.nodes[id].mbox.start(rt)
+		}
+	}
+}
+
+// Stop shuts the runtime down: transport first (no new arrivals),
+// then the node goroutines drain and exit.
+func (rt *Runtime) Stop() {
+	if !rt.started || rt.stopped {
+		return
+	}
+	rt.stopped = true
+	if rt.trans != nil {
+		rt.trans.Close()
+	}
+	if rt.mode == RealMode {
+		for _, id := range rt.hosted {
+			rt.nodes[id].mbox.close()
+		}
+		for _, id := range rt.hosted {
+			rt.nodes[id].mbox.wait()
+		}
+	}
+}
+
+// Do runs fn on node id's goroutine and waits for it. This is the
+// only safe way to touch an engine after Start in RealMode (join a
+// receiver, read a table). In SimMode fn runs inline. Calling Do from
+// a node goroutine deadlocks — engines must not use it.
+func (rt *Runtime) Do(id topology.NodeID, fn func()) {
+	nd := rt.Node(id)
+	if rt.mode == SimMode || !rt.started {
+		fn()
+		return
+	}
+	done := make(chan struct{})
+	nd.mbox.enqueue(func() {
+		fn()
+		close(done)
+	})
+	<-done
+}
+
+// Quiesce stops the world — every node goroutine parked between
+// dispatches — and runs fn. Structural invariant checks use it to see
+// a consistent global cut. In SimMode fn just runs inline.
+func (rt *Runtime) Quiesce(fn func()) {
+	if rt.mode == SimMode || !rt.started {
+		fn()
+		return
+	}
+	rt.worldMu.Lock()
+	defer rt.worldMu.Unlock()
+	fn()
+}
+
+// HandleFrame ingests a frame addressed to hosted node to. Transports
+// call it from their receive path; it charges the link cost as
+// arrival delay on the destination's clock, exactly as netsim charges
+// cost on the wire.
+func (rt *Runtime) HandleFrame(to topology.NodeID, frame []byte) {
+	nd := rt.nodes[to]
+	if nd == nil {
+		return // not hosted here; a misrouted or stale frame
+	}
+	from, ttl, msg, err := decodeFrame(frame)
+	if err != nil {
+		rt.emitMu.Lock()
+		rt.stats.CodecDrops++
+		rt.emitMu.Unlock()
+		return
+	}
+	cost := rt.g.Cost(from, to)
+	nd.clk.After(eventsim.Time(cost), func() {
+		rt.arrive(nd, int(ttl), msg)
+	})
+}
+
+// emitMsg emits one packet-level event under the emission lock,
+// stamped with the acting node's ambient causal context. It mirrors
+// netsim's emitMsg; cross-hop causal chaining is not reconstructed
+// (frames carry no causal metadata), so per-hop events root at the
+// receiving node's context.
+func (rt *Runtime) emitMsg(kind obs.Kind, cause obs.Cause, nd *Node, peer topology.NodeID, msg packet.Message) {
+	if rt.obsv == nil {
+		return
+	}
+	ev := obs.Event{Kind: kind, Cause: cause, Msg: msg}
+	ev.Node = nd.addr
+	ev.NodeName = nd.name
+	if peer != topology.None {
+		p := rt.g.Node(peer)
+		ev.Peer = p.Addr
+		ev.PeerName = p.Name
+	}
+	ev.Channel = msg.Hdr().Channel
+	if d, ok := msg.(*packet.Data); ok {
+		ev.Seq = d.Seq
+	}
+	ev.Episode = nd.cur.Episode
+	ev.ParentStep = nd.cur.Step
+	ev.Step = rt.obsv.NewStep()
+	rt.obsv.Emit(ev)
+}
+
+// arrive processes msg at nd: handlers first, then local delivery or
+// onward forwarding — the same decision ladder as netsim.arrive.
+func (rt *Runtime) arrive(nd *Node, ttl int, msg packet.Message) {
+	if rt.isNodeDown(nd.id) {
+		rt.emitMu.Lock()
+		rt.stats.NodeDownDrops++
+		rt.emitMu.Unlock()
+		rt.withEmit(func() { rt.emitMsg(obs.KindDrop, obs.CauseNodeDown, nd, topology.None, msg) })
+		return
+	}
+	for _, h := range nd.handlers {
+		if h.Handle(nd, msg) == netsim.Consumed {
+			rt.emitMu.Lock()
+			rt.stats.Consumed++
+			if _, isData := msg.(*packet.Data); isData {
+				rt.stats.DataConsumed++
+			}
+			if rt.obsv != nil {
+				rt.emitMsg(obs.KindConsume, obs.CauseNone, nd, topology.None, msg)
+			}
+			for _, t := range rt.delTaps {
+				t(nd.id, msg, true)
+			}
+			rt.emitMu.Unlock()
+			return
+		}
+	}
+	hdr := msg.Hdr()
+	if hdr.Dst == nd.addr {
+		rt.emitMu.Lock()
+		rt.stats.Delivered++
+		if _, isData := msg.(*packet.Data); isData {
+			rt.stats.DataDelivered++
+		}
+		if rt.obsv != nil {
+			rt.emitMsg(obs.KindDeliver, obs.CauseNone, nd, topology.None, msg)
+		}
+		rt.emitMu.Unlock()
+		if nd.deliver != nil {
+			nd.deliver(nd, msg)
+		}
+		rt.emitMu.Lock()
+		for _, t := range rt.delTaps {
+			t(nd.id, msg, false)
+		}
+		rt.emitMu.Unlock()
+		return
+	}
+	if !hdr.Dst.IsUnicast() {
+		rt.emitMu.Lock()
+		rt.stats.NoRouteDrops++
+		if rt.obsv != nil {
+			rt.emitMsg(obs.KindDrop, obs.CauseUnclaimedMulticast, nd, topology.None, msg)
+		}
+		rt.emitMu.Unlock()
+		return
+	}
+	rt.forward(nd, ttl, msg)
+}
+
+// withEmit runs fn under the emission lock when an observer is attached.
+func (rt *Runtime) withEmit(fn func()) {
+	if rt.obsv == nil {
+		return
+	}
+	rt.emitMu.Lock()
+	fn()
+	rt.emitMu.Unlock()
+}
+
+// forward routes msg one hop toward its unicast destination.
+func (rt *Runtime) forward(nd *Node, ttl int, msg packet.Message) {
+	dst, ok := rt.g.ByAddr(msg.Hdr().Dst)
+	if !ok || !rt.routing.Reachable(nd.id, dst) {
+		rt.emitMu.Lock()
+		rt.stats.NoRouteDrops++
+		if rt.obsv != nil {
+			rt.emitMsg(obs.KindDrop, obs.CauseNoRoute, nd, topology.None, msg)
+		}
+		rt.emitMu.Unlock()
+		return
+	}
+	next := rt.routing.NextHop(nd.id, dst)
+	rt.transmit(nd, next, ttl, msg)
+}
+
+// transmit frames msg and hands it to the transport, charging one
+// unit of hop budget. The packet is marshalled fresh every hop: the
+// live runtime always exercises the real wire codec.
+func (rt *Runtime) transmit(nd *Node, to topology.NodeID, ttl int, msg packet.Message) {
+	if ttl <= 0 {
+		rt.emitMu.Lock()
+		rt.stats.HopLimitDrops++
+		if rt.obsv != nil {
+			rt.emitMsg(obs.KindDrop, obs.CauseHopLimit, nd, topology.None, msg)
+		}
+		rt.emitMu.Unlock()
+		return
+	}
+	ttl--
+	if !rt.isLinkUp(nd.id, to) {
+		rt.emitMu.Lock()
+		rt.stats.LinkDownDrops++
+		if rt.obsv != nil {
+			rt.emitMsg(obs.KindDrop, obs.CauseLinkDown, nd, to, msg)
+		}
+		rt.emitMu.Unlock()
+		return
+	}
+	if rt.g.Cost(nd.id, to) == 0 {
+		panic(fmt.Sprintf("live: transmit over missing link %d->%d", nd.id, to))
+	}
+	wire, err := packet.Marshal(msg)
+	if err != nil {
+		panic(fmt.Sprintf("live: marshal on %d->%d: %v", nd.id, to, err))
+	}
+	rt.emitMu.Lock()
+	rt.stats.Transmissions++
+	if _, isData := msg.(*packet.Data); isData {
+		rt.stats.DataCopies++
+	}
+	for _, tap := range rt.taps {
+		tap(nd.id, to, msg)
+	}
+	if rt.obsv != nil {
+		rt.emitMsg(obs.KindForward, obs.CauseNone, nd, to, msg)
+	}
+	rt.emitMu.Unlock()
+	rt.trans.Send(nd.id, to, encodeFrame(nd.id, uint8(ttl), wire))
+}
+
+// mailbox is an unbounded FIFO work queue with one consumer
+// goroutine: a router's serialised execution context. Unbounded on
+// purpose — node A's dispatch may synchronously enqueue onto node B
+// and vice versa, so any bounded queue could deadlock the pair.
+type mailbox struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	q      []func()
+	closed bool
+	done   chan struct{}
+}
+
+func newMailbox() *mailbox {
+	m := &mailbox{done: make(chan struct{})}
+	m.cond = sync.NewCond(&m.mu)
+	return m
+}
+
+func (m *mailbox) enqueue(fn func()) {
+	m.mu.Lock()
+	if !m.closed {
+		m.q = append(m.q, fn)
+	}
+	m.mu.Unlock()
+	m.cond.Signal()
+}
+
+func (m *mailbox) start(rt *Runtime) {
+	go func() {
+		defer close(m.done)
+		for {
+			m.mu.Lock()
+			for len(m.q) == 0 && !m.closed {
+				m.cond.Wait()
+			}
+			if len(m.q) == 0 && m.closed {
+				m.mu.Unlock()
+				return
+			}
+			fn := m.q[0]
+			m.q = m.q[1:]
+			m.mu.Unlock()
+
+			rt.worldMu.RLock()
+			fn()
+			rt.worldMu.RUnlock()
+		}
+	}()
+}
+
+func (m *mailbox) close() {
+	m.mu.Lock()
+	m.closed = true
+	m.mu.Unlock()
+	m.cond.Broadcast()
+}
+
+func (m *mailbox) wait() { <-m.done }

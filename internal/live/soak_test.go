@@ -1,0 +1,206 @@
+package live
+
+import (
+	"math/rand"
+	"os"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"hbh/internal/addr"
+	"hbh/internal/core"
+	"hbh/internal/invariant"
+	"hbh/internal/topology"
+	"hbh/internal/unicast"
+)
+
+// soakDuration reads the soak budget from HBH_SOAK_MS (the CI race-soak
+// job raises it); the default keeps the ordinary test run fast.
+func soakDuration() time.Duration {
+	if v := os.Getenv("HBH_SOAK_MS"); v != "" {
+		if ms, err := strconv.Atoi(v); err == nil && ms > 0 {
+			return time.Duration(ms) * time.Millisecond
+		}
+	}
+	return 1500 * time.Millisecond
+}
+
+// TestSoakConcurrentChurnAndFaults hammers the concurrent runtime:
+// 36 router goroutines plus hosts on a power-law graph, a shared
+// lazily-computed routing table, two dozen receivers joining and
+// leaving from their own goroutines, node and link faults flapping,
+// a data pump, and an online structural invariant monitor taking
+// stop-the-world cuts throughout. Run under -race this is the
+// concurrency proof for the whole engine stack; the CI race-soak job
+// runs it with a raised HBH_SOAK_MS budget.
+func TestSoakConcurrentChurnAndFaults(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g := topology.BarabasiAlbert(topology.BAConfig{Routers: 36, M: 2, Hosts: true}, rng)
+	routing := unicast.NewLazy(g, unicast.LazyOptions{})
+	rt := New(Config{Graph: g, Routing: routing, Unit: 250 * time.Microsecond})
+	cfg := core.DefaultConfig()
+	var routers []*core.Router
+	for _, r := range g.Routers() {
+		routers = append(routers, core.AttachRouter(rt.Node(r), cfg))
+	}
+	hosts := g.Hosts()
+	src := core.AttachSource(rt.Node(hosts[0]), addr.GroupAddr(0), cfg)
+	const nReceivers = 24
+	receivers := make(map[topology.NodeID]*core.Receiver, nReceivers)
+	var rcvHosts []topology.NodeID
+	for _, h := range hosts[1 : 1+nReceivers] {
+		receivers[h] = core.AttachReceiver(rt.Node(h), src.Channel(), cfg)
+		rcvHosts = append(rcvHosts, h)
+	}
+	// Structural invariants are node-local and must hold at every
+	// consistent cut, faults and churn notwithstanding; the richer
+	// tree-wide properties are only meaningful at convergence and are
+	// pinned by the equivalence tests instead.
+	chk := invariant.New(rt, src.Channel(), invariant.Config{Structural: true},
+		core.NewAudit(src, routers))
+
+	// Router-to-router links, for fault flapping.
+	var links [][2]topology.NodeID
+	routerIDs := g.Routers()
+	for i, a := range routerIDs {
+		for _, b := range routerIDs[i+1:] {
+			if g.HasLink(a, b) {
+				links = append(links, [2]topology.NodeID{a, b})
+			}
+		}
+	}
+
+	rt.Start()
+	defer rt.Stop()
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+
+	// Receiver churn: every receiver on its own goroutine, joining and
+	// leaving with its own jittered cadence.
+	for i, h := range rcvHosts {
+		wg.Add(1)
+		go func(i int, h topology.NodeID) {
+			defer wg.Done()
+			rcv := receivers[h]
+			lrng := rand.New(rand.NewSource(int64(1000 + i)))
+			for {
+				select {
+				case <-stop:
+					return
+				case <-time.After(time.Duration(2+lrng.Intn(8)) * time.Millisecond):
+				}
+				rt.Do(h, func() {
+					if rcv.Joined() {
+						if lrng.Intn(3) == 0 { // stay joined more than not
+							rcv.Leave()
+						}
+					} else {
+						rcv.Join()
+					}
+				})
+			}
+		}(i, h)
+	}
+
+	// Fault flapper: short node and link outages, always healed.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		frng := rand.New(rand.NewSource(99))
+		for {
+			select {
+			case <-stop:
+				return
+			case <-time.After(time.Duration(3+frng.Intn(10)) * time.Millisecond):
+			}
+			if frng.Intn(2) == 0 && len(links) > 0 {
+				l := links[frng.Intn(len(links))]
+				rt.SetLinkUp(l[0], l[1], false)
+				time.Sleep(time.Duration(1+frng.Intn(4)) * time.Millisecond)
+				rt.SetLinkUp(l[0], l[1], true)
+			} else {
+				id := routerIDs[frng.Intn(len(routerIDs))]
+				rt.SetNodeUp(id, false)
+				time.Sleep(time.Duration(1+frng.Intn(4)) * time.Millisecond)
+				rt.SetNodeUp(id, true)
+			}
+		}
+	}()
+
+	// Data pump on the source's goroutine.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-time.After(4 * time.Millisecond):
+			}
+			rt.Do(hosts[0], func() { src.SendData([]byte("soak")) })
+		}
+	}()
+
+	// Online monitor: stop-the-world structural checks while the storm
+	// rages.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-time.After(15 * time.Millisecond):
+			}
+			rt.Quiesce(chk.CheckStructural)
+		}
+	}()
+
+	time.Sleep(soakDuration())
+	close(stop)
+	wg.Wait()
+
+	// Heal everything, let the soft state settle a couple of refresh
+	// cycles, then take a final consistent cut.
+	for _, id := range routerIDs {
+		rt.SetNodeUp(id, true)
+	}
+	for _, l := range links {
+		rt.SetLinkUp(l[0], l[1], true)
+	}
+	time.Sleep(250 * time.Millisecond)
+	rt.Quiesce(chk.CheckStructural)
+
+	if !chk.Clean() {
+		t.Fatalf("structural invariant violations under churn:\n%s", chk.Report())
+	}
+	st := rt.Stats()
+	if st.DataConsumed == 0 || st.Transmissions == 0 {
+		t.Errorf("soak moved no traffic: %+v", st)
+	}
+	var joined int
+	for _, h := range rcvHosts {
+		rcv := receivers[h]
+		rt.Do(h, func() {
+			if rcv.Joined() && len(rcv.Deliveries) == 0 {
+				// A joined receiver that never heard anything across the
+				// whole soak would mean a stuck path, not bad luck.
+				t.Errorf("receiver %s joined but received nothing", rt.NodeName(h))
+			}
+			if rcv.Joined() {
+				joined++
+			}
+		})
+	}
+	if joined == 0 {
+		t.Log("note: no receiver ended the soak joined (allowed, churn is random)")
+	}
+	ls := routing.Stats()
+	if ls.Misses == 0 {
+		t.Error("shared lazy routing was never exercised")
+	}
+	t.Logf("soak: %d joined at end, stats %+v, routing hits=%d misses=%d",
+		joined, st, ls.Hits, ls.Misses)
+}

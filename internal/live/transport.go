@@ -1,0 +1,258 @@
+// Package live executes the protocol engines concurrently: one
+// goroutine per hosted router/host over a real transport, instead of
+// the single-threaded virtual-time loop in netsim. The engines
+// themselves are untouched — they program against netsim.ProtoNode
+// and clock.Clock, and this package supplies the live implementations
+// of both. Run under the simulated clock and the in-process transport
+// the runtime is deterministic and provably equivalent to the netsim
+// path (see equivalence_test.go); run under the wall clock and UDP it
+// is the hbhd daemon's engine room.
+package live
+
+import (
+	"encoding/binary"
+	"fmt"
+	"net"
+	"sync"
+
+	"hbh/internal/packet"
+	"hbh/internal/topology"
+)
+
+// frameOverhead is the transport framing prepended to every wire
+// packet: the sender's node ID (4 bytes, big endian) and the
+// remaining hop budget (1 byte). The hop budget lives in the frame,
+// not the packet header, exactly as netsim keeps it in the envelope:
+// the paper's messages have no TTL field and the wire codec stays
+// byte-identical between the simulator and the live runtime.
+const frameOverhead = 5
+
+// maxFrame bounds a received datagram.
+const maxFrame = 64 * 1024
+
+// encodeFrame prepends the transport framing to a marshalled packet.
+func encodeFrame(from topology.NodeID, ttl uint8, wire []byte) []byte {
+	f := make([]byte, frameOverhead+len(wire))
+	binary.BigEndian.PutUint32(f[0:4], uint32(from))
+	f[4] = ttl
+	copy(f[frameOverhead:], wire)
+	return f
+}
+
+// decodeFrame splits a frame into sender, hop budget and the packet.
+func decodeFrame(f []byte) (from topology.NodeID, ttl uint8, msg packet.Message, err error) {
+	if len(f) < frameOverhead {
+		return 0, 0, nil, fmt.Errorf("live: short frame (%d bytes)", len(f))
+	}
+	from = topology.NodeID(binary.BigEndian.Uint32(f[0:4]))
+	ttl = f[4]
+	msg, err = packet.Unmarshal(f[frameOverhead:])
+	return from, ttl, msg, err
+}
+
+// DeliverFunc receives a frame addressed to hosted node to. Transports
+// call it from their receive path; the runtime turns it into an
+// arrival on to's goroutine (or event, under the simulated clock).
+type DeliverFunc func(to topology.NodeID, frame []byte)
+
+// Transport moves frames between adjacent nodes. Send must be safe
+// for concurrent use; it delivers asynchronously except for the
+// synchronous in-process transport the deterministic mode uses.
+type Transport interface {
+	Send(from, to topology.NodeID, frame []byte) error
+	Close() error
+}
+
+// ChanTransport is the in-process transport: frames go straight to
+// the runtime's deliver callback, either synchronously (buffer <= 0 —
+// the deterministic simulated-clock mode, where the callback just
+// schedules an arrival event) or through a buffered channel drained
+// by a pump goroutine (the concurrent mode's loopback network).
+type ChanTransport struct {
+	deliver DeliverFunc
+
+	mu     sync.Mutex
+	ch     chan chanFrame
+	closed bool
+	wg     sync.WaitGroup
+}
+
+type chanFrame struct {
+	to    topology.NodeID
+	frame []byte
+}
+
+// NewChanTransport builds an in-process transport over deliver.
+// buffer <= 0 selects synchronous delivery.
+func NewChanTransport(deliver DeliverFunc, buffer int) *ChanTransport {
+	t := &ChanTransport{deliver: deliver}
+	if buffer > 0 {
+		t.ch = make(chan chanFrame, buffer)
+		t.wg.Add(1)
+		go func() {
+			defer t.wg.Done()
+			for f := range t.ch {
+				t.deliver(f.to, f.frame)
+			}
+		}()
+	}
+	return t
+}
+
+// Send implements Transport.
+func (t *ChanTransport) Send(from, to topology.NodeID, frame []byte) error {
+	if t.ch == nil {
+		t.deliver(to, frame)
+		return nil
+	}
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return fmt.Errorf("live: send on closed transport")
+	}
+	t.ch <- chanFrame{to: to, frame: frame}
+	t.mu.Unlock()
+	return nil
+}
+
+// Close implements Transport. Buffered frames drain before it returns.
+func (t *ChanTransport) Close() error {
+	if t.ch != nil {
+		t.mu.Lock()
+		if !t.closed {
+			t.closed = true
+			close(t.ch)
+		}
+		t.mu.Unlock()
+		t.wg.Wait()
+	}
+	return nil
+}
+
+// UDPTransport sends frames as UDP datagrams using a node address
+// book (NodeID -> host:port). Every hosted node gets its own bound
+// socket and read goroutine, so one process can host one router (the
+// daemon deployment) or a whole topology on loopback (the e2e tests).
+type UDPTransport struct {
+	deliver DeliverFunc
+	book    map[topology.NodeID]*net.UDPAddr
+
+	mu     sync.Mutex
+	conns  map[topology.NodeID]*net.UDPConn
+	sender *net.UDPConn // for frames whose source is not hosted here
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// NewUDPTransport binds a socket for every hosted node at its
+// address-book endpoint and starts the read loops. book must cover
+// every node frames will be sent to or from.
+func NewUDPTransport(hosted []topology.NodeID, book map[topology.NodeID]string, deliver DeliverFunc) (*UDPTransport, error) {
+	t := &UDPTransport{
+		deliver: deliver,
+		book:    make(map[topology.NodeID]*net.UDPAddr, len(book)),
+		conns:   make(map[topology.NodeID]*net.UDPConn, len(hosted)),
+	}
+	for id, ep := range book {
+		ua, err := net.ResolveUDPAddr("udp", ep)
+		if err != nil {
+			return nil, fmt.Errorf("live: address book entry %d (%s): %w", id, ep, err)
+		}
+		t.book[id] = ua
+	}
+	for _, id := range hosted {
+		ua, ok := t.book[id]
+		if !ok {
+			t.Close()
+			return nil, fmt.Errorf("live: hosted node %d missing from address book", id)
+		}
+		conn, err := net.ListenUDP("udp", ua)
+		if err != nil {
+			t.Close()
+			return nil, fmt.Errorf("live: bind node %d at %s: %w", id, ua, err)
+		}
+		t.conns[id] = conn
+		if ua.Port == 0 {
+			// Ephemeral bind: record the real endpoint so peers hosted
+			// in this process can address the node.
+			t.book[id] = conn.LocalAddr().(*net.UDPAddr)
+		}
+		t.wg.Add(1)
+		go t.readLoop(id, conn)
+	}
+	sender, err := net.ListenUDP("udp", nil)
+	if err != nil {
+		t.Close()
+		return nil, err
+	}
+	t.sender = sender
+	return t, nil
+}
+
+// LocalAddr reports the bound endpoint of a hosted node's socket
+// (useful when the book used port 0).
+func (t *UDPTransport) LocalAddr(id topology.NodeID) net.Addr {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if c, ok := t.conns[id]; ok {
+		return c.LocalAddr()
+	}
+	return nil
+}
+
+func (t *UDPTransport) readLoop(id topology.NodeID, conn *net.UDPConn) {
+	defer t.wg.Done()
+	buf := make([]byte, maxFrame)
+	for {
+		n, _, err := conn.ReadFromUDP(buf)
+		if err != nil {
+			return // socket closed
+		}
+		frame := make([]byte, n)
+		copy(frame, buf[:n])
+		t.deliver(id, frame)
+	}
+}
+
+// Send implements Transport.
+func (t *UDPTransport) Send(from, to topology.NodeID, frame []byte) error {
+	dst, ok := t.book[to]
+	if !ok {
+		return fmt.Errorf("live: node %d not in address book", to)
+	}
+	t.mu.Lock()
+	conn := t.conns[from]
+	if conn == nil {
+		conn = t.sender
+	}
+	closed := t.closed
+	t.mu.Unlock()
+	if closed || conn == nil {
+		return fmt.Errorf("live: send on closed transport")
+	}
+	_, err := conn.WriteToUDP(frame, dst)
+	return err
+}
+
+// Close shuts every socket and waits for the read loops.
+func (t *UDPTransport) Close() error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	t.closed = true
+	conns := make([]*net.UDPConn, 0, len(t.conns)+1)
+	for _, c := range t.conns {
+		conns = append(conns, c)
+	}
+	if t.sender != nil {
+		conns = append(conns, t.sender)
+	}
+	t.mu.Unlock()
+	for _, c := range conns {
+		c.Close()
+	}
+	t.wg.Wait()
+	return nil
+}

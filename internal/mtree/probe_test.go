@@ -56,7 +56,7 @@ type liveMember struct {
 
 func newLiveMember(net *netsim.Network, host topology.NodeID) *liveMember {
 	m := &liveMember{node: net.Node(host), sim: net.Sim(), got: map[uint32][]eventsim.Time{}}
-	m.node.SetDeliver(func(n *netsim.Node, msg packet.Message) {
+	m.node.SetDeliver(func(n netsim.ProtoNode, msg packet.Message) {
 		if d, ok := msg.(*packet.Data); ok {
 			m.got[d.Seq] = append(m.got[d.Seq], m.sim.Now())
 		}

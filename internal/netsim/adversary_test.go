@@ -30,7 +30,7 @@ func TestAdversaryControlOnly(t *testing.T) {
 	net.SetAdversary(Adversary{Loss: 0.999999, RNG: rand.New(rand.NewSource(1))})
 
 	delivered := 0
-	net.Node(1).SetDeliver(func(*Node, packet.Message) { delivered++ })
+	net.Node(1).SetDeliver(func(ProtoNode, packet.Message) { delivered++ })
 	net.Node(0).SendUnicast(advControlPacket(g.Node(1).Addr))
 	net.Node(0).SendUnicast(dataTo(g.Node(1).Addr, 1))
 	if err := sim.RunAll(); err != nil {
@@ -57,7 +57,7 @@ func TestAdversaryScheduleReproducible(t *testing.T) {
 			RNG: rand.New(rand.NewSource(99)),
 		})
 		var arrivals []eventsim.Time
-		net.Node(2).SetDeliver(func(*Node, packet.Message) {
+		net.Node(2).SetDeliver(func(ProtoNode, packet.Message) {
 			arrivals = append(arrivals, sim.Now())
 		})
 		for i := 0; i < 500; i++ {
@@ -96,7 +96,7 @@ func TestAdversaryZeroEquivalentToAbsent(t *testing.T) {
 		net, sim := build(g)
 		setup(net)
 		delivered := 0
-		net.Node(2).SetDeliver(func(*Node, packet.Message) { delivered++ })
+		net.Node(2).SetDeliver(func(ProtoNode, packet.Message) { delivered++ })
 		for i := 0; i < 200; i++ {
 			net.Node(0).SendUnicast(advControlPacket(g.Node(2).Addr))
 			net.Node(0).SendUnicast(dataTo(g.Node(2).Addr, uint32(i)))
@@ -132,7 +132,7 @@ func TestAdversaryLossRate(t *testing.T) {
 	net.SetAdversary(Adversary{Loss: 0.25, RNG: rand.New(rand.NewSource(7))})
 	const n = 4000
 	got := 0
-	net.Node(1).SetDeliver(func(*Node, packet.Message) { got++ })
+	net.Node(1).SetDeliver(func(ProtoNode, packet.Message) { got++ })
 	for i := 0; i < n; i++ {
 		net.Node(0).SendUnicast(advControlPacket(g.Node(1).Addr))
 	}
@@ -160,7 +160,7 @@ func TestAdversaryBurstLoss(t *testing.T) {
 		RNG: rand.New(rand.NewSource(3)),
 	})
 	got := 0
-	net.Node(1).SetDeliver(func(*Node, packet.Message) { got++ })
+	net.Node(1).SetDeliver(func(ProtoNode, packet.Message) { got++ })
 	for i := 0; i < 5; i++ {
 		net.Node(0).SendUnicast(advControlPacket(g.Node(1).Addr))
 	}
@@ -184,7 +184,7 @@ func TestAdversaryDuplicateDelivers(t *testing.T) {
 	net, sim := build(g)
 	net.SetAdversary(Adversary{Duplicate: 0.9999999, RNG: rand.New(rand.NewSource(5))})
 	var seen []addr.Addr
-	net.Node(1).SetDeliver(func(_ *Node, m packet.Message) {
+	net.Node(1).SetDeliver(func(_ ProtoNode, m packet.Message) {
 		seen = append(seen, m.(*packet.Tree).R)
 	})
 	pkt := advControlPacket(g.Node(1).Addr)
@@ -224,7 +224,7 @@ func TestAdversaryJitterReorders(t *testing.T) {
 	net, sim := build(g)
 	net.SetAdversary(Adversary{MaxJitter: 50, RNG: rand.New(rand.NewSource(11))})
 	var order []addr.Addr
-	net.Node(1).SetDeliver(func(_ *Node, m packet.Message) {
+	net.Node(1).SetDeliver(func(_ ProtoNode, m packet.Message) {
 		order = append(order, m.(*packet.Tree).R)
 	})
 	const n = 50

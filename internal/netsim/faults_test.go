@@ -19,7 +19,7 @@ func TestLinkDownDrops(t *testing.T) {
 	// LinkDownDrops (the cut-wire model), not panic.
 	g.SetLinkEnabled(1, 2, false)
 	delivered := 0
-	net.Node(2).SetDeliver(func(*Node, packet.Message) { delivered++ })
+	net.Node(2).SetDeliver(func(ProtoNode, packet.Message) { delivered++ })
 	net.Node(0).SendUnicast(dataTo(g.Node(2).Addr, 1))
 	if err := sim.RunAll(); err != nil {
 		t.Fatal(err)
@@ -80,7 +80,7 @@ func TestPartitionNoRouteAfterRecompute(t *testing.T) {
 	}
 	// Same-side traffic is unaffected.
 	ok := 0
-	net.Node(g.Hosts()[1]).SetDeliver(func(*Node, packet.Message) { ok++ })
+	net.Node(g.Hosts()[1]).SetDeliver(func(ProtoNode, packet.Message) { ok++ })
 	net.Node(h0).SendUnicast(dataTo(g.Node(g.Hosts()[1]).Addr, 3))
 	if err := sim.RunAll(); err != nil {
 		t.Fatal(err)
@@ -96,7 +96,7 @@ func TestNodeDownDrops(t *testing.T) {
 	net.SetNodeUp(1, false)
 
 	delivered := 0
-	net.Node(2).SetDeliver(func(*Node, packet.Message) { delivered++ })
+	net.Node(2).SetDeliver(func(ProtoNode, packet.Message) { delivered++ })
 	// Transit through the down node dies there.
 	net.Node(0).SendUnicast(dataTo(g.Node(2).Addr, 1))
 	// The down node originates nothing.
@@ -132,7 +132,7 @@ func TestDataLossModel(t *testing.T) {
 
 	const n = 4000
 	got := 0
-	net.Node(1).SetDeliver(func(*Node, packet.Message) { got++ })
+	net.Node(1).SetDeliver(func(ProtoNode, packet.Message) { got++ })
 	for i := 0; i < n; i++ {
 		net.Node(0).SendUnicast(dataTo(g.Node(1).Addr, uint32(i)))
 	}
@@ -159,7 +159,7 @@ func TestDataLossModel(t *testing.T) {
 func TestStatsDeltaAndRatioWindow(t *testing.T) {
 	g := topology.Line(2, false)
 	net, sim := build(g)
-	net.Node(1).SetDeliver(func(*Node, packet.Message) {})
+	net.Node(1).SetDeliver(func(ProtoNode, packet.Message) {})
 	net.Node(0).SendUnicast(dataTo(g.Node(1).Addr, 1))
 	if err := sim.RunAll(); err != nil {
 		t.Fatal(err)

@@ -16,7 +16,7 @@ func TestControlLossDropsControlOnly(t *testing.T) {
 
 	// Control packet: dropped (with overwhelming probability).
 	delivered := 0
-	net.Node(1).SetDeliver(func(*Node, packet.Message) { delivered++ })
+	net.Node(1).SetDeliver(func(ProtoNode, packet.Message) { delivered++ })
 	j := &packet.Join{
 		Header: packet.Header{
 			Proto: packet.ProtoHBH, Type: packet.TypeJoin,
@@ -45,7 +45,7 @@ func TestControlLossRate(t *testing.T) {
 	net.SetControlLoss(0.25, rand.New(rand.NewSource(7)))
 	const n = 4000
 	got := 0
-	net.Node(1).SetDeliver(func(*Node, packet.Message) { got++ })
+	net.Node(1).SetDeliver(func(ProtoNode, packet.Message) { got++ })
 	for i := 0; i < n; i++ {
 		net.Node(0).SendUnicast(&packet.Tree{
 			Header: packet.Header{

@@ -19,6 +19,7 @@ import (
 	"math/rand"
 
 	"hbh/internal/addr"
+	"hbh/internal/clock"
 	"hbh/internal/eventsim"
 	"hbh/internal/obs"
 	"hbh/internal/packet"
@@ -47,18 +48,18 @@ const (
 // for every packet arriving at the node, whether addressed to it or
 // transiting through it.
 type Handler interface {
-	Handle(n *Node, msg packet.Message) Verdict
+	Handle(n ProtoNode, msg packet.Message) Verdict
 }
 
 // HandlerFunc adapts a function to the Handler interface.
-type HandlerFunc func(n *Node, msg packet.Message) Verdict
+type HandlerFunc func(n ProtoNode, msg packet.Message) Verdict
 
 // Handle implements Handler.
-func (f HandlerFunc) Handle(n *Node, msg packet.Message) Verdict { return f(n, msg) }
+func (f HandlerFunc) Handle(n ProtoNode, msg packet.Message) Verdict { return f(n, msg) }
 
 // DeliverFunc receives packets locally delivered at a node (packets
 // whose unicast destination is this node and that no handler consumed).
-type DeliverFunc func(n *Node, msg packet.Message)
+type DeliverFunc func(n ProtoNode, msg packet.Message)
 
 // Tap observes every link transmission. from and to are adjacent
 // nodes; msg is the packet as transmitted. Taps must not mutate msg.
@@ -138,6 +139,7 @@ func (s Stats) Delta(prev Stats) Stats {
 // discrete-event clock into a running packet network.
 type Network struct {
 	sim     *eventsim.Sim
+	clk     clock.Clock
 	topo    *topology.Graph
 	routing unicast.Router
 	nodes   []*Node
@@ -195,7 +197,7 @@ func New(sim *eventsim.Sim, g *topology.Graph, r unicast.Router) *Network {
 	if r.Graph() != g {
 		panic("netsim: routing tables computed for a different graph")
 	}
-	n := &Network{sim: sim, topo: g, routing: r, hopLimit: DefaultHopLimit}
+	n := &Network{sim: sim, clk: clock.Sim(sim), topo: g, routing: r, hopLimit: DefaultHopLimit}
 	n.nodes = make([]*Node, g.NumNodes())
 	n.nodeDown = make([]bool, g.NumNodes())
 	for _, nd := range g.Nodes() {
@@ -206,6 +208,12 @@ func New(sim *eventsim.Sim, g *topology.Graph, r unicast.Router) *Network {
 
 // Sim returns the event clock.
 func (n *Network) Sim() *eventsim.Sim { return n.sim }
+
+// Clock returns the simulator wrapped as an abstract clock.
+func (n *Network) Clock() clock.Clock { return n.clk }
+
+// Now returns the current virtual time.
+func (n *Network) Now() eventsim.Time { return n.sim.Now() }
 
 // Topology returns the underlying graph.
 func (n *Network) Topology() *topology.Graph { return n.topo }
@@ -471,6 +479,18 @@ func (nd *Node) Name() string { return nd.name }
 
 // Network returns the owning network.
 func (nd *Node) Network() *Network { return nd.net }
+
+// Clock returns the network's abstract clock (ProtoNode).
+func (nd *Node) Clock() clock.Clock { return nd.net.clk }
+
+// Topology returns the network's graph (ProtoNode).
+func (nd *Node) Topology() *topology.Graph { return nd.net.topo }
+
+// Routing returns the network's unicast substrate (ProtoNode).
+func (nd *Node) Routing() unicast.Router { return nd.net.routing }
+
+// Observer returns the attached observer, or nil (ProtoNode).
+func (nd *Node) Observer() *obs.Observer { return nd.net.obsv }
 
 // AddHandler registers a protocol handler on the node. Handlers run in
 // registration order; the first Consumed verdict wins.

@@ -42,8 +42,8 @@ func TestUnicastDeliveryAndDelay(t *testing.T) {
 
 	net, sim := build(g)
 	var deliveredAt eventsim.Time
-	var via *Node
-	net.Node(n3).SetDeliver(func(n *Node, msg packet.Message) {
+	var via ProtoNode
+	net.Node(n3).SetDeliver(func(n ProtoNode, msg packet.Message) {
 		deliveredAt = sim.Now()
 		via = n
 	})
@@ -67,12 +67,12 @@ func TestHandlerInterception(t *testing.T) {
 	g := topology.Line(3, false)
 	net, sim := build(g)
 	seen := 0
-	net.Node(1).AddHandler(HandlerFunc(func(n *Node, msg packet.Message) Verdict {
+	net.Node(1).AddHandler(HandlerFunc(func(n ProtoNode, msg packet.Message) Verdict {
 		seen++
 		return Consumed
 	}))
 	delivered := false
-	net.Node(2).SetDeliver(func(*Node, packet.Message) { delivered = true })
+	net.Node(2).SetDeliver(func(ProtoNode, packet.Message) { delivered = true })
 	net.Node(0).SendUnicast(dataTo(g.Node(2).Addr, 1))
 	if err := sim.RunAll(); err != nil {
 		t.Fatal(err)
@@ -92,15 +92,15 @@ func TestHandlerOrderFirstConsumedWins(t *testing.T) {
 	g := topology.Line(2, false)
 	net, sim := build(g)
 	var order []string
-	net.Node(1).AddHandler(HandlerFunc(func(n *Node, msg packet.Message) Verdict {
+	net.Node(1).AddHandler(HandlerFunc(func(n ProtoNode, msg packet.Message) Verdict {
 		order = append(order, "first")
 		return Continue
 	}))
-	net.Node(1).AddHandler(HandlerFunc(func(n *Node, msg packet.Message) Verdict {
+	net.Node(1).AddHandler(HandlerFunc(func(n ProtoNode, msg packet.Message) Verdict {
 		order = append(order, "second")
 		return Consumed
 	}))
-	net.Node(1).AddHandler(HandlerFunc(func(n *Node, msg packet.Message) Verdict {
+	net.Node(1).AddHandler(HandlerFunc(func(n ProtoNode, msg packet.Message) Verdict {
 		order = append(order, "third")
 		return Consumed
 	}))
@@ -117,7 +117,7 @@ func TestSendToSelf(t *testing.T) {
 	g := topology.Line(2, false)
 	net, sim := build(g)
 	delivered := false
-	net.Node(0).SetDeliver(func(*Node, packet.Message) { delivered = true })
+	net.Node(0).SetDeliver(func(ProtoNode, packet.Message) { delivered = true })
 	net.Node(0).SendUnicast(dataTo(g.Node(0).Addr, 1))
 	if err := sim.RunAll(); err != nil {
 		t.Fatal(err)
@@ -135,7 +135,7 @@ func TestHopLimit(t *testing.T) {
 	net, sim := build(g)
 	net.SetHopLimit(2)
 	delivered := false
-	net.Node(4).SetDeliver(func(*Node, packet.Message) { delivered = true })
+	net.Node(4).SetDeliver(func(ProtoNode, packet.Message) { delivered = true })
 	net.Node(0).SendUnicast(dataTo(g.Node(4).Addr, 1))
 	if err := sim.RunAll(); err != nil {
 		t.Fatal(err)
@@ -166,7 +166,7 @@ func TestSendDirect(t *testing.T) {
 	// SendDirect pushes a multicast-destination packet over one
 	// explicit link; the receiving node's handler claims it.
 	got := false
-	net.Node(1).AddHandler(HandlerFunc(func(n *Node, msg packet.Message) Verdict {
+	net.Node(1).AddHandler(HandlerFunc(func(n ProtoNode, msg packet.Message) Verdict {
 		got = true
 		return Consumed
 	}))
@@ -213,7 +213,7 @@ func TestTrace(t *testing.T) {
 	net, sim := build(g)
 	var lines []string
 	net.SetTrace(func(l string) { lines = append(lines, l) })
-	net.Node(1).SetDeliver(func(*Node, packet.Message) {})
+	net.Node(1).SetDeliver(func(ProtoNode, packet.Message) {})
 	net.Node(0).SendUnicast(dataTo(g.Node(1).Addr, 1))
 	if err := sim.RunAll(); err != nil {
 		t.Fatal(err)
@@ -278,7 +278,7 @@ func TestDeliveryTap(t *testing.T) {
 	})
 
 	// Consumed mid-path by a handler.
-	net.Node(1).AddHandler(HandlerFunc(func(n *Node, msg packet.Message) Verdict {
+	net.Node(1).AddHandler(HandlerFunc(func(n ProtoNode, msg packet.Message) Verdict {
 		return Consumed
 	}))
 	net.Node(0).SendUnicast(dataTo(g.Node(1).Addr, 1))

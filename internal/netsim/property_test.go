@@ -36,7 +36,7 @@ func TestQuickUnicastDelivery(t *testing.T) {
 			}
 			var deliveredAt eventsim.Time
 			delivered := 0
-			net.Node(to).SetDeliver(func(_ *Node, msg packet.Message) {
+			net.Node(to).SetDeliver(func(_ ProtoNode, msg packet.Message) {
 				delivered++
 				deliveredAt = sim.Now()
 			})

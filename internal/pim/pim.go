@@ -26,6 +26,7 @@ import (
 	"fmt"
 
 	"hbh/internal/addr"
+	"hbh/internal/clock"
 	"hbh/internal/eventsim"
 	"hbh/internal/netsim"
 	"hbh/internal/obs"
@@ -73,9 +74,9 @@ type Session struct {
 // Member is the delivery-recording agent on a member host. It
 // implements mtree.Member.
 type Member struct {
-	node       *netsim.Node
+	node       netsim.ProtoNode
 	ch         addr.Channel
-	sim        *eventsim.Sim
+	clk        clock.Clock
 	deliveries map[uint32][]eventsim.Time
 }
 
@@ -95,7 +96,7 @@ func (m *Member) DeliveryAt(seq uint32) (eventsim.Time, bool) {
 func (m *Member) DeliveryCount(seq uint32) int { return len(m.deliveries[seq]) }
 
 // Handle implements netsim.Handler: record group data addressed here.
-func (m *Member) Handle(n *netsim.Node, msg packet.Message) netsim.Verdict {
+func (m *Member) Handle(n netsim.ProtoNode, msg packet.Message) netsim.Verdict {
 	d, ok := msg.(*packet.Data)
 	if !ok || d.Channel != m.ch {
 		return netsim.Continue
@@ -103,7 +104,7 @@ func (m *Member) Handle(n *netsim.Node, msg packet.Message) netsim.Verdict {
 	if d.Dst != m.ch.G && d.Dst != m.node.Addr() {
 		return netsim.Continue
 	}
-	m.deliveries[d.Seq] = append(m.deliveries[d.Seq], m.sim.Now())
+	m.deliveries[d.Seq] = append(m.deliveries[d.Seq], m.clk.Now())
 	return netsim.Consumed
 }
 
@@ -267,7 +268,7 @@ func Build(net *netsim.Network, mode Mode, sourceHost topology.NodeID,
 			nd.EmitProto(obs.KindTableAdd, ch, addr.Unspecified, 0,
 				fmt.Sprintf("%v tree: %d children", mode, len(s.children[node])))
 		}
-		net.Node(node).AddHandler(netsim.HandlerFunc(func(n *netsim.Node, msg packet.Message) netsim.Verdict {
+		net.Node(node).AddHandler(netsim.HandlerFunc(func(n netsim.ProtoNode, msg packet.Message) netsim.Verdict {
 			return s.forward(n, msg)
 		}))
 	}
@@ -275,7 +276,7 @@ func Build(net *netsim.Network, mode Mode, sourceHost topology.NodeID,
 		if _, isInterior := s.children[s.rp]; !isInterior {
 			// RP outside the member tree (no members, or all members
 			// reached directly): it still terminates the unicast leg.
-			net.Node(s.rp).AddHandler(netsim.HandlerFunc(func(n *netsim.Node, msg packet.Message) netsim.Verdict {
+			net.Node(s.rp).AddHandler(netsim.HandlerFunc(func(n netsim.ProtoNode, msg packet.Message) netsim.Verdict {
 				return s.forward(n, msg)
 			}))
 		}
@@ -289,7 +290,7 @@ func Build(net *netsim.Network, mode Mode, sourceHost topology.NodeID,
 		mem := &Member{
 			node:       net.Node(m),
 			ch:         ch,
-			sim:        net.Sim(),
+			clk:        net.Clock(),
 			deliveries: make(map[uint32][]eventsim.Time),
 		}
 		net.Node(m).AddHandler(mem)
@@ -302,7 +303,7 @@ func Build(net *netsim.Network, mode Mode, sourceHost topology.NodeID,
 // (Dst == G) is replicated to this node's children; at the RP, the
 // unicast-encapsulated packet from the source is decapsulated into
 // native multicast first.
-func (s *Session) forward(n *netsim.Node, msg packet.Message) netsim.Verdict {
+func (s *Session) forward(n netsim.ProtoNode, msg packet.Message) netsim.Verdict {
 	d, ok := msg.(*packet.Data)
 	if !ok || d.Channel != s.ch {
 		return netsim.Continue

@@ -130,7 +130,7 @@ func TestRejoinReplay(t *testing.T) {
 	// same tree.
 	r2.Leave()
 	r4.Leave()
-	if err := h.sim.Run(h.sim.Now()+6*(h.cfg.T1+h.cfg.T2)); err != nil {
+	if err := h.sim.Run(h.sim.Now() + 6*(h.cfg.T1+h.cfg.T2)); err != nil {
 		t.Fatal(err)
 	}
 	r2.Join()

@@ -78,8 +78,7 @@ func entryStates(t *MFT) []invariant.EntryState {
 // finite unicast path, which the walk guarantees by construction.
 func (a *Audit) DeliveryTree() *invariant.Tree {
 	ch := a.src.ch
-	net := a.src.node.Network()
-	g, rt := net.Topology(), net.Routing()
+	g, rt := a.src.node.Topology(), a.src.node.Routing()
 
 	branches := make(map[topology.NodeID]*MFT, len(a.routers))
 	for _, r := range a.routers {

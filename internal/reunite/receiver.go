@@ -2,6 +2,7 @@ package reunite
 
 import (
 	"hbh/internal/addr"
+	"hbh/internal/clock"
 	"hbh/internal/eventsim"
 	"hbh/internal/netsim"
 	"hbh/internal/obs"
@@ -19,10 +20,10 @@ type Delivery struct {
 // consumes tree refreshes addressed to it, and records data arrivals.
 type Receiver struct {
 	cfg    Config
-	node   *netsim.Node
-	sim    *eventsim.Sim
+	node   netsim.ProtoNode
+	clk    clock.Clock
 	ch     addr.Channel
-	ticker *eventsim.Ticker
+	ticker *clock.Ticker
 	joined bool
 	// firstJoin marks the next sendJoin as the initial join of this
 	// subscription — an observability label only; unlike HBH, the
@@ -44,7 +45,7 @@ type Receiver struct {
 }
 
 // AttachReceiver creates a (not yet joined) receiver agent on host n.
-func AttachReceiver(n *netsim.Node, ch addr.Channel, cfg Config) *Receiver {
+func AttachReceiver(n netsim.ProtoNode, ch addr.Channel, cfg Config) *Receiver {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
@@ -54,7 +55,7 @@ func AttachReceiver(n *netsim.Node, ch addr.Channel, cfg Config) *Receiver {
 	r := &Receiver{
 		cfg:  cfg,
 		node: n,
-		sim:  n.Network().Sim(),
+		clk:  n.Clock(),
 		ch:   ch,
 		seen: make(map[uint32]bool),
 	}
@@ -74,13 +75,13 @@ func (r *Receiver) Join() {
 		return
 	}
 	r.joined = true
-	if o := r.node.Network().Observer(); o != nil {
+	if o := r.node.Observer(); o != nil {
 		r.lifeSpan = o.BeginSpan("receiver-lifecycle", r.ch, r.node.Addr(), r.node.Name(), 0)
 		r.joinSpan = o.BeginSpan("joining", r.ch, r.node.Addr(), r.node.Name(), r.lifeSpan)
 	}
 	r.firstJoin = true
 	r.sendJoin()
-	r.ticker = r.sim.NewTicker(r.cfg.JoinInterval, r.sendJoin)
+	r.ticker = clock.NewTicker(r.clk, r.cfg.JoinInterval, r.sendJoin)
 }
 
 // Leave unsubscribes by silence, the paper's departure model.
@@ -91,7 +92,7 @@ func (r *Receiver) Leave() {
 	r.joined = false
 	r.ticker.Stop()
 	r.ticker = nil
-	if o := r.node.Network().Observer(); o != nil {
+	if o := r.node.Observer(); o != nil {
 		o.EndSpan(r.joinSpan, "joining", r.ch, r.node.Addr(), r.node.Name())
 		o.EndSpan(r.lifeSpan, "receiver-lifecycle", r.ch, r.node.Addr(), r.node.Name())
 	}
@@ -102,7 +103,7 @@ func (r *Receiver) sendJoin() {
 	// Joins are spontaneous: each roots a causal episode covering the
 	// cascade it triggers (see core.Receiver.sendJoin).
 	prev := r.node.RootEpisode()
-	if o := r.node.Network().Observer(); o != nil {
+	if o := r.node.Observer(); o != nil {
 		detail := "refresh"
 		if r.firstJoin {
 			detail = "first"
@@ -132,7 +133,7 @@ func (r *Receiver) sendJoin() {
 
 // Handle implements netsim.Handler: consume channel traffic addressed
 // to this host.
-func (r *Receiver) Handle(n *netsim.Node, msg packet.Message) netsim.Verdict {
+func (r *Receiver) Handle(n netsim.ProtoNode, msg packet.Message) netsim.Verdict {
 	h := msg.Hdr()
 	if h.Dst != r.node.Addr() || h.Channel != r.ch {
 		return netsim.Continue
@@ -149,11 +150,11 @@ func (r *Receiver) Handle(n *netsim.Node, msg packet.Message) netsim.Verdict {
 			r.DupCount++
 		}
 		r.seen[m.Seq] = true
-		r.Deliveries = append(r.Deliveries, Delivery{Seq: m.Seq, At: r.sim.Now()})
+		r.Deliveries = append(r.Deliveries, Delivery{Seq: m.Seq, At: r.clk.Now()})
 		if r.joinSpan != 0 {
 			// First data delivery ends the joining phase of the
 			// lifecycle span.
-			if o := r.node.Network().Observer(); o != nil {
+			if o := r.node.Observer(); o != nil {
 				o.EndSpan(r.joinSpan, "joining", r.ch, r.node.Addr(), r.node.Name())
 			}
 			r.joinSpan = 0

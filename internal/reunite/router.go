@@ -2,6 +2,7 @@ package reunite
 
 import (
 	"hbh/internal/addr"
+	"hbh/internal/clock"
 	"hbh/internal/eventsim"
 	"hbh/internal/netsim"
 	"hbh/internal/obs"
@@ -72,8 +73,8 @@ type ChangeObserver func(where addr.Addr, ch addr.Channel, kind ChangeKind, node
 // router.
 type Router struct {
 	cfg      Config
-	node     *netsim.Node
-	sim      *eventsim.Sim
+	node     netsim.ProtoNode
+	clk      clock.Clock
 	chans    map[addr.Channel]*chanState
 	seen     map[addr.Channel]map[uint32]bool
 	observer ChangeObserver
@@ -90,14 +91,14 @@ func (r *Router) observe(ch addr.Channel, kind ChangeKind, node addr.Addr) {
 
 // AttachRouter creates a REUNITE Router on n and registers it as a
 // packet handler.
-func AttachRouter(n *netsim.Node, cfg Config) *Router {
+func AttachRouter(n netsim.ProtoNode, cfg Config) *Router {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
 	r := &Router{
 		cfg:   cfg,
 		node:  n,
-		sim:   n.Network().Sim(),
+		clk:   n.Clock(),
 		chans: make(map[addr.Channel]*chanState),
 	}
 	n.AddHandler(r)
@@ -123,7 +124,7 @@ func (r *Router) MCTFor(ch addr.Channel) *MCT {
 }
 
 // Handle implements netsim.Handler.
-func (r *Router) Handle(n *netsim.Node, msg packet.Message) netsim.Verdict {
+func (r *Router) Handle(n netsim.ProtoNode, msg packet.Message) netsim.Verdict {
 	switch m := msg.(type) {
 	case *packet.Join:
 		if m.Proto != packet.ProtoREUNITE {
@@ -205,7 +206,7 @@ func (r *Router) becomeBranching(st *chanState, ch addr.Channel, joiner addr.Add
 	// chain stays attributed to its own episode.
 	st.mft.Add(dst, r.newEntryTimer(ch, dst)).Cause = dstCause
 	r.observe(ch, ChangeMFTAdd, dst)
-	st.mft.Liveness = r.sim.NewSoftTimer(r.cfg.T1, r.cfg.T2, func() {
+	st.mft.Liveness = clock.NewSoftTimer(r.clk, r.cfg.T1, r.cfg.T2, func() {
 		// No tree for dst within t1: this node has fallen off the
 		// channel's refresh path. A table in that state must stop
 		// intercepting joins — otherwise it starves the upstream entries
@@ -277,7 +278,7 @@ func (r *Router) onTree(t *packet.Tree) netsim.Verdict {
 			// entry's tree is marked, dissolving its downstream state.
 			// Rate-limited to the refresh period. Each regenerated tree
 			// attributes to its entry's own episode (see Entry.Cause).
-			now := r.sim.Now()
+			now := r.clk.Now()
 			if !st.hasRegen || now-st.lastRegen >= r.cfg.TreeInterval*9/10 {
 				st.hasRegen = true
 				st.lastRegen = now
@@ -327,7 +328,7 @@ func (r *Router) onTree(t *packet.Tree) netsim.Verdict {
 }
 
 func (r *Router) createMCT(st *chanState, ch addr.Channel, node addr.Addr) {
-	st.mct = &MCT{Node: node, Timer: r.sim.NewSoftTimer(r.cfg.T1, r.cfg.T2, nil, func() {
+	st.mct = &MCT{Node: node, Timer: clock.NewSoftTimer(r.clk, r.cfg.T1, r.cfg.T2, nil, func() {
 		if st.mct != nil && st.mct.Node == node {
 			// Timer-driven expiry roots its own episode.
 			prev := r.node.RootEpisode()
@@ -425,8 +426,8 @@ func (r *Router) sendTree(ch addr.Channel, target addr.Addr, marked bool) {
 	r.node.SendUnicast(t)
 }
 
-func (r *Router) newEntryTimer(ch addr.Channel, node addr.Addr) *eventsim.SoftTimer {
-	return r.sim.NewSoftTimer(r.cfg.T1, r.cfg.T2, nil, func() {
+func (r *Router) newEntryTimer(ch addr.Channel, node addr.Addr) *clock.SoftTimer {
+	return clock.NewSoftTimer(r.clk, r.cfg.T1, r.cfg.T2, nil, func() {
 		st := r.chans[ch]
 		if st == nil || st.mft == nil {
 			return

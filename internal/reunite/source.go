@@ -2,7 +2,7 @@ package reunite
 
 import (
 	"hbh/internal/addr"
-	"hbh/internal/eventsim"
+	"hbh/internal/clock"
 	"hbh/internal/netsim"
 	"hbh/internal/obs"
 	"hbh/internal/packet"
@@ -14,11 +14,11 @@ import (
 // dst with one extra copy per additional entry.
 type Source struct {
 	cfg      Config
-	node     *netsim.Node
-	sim      *eventsim.Sim
+	node     netsim.ProtoNode
+	clk      clock.Clock
 	ch       addr.Channel
 	mft      *MFT
-	ticker   *eventsim.Ticker
+	ticker   *clock.Ticker
 	observer ChangeObserver
 	nextSeq  uint32
 }
@@ -33,7 +33,7 @@ func (s *Source) observe(kind ChangeKind, node addr.Addr) {
 }
 
 // AttachSource creates the channel <n.Addr(), group> rooted at host n.
-func AttachSource(n *netsim.Node, group addr.Addr, cfg Config) *Source {
+func AttachSource(n netsim.ProtoNode, group addr.Addr, cfg Config) *Source {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
@@ -44,11 +44,11 @@ func AttachSource(n *netsim.Node, group addr.Addr, cfg Config) *Source {
 	s := &Source{
 		cfg:  cfg,
 		node: n,
-		sim:  n.Network().Sim(),
+		clk:  n.Clock(),
 		ch:   ch,
 		mft:  NewMFT(),
 	}
-	s.ticker = s.sim.NewTicker(cfg.TreeInterval, s.emitTrees)
+	s.ticker = clock.NewTicker(s.clk, cfg.TreeInterval, s.emitTrees)
 	n.AddHandler(s)
 	return s
 }
@@ -63,7 +63,7 @@ func (s *Source) MFT() *MFT { return s.mft }
 func (s *Source) Stop() { s.ticker.Stop() }
 
 // Handle implements netsim.Handler for joins that reached the source.
-func (s *Source) Handle(n *netsim.Node, msg packet.Message) netsim.Verdict {
+func (s *Source) Handle(n netsim.ProtoNode, msg packet.Message) netsim.Verdict {
 	j, ok := msg.(*packet.Join)
 	if !ok || j.Proto != packet.ProtoREUNITE || j.Channel != s.ch {
 		return netsim.Continue
@@ -74,7 +74,7 @@ func (s *Source) Handle(n *netsim.Node, msg packet.Message) netsim.Verdict {
 		return netsim.Consumed
 	}
 	node := j.R
-	e := s.mft.Add(node, s.sim.NewSoftTimer(s.cfg.T1, s.cfg.T2, nil, func() {
+	e := s.mft.Add(node, clock.NewSoftTimer(s.clk, s.cfg.T1, s.cfg.T2, nil, func() {
 		if s.mft.Get(node) != nil {
 			// Expiry is spontaneous (the member went silent): it roots
 			// its own causal episode.

@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"hbh/internal/addr"
+	"hbh/internal/clock"
 	"hbh/internal/eventsim"
 	"hbh/internal/obs"
 )
@@ -46,7 +47,7 @@ type Entry struct {
 	// Node is the receiver's unicast address.
 	Node addr.Addr
 	// Timer is the (t1, t2) soft-state pair.
-	Timer *eventsim.SoftTimer
+	Timer *clock.SoftTimer
 	// Cause is the causal provenance of this entry: the episode and
 	// step of the join that installed or last refreshed it. Timer-driven
 	// work on the entry (the periodic tree refresh) re-enters this
@@ -72,7 +73,7 @@ type MFT struct {
 	// Liveness is the whole-table timer, refreshed by tree messages
 	// addressed to dst; its expiry destroys the table ("as R3 stops
 	// receiving tree messages, its MFT is destroyed").
-	Liveness *eventsim.SoftTimer
+	Liveness *clock.SoftTimer
 }
 
 // NewMFT returns an empty table.
@@ -93,7 +94,7 @@ func (t *MFT) Dst() *Entry {
 func (t *MFT) Get(node addr.Addr) *Entry { return t.index[node] }
 
 // Add appends a new entry (becoming dst if the table was empty).
-func (t *MFT) Add(node addr.Addr, timer *eventsim.SoftTimer) *Entry {
+func (t *MFT) Add(node addr.Addr, timer *clock.SoftTimer) *Entry {
 	if t.index[node] != nil {
 		panic(fmt.Sprintf("reunite: duplicate MFT entry %v", node))
 	}
@@ -171,7 +172,7 @@ type MCT struct {
 	Node addr.Addr
 	// Timer is the (t1, t2) pair refreshed by that receiver's tree
 	// messages.
-	Timer *eventsim.SoftTimer
+	Timer *clock.SoftTimer
 	// Cause is the causal provenance of the entry (see Entry.Cause).
 	Cause obs.Causal
 }

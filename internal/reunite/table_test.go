@@ -5,11 +5,12 @@ import (
 	"testing"
 
 	"hbh/internal/addr"
+	"hbh/internal/clock"
 	"hbh/internal/eventsim"
 )
 
-func newTimer(sim *eventsim.Sim) *eventsim.SoftTimer {
-	return sim.NewSoftTimer(100, 100, nil, nil)
+func newTimer(sim *eventsim.Sim) *clock.SoftTimer {
+	return clock.NewSoftTimer(clock.Sim(sim), 100, 100, nil, nil)
 }
 
 func TestMFTDstIsFirstEntry(t *testing.T) {
@@ -56,8 +57,8 @@ func TestMFTDestroy(t *testing.T) {
 	sim := eventsim.New()
 	mft := NewMFT()
 	expired := false
-	mft.Add(1, sim.NewSoftTimer(10, 10, nil, func() { expired = true }))
-	mft.Liveness = sim.NewSoftTimer(10, 10, nil, func() { expired = true })
+	mft.Add(1, clock.NewSoftTimer(clock.Sim(sim), 10, 10, nil, func() { expired = true }))
+	mft.Liveness = clock.NewSoftTimer(clock.Sim(sim), 10, 10, nil, func() { expired = true })
 	mft.Destroy()
 	if err := sim.RunAll(); err != nil {
 		t.Fatal(err)
