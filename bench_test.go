@@ -416,6 +416,34 @@ func BenchmarkForwardOneHopTraced(b *testing.B) {
 	}
 }
 
+// BenchmarkForwardOneHopHist is the same hop with the wall/virtual
+// latency tracker attached on top of counters: every delivery lands in
+// the log-bucketed delivery-delay histogram and every hop in the
+// per-hop histogram. The delta against BenchmarkForwardOneHopObs is
+// the price of histogram observation; the disabled path is still
+// pinned at 0 allocs/op by TestForwardDisabledObsZeroAlloc.
+func BenchmarkForwardOneHopHist(b *testing.B) {
+	b.ReportAllocs()
+	sim, net, msg, delivered := forwardOneHopSetup()
+	o := obs.New(sim.Now)
+	o.EnableCounters()
+	lat := o.EnableLatency()
+	net.SetObserver(o)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.Node(0).SendUnicast(msg)
+		if err := sim.RunAll(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if *delivered != b.N {
+		b.Fatalf("delivered %d of %d", *delivered, b.N)
+	}
+	if got := lat.Delivery.Count(); got != uint64(b.N) {
+		b.Fatalf("delivery histogram counted %d of %d", got, b.N)
+	}
+}
+
 // TestForwardDisabledObsZeroAlloc pins the acceptance criterion as a
 // test, not just a benchmark number: with no observer installed, the
 // per-hop forwarding path performs zero heap allocations.

@@ -23,11 +23,24 @@
 //	hbhd -connect 127.0.0.1:7701 join r1
 //	hbhd -connect 127.0.0.1:7701 status
 //	hbhd -connect 127.0.0.1:7700 send hello
+//	hbhd -connect 127.0.0.1:7700 fault link A B down
 //	hbhd -connect 127.0.0.1:7700 quit
 //
-// Commands: join/leave <host-node>, send <payload>, status, quit.
-// See examples/live/ for a docker-compose mini-internet running one
-// router per container.
+// Commands: join/leave <host-node>, send <payload>, status,
+// fault link <a> <b> down|up, fault node <n> down|up, quit.
+//
+// Every daemon also serves a telemetry HTTP endpoint (-telemetry,
+// default an ephemeral loopback port, printed at startup): /metrics
+// (Prometheus text, including wall-clock latency histograms and the
+// per-channel hbh_converged gauge), /healthz and /readyz
+// (tree-convergence-aware), /debug/pprof/*, /flight/<node>
+// (flight-recorder dump) and /trace (live JSONL stream, ?filter=
+// accepts the -trace-filter spec language). -trace-out writes the
+// daemon's own JSONL trace with wall-clock stamps; feed the files of
+// several daemons to `hbhtrace -trace-files` to reconstruct causal
+// episodes that span processes. See examples/live/ for a
+// docker-compose mini-internet running one router per container with
+// a Prometheus scraping all of them.
 package main
 
 import (
@@ -49,6 +62,7 @@ import (
 	"hbh/internal/core"
 	"hbh/internal/invariant"
 	"hbh/internal/live"
+	"hbh/internal/obs"
 	"hbh/internal/topology"
 	"hbh/internal/unicast"
 )
@@ -63,8 +77,10 @@ func main() {
 		sourceF  = flag.String("source", "", "node name rooting the channel (default: first host in the topology)")
 		groupF   = flag.Int("group", 0, "multicast group number of the channel")
 		ctlF     = flag.String("ctl", "127.0.0.1:7700", "TCP endpoint of the control listener")
-		monitorF = flag.Bool("monitor", true, "run the online structural invariant monitor (only possible when hosting the whole topology)")
-		connectF = flag.String("connect", "", "control-client mode: send the remaining arguments as one command to a daemon at this endpoint")
+		monitorF  = flag.Bool("monitor", true, "run the online structural invariant monitor (only possible when hosting the whole topology)")
+		connectF  = flag.String("connect", "", "control-client mode: send the remaining arguments as one command to a daemon at this endpoint")
+		telemF    = flag.String("telemetry", "127.0.0.1:0", "HTTP endpoint for /metrics, /healthz, /readyz, /debug/pprof, /flight, /trace; 'off' disables")
+		traceOutF = flag.String("trace-out", "", "write this daemon's JSONL event trace (with wall-clock stamps) to a file, mergeable across daemons by hbhtrace -trace-files")
 	)
 	flag.Parse()
 
@@ -74,7 +90,7 @@ func main() {
 	os.Exit(runDaemon(daemonConfig{
 		topo: *topoF, nodes: *nodeF, book: *bookF, basePort: *basePort,
 		unit: *unitF, source: *sourceF, group: *groupF, ctl: *ctlF,
-		monitor: *monitorF,
+		monitor: *monitorF, telemetry: *telemF, traceOut: *traceOutF,
 	}))
 }
 
@@ -112,6 +128,7 @@ type daemonConfig struct {
 	basePort, group                int
 	unit                           time.Duration
 	monitor                        bool
+	telemetry, traceOut            string
 }
 
 // daemon is the running state the control server acts on.
@@ -125,6 +142,18 @@ type daemon struct {
 	srcHost   topology.NodeID
 	receivers map[topology.NodeID]*core.Receiver
 	chk       *invariant.Checker // nil unless monitoring
+
+	// The always-on telemetry pipeline: one observer per daemon, its
+	// counters/latency/convergence registries scraped by the HTTP
+	// endpoints and the status command through Runtime.ObsLocked.
+	obsv      *obs.Observer
+	counters  *obs.Counters
+	lat       *obs.Latency
+	conv      *obs.ConvergeTracker
+	pcfg      core.Config
+	ch        addr.Channel
+	traceFile *os.File
+	probed    bool // guarded by the emission lock (ObsLocked)
 
 	chkMu sync.Mutex
 	quit  chan struct{}
@@ -144,6 +173,19 @@ func runDaemon(cfg daemonConfig) int {
 	}
 	fmt.Printf("hbhd: hosting %s of %s, ctl %s\n",
 		hostedNames(d), cfg.topo, ln.Addr())
+
+	var tel *telemetry
+	if cfg.telemetry != "off" {
+		tel, err = startTelemetry(d, cfg.telemetry)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hbhd: %v\n", err)
+			ln.Close()
+			d.rt.Stop()
+			return 1
+		}
+		fmt.Printf("hbhd: telemetry http://%s\n", tel.ln.Addr())
+	}
+	go d.probeLoop()
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
@@ -166,7 +208,13 @@ func runDaemon(cfg daemonConfig) int {
 		}
 		go d.serve(conn)
 	}
+	if tel != nil {
+		tel.close()
+	}
 	d.rt.Stop()
+	if d.traceFile != nil {
+		d.traceFile.Close() // emission has quiesced; the trace is complete
+	}
 	fmt.Println("hbhd: stopped")
 	return 0
 }
@@ -208,6 +256,7 @@ func newDaemon(cfg daemonConfig) (*daemon, error) {
 	if err != nil {
 		return nil, fmt.Errorf("channel: %w", err)
 	}
+	d.pcfg, d.ch = pcfg, ch
 	var routers []*core.Router
 	hostedSet := make(map[topology.NodeID]bool, len(rt.Hosted()))
 	for _, id := range rt.Hosted() {
@@ -240,6 +289,10 @@ func newDaemon(cfg daemonConfig) (*daemon, error) {
 			book[topology.NodeID(id)] = fmt.Sprintf("127.0.0.1:%d", cfg.basePort+id)
 		}
 	}
+	if err := d.attachObserver(); err != nil {
+		return nil, err
+	}
+
 	trans, err := live.NewUDPTransport(rt.Hosted(), book, rt.HandleFrame)
 	if err != nil {
 		return nil, err
@@ -247,6 +300,42 @@ func newDaemon(cfg daemonConfig) (*daemon, error) {
 	rt.SetTransport(trans)
 	rt.Start()
 	return d, nil
+}
+
+// attachObserver builds the daemon's always-on telemetry pipeline:
+// counters, wall-clock latency histograms, the convergence tracker, a
+// flight recorder, and (with -trace-out) a wall-stamped JSONL trace
+// file. The causal id namespace is seeded from the lowest hosted node
+// ID so episodes stamped by different daemons never collide when their
+// trace files are merged into one cross-process timeline.
+func (d *daemon) attachObserver() error {
+	o := obs.New(nil) // SetObserver rebinds the runtime's clock
+	d.obsv = o
+	d.counters = o.EnableCounters()
+	d.lat = o.EnableLatency()
+	d.conv = o.EnableConvergence()
+	o.EnableRecorder(256)
+
+	minID := d.rt.Hosted()[0]
+	for _, id := range d.rt.Hosted() {
+		if id < minID {
+			minID = id
+		}
+	}
+	o.SeedCausal((uint64(minID) + 1) << 40)
+
+	if d.cfg.traceOut != "" {
+		f, err := os.Create(d.cfg.traceOut)
+		if err != nil {
+			return fmt.Errorf("trace-out: %w", err)
+		}
+		d.traceFile = f
+		sink := obs.NewJSONLSink(f)
+		sink.Wall = func() int64 { return time.Now().UnixNano() }
+		o.AddSink(sink)
+	}
+	d.rt.SetObserver(o)
+	return nil
 }
 
 func buildTopo(name string) (*topology.Graph, error) {
@@ -400,6 +489,8 @@ func (d *daemon) serve(conn net.Conn) {
 		var seq uint32
 		d.rt.Do(d.srcHost, func() { seq = d.src.SendData([]byte(payload)) })
 		fmt.Fprintf(conn, "ok seq=%d\n", seq)
+	case "fault":
+		fmt.Fprint(conn, d.fault(words[1:]))
 	case "status":
 		fmt.Fprint(conn, d.status())
 	case "quit":
@@ -408,6 +499,49 @@ func (d *daemon) serve(conn net.Conn) {
 	default:
 		fmt.Fprintf(conn, "err unknown command %q\n", words[0])
 	}
+}
+
+// fault toggles the runtime fault overlay: "link <a> <b> down|up" or
+// "node <n> down|up". Only this daemon's overlay changes — in a
+// multi-daemon deployment, apply the fault at every process whose
+// traffic should die on it.
+func (d *daemon) fault(words []string) string {
+	usage := "err usage: fault link <a> <b> down|up | fault node <n> down|up\n"
+	resolve := func(name string) (topology.NodeID, bool) {
+		id, ok := d.names[name]
+		return id, ok
+	}
+	switch {
+	case len(words) == 4 && words[0] == "link" && (words[3] == "down" || words[3] == "up"):
+		a, okA := resolve(words[1])
+		b, okB := resolve(words[2])
+		if !okA || !okB {
+			return fmt.Sprintf("err unknown node in %q\n", strings.Join(words, " "))
+		}
+		if !d.g.HasLink(a, b) {
+			return fmt.Sprintf("err no link %s-%s\n", words[1], words[2])
+		}
+		d.rt.SetLinkUp(a, b, words[3] == "up")
+		d.noteFault(fmt.Sprintf("fault: link %s-%s %s", words[1], words[2], words[3]))
+		return "ok\n"
+	case len(words) == 3 && words[0] == "node" && (words[2] == "down" || words[2] == "up"):
+		id, ok := resolve(words[1])
+		if !ok {
+			return fmt.Sprintf("err unknown node %q\n", words[1])
+		}
+		d.rt.SetNodeUp(id, words[2] == "up")
+		d.noteFault(fmt.Sprintf("fault: node %s %s", words[1], words[2]))
+		return "ok\n"
+	}
+	return usage
+}
+
+// noteFault pushes the fault into the event stream so traces and the
+// flight recorder show it inline with the packet flow it perturbs.
+func (d *daemon) noteFault(detail string) {
+	d.rt.ObsLocked(func() {
+		d.obsv.EmitLocked(obs.Event{Kind: obs.KindFault, Detail: detail})
+	})
 }
 
 // status renders a consistent snapshot of everything hosted here.
@@ -433,6 +567,17 @@ func (d *daemon) status() string {
 	fmt.Fprintf(&b, "stats transmissions=%d data=%d consumed=%d drops=%d\n",
 		st.Transmissions, st.DataCopies, st.DataConsumed,
 		st.HopLimitDrops+st.NoRouteDrops+st.LinkDownDrops+st.NodeDownDrops+st.CodecDrops)
+	// The same registries /metrics scrapes, in one-screen form.
+	d.rt.ObsLocked(func() {
+		fmt.Fprintf(&b, "metrics forwards=%.0f drops=%.0f delivery_n=%d delivery_p50=%.6gs delivery_p99=%.6gs\n",
+			d.counters.Total("hbh_forwards_total"), d.counters.Total("hbh_drops_total"),
+			d.lat.Delivery.Count(), d.lat.Delivery.Quantile(0.5), d.lat.Delivery.Quantile(0.99))
+		for _, ch := range d.conv.Channels() {
+			c := d.conv.Channel(ch)
+			fmt.Fprintf(&b, "channel %s converged=%v mutations=%d ctrl_sends=%d ctrl_hops=%d\n",
+				ch, !c.MutationAny || c.Converged, c.Mutations, c.CtrlSends, c.CtrlHops)
+		}
+	})
 	if d.chk != nil {
 		d.chkMu.Lock()
 		fmt.Fprintf(&b, "monitor violations=%d\n", len(d.chk.Violations()))

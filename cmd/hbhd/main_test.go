@@ -7,9 +7,14 @@
 package main
 
 import (
+	"bufio"
 	"bytes"
+	"context"
+	"encoding/json"
 	"fmt"
+	"io"
 	"net"
+	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -18,6 +23,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"hbh/internal/obs"
 )
 
 func TestMain(m *testing.M) {
@@ -304,4 +311,370 @@ func TestClientRejectsEmptyCommand(t *testing.T) {
 	if ee, ok := err.(*exec.ExitError); !ok || ee.ExitCode() != 2 {
 		t.Fatalf("err = %v, want exit 2", err)
 	}
+}
+
+// ---- telemetry plane e2e ----
+
+// httpGet fetches one telemetry URL with a short timeout.
+func httpGet(t *testing.T, url string) (int, string) {
+	t.Helper()
+	client := &http.Client{Timeout: 10 * time.Second}
+	resp, err := client.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s: read: %v", url, err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+// pollUntil retries cond every 100ms until it holds or the deadline
+// passes; on timeout it fails with the last observation.
+func pollUntil(t *testing.T, what string, d time.Duration, cond func() (bool, string)) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	last := ""
+	for time.Now().Before(deadline) {
+		ok, obs := cond()
+		if ok {
+			return
+		}
+		last = obs
+		time.Sleep(100 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s; last: %s", what, last)
+}
+
+var metricRe = regexp.MustCompile(`(?m)^(hbh_[a-z_]+)(\{[^}]*\})? ([0-9.e+-]+)$`)
+
+// metricValue extracts one sample value from a /metrics scrape.
+func metricValue(scrape, name, labels string) (float64, bool) {
+	for _, m := range metricRe.FindAllStringSubmatch(scrape, -1) {
+		if m[1] == name && m[2] == labels {
+			v, err := strconv.ParseFloat(m[3], 64)
+			return v, err == nil
+		}
+	}
+	return 0, false
+}
+
+// TestE2ETelemetryMultiProcess is the tentpole acceptance run: eight
+// hbhd processes, one per Figure-3 node, each with its own telemetry
+// endpoint and JSONL trace file. It requires (1) a valid Prometheus
+// scrape with nonzero wall-clock delivery-delay histogram counts at a
+// receiving daemon, (2) the hbh_converged gauge reaching 1, (3) a
+// filtered live /trace stream of parseable JSONL, and (4) — after the
+// daemons exit — a merged cross-process causal timeline in which r1's
+// first-join episode spans events from at least two processes.
+func TestE2ETelemetryMultiProcess(t *testing.T) {
+	nodes := []string{"A", "B", "C", "D", "E", "S", "r1", "r2"}
+	udp := freePorts(t, len(nodes), "udp")
+	tcp := freePorts(t, 2*len(nodes), "tcp")
+
+	book := ""
+	for i, n := range nodes {
+		book += fmt.Sprintf("%s 127.0.0.1:%d\n", n, udp[i])
+	}
+	dir := t.TempDir()
+	bookPath := filepath.Join(dir, "book.txt")
+	if err := os.WriteFile(bookPath, []byte(book), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	ctlOf, telOf, traceOf := map[string]string{}, map[string]string{}, map[string]string{}
+	var procs []*daemonProc
+	for i, n := range nodes {
+		ctlOf[n] = fmt.Sprintf("127.0.0.1:%d", tcp[i])
+		telOf[n] = fmt.Sprintf("127.0.0.1:%d", tcp[len(nodes)+i])
+		traceOf[n] = filepath.Join(dir, n+".jsonl")
+		procs = append(procs, startDaemon(t, ctlOf[n],
+			"-topo", "fig3", "-node", n, "-source", "S",
+			"-unit", "1ms", "-book", bookPath,
+			"-telemetry", telOf[n], "-trace-out", traceOf[n]))
+	}
+
+	for _, r := range []string{"r1", "r2"} {
+		if out, code := ctl(t, ctlOf[r], "join", r); code != 0 {
+			t.Fatalf("join %s: %s", r, out)
+		}
+	}
+	eps := map[string]string{"r1": ctlOf["r1"], "r2": ctlOf["r2"]}
+	pump(t, ctlOf["S"], eps, 3)
+
+	// (1) The receiving daemon measured end-to-end delivery delays from
+	// the frame origination stamps its packets carried across UDP.
+	code, scrape := httpGet(t, "http://"+telOf["r1"]+"/metrics")
+	if code != 200 {
+		t.Fatalf("/metrics status %d", code)
+	}
+	if err := obs.ValidatePromText(strings.NewReader(scrape)); err != nil {
+		t.Errorf("scrape is not valid Prometheus text: %v", err)
+	}
+	if v, ok := metricValue(scrape, "hbh_delivery_delay_count", ""); !ok || v < 3 {
+		t.Errorf("hbh_delivery_delay_count = %v (present=%v), want >= 3", v, ok)
+	}
+	// A mid-path router measured per-hop wall delays.
+	_, scrapeB := httpGet(t, "http://"+telOf["B"]+"/metrics")
+	if v, ok := metricValue(scrapeB, "hbh_hop_delay_count", ""); !ok || v == 0 {
+		t.Errorf("router B hbh_hop_delay_count = %v (present=%v), want > 0", v, ok)
+	}
+
+	// (2) Convergence: the probe marks the channel quiescent and the
+	// gauge flips to 1 on every daemon that saw control traffic.
+	for _, n := range []string{"S", "r1"} {
+		n := n
+		pollUntil(t, "hbh_converged=1 at "+n, 60*time.Second, func() (bool, string) {
+			_, s := httpGet(t, "http://"+telOf[n]+"/metrics")
+			i := strings.Index(s, "hbh_converged{")
+			if i < 0 {
+				return false, "no hbh_converged sample"
+			}
+			line := s[i:]
+			if j := strings.IndexByte(line, '\n'); j > 0 {
+				line = line[:j]
+			}
+			return strings.HasSuffix(line, " 1"), line
+		})
+		if code, body := httpGet(t, "http://"+telOf[n]+"/healthz"); code != 200 {
+			t.Errorf("healthz at %s = %d (%s) after convergence", n, code, body)
+		}
+		if code, body := httpGet(t, "http://"+telOf[n]+"/readyz"); code != 200 {
+			t.Errorf("readyz at %s = %d (%s) after convergence", n, code, body)
+		}
+	}
+
+	// (3) Live filtered trace: r1's refresh chatter keeps flowing, so a
+	// few lines arrive quickly; each must be valid JSON naming r1.
+	traceLines := streamTrace(t, "http://"+telOf["r1"]+"/trace?filter=r1", 3)
+	for _, ln := range traceLines {
+		var parsed map[string]any
+		if err := json.Unmarshal([]byte(ln), &parsed); err != nil {
+			t.Fatalf("trace line is not JSON: %v\n%s", err, ln)
+		}
+		if parsed["node"] != "r1" && parsed["peer"] != "r1" {
+			t.Errorf("filtered trace leaked a foreign event: %s", ln)
+		}
+		if _, ok := parsed["wall"]; !ok {
+			t.Errorf("trace line missing wall stamp: %s", ln)
+		}
+	}
+
+	for _, p := range procs {
+		quitClean(t, p)
+	}
+
+	// (4) Merge the per-daemon trace files into one causal timeline:
+	// r1's first-join episode must contain steps that executed in other
+	// processes (the forward at C, the admit at S).
+	var paths []string
+	for _, n := range nodes {
+		paths = append(paths, traceOf[n])
+	}
+	builder, err := obs.LoadCausalFiles(paths)
+	if err != nil {
+		t.Fatalf("merging traces: %v", err)
+	}
+	render := builder.Render()
+	block := episodeBlock(t, render, "receiver join (first) — r1")
+	for _, step := range []string{"r1 JOIN-SEND", "C FORWARD->B", "S JOIN-ADMIT"} {
+		if !strings.Contains(block, step) {
+			t.Errorf("r1's cross-process episode is missing %q:\n%s", step, block)
+		}
+	}
+}
+
+// streamTrace reads n lines from a live /trace stream.
+func streamTrace(t *testing.T, url string, n int) []string {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, "GET", url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("GET %s: status %d", url, resp.StatusCode)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	var lines []string
+	for len(lines) < n && sc.Scan() {
+		if ln := strings.TrimSpace(sc.Text()); ln != "" {
+			lines = append(lines, ln)
+		}
+	}
+	if len(lines) < n {
+		t.Fatalf("trace stream yielded %d lines, want %d (scan err %v)", len(lines), n, sc.Err())
+	}
+	return lines
+}
+
+// episodeBlock extracts the rendered episode whose header contains
+// root, up to the next blank line.
+func episodeBlock(t *testing.T, render, root string) string {
+	t.Helper()
+	for _, block := range strings.Split(render, "\n\n") {
+		if i := strings.Index(block, "episode "); i >= 0 {
+			header := block[i:]
+			if j := strings.IndexByte(header, '\n'); j > 0 {
+				header = header[:j]
+			}
+			if strings.Contains(header, root) {
+				return block
+			}
+		}
+	}
+	t.Fatalf("no episode rooted at %q in:\n%s", root, render)
+	return ""
+}
+
+// TestE2ETelemetryHealthFault forces a link fault on r1's only access
+// link and requires /healthz to flip unready while the tree churns,
+// then recover once the fault heals and the tree re-converges.
+func TestE2ETelemetryHealthFault(t *testing.T) {
+	tcp := freePorts(t, 2, "tcp")
+	udp := freePorts(t, 1, "udp")
+	ctlEp := fmt.Sprintf("127.0.0.1:%d", tcp[0])
+	telEp := fmt.Sprintf("127.0.0.1:%d", tcp[1])
+	d := startDaemon(t, ctlEp,
+		"-topo", "fig3", "-node", "all", "-source", "S",
+		"-unit", "1ms", "-base-port", strconv.Itoa(udp[0]),
+		"-telemetry", telEp)
+
+	if out, code := ctl(t, ctlEp, "join", "r1"); code != 0 {
+		t.Fatalf("join r1: %s", out)
+	}
+	pump(t, ctlEp, map[string]string{"r1": ctlEp}, 1)
+
+	health := func() (int, string) { return httpGet(t, "http://"+telEp+"/healthz") }
+	pollUntil(t, "healthz 200 after join settles", 60*time.Second, func() (bool, string) {
+		code, body := health()
+		return code == 200, fmt.Sprintf("%d %s", code, body)
+	})
+
+	// Cut r1's only access link: join refreshes die on it, the soft
+	// state upstream expires, and the resulting table churn must
+	// withdraw convergence.
+	if out := ctlFast(t, ctlEp, "fault link C r1 down"); !strings.HasPrefix(out, "ok") {
+		t.Fatalf("fault down: %s", out)
+	}
+	pollUntil(t, "healthz 503 during the fault", 60*time.Second, func() (bool, string) {
+		code, body := health()
+		return code == 503, fmt.Sprintf("%d %s", code, body)
+	})
+
+	if out := ctlFast(t, ctlEp, "fault link C r1 up"); !strings.HasPrefix(out, "ok") {
+		t.Fatalf("fault up: %s", out)
+	}
+	pollUntil(t, "healthz 200 after the heal", 60*time.Second, func() (bool, string) {
+		code, body := health()
+		return code == 200, fmt.Sprintf("%d %s", code, body)
+	})
+
+	// The fault itself is visible in the metrics' drop counters.
+	_, scrape := httpGet(t, "http://"+telEp+"/metrics")
+	if !strings.Contains(scrape, `cause="link-down"`) {
+		t.Error("no link-down drop sample in hbh_drops_total after the fault")
+	}
+	quitClean(t, d)
+}
+
+// TestTelemetryMetricsGolden pins the deterministic subset of a
+// converged daemon's /metrics scrape: the HELP/TYPE contract for the
+// always-present metrics and the converged gauge sample. Regenerate
+// with HBH_UPDATE_GOLDEN=1.
+func TestTelemetryMetricsGolden(t *testing.T) {
+	tcp := freePorts(t, 2, "tcp")
+	udp := freePorts(t, 1, "udp")
+	ctlEp := fmt.Sprintf("127.0.0.1:%d", tcp[0])
+	telEp := fmt.Sprintf("127.0.0.1:%d", tcp[1])
+	d := startDaemon(t, ctlEp,
+		"-topo", "fig3", "-node", "all", "-source", "S",
+		"-unit", "1ms", "-base-port", strconv.Itoa(udp[0]),
+		"-telemetry", telEp)
+
+	for _, r := range []string{"r1", "r2"} {
+		if out, code := ctl(t, ctlEp, "join", r); code != 0 {
+			t.Fatalf("join %s: %s", r, out)
+		}
+	}
+	pump(t, ctlEp, map[string]string{"r1": ctlEp, "r2": ctlEp}, 1)
+	pollUntil(t, "converged gauge", 60*time.Second, func() (bool, string) {
+		_, s := httpGet(t, "http://"+telEp+"/metrics")
+		return strings.Contains(s, "hbh_converged{channel=\"<10.1.0.0,224.0.0.1>\"} 1"), "still 0"
+	})
+
+	_, scrape := httpGet(t, "http://"+telEp+"/metrics")
+	if err := obs.ValidatePromText(strings.NewReader(scrape)); err != nil {
+		t.Fatalf("scrape is not valid Prometheus text: %v", err)
+	}
+	// Only metrics a converged Figure-3 run always produces: timing
+	// and fusion races make the rarer counters (collapse, intercepts)
+	// appear in some runs and not others, so they stay out of the pin.
+	always := map[string]bool{
+		"hbh_sends_total": true, "hbh_forwards_total": true,
+		"hbh_deliveries_total": true, "hbh_joins_sent_total": true,
+		"hbh_joins_admitted_total": true, "hbh_trees_sent_total": true,
+		"hbh_table_entries": true, "hbh_delivery_delay": true,
+		"hbh_hop_delay": true, "hbh_join_first_delay": true,
+		"hbh_converge_time": true, "hbh_converged": true,
+	}
+	var subset []string
+	for _, line := range strings.Split(scrape, "\n") {
+		if strings.HasPrefix(line, "# HELP ") || strings.HasPrefix(line, "# TYPE ") {
+			if always[strings.Fields(line)[2]] {
+				subset = append(subset, line)
+			}
+		} else if strings.HasPrefix(line, "hbh_converged{") {
+			subset = append(subset, line)
+		}
+	}
+	got := strings.Join(subset, "\n") + "\n"
+
+	path := filepath.Join("..", "..", "results", "quick", "hbhd_metrics_subset.txt")
+	if os.Getenv("HBH_UPDATE_GOLDEN") != "" {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	} else {
+		want, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("missing golden (regenerate with HBH_UPDATE_GOLDEN=1 go test ./cmd/hbhd/): %v", err)
+		}
+		if string(want) != got {
+			t.Errorf("metrics contract drifted.\nIf intentional, regenerate with HBH_UPDATE_GOLDEN=1.\n--- want ---\n%s\n--- got ---\n%s", want, got)
+		}
+	}
+	quitClean(t, d)
+}
+
+// TestTelemetryOffDisablesEndpoint: -telemetry off must not bind a
+// port or break the daemon.
+func TestTelemetryOffDisablesEndpoint(t *testing.T) {
+	tcp := freePorts(t, 1, "tcp")
+	udp := freePorts(t, 1, "udp")
+	ctlEp := fmt.Sprintf("127.0.0.1:%d", tcp[0])
+	d := startDaemon(t, ctlEp,
+		"-topo", "fig3", "-node", "all", "-source", "S",
+		"-unit", "1ms", "-base-port", strconv.Itoa(udp[0]),
+		"-telemetry", "off")
+	if out, code := ctl(t, ctlEp, "join", "r1"); code != 0 {
+		t.Fatalf("join r1: %s", out)
+	}
+	st := ctlFast(t, ctlEp, "status")
+	if !strings.Contains(st, "metrics forwards=") || !strings.Contains(st, "channel <") {
+		t.Errorf("status is missing the telemetry summary:\n%s", st)
+	}
+	quitClean(t, d)
 }

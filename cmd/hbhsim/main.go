@@ -63,7 +63,7 @@ func main() {
 		traceOut    = flag.String("trace-out", "", "write the event stream to this file (default stdout)")
 		traceFormat = flag.String("trace-format", "jsonl", "event stream format: jsonl, text, or causal (reconstructed per-episode timelines)")
 		traceFilter = flag.String("trace-filter", "", "restrict the stream to matching events: comma/space-separated <S,G> channels and node names; e.g. '<10.0.0.18,224.0.0.0>/h4' (counters and the flight recorder always see everything)")
-		obsMetrics  = flag.String("obs-metrics", "", "write Prometheus-style counters (plus virtual-time state series) to this file after a single run; implies single-run mode")
+		obsMetrics  = flag.String("obs-metrics", "", "write Prometheus-style counters and virtual-time latency histograms to this file after a single run; implies single-run mode")
 		protoF      = flag.String("proto", "HBH", "single-run protocol: HBH, HBH-nofusion, REUNITE, PIM-SM, PIM-SS")
 		topoF       = flag.String("topo", "isp", "single-run topology: isp, random50, nsfnet, abilene")
 		receivers   = flag.Int("receivers", 8, "single-run receiver count")
@@ -289,7 +289,10 @@ func runTraced(opt tracedOptions) {
 	o.EnableRecorder(obs.DefaultRecorderDepth)
 	o.SetDumpOnFaultDrop(true)
 	if opt.metrics != "" {
-		o.EnableCounters()
+		// Latency enables the counter registry and registers its four
+		// delay histograms there, so the export below carries the full
+		// delivery/hop/join-first distributions in virtual-time units.
+		o.EnableLatency()
 	}
 
 	res := experiment.Run(experiment.RunConfig{

@@ -11,12 +11,21 @@
 //	hbhtrace -scenario failure                     # link cut + router crash
 //	hbhtrace -scenario asymmetric-join -verbose    # full packet trace
 //	hbhtrace -scenario duplication -causal         # reconstructed causal episode timelines
+//
+// With -trace-files, hbhtrace instead merges per-daemon JSONL trace
+// files (written by hbhd -trace-out) into one cross-process causal
+// timeline: lines are ordered by their wall-clock stamps, per-daemon
+// causal id namespaces are disjoint by construction, and the episode
+// reconstruction is the same one -causal uses on a single simulation:
+//
+//	hbhtrace -trace-files A.jsonl,B.jsonl,r1.jsonl
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"hbh/internal/addr"
 	"hbh/internal/core"
@@ -32,11 +41,22 @@ import (
 
 func main() {
 	var (
-		scenario = flag.String("scenario", "asymmetric-join", "asymmetric-join | duplication | departure | failure")
-		verbose  = flag.Bool("verbose", false, "print the full packet-level trace")
-		causal   = flag.Bool("causal", false, "print the reconstructed causal episode timelines after each protocol's run")
+		scenario   = flag.String("scenario", "asymmetric-join", "asymmetric-join | duplication | departure | failure")
+		verbose    = flag.Bool("verbose", false, "print the full packet-level trace")
+		causal     = flag.Bool("causal", false, "print the reconstructed causal episode timelines after each protocol's run")
+		traceFiles = flag.String("trace-files", "", "comma-separated per-daemon JSONL trace files (hbhd -trace-out): merge into one cross-process causal timeline and print it")
 	)
 	flag.Parse()
+
+	if *traceFiles != "" {
+		b, err := obs.LoadCausalFiles(strings.Split(*traceFiles, ","))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hbhtrace: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("cross-process causal timelines:\n%s", b.Render())
+		return
+	}
 
 	var sc topology.Scenario
 	switch *scenario {

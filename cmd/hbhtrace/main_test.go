@@ -191,3 +191,54 @@ func TestUnknownScenarioExits2(t *testing.T) {
 		t.Errorf("stderr missing diagnosis: %q", stderr)
 	}
 }
+
+// TestTraceFilesMergesDaemonTraces drives the cross-process mode on a
+// two-file fixture shaped like two hbhd -trace-out files: the join
+// originates in one daemon's file, the table installation it causes
+// lives in the other, and the merged timeline must show both inside
+// one episode.
+func TestTraceFilesMergesDaemonTraces(t *testing.T) {
+	dir := t.TempDir()
+	// Causal ids in daemon-disjoint namespaces (hbhd seeds (id+1)<<40);
+	// wall stamps order the merge.
+	fileA := filepath.Join(dir, "r1.jsonl")
+	fileB := filepath.Join(dir, "c.jsonl")
+	a := `{"t":1,"wall":1000,"kind":"join-send","node":"r1","node_addr":"10.1.0.2","ch":"<10.1.0.0,224.0.0.1>","ep":1099511627777,"step":1099511627778,"detail":"first"}
+{"t":1,"wall":1001,"kind":"send","node":"r1","node_addr":"10.1.0.2","ch":"<10.1.0.0,224.0.0.1>","ep":1099511627777,"step":1099511627779,"pstep":1099511627778,"msg":"hbh join(<10.1.0.0,224.0.0.1>, R=10.1.0.2) 10.1.0.2->10.1.0.0"}
+`
+	b := `{"t":5,"wall":2000,"kind":"table-add","node":"C","node_addr":"10.0.0.2","peer":"r1","ch":"<10.1.0.0,224.0.0.1>","ep":1099511627777,"step":3298534883329,"pstep":1099511627779,"detail":"mct"}
+`
+	if err := os.WriteFile(fileA, []byte(a), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(fileB, []byte(b), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	stdout, stderr, code := runMain(t, "-trace-files", fileA+","+fileB)
+	if code != 0 {
+		t.Fatalf("exit code %d, want 0 (stderr: %s)", code, stderr)
+	}
+	if !strings.Contains(stdout, "cross-process causal timelines:") {
+		t.Fatalf("missing header:\n%s", stdout)
+	}
+	if !strings.Contains(stdout, "receiver join (first) — r1") {
+		t.Errorf("episode not rooted at r1's join:\n%s", stdout)
+	}
+	join := strings.Index(stdout, "JOIN-SEND")
+	add := strings.Index(stdout, "TABLE-ADD")
+	if join < 0 || add < 0 || add < join {
+		t.Errorf("merged episode does not show the cross-daemon cascade in order:\n%s", stdout)
+	}
+}
+
+// TestTraceFilesBadPathExits1: a missing trace file is a clean error.
+func TestTraceFilesBadPathExits1(t *testing.T) {
+	_, stderr, code := runMain(t, "-trace-files", filepath.Join(t.TempDir(), "nope.jsonl"))
+	if code != 1 {
+		t.Fatalf("exit code %d, want 1", code)
+	}
+	if !strings.Contains(stderr, "hbhtrace:") {
+		t.Errorf("stderr missing diagnosis: %q", stderr)
+	}
+}

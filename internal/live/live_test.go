@@ -8,6 +8,7 @@ import (
 
 	"hbh/internal/addr"
 	"hbh/internal/core"
+	"hbh/internal/obs"
 	"hbh/internal/packet"
 	"hbh/internal/topology"
 	"hbh/internal/unicast"
@@ -29,13 +30,24 @@ func TestFrameRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	f := encodeFrame(7, 31, wire)
-	from, ttl, got, err := decodeFrame(f)
+	meta := frameMeta{
+		from: 7, ttl: 31,
+		cause:  obs.Causal{Episode: 1<<40 + 3, Step: 1<<40 + 9},
+		origAt: 1_700_000_000_123_456_789, hopAt: 1_700_000_000_123_999_999,
+	}
+	f := encodeFrame(meta, wire)
+	fm, got, err := decodeFrame(f)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if from != 7 || ttl != 31 {
-		t.Errorf("frame header = (%d, %d), want (7, 31)", from, ttl)
+	if fm.from != 7 || fm.ttl != 31 {
+		t.Errorf("frame header = (%d, %d), want (7, 31)", fm.from, fm.ttl)
+	}
+	if fm.cause != meta.cause {
+		t.Errorf("causal stamp = %+v, want %+v", fm.cause, meta.cause)
+	}
+	if fm.origAt != meta.origAt || fm.hopAt != meta.hopAt {
+		t.Errorf("timestamps = (%d, %d), want (%d, %d)", fm.origAt, fm.hopAt, meta.origAt, meta.hopAt)
 	}
 	gw, err := packet.Marshal(got)
 	if err != nil {
@@ -44,10 +56,10 @@ func TestFrameRoundTrip(t *testing.T) {
 	if !bytes.Equal(gw, wire) {
 		t.Error("packet did not survive the frame round trip")
 	}
-	if _, _, _, err := decodeFrame(f[:3]); err == nil {
+	if _, _, err := decodeFrame(f[:3]); err == nil {
 		t.Error("short frame decoded without error")
 	}
-	if _, _, _, err := decodeFrame(append(f[:frameOverhead:frameOverhead], 0xff)); err == nil {
+	if _, _, err := decodeFrame(append(f[:frameOverhead:frameOverhead], 0xff)); err == nil {
 		t.Error("garbage packet decoded without error")
 	}
 }

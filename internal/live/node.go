@@ -81,7 +81,7 @@ func (nd *Node) EmitProto(kind obs.Kind, ch addr.Channel, peer addr.Addr, seq ui
 	ev.Episode = nd.cur.Episode
 	ev.ParentStep = nd.cur.Step
 	ev.Step = o.NewStep()
-	o.Emit(ev)
+	o.EmitLocked(ev)
 	nd.rt.emitMu.Unlock()
 	return obs.Causal{Episode: ev.Episode, Step: ev.Step}
 }
@@ -154,7 +154,16 @@ func (nd *Node) sendUnicast(msg packet.Message) {
 		rt.emitMu.Unlock()
 		return
 	}
-	rt.withEmit(func() { rt.emitMsg(obs.KindSend, obs.CauseNone, nd, topology.None, msg) })
+	var sendStep obs.StepID
+	rt.withEmit(func() { sendStep = rt.emitMsg(obs.KindSend, obs.CauseNone, nd, topology.None, msg) })
+	// The frame's in-flight metadata: causal pair parented at the send
+	// event (netsim arms its envelopes the same way) and the
+	// origination timestamp the delivery-delay histogram measures from.
+	fm := frameMeta{
+		from: nd.id, ttl: rt.hopLimit,
+		cause:  obs.Causal{Episode: nd.cur.Episode, Step: sendStep},
+		origAt: rt.stampNow(),
+	}
 	dst, ok := rt.g.ByAddr(h.Dst)
 	if !ok {
 		rt.emitMu.Lock()
@@ -167,10 +176,10 @@ func (nd *Node) sendUnicast(msg packet.Message) {
 	}
 	if dst == nd.id {
 		// Local: re-process in a fresh dispatch for causal order.
-		nd.clk.After(0, func() { rt.arrive(nd, rt.hopLimit, msg) })
+		nd.clk.After(0, func() { rt.arrive(nd, fm, msg) })
 		return
 	}
-	rt.forward(nd, rt.hopLimit, msg)
+	rt.forward(nd, fm, msg)
 }
 
 // SendDirect implements netsim.ProtoNode: push msg one hop to the
@@ -202,6 +211,12 @@ func (nd *Node) sendDirect(to topology.NodeID, msg packet.Message) {
 		rt.emitMu.Unlock()
 		return
 	}
-	rt.withEmit(func() { rt.emitMsg(obs.KindSendDirect, obs.CauseNone, nd, to, msg) })
-	rt.transmit(nd, to, rt.hopLimit, msg)
+	var sendStep obs.StepID
+	rt.withEmit(func() { sendStep = rt.emitMsg(obs.KindSendDirect, obs.CauseNone, nd, to, msg) })
+	fm := frameMeta{
+		from: nd.id, ttl: rt.hopLimit,
+		cause:  obs.Causal{Episode: nd.cur.Episode, Step: sendStep},
+		origAt: rt.stampNow(),
+	}
+	rt.transmit(nd, to, fm, msg)
 }

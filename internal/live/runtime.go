@@ -194,6 +194,17 @@ func (rt *Runtime) SetObserver(o *obs.Observer) {
 	rt.obsv = o
 	if o != nil {
 		o.SetNow(rt.Now)
+		// Engine code (receiver spans, protocol annotations) emits into
+		// the observer directly from node goroutines; sharing the
+		// runtime's emission mutex serialises those paths with the
+		// transport events and with telemetry scrapes.
+		o.SetEmitLock(&rt.emitMu)
+		if lt := o.Latency(); lt != nil {
+			// The live runtime feeds delivery delays from frame
+			// timestamps (cross-process capable); event pairing would
+			// double-count them.
+			lt.SetDirect(true)
+		}
 	}
 }
 
@@ -215,6 +226,38 @@ func (rt *Runtime) Now() eventsim.Time {
 		return rt.sim.Now()
 	}
 	return rt.wall.Now()
+}
+
+// stampNow returns the frame-timestamp clock: wall nanoseconds in
+// RealMode (comparable across daemons whose wall clocks are roughly
+// synchronised), virtual microseconds in SimMode (exact within one
+// simulation). Frames carry these stamps so the receiving process can
+// compute delivery and hop delays without a shared virtual clock.
+func (rt *Runtime) stampNow() int64 {
+	if rt.mode == SimMode {
+		return int64(rt.sim.Now() * 1e6)
+	}
+	return time.Now().UnixNano()
+}
+
+// stampDelta converts a stamp difference to histogram units: seconds
+// in RealMode, virtual units in SimMode.
+func (rt *Runtime) stampDelta(from int64) float64 {
+	d := rt.stampNow() - from
+	if rt.mode == SimMode {
+		return float64(d) / 1e6
+	}
+	return float64(d) / 1e9
+}
+
+// ObsLocked runs fn under the emission lock: the consistency boundary
+// for reading the observer's registries (counters, histograms,
+// convergence state) while node goroutines emit concurrently. The
+// daemon's telemetry endpoints scrape through it.
+func (rt *Runtime) ObsLocked(fn func()) {
+	rt.emitMu.Lock()
+	defer rt.emitMu.Unlock()
+	fn()
 }
 
 // AddTap registers a link tap (invariant.Network). Taps run under the
@@ -363,27 +406,28 @@ func (rt *Runtime) HandleFrame(to topology.NodeID, frame []byte) {
 	if nd == nil {
 		return // not hosted here; a misrouted or stale frame
 	}
-	from, ttl, msg, err := decodeFrame(frame)
+	fm, msg, err := decodeFrame(frame)
 	if err != nil {
 		rt.emitMu.Lock()
 		rt.stats.CodecDrops++
 		rt.emitMu.Unlock()
 		return
 	}
-	cost := rt.g.Cost(from, to)
+	fm.wire = true
+	cost := rt.g.Cost(fm.from, to)
 	nd.clk.After(eventsim.Time(cost), func() {
-		rt.arrive(nd, int(ttl), msg)
+		rt.arrive(nd, fm, msg)
 	})
 }
 
 // emitMsg emits one packet-level event under the emission lock,
-// stamped with the acting node's ambient causal context. It mirrors
-// netsim's emitMsg; cross-hop causal chaining is not reconstructed
-// (frames carry no causal metadata), so per-hop events root at the
-// receiving node's context.
-func (rt *Runtime) emitMsg(kind obs.Kind, cause obs.Cause, nd *Node, peer topology.NodeID, msg packet.Message) {
+// stamped with the acting node's ambient causal context, and returns
+// the event's step (0 with no observer) so callers can chain a
+// packet's in-flight causal pair to it — the mirror of netsim's
+// emitMsg.
+func (rt *Runtime) emitMsg(kind obs.Kind, cause obs.Cause, nd *Node, peer topology.NodeID, msg packet.Message) obs.StepID {
 	if rt.obsv == nil {
-		return
+		return 0
 	}
 	ev := obs.Event{Kind: kind, Cause: cause, Msg: msg}
 	ev.Node = nd.addr
@@ -400,12 +444,27 @@ func (rt *Runtime) emitMsg(kind obs.Kind, cause obs.Cause, nd *Node, peer topolo
 	ev.Episode = nd.cur.Episode
 	ev.ParentStep = nd.cur.Step
 	ev.Step = rt.obsv.NewStep()
-	rt.obsv.Emit(ev)
+	rt.obsv.EmitLocked(ev)
+	return ev.Step
 }
 
 // arrive processes msg at nd: handlers first, then local delivery or
-// onward forwarding — the same decision ladder as netsim.arrive.
-func (rt *Runtime) arrive(nd *Node, ttl int, msg packet.Message) {
+// onward forwarding — the same decision ladder as netsim.arrive. The
+// frame's causal pair becomes the node's ambient context for the
+// dispatch (netsim's envelope.Fire does the same), so everything the
+// packet causes here chains to the hop that delivered it — even when
+// that hop ran in another process.
+func (rt *Runtime) arrive(nd *Node, fm frameMeta, msg packet.Message) {
+	prev := nd.cur
+	nd.cur = fm.cause
+	defer func() { nd.cur = prev }()
+	if fm.wire && fm.hopAt != 0 && rt.obsv != nil {
+		rt.emitMu.Lock()
+		if lt := rt.obsv.Latency(); lt != nil {
+			lt.ObserveHop(rt.stampDelta(fm.hopAt))
+		}
+		rt.emitMu.Unlock()
+	}
 	if rt.isNodeDown(nd.id) {
 		rt.emitMu.Lock()
 		rt.stats.NodeDownDrops++
@@ -419,6 +478,7 @@ func (rt *Runtime) arrive(nd *Node, ttl int, msg packet.Message) {
 			rt.stats.Consumed++
 			if _, isData := msg.(*packet.Data); isData {
 				rt.stats.DataConsumed++
+				rt.observeDeliveryLocked(fm)
 			}
 			if rt.obsv != nil {
 				rt.emitMsg(obs.KindConsume, obs.CauseNone, nd, topology.None, msg)
@@ -436,6 +496,7 @@ func (rt *Runtime) arrive(nd *Node, ttl int, msg packet.Message) {
 		rt.stats.Delivered++
 		if _, isData := msg.(*packet.Data); isData {
 			rt.stats.DataDelivered++
+			rt.observeDeliveryLocked(fm)
 		}
 		if rt.obsv != nil {
 			rt.emitMsg(obs.KindDeliver, obs.CauseNone, nd, topology.None, msg)
@@ -460,7 +521,18 @@ func (rt *Runtime) arrive(nd *Node, ttl int, msg packet.Message) {
 		rt.emitMu.Unlock()
 		return
 	}
-	rt.forward(nd, ttl, msg)
+	rt.forward(nd, fm, msg)
+}
+
+// observeDeliveryLocked samples the end-to-end delivery delay of a
+// data packet from its frame origination stamp. Caller holds emitMu.
+func (rt *Runtime) observeDeliveryLocked(fm frameMeta) {
+	if fm.origAt == 0 || rt.obsv == nil {
+		return
+	}
+	if lt := rt.obsv.Latency(); lt != nil {
+		lt.ObserveDelivery(rt.stampDelta(fm.origAt))
+	}
 }
 
 // withEmit runs fn under the emission lock when an observer is attached.
@@ -474,7 +546,7 @@ func (rt *Runtime) withEmit(fn func()) {
 }
 
 // forward routes msg one hop toward its unicast destination.
-func (rt *Runtime) forward(nd *Node, ttl int, msg packet.Message) {
+func (rt *Runtime) forward(nd *Node, fm frameMeta, msg packet.Message) {
 	dst, ok := rt.g.ByAddr(msg.Hdr().Dst)
 	if !ok || !rt.routing.Reachable(nd.id, dst) {
 		rt.emitMu.Lock()
@@ -486,14 +558,17 @@ func (rt *Runtime) forward(nd *Node, ttl int, msg packet.Message) {
 		return
 	}
 	next := rt.routing.NextHop(nd.id, dst)
-	rt.transmit(nd, next, ttl, msg)
+	rt.transmit(nd, next, fm, msg)
 }
 
 // transmit frames msg and hands it to the transport, charging one
 // unit of hop budget. The packet is marshalled fresh every hop: the
-// live runtime always exercises the real wire codec.
-func (rt *Runtime) transmit(nd *Node, to topology.NodeID, ttl int, msg packet.Message) {
-	if ttl <= 0 {
+// live runtime always exercises the real wire codec. The outgoing
+// frame carries the packet's causal pair — parented at this forward
+// event, exactly as netsim's emitEnv advances the envelope's step —
+// and a fresh last-hop timestamp.
+func (rt *Runtime) transmit(nd *Node, to topology.NodeID, fm frameMeta, msg packet.Message) {
+	if fm.ttl <= 0 {
 		rt.emitMu.Lock()
 		rt.stats.HopLimitDrops++
 		if rt.obsv != nil {
@@ -502,7 +577,7 @@ func (rt *Runtime) transmit(nd *Node, to topology.NodeID, ttl int, msg packet.Me
 		rt.emitMu.Unlock()
 		return
 	}
-	ttl--
+	fm.ttl--
 	if !rt.isLinkUp(nd.id, to) {
 		rt.emitMu.Lock()
 		rt.stats.LinkDownDrops++
@@ -528,10 +603,18 @@ func (rt *Runtime) transmit(nd *Node, to topology.NodeID, ttl int, msg packet.Me
 		tap(nd.id, to, msg)
 	}
 	if rt.obsv != nil {
-		rt.emitMsg(obs.KindForward, obs.CauseNone, nd, to, msg)
+		// Emit under the frame's causal context (netsim's emitEnv swap)
+		// and advance the frame's step to the forward event, so the next
+		// hop — possibly in another process — chains to it.
+		saved := nd.cur
+		nd.cur = fm.cause
+		fm.cause.Step = rt.emitMsg(obs.KindForward, obs.CauseNone, nd, to, msg)
+		nd.cur = saved
 	}
 	rt.emitMu.Unlock()
-	rt.trans.Send(nd.id, to, encodeFrame(nd.id, uint8(ttl), wire))
+	fm.from = nd.id
+	fm.hopAt = rt.stampNow()
+	rt.trans.Send(nd.id, to, encodeFrame(fm, wire))
 }
 
 // mailbox is an unbounded FIFO work queue with one consumer

@@ -15,39 +15,75 @@ import (
 	"net"
 	"sync"
 
+	"hbh/internal/obs"
 	"hbh/internal/packet"
 	"hbh/internal/topology"
 )
 
 // frameOverhead is the transport framing prepended to every wire
-// packet: the sender's node ID (4 bytes, big endian) and the
-// remaining hop budget (1 byte). The hop budget lives in the frame,
-// not the packet header, exactly as netsim keeps it in the envelope:
-// the paper's messages have no TTL field and the wire codec stays
-// byte-identical between the simulator and the live runtime.
-const frameOverhead = 5
+// packet: the sender's node ID (4 bytes, big endian), the remaining
+// hop budget (1 byte), the causal (episode, step) stamp (8+8 bytes),
+// and two timestamps — origination and last-hop transmission (8+8
+// bytes, nanoseconds of the sending process's stamp clock). The hop
+// budget lives in the frame, not the packet header, exactly as netsim
+// keeps it in the envelope: the paper's messages have no TTL field and
+// the wire codec stays byte-identical between the simulator and the
+// live runtime. The causal stamp extends the same idea across
+// processes — netsim threads (episode, step) through its envelopes,
+// the live transport threads it through its frames, so hbhtrace can
+// merge per-daemon trace files into one causal DAG. The timestamps
+// feed the wall-clock delivery and hop-delay histograms.
+const frameOverhead = 37
 
 // maxFrame bounds a received datagram.
 const maxFrame = 64 * 1024
 
+// frameMeta is the decoded transport framing: the in-flight metadata
+// netsim keeps in its envelopes, carried over the wire instead.
+type frameMeta struct {
+	from topology.NodeID
+	ttl  int
+	// cause is the packet's causal pair: the episode it belongs to and
+	// the step of the event that put it on the wire (the origination
+	// send or the previous hop's forward).
+	cause obs.Causal
+	// origAt is the stamp-clock time the packet was originated; hopAt
+	// the time the last hop transmitted this frame. Zero when unknown
+	// (a frame from a pre-telemetry sender decodes as zero).
+	origAt int64
+	hopAt  int64
+	// wire marks a frame that actually crossed the transport (set by
+	// HandleFrame); self-deliveries re-processed in a fresh dispatch
+	// never had a hop to measure.
+	wire bool
+}
+
 // encodeFrame prepends the transport framing to a marshalled packet.
-func encodeFrame(from topology.NodeID, ttl uint8, wire []byte) []byte {
+func encodeFrame(fm frameMeta, wire []byte) []byte {
 	f := make([]byte, frameOverhead+len(wire))
-	binary.BigEndian.PutUint32(f[0:4], uint32(from))
-	f[4] = ttl
+	binary.BigEndian.PutUint32(f[0:4], uint32(fm.from))
+	f[4] = uint8(fm.ttl)
+	binary.BigEndian.PutUint64(f[5:13], uint64(fm.cause.Episode))
+	binary.BigEndian.PutUint64(f[13:21], uint64(fm.cause.Step))
+	binary.BigEndian.PutUint64(f[21:29], uint64(fm.origAt))
+	binary.BigEndian.PutUint64(f[29:37], uint64(fm.hopAt))
 	copy(f[frameOverhead:], wire)
 	return f
 }
 
-// decodeFrame splits a frame into sender, hop budget and the packet.
-func decodeFrame(f []byte) (from topology.NodeID, ttl uint8, msg packet.Message, err error) {
+// decodeFrame splits a frame into its metadata and the packet.
+func decodeFrame(f []byte) (fm frameMeta, msg packet.Message, err error) {
 	if len(f) < frameOverhead {
-		return 0, 0, nil, fmt.Errorf("live: short frame (%d bytes)", len(f))
+		return frameMeta{}, nil, fmt.Errorf("live: short frame (%d bytes)", len(f))
 	}
-	from = topology.NodeID(binary.BigEndian.Uint32(f[0:4]))
-	ttl = f[4]
+	fm.from = topology.NodeID(binary.BigEndian.Uint32(f[0:4]))
+	fm.ttl = int(f[4])
+	fm.cause.Episode = obs.EpisodeID(binary.BigEndian.Uint64(f[5:13]))
+	fm.cause.Step = obs.StepID(binary.BigEndian.Uint64(f[13:21]))
+	fm.origAt = int64(binary.BigEndian.Uint64(f[21:29]))
+	fm.hopAt = int64(binary.BigEndian.Uint64(f[29:37]))
 	msg, err = packet.Unmarshal(f[frameOverhead:])
-	return from, ttl, msg, err
+	return fm, msg, err
 }
 
 // DeliverFunc receives a frame addressed to hosted node to. Transports

@@ -825,6 +825,11 @@ func (n *Network) transmit(from, to topology.NodeID, env *envelope) {
 	}
 	if n.obsv != nil {
 		n.emitEnv(obs.KindForward, obs.CauseNone, n.nodes[from], n.nodes[to], env)
+		if lt := n.obsv.Latency(); lt != nil {
+			// The per-hop delay this traversal will take: link cost plus
+			// any adversarial jitter (virtual units).
+			lt.ObserveHop(float64(eventsim.Time(cost) + advJitter))
+		}
 	}
 	env.to = to
 	if advDup {

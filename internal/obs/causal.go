@@ -57,6 +57,16 @@ func (o *Observer) NewStep() StepID {
 	return StepID(o.stepSeq)
 }
 
+// SeedCausal starts the episode and step counters at base instead of
+// zero. Each hbhd daemon seeds a disjoint namespace (derived from its
+// lowest hosted node ID), so causal ids stamped by different processes
+// never collide when their per-daemon trace files are merged into one
+// cross-process timeline.
+func (o *Observer) SeedCausal(base uint64) {
+	o.episodeSeq = base
+	o.stepSeq = base
+}
+
 // episodeMutation reports whether the kind is a structural table
 // mutation — the events that mean "the tree changed shape". The
 // convergence detector and the episode renderer's quiet-episode filter
@@ -197,6 +207,19 @@ func NewEpisodeBuilder(max int) *EpisodeBuilder {
 
 // Emit implements Sink.
 func (b *EpisodeBuilder) Emit(ev Event) {
+	ctrlHop, ctrlBytes := false, 0
+	if ev.Kind == KindForward && ev.Msg != nil {
+		if _, isData := ev.Msg.(*packet.Data); !isData {
+			ctrlHop = true
+			ctrlBytes = packet.WireBytes(ev.Msg)
+		}
+	}
+	b.add(ev, Line(ev), ctrlHop, ctrlBytes)
+}
+
+// add folds one event with its pre-rendered line; the live path (Emit)
+// and the replay path (EmitReplay) share it.
+func (b *EpisodeBuilder) add(ev Event, line string, ctrlHop bool, ctrlBytes int) {
 	if ev.Episode == 0 {
 		// Notes, recorder dumps and lifecycle span markers are not causal
 		// events; only protocol/transport events count as unattributed.
@@ -234,15 +257,13 @@ func (b *EpisodeBuilder) Emit(ev Event) {
 	if terminalKind(ev.Kind) {
 		e.terminals++
 	}
-	if ev.Kind == KindForward && ev.Msg != nil {
-		if _, isData := ev.Msg.(*packet.Data); !isData {
-			e.CtrlHops++
-			e.CtrlBytes += packet.WireBytes(ev.Msg)
-		}
+	if ctrlHop {
+		e.CtrlHops++
+		e.CtrlBytes += ctrlBytes
 	}
 	e.events = append(e.events, episodeEvent{
 		at: ev.At, kind: ev.Kind, step: ev.Step, parent: ev.ParentStep,
-		line: Line(ev),
+		line: line,
 	})
 }
 

@@ -33,6 +33,14 @@ type ChannelConvergence struct {
 	LastMutation eventsim.Time
 	LastEpisode  EpisodeID
 	MutationAny  bool
+	// BurstStart is the time of the first mutation of the current
+	// convergence burst: it restarts whenever a mutation lands on a
+	// channel previously marked converged (see MarkConverged).
+	// Converged is the probe-maintained convergence flag — set by
+	// MarkConverged once Quiescent holds, withdrawn by the next
+	// mutation.
+	BurstStart eventsim.Time
+	Converged  bool
 	// Mutations counts structural mutations.
 	Mutations int
 	// Outstanding counts control messages originated but not yet
@@ -97,6 +105,10 @@ func (t *ConvergeTracker) Apply(ev Event) {
 	}
 	if episodeMutation(ev.Kind) {
 		c := t.channel(ev.Channel)
+		if c.Converged || !c.MutationAny {
+			c.BurstStart = ev.At
+			c.Converged = false
+		}
 		c.LastMutation = ev.At
 		c.LastEpisode = ev.Episode
 		c.MutationAny = true
@@ -166,4 +178,20 @@ func (t *ConvergeTracker) Quiescent(ch addr.Channel, now, settle eventsim.Time) 
 		return false
 	}
 	return !c.MutationAny || now-c.LastMutation >= settle
+}
+
+// MarkConverged records that a quiescence probe found the channel
+// converged. The first call after a mutation burst returns the burst
+// duration (first to last mutation of the burst) and newly=true — the
+// sample the convergence-time histogram wants; repeat calls, calls on
+// an untracked channel, and calls before any mutation return
+// newly=false. The flag is withdrawn automatically by the next
+// structural mutation, which also starts the next burst.
+func (t *ConvergeTracker) MarkConverged(ch addr.Channel) (took eventsim.Time, newly bool) {
+	c := t.chans[ch]
+	if c == nil || c.Converged || !c.MutationAny {
+		return 0, false
+	}
+	c.Converged = true
+	return c.LastMutation - c.BurstStart, true
 }

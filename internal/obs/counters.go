@@ -33,6 +33,10 @@ var metricHelp = []struct{ name, kind, help string }{
 	{"hbh_state_mft_routers", "gauge", "routers holding a data-plane table, sampled per refresh interval (virtual-time series)"},
 	{"hbh_state_mft_entries", "gauge", "total data-plane rows across routers and the source, sampled per refresh interval (virtual-time series)"},
 	{"hbh_state_mct_routers", "gauge", "routers holding only control-plane state, sampled per refresh interval (virtual-time series)"},
+	{"hbh_delivery_delay", "histogram", "end-to-end data delivery delay (seconds on the live runtime, virtual units in simulation)"},
+	{"hbh_hop_delay", "histogram", "per-hop forwarding delay (seconds on the live runtime, virtual units in simulation)"},
+	{"hbh_join_first_delay", "histogram", "delay from a receiver's first join to its first delivered data packet (seconds live, virtual units simulated)"},
+	{"hbh_converge_time", "histogram", "per-channel tree convergence time: first to last structural mutation of a convergence burst (seconds live, virtual units simulated)"},
 }
 
 // counterKey identifies one labelled sample of one metric.
@@ -55,12 +59,29 @@ type counterKey struct {
 // the same events.
 type Counters struct {
 	vals   map[counterKey]float64
+	hists  map[counterKey]*Histogram
 	series []*Series
 }
 
 // NewCounters builds an empty registry.
 func NewCounters() *Counters {
-	return &Counters{vals: make(map[counterKey]float64)}
+	return &Counters{
+		vals:  make(map[counterKey]float64),
+		hists: make(map[counterKey]*Histogram),
+	}
+}
+
+// Hist returns the registry-resident histogram for name and labels,
+// creating it on first use. Registered histograms are folded by Merge
+// and rendered by Export alongside the scalar samples.
+func (c *Counters) Hist(name string, kv ...string) *Histogram {
+	k := counterKey{name, renderLabels(kv)}
+	h := c.hists[k]
+	if h == nil {
+		h = &Histogram{name: name, labels: k.labels}
+		c.hists[k] = h
+	}
+	return h
 }
 
 // Add increments metric name by v under the given label pairs
@@ -178,6 +199,24 @@ func (c *Counters) Merge(other *Counters) {
 	for _, k := range keys {
 		c.vals[k] += other.vals[k]
 	}
+	hkeys := make([]counterKey, 0, len(other.hists))
+	for k := range other.hists {
+		hkeys = append(hkeys, k)
+	}
+	sort.Slice(hkeys, func(i, j int) bool {
+		if hkeys[i].name != hkeys[j].name {
+			return hkeys[i].name < hkeys[j].name
+		}
+		return hkeys[i].labels < hkeys[j].labels
+	})
+	for _, k := range hkeys {
+		h := c.hists[k]
+		if h == nil {
+			h = &Histogram{name: k.name, labels: k.labels}
+			c.hists[k] = h
+		}
+		h.Merge(other.hists[k])
+	}
 	c.series = append(c.series, other.series...)
 }
 
@@ -231,16 +270,21 @@ func (c *Counters) Export(w io.Writer) error {
 	for _, s := range c.series {
 		seriesByName[s.name] = append(seriesByName[s.name], s)
 	}
+	histsByName := make(map[string][]*Histogram)
+	for _, h := range c.hists {
+		histsByName[h.name] = append(histsByName[h.name], h)
+	}
 
 	var names []string
 	seen := make(map[string]bool)
 	for _, m := range metricHelp {
-		if len(byName[m.name]) > 0 || len(seriesByName[m.name]) > 0 {
+		if len(byName[m.name]) > 0 || len(seriesByName[m.name]) > 0 || len(histsByName[m.name]) > 0 {
 			names = append(names, m.name)
 			seen[m.name] = true
 		}
 	}
-	// Metrics added via Add/NewSeries without a help entry still export.
+	// Metrics added via Add/NewSeries/Hist without a help entry still
+	// export.
 	var extra []string
 	for n := range byName {
 		if !seen[n] {
@@ -249,6 +293,12 @@ func (c *Counters) Export(w io.Writer) error {
 		}
 	}
 	for n := range seriesByName {
+		if !seen[n] {
+			extra = append(extra, n)
+			seen[n] = true
+		}
+	}
+	for n := range histsByName {
 		if !seen[n] {
 			extra = append(extra, n)
 			seen[n] = true
@@ -267,8 +317,19 @@ func (c *Counters) Export(w io.Writer) error {
 			if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, h.help, name, h.kind); err != nil {
 				return err
 			}
+		} else if len(histsByName[name]) > 0 {
+			if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", name); err != nil {
+				return err
+			}
 		} else if _, err := fmt.Fprintf(w, "# TYPE %s untyped\n", name); err != nil {
 			return err
+		}
+		hs := histsByName[name]
+		sort.Slice(hs, func(i, j int) bool { return hs[i].labels < hs[j].labels })
+		for _, h := range hs {
+			if err := h.export(w); err != nil {
+				return err
+			}
 		}
 		keys := byName[name]
 		sort.Slice(keys, func(i, j int) bool { return keys[i].labels < keys[j].labels })

@@ -28,6 +28,7 @@ package obs
 
 import (
 	"fmt"
+	"sync"
 
 	"hbh/internal/addr"
 	"hbh/internal/eventsim"
@@ -283,7 +284,16 @@ type Observer struct {
 	counters *Counters
 	recorder *Recorder
 	converge *ConvergeTracker
-	spanSeq  uint64
+	latency  *Latency
+	// lock, when set, serialises the emission surface (Emit, spans,
+	// Notef) across goroutines. The single-threaded simulator never sets
+	// it; the live runtime shares its own emission mutex here so engine
+	// code that emits directly (receiver spans, protocol annotations)
+	// is serialised with the runtime's transport events and with
+	// telemetry scrapes. Paths that already hold that mutex use
+	// EmitLocked.
+	lock    sync.Locker
+	spanSeq uint64
 	// episodeSeq and stepSeq allocate causal episode and step ids;
 	// plain counters, so causal stamping costs no allocation.
 	episodeSeq uint64
@@ -324,7 +334,8 @@ func (o *Observer) RemoveSink(s Sink) {
 // Empty reports whether the observer has no sinks, counters or
 // recorder attached (nothing would observe an event).
 func (o *Observer) Empty() bool {
-	return len(o.sinks) == 0 && o.counters == nil && o.recorder == nil && o.converge == nil
+	return len(o.sinks) == 0 && o.counters == nil && o.recorder == nil &&
+		o.converge == nil && o.latency == nil
 }
 
 // SetFilter installs a sink-side predicate: events failing it are not
@@ -361,12 +372,35 @@ func (o *Observer) Recorder() *Recorder { return o.recorder }
 // anyone asking.
 func (o *Observer) SetDumpOnFaultDrop(on bool) { o.dumpOnFaultDrop = on }
 
+// SetEmitLock installs the emission lock (see the Observer doc). Set
+// it before any concurrent emission starts.
+func (o *Observer) SetEmitLock(mu sync.Locker) { o.lock = mu }
+
 // Emit records one event: timestamp, flight recorder, counters, then
-// sinks (filtered). Safe on a nil observer.
+// sinks (filtered). Safe on a nil observer. When an emission lock is
+// installed, Emit acquires it — callers already holding that lock must
+// use EmitLocked instead.
 func (o *Observer) Emit(ev Event) {
 	if o == nil {
 		return
 	}
+	if o.lock != nil {
+		o.lock.Lock()
+		defer o.lock.Unlock()
+	}
+	o.emit(ev)
+}
+
+// EmitLocked is Emit for callers that already hold the installed
+// emission lock (the live runtime's own emission paths).
+func (o *Observer) EmitLocked(ev Event) {
+	if o == nil {
+		return
+	}
+	o.emit(ev)
+}
+
+func (o *Observer) emit(ev Event) {
 	if o.now != nil {
 		ev.At = o.now()
 	}
@@ -378,6 +412,9 @@ func (o *Observer) Emit(ev Event) {
 	}
 	if o.converge != nil {
 		o.converge.Apply(ev)
+	}
+	if o.latency != nil {
+		o.latency.Apply(ev)
 	}
 	if len(o.sinks) > 0 && (o.filter == nil || o.filter(&ev)) {
 		for _, s := range o.sinks {
@@ -403,9 +440,13 @@ func (o *Observer) BeginSpan(name string, ch addr.Channel, node addr.Addr, nodeN
 	if o == nil {
 		return 0
 	}
+	if o.lock != nil {
+		o.lock.Lock()
+		defer o.lock.Unlock()
+	}
 	o.spanSeq++
 	id := SpanID(o.spanSeq)
-	o.Emit(Event{
+	o.emit(Event{
 		Kind: KindSpanBegin, Node: node, NodeName: nodeName,
 		Channel: ch, Span: id, Parent: parent, Detail: name,
 	})

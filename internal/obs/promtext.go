@@ -1,0 +1,267 @@
+// A small validating parser for the Prometheus text exposition format
+// — the contract the /metrics endpoint and -obs-metrics files must
+// honour. The CI telemetry smoke scrapes a live daemon and fails on
+// any parse error, so a formatting regression in the export path can
+// never ship silently.
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// ValidatePromText reads a Prometheus text exposition and returns the
+// first grammar violation found, or nil. Beyond line grammar it
+// enforces the histogram contract: per histogram series, bucket le
+// bounds strictly ascend, cumulative counts never decrease, the +Inf
+// bucket is present, and _count matches it.
+func ValidatePromText(r io.Reader) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	types := make(map[string]string)
+	// histogram bucket state per metric+labels-without-le series
+	type bucketState struct {
+		lastLE  float64
+		lastCum float64
+		infSeen bool
+		infCum  float64
+	}
+	buckets := make(map[string]*bucketState)
+	counts := make(map[string]float64)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.Fields(line)
+			if len(fields) >= 2 && (fields[1] == "HELP" || fields[1] == "TYPE") {
+				if len(fields) < 3 {
+					return fmt.Errorf("promtext line %d: %s without a metric name", lineNo, fields[1])
+				}
+				if !validMetricName(fields[2]) {
+					return fmt.Errorf("promtext line %d: bad metric name %q", lineNo, fields[2])
+				}
+				if fields[1] == "TYPE" {
+					if len(fields) < 4 {
+						return fmt.Errorf("promtext line %d: TYPE without a type", lineNo)
+					}
+					switch fields[3] {
+					case "counter", "gauge", "histogram", "summary", "untyped":
+					default:
+						return fmt.Errorf("promtext line %d: unknown type %q", lineNo, fields[3])
+					}
+					types[fields[2]] = fields[3]
+				}
+			}
+			continue // other comments are free-form
+		}
+		name, labels, value, err := parsePromSample(line)
+		if err != nil {
+			return fmt.Errorf("promtext line %d: %w", lineNo, err)
+		}
+		base, suffix := name, ""
+		for _, s := range []string{"_bucket", "_sum", "_count"} {
+			if t, ok := types[strings.TrimSuffix(name, s)]; ok && t == "histogram" && strings.HasSuffix(name, s) {
+				base, suffix = strings.TrimSuffix(name, s), s
+				break
+			}
+		}
+		if suffix == "_bucket" {
+			le, rest, ok := splitLE(labels)
+			if !ok {
+				return fmt.Errorf("promtext line %d: histogram bucket without le label", lineNo)
+			}
+			var leV float64
+			if le == "+Inf" {
+				leV = math.Inf(1)
+			} else if leV, err = strconv.ParseFloat(le, 64); err != nil {
+				return fmt.Errorf("promtext line %d: bad le %q", lineNo, le)
+			}
+			key := base + rest
+			st := buckets[key]
+			if st == nil {
+				st = &bucketState{lastLE: math.Inf(-1)}
+				buckets[key] = st
+			}
+			if leV <= st.lastLE {
+				return fmt.Errorf("promtext line %d: bucket le %q not ascending", lineNo, le)
+			}
+			if value < st.lastCum {
+				return fmt.Errorf("promtext line %d: cumulative bucket count decreased", lineNo)
+			}
+			st.lastLE, st.lastCum = leV, value
+			if math.IsInf(leV, 1) {
+				st.infSeen, st.infCum = true, value
+			}
+		}
+		if suffix == "_count" {
+			counts[base+labels] = value
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("promtext: %w", err)
+	}
+	for key, st := range buckets {
+		if !st.infSeen {
+			return fmt.Errorf("promtext: histogram series %s has no +Inf bucket", key)
+		}
+		if c, ok := counts[key]; ok && c != st.infCum {
+			return fmt.Errorf("promtext: histogram series %s count %g != +Inf bucket %g", key, c, st.infCum)
+		}
+	}
+	return nil
+}
+
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		alpha := r == '_' || r == ':' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z')
+		if !alpha && (i == 0 || r < '0' || r > '9') {
+			return false
+		}
+	}
+	return true
+}
+
+// parsePromSample splits "name{labels} value [timestamp]" and checks
+// each part. labels is returned with braces ("" when absent).
+func parsePromSample(line string) (name, labels string, value float64, err error) {
+	rest := line
+	if i := strings.IndexByte(rest, '{'); i >= 0 {
+		name = rest[:i]
+		j := strings.IndexByte(rest, '}')
+		if j < i {
+			return "", "", 0, fmt.Errorf("unbalanced label braces in %q", line)
+		}
+		labels = rest[i : j+1]
+		if err := validateLabels(labels); err != nil {
+			return "", "", 0, err
+		}
+		rest = strings.TrimSpace(rest[j+1:])
+	} else {
+		fields := strings.Fields(rest)
+		if len(fields) < 2 {
+			return "", "", 0, fmt.Errorf("sample %q missing value", line)
+		}
+		name = fields[0]
+		rest = strings.TrimSpace(strings.TrimPrefix(rest, name))
+	}
+	if !validMetricName(name) {
+		return "", "", 0, fmt.Errorf("bad metric name %q", name)
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return "", "", 0, fmt.Errorf("sample %q needs 'value [timestamp]'", line)
+	}
+	value, err = strconv.ParseFloat(fields[0], 64)
+	if err != nil {
+		return "", "", 0, fmt.Errorf("bad value %q: %v", fields[0], err)
+	}
+	if len(fields) == 2 {
+		if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
+			return "", "", 0, fmt.Errorf("bad timestamp %q", fields[1])
+		}
+	}
+	return name, labels, value, nil
+}
+
+// validateLabels checks a {k="v",...} block: names are identifiers,
+// values are quoted strings.
+func validateLabels(block string) error {
+	inner := strings.TrimSuffix(strings.TrimPrefix(block, "{"), "}")
+	for inner != "" {
+		eq := strings.IndexByte(inner, '=')
+		if eq <= 0 {
+			return fmt.Errorf("label pair %q missing '='", inner)
+		}
+		if !validMetricName(inner[:eq]) {
+			return fmt.Errorf("bad label name %q", inner[:eq])
+		}
+		rest := inner[eq+1:]
+		if len(rest) == 0 || rest[0] != '"' {
+			return fmt.Errorf("label value in %q not quoted", inner)
+		}
+		// Find the closing quote, honouring escapes.
+		end := -1
+		for i := 1; i < len(rest); i++ {
+			if rest[i] == '\\' {
+				i++
+				continue
+			}
+			if rest[i] == '"' {
+				end = i
+				break
+			}
+		}
+		if end < 0 {
+			return fmt.Errorf("unterminated label value in %q", inner)
+		}
+		if _, err := strconv.Unquote(rest[:end+1]); err != nil {
+			return fmt.Errorf("bad label value %q: %v", rest[:end+1], err)
+		}
+		inner = rest[end+1:]
+		if inner != "" {
+			if inner[0] != ',' {
+				return fmt.Errorf("label pairs not comma-separated at %q", inner)
+			}
+			inner = inner[1:]
+		}
+	}
+	return nil
+}
+
+// splitLE extracts the le label from a rendered label block, returning
+// the le value and the block with le removed (series identity for the
+// histogram contract checks).
+func splitLE(labels string) (le, rest string, ok bool) {
+	if labels == "" {
+		return "", "", false
+	}
+	inner := strings.TrimSuffix(strings.TrimPrefix(labels, "{"), "}")
+	var kept []string
+	for _, pair := range splitLabelPairs(inner) {
+		if v, found := strings.CutPrefix(pair, `le="`); found {
+			le = strings.TrimSuffix(v, `"`)
+			ok = true
+			continue
+		}
+		kept = append(kept, pair)
+	}
+	if len(kept) == 0 {
+		return le, "", ok
+	}
+	return le, "{" + strings.Join(kept, ",") + "}", ok
+}
+
+// splitLabelPairs splits on commas outside quotes.
+func splitLabelPairs(inner string) []string {
+	var out []string
+	depth := false
+	start := 0
+	for i := 0; i < len(inner); i++ {
+		switch inner[i] {
+		case '\\':
+			i++
+		case '"':
+			depth = !depth
+		case ',':
+			if !depth {
+				out = append(out, inner[start:i])
+				start = i + 1
+			}
+		}
+	}
+	if start < len(inner) {
+		out = append(out, inner[start:])
+	}
+	return out
+}

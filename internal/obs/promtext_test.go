@@ -1,0 +1,102 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestValidatePromTextAccepts(t *testing.T) {
+	doc := `# HELP hbh_forwards_total link traversals
+# TYPE hbh_forwards_total counter
+hbh_forwards_total{node="r1"} 12
+hbh_forwards_total{node="r2"} 0.5
+# TYPE hbh_delivery_delay histogram
+hbh_delivery_delay_bucket{le="0.001"} 2
+hbh_delivery_delay_bucket{le="0.004"} 5
+hbh_delivery_delay_bucket{le="+Inf"} 7
+hbh_delivery_delay_sum 1.25
+hbh_delivery_delay_count 7
+# TYPE hbh_state_mft_entries gauge
+hbh_state_mft_entries{run="a"} 3 1500
+# a free-form comment
+plain_untyped 1e-9
+`
+	if err := ValidatePromText(strings.NewReader(doc)); err != nil {
+		t.Fatalf("valid exposition rejected: %v", err)
+	}
+}
+
+func TestValidatePromTextRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		doc  string
+		want string
+	}{
+		{"bad metric name", "9bad{a=\"x\"} 1\n", "bad metric name"},
+		{"missing value", "hbh_x\n", "missing value"},
+		{"bad value", "hbh_x notanumber\n", "bad value"},
+		{"unquoted label", "hbh_x{a=b} 1\n", "not quoted"},
+		{"bad label name", "hbh_x{9a=\"b\"} 1\n", "bad label name"},
+		{"unbalanced braces", "hbh_x{a=\"b\" 1\n", "unbalanced"},
+		{"bad timestamp", "hbh_x 1 12.5\n", "bad timestamp"},
+		{"unknown type", "# TYPE hbh_x widget\n", "unknown type"},
+		{
+			"le not ascending",
+			"# TYPE h histogram\nh_bucket{le=\"2\"} 1\nh_bucket{le=\"1\"} 2\nh_bucket{le=\"+Inf\"} 2\n",
+			"not ascending",
+		},
+		{
+			"cumulative decreases",
+			"# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"2\"} 3\nh_bucket{le=\"+Inf\"} 5\n",
+			"decreased",
+		},
+		{
+			"missing +Inf",
+			"# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_count 5\n",
+			"no +Inf",
+		},
+		{
+			"count mismatch",
+			"# TYPE h histogram\nh_bucket{le=\"+Inf\"} 5\nh_count 6\n",
+			"count 6 != +Inf bucket 5",
+		},
+		{
+			"bucket without le",
+			"# TYPE h histogram\nh_bucket{x=\"y\"} 5\n",
+			"without le",
+		},
+	}
+	for _, c := range cases {
+		err := ValidatePromText(strings.NewReader(c.doc))
+		if err == nil {
+			t.Errorf("%s: accepted", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.want)
+		}
+	}
+}
+
+func TestValidatePromTextHistogramLabelledSeries(t *testing.T) {
+	// Two labelled series of one histogram are independent: each needs
+	// its own ascending buckets and +Inf.
+	doc := `# TYPE h histogram
+h_bucket{channel="a",le="1"} 1
+h_bucket{channel="a",le="+Inf"} 2
+h_bucket{channel="b",le="0.5"} 4
+h_bucket{channel="b",le="+Inf"} 4
+h_count{channel="a"} 2
+h_count{channel="b"} 4
+`
+	if err := ValidatePromText(strings.NewReader(doc)); err != nil {
+		t.Fatalf("labelled histogram series rejected: %v", err)
+	}
+	bad := `# TYPE h histogram
+h_bucket{channel="a",le="1"} 1
+h_count{channel="a"} 1
+`
+	if err := ValidatePromText(strings.NewReader(bad)); err == nil || !strings.Contains(err.Error(), "+Inf") {
+		t.Fatalf("missing +Inf in labelled series not caught: %v", err)
+	}
+}

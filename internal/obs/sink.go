@@ -55,35 +55,42 @@ func fmtMsg(ev Event) string {
 // kinds reproduce the legacy netsim trace vocabulary verbatim; protocol
 // kinds use the same NODE VERB detail shape.
 func Line(ev Event) string {
+	return lineMsg(ev, fmtMsg(ev), ev.Msg != nil)
+}
+
+// lineMsg is Line with the packet rendering supplied by the caller:
+// the live path formats ev.Msg, the replay path (replay.go) re-renders
+// events whose packet survives only as the JSONL msg string.
+func lineMsg(ev Event, msg string, hasMsg bool) string {
 	switch ev.Kind {
 	case KindSend:
-		return fmt.Sprintf("%s SEND %s", ev.NodeName, fmtMsg(ev))
+		return fmt.Sprintf("%s SEND %s", ev.NodeName, msg)
 	case KindSendDirect:
-		return fmt.Sprintf("%s SEND-DIRECT->%s %s", ev.NodeName, ev.PeerName, fmtMsg(ev))
+		return fmt.Sprintf("%s SEND-DIRECT->%s %s", ev.NodeName, ev.PeerName, msg)
 	case KindForward:
-		return fmt.Sprintf("%s FORWARD->%s %s", ev.NodeName, ev.PeerName, fmtMsg(ev))
+		return fmt.Sprintf("%s FORWARD->%s %s", ev.NodeName, ev.PeerName, msg)
 	case KindConsume:
-		return fmt.Sprintf("%s CONSUME %s", ev.NodeName, fmtMsg(ev))
+		return fmt.Sprintf("%s CONSUME %s", ev.NodeName, msg)
 	case KindDeliver:
-		return fmt.Sprintf("%s DELIVER %s", ev.NodeName, fmtMsg(ev))
+		return fmt.Sprintf("%s DELIVER %s", ev.NodeName, msg)
 	case KindDrop:
 		switch ev.Cause {
 		case CauseLoss:
-			return fmt.Sprintf("%s LOSS %s", ev.NodeName, fmtMsg(ev))
+			return fmt.Sprintf("%s LOSS %s", ev.NodeName, msg)
 		case CauseNoRoute:
-			return fmt.Sprintf("%s DROP no route: %s", ev.NodeName, fmtMsg(ev))
+			return fmt.Sprintf("%s DROP no route: %s", ev.NodeName, msg)
 		case CauseHopLimit:
-			return fmt.Sprintf("%s DROP hop limit: %s", ev.NodeName, fmtMsg(ev))
+			return fmt.Sprintf("%s DROP hop limit: %s", ev.NodeName, msg)
 		case CauseLinkDown:
-			return fmt.Sprintf("%s DROP link down ->%s: %s", ev.NodeName, ev.PeerName, fmtMsg(ev))
+			return fmt.Sprintf("%s DROP link down ->%s: %s", ev.NodeName, ev.PeerName, msg)
 		case CauseNodeDown:
-			return fmt.Sprintf("%s DROP node down: %s", ev.NodeName, fmtMsg(ev))
+			return fmt.Sprintf("%s DROP node down: %s", ev.NodeName, msg)
 		case CauseNonUnicast:
-			return fmt.Sprintf("%s DROP non-unicast dst: %s", ev.NodeName, fmtMsg(ev))
+			return fmt.Sprintf("%s DROP non-unicast dst: %s", ev.NodeName, msg)
 		case CauseUnclaimedMulticast:
-			return fmt.Sprintf("%s DROP unclaimed multicast: %s", ev.NodeName, fmtMsg(ev))
+			return fmt.Sprintf("%s DROP unclaimed multicast: %s", ev.NodeName, msg)
 		default:
-			return fmt.Sprintf("%s DROP %s", ev.NodeName, fmtMsg(ev))
+			return fmt.Sprintf("%s DROP %s", ev.NodeName, msg)
 		}
 	case KindNote, KindFault:
 		return ev.Detail
@@ -108,9 +115,9 @@ func Line(ev Event) string {
 			b.WriteString(" ->")
 			b.WriteString(ev.Peer.String())
 		}
-		if ev.Msg != nil {
+		if hasMsg {
 			b.WriteByte(' ')
-			b.WriteString(packet.Format(ev.Msg))
+			b.WriteString(msg)
 		}
 		if ev.Detail != "" {
 			b.WriteString(" (")
@@ -128,6 +135,12 @@ func Line(ev Event) string {
 // event schema stays explicit and the package needs no reflection.
 type JSONLSink struct {
 	W io.Writer
+	// Wall, when set, stamps every line with a "wall" field (nanoseconds
+	// since the Unix epoch). The live daemons set it so per-process
+	// trace files can be merged into one cross-process timeline — the
+	// virtual "t" stamps of different processes share no clock, but
+	// their (NTP-disciplined) wall clocks do, coarsely.
+	Wall func() int64
 	// buf is reused across events to keep the trace path cheap.
 	buf []byte
 }
@@ -143,6 +156,10 @@ func (j *JSONLSink) Emit(ev Event) {
 	b := j.buf[:0]
 	b = append(b, `{"t":`...)
 	b = strconv.AppendFloat(b, float64(ev.At), 'f', -1, 64)
+	if j.Wall != nil {
+		b = append(b, `,"wall":`...)
+		b = strconv.AppendInt(b, j.Wall(), 10)
+	}
 	b = append(b, `,"kind":`...)
 	b = strconv.AppendQuote(b, ev.Kind.String())
 	if ev.NodeName != "" || ev.Node != 0 {
